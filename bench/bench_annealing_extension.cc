@@ -1,0 +1,90 @@
+// EXTENSION bench (beyond the paper's tables): simulated annealing vs the
+// paper's HS / HS-Greedy on the medium workload suite — does randomized
+// search close the gap to the heuristic at comparable state counts?
+//
+// ETLOPT_BENCH_QUICK=1 shrinks the suite.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "optimizer/annealing.h"
+#include "optimizer/search.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+
+int Run() {
+  const char* quick = std::getenv("ETLOPT_BENCH_QUICK");
+  size_t count = (quick != nullptr && quick[0] == '1') ? 3 : 10;
+
+  LinearLogCostModelOptions cost_options;
+  cost_options.surrogate_key_setup = 500.0;
+  LinearLogCostModel model(cost_options);
+
+  auto suite = GenerateSuite(WorkloadCategory::kMedium, count, 9090);
+  ETLOPT_CHECK_OK(suite.status());
+
+  struct Row {
+    const char* name;
+    double sum_improvement = 0;
+    double sum_visited = 0;
+    double sum_millis = 0;
+  };
+  Row rows[] = {{"HS"}, {"HS-Greedy"}, {"SA (1 run)"}, {"SA (best of 3)"}};
+
+  SearchOptions budget;
+  budget.max_millis = 20000;
+
+  for (const auto& g : *suite) {
+    auto hs = HeuristicSearch(g.workflow, model, budget);
+    ETLOPT_CHECK_OK(hs.status());
+    rows[0].sum_improvement += hs->improvement_pct();
+    rows[0].sum_visited += static_cast<double>(hs->visited_states);
+    rows[0].sum_millis += static_cast<double>(hs->elapsed_millis);
+
+    auto hsg = HeuristicSearchGreedy(g.workflow, model, budget);
+    ETLOPT_CHECK_OK(hsg.status());
+    rows[1].sum_improvement += hsg->improvement_pct();
+    rows[1].sum_visited += static_cast<double>(hsg->visited_states);
+    rows[1].sum_millis += static_cast<double>(hsg->elapsed_millis);
+
+    double best_of_three = 0;
+    for (uint64_t restart = 0; restart < 3; ++restart) {
+      AnnealingOptions annealing;
+      annealing.seed = 100 + restart;
+      auto sa = SimulatedAnnealingSearch(g.workflow, model, budget, annealing);
+      ETLOPT_CHECK_OK(sa.status());
+      if (restart == 0) {
+        rows[2].sum_improvement += sa->improvement_pct();
+        rows[2].sum_visited += static_cast<double>(sa->visited_states);
+        rows[2].sum_millis += static_cast<double>(sa->elapsed_millis);
+      }
+      best_of_three = std::max(best_of_three, sa->improvement_pct());
+      rows[3].sum_visited += static_cast<double>(sa->visited_states);
+      rows[3].sum_millis += static_cast<double>(sa->elapsed_millis);
+    }
+    rows[3].sum_improvement += best_of_three;
+  }
+
+  std::printf("Simulated-annealing extension over %zu medium workflows\n",
+              count);
+  std::printf("%-16s %14s %14s %12s\n", "algorithm", "improvement %",
+              "visited states", "time ms");
+  for (const Row& r : rows) {
+    std::printf("%-16s %14.1f %14.0f %12.0f\n", r.name,
+                r.sum_improvement / count, r.sum_visited / count,
+                r.sum_millis / count);
+  }
+  std::printf("\nreading: the paper's structured heuristic should beat or "
+              "match randomized search at far fewer visited states; SA "
+              "narrows the gap with restarts at a steep state cost.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,76 @@
+// Ablation (beyond the paper's tables): plan sensitivity to the cost
+// model. The optimizer is cost-model agnostic (§2.2); this bench checks
+// how often the *chosen plan* actually changes when the simple row-count
+// model is swapped for the physical external-sort model, and what each
+// plan costs under the other model's lens.
+//
+// ETLOPT_BENCH_QUICK=1 shrinks the suite.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "cost/external_cost_model.h"
+#include "optimizer/search.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+
+int Run() {
+  const char* quick = std::getenv("ETLOPT_BENCH_QUICK");
+  size_t count = (quick != nullptr && quick[0] == '1') ? 3 : 10;
+
+  LinearLogCostModel logical;
+  ExternalSortCostModelOptions phys_options;
+  phys_options.memory_rows = 4000;  // smaller than most intermediate flows
+  phys_options.merge_fanin = 8;
+  ExternalSortCostModel physical(phys_options);
+
+  auto suite = GenerateSuite(WorkloadCategory::kMedium, count, 5150);
+  ETLOPT_CHECK_OK(suite.status());
+
+  size_t plans_differ = 0;
+  double sum_logical_improvement = 0;
+  double sum_physical_improvement = 0;
+  double sum_cross_penalty_pct = 0;
+  for (const auto& g : *suite) {
+    auto by_logical = HeuristicSearch(g.workflow, logical);
+    auto by_physical = HeuristicSearch(g.workflow, physical);
+    ETLOPT_CHECK_OK(by_logical.status());
+    ETLOPT_CHECK_OK(by_physical.status());
+    sum_logical_improvement += by_logical->improvement_pct();
+    sum_physical_improvement += by_physical->improvement_pct();
+    if (by_logical->best.signature != by_physical->best.signature) {
+      ++plans_differ;
+    }
+    // How much worse is the logical model's plan when judged physically?
+    auto logical_plan_physical_cost =
+        StateCost(by_logical->best.workflow, physical);
+    ETLOPT_CHECK_OK(logical_plan_physical_cost.status());
+    double penalty = 100.0 *
+                     (*logical_plan_physical_cost - by_physical->best.cost) /
+                     by_physical->best.cost;
+    sum_cross_penalty_pct += penalty;
+  }
+
+  std::printf("cost-model sensitivity over %zu medium workflows\n", count);
+  std::printf("  plans differ between models          : %zu / %zu\n",
+              plans_differ, count);
+  std::printf("  avg improvement (row-count model)    : %.1f%%\n",
+              sum_logical_improvement / count);
+  std::printf("  avg improvement (external-sort model): %.1f%%\n",
+              sum_physical_improvement / count);
+  std::printf("  avg physical-cost penalty of using the row-count plan: "
+              "%.1f%%\n",
+              sum_cross_penalty_pct / count);
+  std::printf("\nreading: the rewrites transfer across cost models; the "
+              "penalty quantifies what a physical-level model adds — the "
+              "paper's future-work direction.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,75 @@
+// Reproduces Table 2 of the paper: execution time, number of visited
+// states and improvement over the initial state, per algorithm and
+// workflow category.
+//
+// Paper reference (ICDE'05, Table 2; avg per category):
+//            activities | ES: visited improv time(s) | HS: visited improv time(s) | HSG: visited improv time(s)
+//   small         20    |     28410    78%   67812   |      978     78%     297   |      72     76%      7
+//   medium        40    |     45110*   52%  144000*  |     4929     74%     703   |     538     62%     87
+//   large         70    |     34205*   45%  144000*  |    14100     71%    2105   |    1214     47%    584
+//   (* ES did not terminate; values at the moment it stopped)
+//
+// Absolute times are machine-dependent (the paper used a 1.4 GHz
+// AthlonXP); the shape to reproduce is ES >> HS >> HS-Greedy in time and
+// visited states, with HS matching/approaching ES improvement.
+//
+// ETLOPT_BENCH_QUICK=1 shrinks the suite for smoke runs.
+
+#include <cstdio>
+
+#include "suite_runner.h"
+
+namespace {
+
+using namespace etlopt;
+using namespace etlopt::bench;
+
+void PrintAlgorithm(const char* name, const AlgorithmStats& s,
+                    size_t workflows) {
+  std::printf("  %-10s visited %9.0f%s  improvement %5.1f%%  time %8.0f ms\n",
+              name, s.avg_visited(),
+              s.exhausted == static_cast<int>(workflows) ? " " : "*",
+              s.avg_improvement(), s.avg_millis());
+}
+
+int Run() {
+  SuiteSettings settings = SettingsFromEnv();
+  LinearLogCostModelOptions cost_options;
+  cost_options.surrogate_key_setup = 500.0;
+  LinearLogCostModel model(cost_options);
+
+  auto results = RunSuite(settings, model);
+  ETLOPT_CHECK_OK(results.status());
+
+  std::printf("\nTable 2: Execution time, visited states and improvement "
+              "over the initial state\n");
+  for (const auto& r : *results) {
+    std::printf("%s (%zu workflows, avg %.0f activities)\n",
+                std::string(WorkloadCategoryToString(r.category)).c_str(),
+                r.workflows, r.avg_activities);
+    PrintAlgorithm("ES", r.es, r.workflows);
+    PrintAlgorithm("HS", r.hs, r.workflows);
+    PrintAlgorithm("HS-Greedy", r.hsg, r.workflows);
+  }
+  std::printf("* budget hit on some workflows (the paper's ES cap analogue)\n");
+  std::printf("\npaper reference (avg): small ES 28410/78%%, HS 978/78%%, "
+              "HSG 72/76%%; medium HS 4929/74%%, HSG 538/62%%; large HS "
+              "14100/71%%, HSG 1214/47%%\n");
+
+  // The §4.2 headline claims, checked on this run:
+  for (const auto& r : *results) {
+    double speedup = r.hs.avg_millis() > 0
+                         ? 100.0 * (r.hs.avg_millis() - r.hsg.avg_millis()) /
+                               r.hs.avg_millis()
+                         : 0;
+    std::printf("%s: HS-Greedy is %.0f%% faster than HS; HS improvement "
+                "%.0f%% vs HS-Greedy %.0f%%\n",
+                std::string(WorkloadCategoryToString(r.category)).c_str(),
+                speedup, r.hs.avg_improvement(), r.hsg.avg_improvement());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

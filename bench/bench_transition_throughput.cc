@@ -1,0 +1,155 @@
+// Micro-benchmarks of the optimizer's primitive operations (google-
+// benchmark): workflow copy, schema regeneration (Refresh), the three
+// cost-relevant transitions, state signing/costing, and full vs
+// semi-incremental costing (the paper's §4.1 optimization).
+
+#include <benchmark/benchmark.h>
+
+#include "common/macros.h"
+#include "cost/state_cost.h"
+#include "optimizer/search.h"
+#include "optimizer/transitions.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace etlopt;
+
+Workflow MediumWorkflow() {
+  GeneratorOptions options;
+  options.category = WorkloadCategory::kMedium;
+  options.seed = 7;
+  auto g = GenerateWorkflow(options);
+  ETLOPT_CHECK_OK(g.status());
+  return g->workflow;
+}
+
+// A swappable adjacent unary pair in `w`.
+std::pair<NodeId, NodeId> SwappablePair(const Workflow& w) {
+  for (NodeId u : w.ActivityNodeIds()) {
+    if (!w.chain(u).is_unary()) continue;
+    auto cs = w.Consumers(u);
+    if (cs.size() == 1 && w.IsActivity(cs[0]) && w.chain(cs[0]).is_unary() &&
+        CanSwap(w, u, cs[0])) {
+      return {u, cs[0]};
+    }
+  }
+  ETLOPT_CHECK(false);
+  return {kInvalidNode, kInvalidNode};
+}
+
+void BM_WorkflowCopy(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  for (auto _ : state) {
+    Workflow copy = w;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_WorkflowCopy);
+
+void BM_Refresh(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  for (auto _ : state) {
+    ETLOPT_CHECK_OK(w.Refresh());
+  }
+}
+BENCHMARK(BM_Refresh);
+
+void BM_Signature(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.Signature());
+  }
+}
+BENCHMARK(BM_Signature);
+
+void BM_ApplySwap(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  auto [a, b] = SwappablePair(w);
+  for (auto _ : state) {
+    auto next = ApplySwap(w, a, b);
+    ETLOPT_CHECK_OK(next.status());
+    benchmark::DoNotOptimize(*next);
+  }
+}
+BENCHMARK(BM_ApplySwap);
+
+void BM_ApplyDistribute(benchmark::State& state) {
+  auto s = BuildFig1Scenario();
+  ETLOPT_CHECK_OK(s.status());
+  for (auto _ : state) {
+    auto next = ApplyDistribute(s->workflow, s->union_node, s->threshold);
+    ETLOPT_CHECK_OK(next.status());
+    benchmark::DoNotOptimize(*next);
+  }
+}
+BENCHMARK(BM_ApplyDistribute);
+
+void BM_ApplyFactorize(benchmark::State& state) {
+  auto s = BuildFig4Scenario(1024);
+  ETLOPT_CHECK_OK(s.status());
+  for (auto _ : state) {
+    auto next = ApplyFactorize(s->workflow, s->union_node, s->sk1, s->sk2);
+    ETLOPT_CHECK_OK(next.status());
+    benchmark::DoNotOptimize(*next);
+  }
+}
+BENCHMARK(BM_ApplyFactorize);
+
+void BM_StateCostFull(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  LinearLogCostModel model;
+  for (auto _ : state) {
+    auto c = StateCost(w, model);
+    ETLOPT_CHECK_OK(c.status());
+    benchmark::DoNotOptimize(*c);
+  }
+}
+BENCHMARK(BM_StateCostFull);
+
+// Semi-incremental costing (§4.1): re-cost a swapped state reusing the
+// base breakdown. Compare with BM_StateCostFull.
+void BM_StateCostIncremental(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  LinearLogCostModel model;
+  auto base = ComputeCostBreakdown(w, model);
+  ETLOPT_CHECK_OK(base.status());
+  auto [a, b] = SwappablePair(w);
+  auto swapped = ApplySwap(w, a, b);
+  ETLOPT_CHECK_OK(swapped.status());
+  for (auto _ : state) {
+    auto c = IncrementalCostBreakdown(*swapped, *base, w, model);
+    ETLOPT_CHECK_OK(c.status());
+    benchmark::DoNotOptimize(c->total);
+  }
+}
+BENCHMARK(BM_StateCostIncremental);
+
+void BM_MakeState(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  LinearLogCostModel model;
+  for (auto _ : state) {
+    auto st = MakeState(w, model);
+    ETLOPT_CHECK_OK(st.status());
+    benchmark::DoNotOptimize(st->cost);
+  }
+}
+BENCHMARK(BM_MakeState);
+
+void BM_EnumerateSuccessors(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  LinearLogCostModel model;
+  auto st = MakeState(w, model);
+  ETLOPT_CHECK_OK(st.status());
+  for (auto _ : state) {
+    auto succ = EnumerateSuccessors(*st, model);
+    ETLOPT_CHECK_OK(succ.status());
+    benchmark::DoNotOptimize(succ->size());
+  }
+}
+BENCHMARK(BM_EnumerateSuccessors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// Shared driver for the paper-table benches: generates the 40-workflow
+// evaluation suite (15 small / 15 medium / 10 large, §4.2), runs ES, HS
+// and HS-Greedy on every workflow, and aggregates the per-category
+// metrics both Table 1 and Table 2 report.
+
+#ifndef ETLOPT_BENCH_SUITE_RUNNER_H_
+#define ETLOPT_BENCH_SUITE_RUNNER_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "optimizer/search.h"
+#include "workload/generator.h"
+
+namespace etlopt {
+namespace bench {
+
+struct AlgorithmStats {
+  double sum_quality_pct = 0;
+  double sum_improvement_pct = 0;
+  double sum_visited = 0;
+  double sum_millis = 0;
+  int exhausted = 0;
+  int runs = 0;
+
+  void Add(const SearchResult& r, double best_known_cost) {
+    sum_quality_pct += 100.0 * best_known_cost / r.best.cost;
+    sum_improvement_pct += r.improvement_pct();
+    sum_visited += static_cast<double>(r.visited_states);
+    sum_millis += static_cast<double>(r.elapsed_millis);
+    exhausted += r.exhausted ? 1 : 0;
+    ++runs;
+  }
+
+  double avg_quality() const { return runs ? sum_quality_pct / runs : 0; }
+  double avg_improvement() const {
+    return runs ? sum_improvement_pct / runs : 0;
+  }
+  double avg_visited() const { return runs ? sum_visited / runs : 0; }
+  double avg_millis() const { return runs ? sum_millis / runs : 0; }
+};
+
+struct CategoryResult {
+  WorkloadCategory category;
+  size_t workflows = 0;
+  double avg_activities = 0;
+  AlgorithmStats es;
+  AlgorithmStats hs;
+  AlgorithmStats hsg;
+};
+
+struct SuiteSettings {
+  size_t small_count = 15;
+  size_t medium_count = 15;
+  size_t large_count = 10;
+  uint64_t base_seed = 1000;
+  /// ES budgets per category (the stand-in for the paper's 40-hour cap).
+  SearchOptions es_small{.max_states = 15000, .max_millis = 5000};
+  SearchOptions es_medium{.max_states = 10000, .max_millis = 5000};
+  SearchOptions es_large{.max_states = 8000, .max_millis = 5000};
+  SearchOptions heuristic{.max_states = 200000, .max_millis = 15000};
+};
+
+inline StatusOr<CategoryResult> RunCategory(WorkloadCategory category,
+                                            size_t count, uint64_t base_seed,
+                                            const SearchOptions& es_options,
+                                            const SearchOptions& hs_options,
+                                            const CostModel& model) {
+  CategoryResult out;
+  out.category = category;
+  out.workflows = count;
+  ETLOPT_ASSIGN_OR_RETURN(auto suite,
+                          GenerateSuite(category, count, base_seed));
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const Workflow& w = suite[i].workflow;
+    out.avg_activities += static_cast<double>(suite[i].activity_count);
+    ETLOPT_ASSIGN_OR_RETURN(SearchResult es,
+                            ExhaustiveSearch(w, model, es_options));
+    ETLOPT_ASSIGN_OR_RETURN(SearchResult hs,
+                            HeuristicSearch(w, model, hs_options));
+    ETLOPT_ASSIGN_OR_RETURN(SearchResult hsg,
+                            HeuristicSearchGreedy(w, model, hs_options));
+    // The reference cost: the true optimum when ES exhausted the space,
+    // otherwise the best any algorithm found (the paper compares against
+    // "the best solution that ES has produced when it stopped"; ours is
+    // the tighter of the two references).
+    double best_known =
+        std::min({es.best.cost, hs.best.cost, hsg.best.cost});
+    out.es.Add(es, best_known);
+    out.hs.Add(hs, best_known);
+    out.hsg.Add(hsg, best_known);
+    std::fprintf(stderr, "  [%s %zu/%zu] es=%.0f%s hs=%.0f hsg=%.0f\n",
+                 std::string(WorkloadCategoryToString(category)).c_str(),
+                 i + 1, count, es.best.cost, es.exhausted ? "" : "*",
+                 hs.best.cost, hsg.best.cost);
+  }
+  out.avg_activities /= static_cast<double>(count);
+  return out;
+}
+
+inline StatusOr<std::vector<CategoryResult>> RunSuite(
+    const SuiteSettings& settings, const CostModel& model) {
+  std::vector<CategoryResult> out;
+  struct Spec {
+    WorkloadCategory category;
+    size_t count;
+    const SearchOptions* es;
+  };
+  const Spec specs[] = {
+      {WorkloadCategory::kSmall, settings.small_count, &settings.es_small},
+      {WorkloadCategory::kMedium, settings.medium_count, &settings.es_medium},
+      {WorkloadCategory::kLarge, settings.large_count, &settings.es_large},
+  };
+  uint64_t seed = settings.base_seed;
+  for (const Spec& spec : specs) {
+    ETLOPT_ASSIGN_OR_RETURN(
+        CategoryResult r,
+        RunCategory(spec.category, spec.count, seed, *spec.es,
+                    settings.heuristic, model));
+    out.push_back(std::move(r));
+    seed += 1000;
+  }
+  return out;
+}
+
+/// Reads a "quick mode" flag from the environment so the full suite can be
+/// shrunk during development (ETLOPT_BENCH_QUICK=1).
+inline SuiteSettings SettingsFromEnv() {
+  SuiteSettings s;
+  const char* quick = std::getenv("ETLOPT_BENCH_QUICK");
+  if (quick != nullptr && quick[0] == '1') {
+    s.small_count = 3;
+    s.medium_count = 3;
+    s.large_count = 2;
+    s.es_small = {.max_states = 4000, .max_millis = 3000};
+    s.es_medium = {.max_states = 3000, .max_millis = 3000};
+    s.es_large = {.max_states = 2000, .max_millis = 3000};
+    s.heuristic = {.max_states = 50000, .max_millis = 10000};
+  }
+  return s;
+}
+
+}  // namespace bench
+}  // namespace etlopt
+
+#endif  // ETLOPT_BENCH_SUITE_RUNNER_H_

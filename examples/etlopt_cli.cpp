@@ -1,0 +1,177 @@
+// etlopt_cli: command-line front end over the textual workflow DSL.
+//
+//   etlopt_cli optimize  FILE.etl          optimized workflow as DSL
+//   etlopt_cli report    FILE.etl          before/after cost report
+//   etlopt_cli dot       FILE.etl [--optimized]   Graphviz rendering
+//   etlopt_cli run       FILE.etl [--rows N] [--data DIR]
+//                        execute (optimized) workflow; sources are read
+//                        from DIR/<NAME>.csv when present, otherwise
+//                        deterministic synthetic rows are generated
+//   etlopt_cli calibrate FILE.etl [--rows N]
+//                        measure selectivities on a synthetic sample,
+//                        then optimize with the calibrated numbers
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/macros.h"
+#include "engine/calibration.h"
+#include "engine/executor.h"
+#include "io/dot.h"
+#include "io/text_format.h"
+#include "optimizer/report.h"
+#include "optimizer/search.h"
+#include "records/csv_file.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+StatusOr<Workflow> Load(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError(std::string("cannot open ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseWorkflowText(buf.str());
+}
+
+// Synthetic input, with CSV overrides from `data_dir` when files exist.
+StatusOr<ExecutionInput> BuildInput(const Workflow& w, size_t rows,
+                                    const std::string& data_dir) {
+  ExecutionInput input = GenerateInputFor(w, /*seed=*/2026, rows);
+  if (data_dir.empty()) return input;
+  for (NodeId src : w.SourceRecordSets()) {
+    const RecordSetDef& def = w.recordset(src);
+    std::string path = data_dir + "/" + def.name + ".csv";
+    std::ifstream probe(path);
+    if (!probe) continue;
+    ETLOPT_ASSIGN_OR_RETURN(auto csv, CsvFile::Open(path, def.name));
+    if (!csv->schema().EquivalentTo(def.schema)) {
+      return Status::InvalidArgument(
+          path + ": schema does not match source '" + def.name + "'");
+    }
+    ETLOPT_ASSIGN_OR_RETURN(input.source_data[def.name], csv->ScanAll());
+  }
+  return input;
+}
+
+int CmdOptimize(const Workflow& w) {
+  LinearLogCostModel model;
+  auto r = HeuristicSearch(w, model);
+  if (!r.ok()) return Fail(r.status());
+  std::printf("# cost %.0f -> %.0f (%.1f%%)\n", r->initial_cost,
+              r->best.cost, r->improvement_pct());
+  auto text = PrintWorkflowText(r->best.workflow);
+  if (!text.ok()) return Fail(text.status());
+  std::printf("%s", text->c_str());
+  return 0;
+}
+
+int CmdReport(const Workflow& w) {
+  LinearLogCostModel model;
+  auto r = ExhaustiveSearch(w, model,
+                            {.max_states = 20000, .max_millis = 10000});
+  if (!r.ok()) return Fail(r.status());
+  auto report = OptimizationReport(w, *r, model);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->c_str());
+  return 0;
+}
+
+int CmdDot(const Workflow& w, bool optimized) {
+  if (!optimized) {
+    std::printf("%s", WorkflowToDot(w).c_str());
+    return 0;
+  }
+  LinearLogCostModel model;
+  auto r = HeuristicSearch(w, model);
+  if (!r.ok()) return Fail(r.status());
+  std::printf("%s", WorkflowToDot(r->best.workflow).c_str());
+  return 0;
+}
+
+int CmdRun(const Workflow& w, size_t rows, const std::string& data_dir) {
+  auto input = BuildInput(w, rows, data_dir);
+  if (!input.ok()) return Fail(input.status());
+  LinearLogCostModel model;
+  auto optimized = HeuristicSearch(w, model);
+  if (!optimized.ok()) return Fail(optimized.status());
+  auto result = ExecuteWorkflow(optimized->best.workflow, *input);
+  if (!result.ok()) return Fail(result.status());
+  for (const auto& [name, data] : result->target_data) {
+    std::printf("target %s: %zu rows\n", name.c_str(), data.size());
+    for (size_t i = 0; i < data.size() && i < 5; ++i) {
+      std::printf("  %s\n", data[i].ToString().c_str());
+    }
+    if (data.size() > 5) std::printf("  ...\n");
+  }
+  return 0;
+}
+
+int CmdCalibrate(const Workflow& w, size_t rows) {
+  auto input = BuildInput(w, rows, "");
+  if (!input.ok()) return Fail(input.status());
+  auto cal = CalibrateSelectivities(w, *input);
+  if (!cal.ok()) return Fail(cal.status());
+  std::printf("# measured selectivities on a %zu-row sample:\n", rows);
+  for (const auto& [node, sel] : cal->measured_selectivity) {
+    std::printf("#   %-24s %.3f\n",
+                cal->calibrated.chain(node).label().c_str(), sel);
+  }
+  LinearLogCostModel model;
+  auto r = HeuristicSearch(cal->calibrated, model);
+  if (!r.ok()) return Fail(r.status());
+  std::printf("# calibrated cost %.0f -> %.0f (%.1f%%)\n", r->initial_cost,
+              r->best.cost, r->improvement_pct());
+  auto text = PrintWorkflowText(r->best.workflow);
+  if (!text.ok()) return Fail(text.status());
+  std::printf("%s", text->c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: etlopt_cli <optimize|report|dot|run|calibrate> "
+               "FILE.etl [--optimized] [--rows N] [--data DIR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  auto workflow = Load(argv[2]);
+  if (!workflow.ok()) return Fail(workflow.status());
+
+  bool optimized = false;
+  size_t rows = 1000;
+  std::string data_dir;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--optimized") == 0) {
+      optimized = true;
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--data") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  if (cmd == "optimize") return CmdOptimize(*workflow);
+  if (cmd == "report") return CmdReport(*workflow);
+  if (cmd == "dot") return CmdDot(*workflow, optimized);
+  if (cmd == "run") return CmdRun(*workflow, rows, data_dir);
+  if (cmd == "calibrate") return CmdCalibrate(*workflow, rows);
+  return Usage();
+}

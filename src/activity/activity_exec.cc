@@ -1,0 +1,307 @@
+// Execution semantics of the activity templates.
+
+#include <algorithm>
+#include <map>
+
+#include "activity/activity.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+// Extracts the values of `attrs` from `row` laid out by `schema`.
+StatusOr<std::vector<Value>> KeyOf(const Record& row, const Schema& schema,
+                                   const std::vector<std::string>& attrs) {
+  std::vector<Value> key;
+  key.reserve(attrs.size());
+  for (const auto& a : attrs) {
+    auto idx = schema.IndexOf(a);
+    if (!idx.has_value()) return Status::Internal("missing attr: " + a);
+    key.push_back(row.value(*idx));
+  }
+  return key;
+}
+
+// Rearranges `row` (laid out by `from`) into the layout of `to`.
+// Requires: to's attributes are a subset of from's.
+StatusOr<Record> Realign(const Record& row, const Schema& from,
+                         const Schema& to) {
+  Record out;
+  for (const auto& a : to.attributes()) {
+    auto idx = from.IndexOf(a.name);
+    if (!idx.has_value()) {
+      return Status::Internal("realign: missing attribute " + a.name);
+    }
+    out.Append(row.value(*idx));
+  }
+  return out;
+}
+
+// One accumulator per (group, AggSpec).
+struct AggAcc {
+  double sum = 0.0;
+  int64_t non_null = 0;
+  Value min;
+  Value max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++non_null;
+    if (v.type() == DataType::kInt64 || v.type() == DataType::kDouble) {
+      sum += v.AsDouble();
+    }
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || max < v) max = v;
+  }
+
+  Value Result(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::Int(non_null);
+      case AggFn::kSum:
+        return non_null == 0 ? Value::Null() : Value::Double(sum);
+      case AggFn::kAvg:
+        return non_null == 0
+                   ? Value::Null()
+                   : Value::Double(sum / static_cast<double>(non_null));
+      case AggFn::kMin:
+        return min;
+      case AggFn::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<Record>> Activity::Execute(
+    const std::vector<Schema>& input_schemas,
+    const std::vector<std::vector<Record>>& inputs,
+    const ExecutionContext& ctx) const {
+  if (input_schemas.size() != inputs.size() ||
+      static_cast<int>(inputs.size()) != input_arity()) {
+    return Status::InvalidArgument(
+        StrFormat("activity '%s': bad execute arity", label_.c_str()));
+  }
+  // Validate schema compatibility up front; Execute relies on it.
+  ETLOPT_ASSIGN_OR_RETURN(Schema out_schema, ComputeOutputSchema(input_schemas));
+  const Schema& in = input_schemas[0];
+  const std::vector<Record>& rows = inputs[0];
+  std::vector<Record> out;
+
+  switch (kind_) {
+    case ActivityKind::kSelection: {
+      const auto& p = params_as<SelectionParams>();
+      for (const auto& r : rows) {
+        ETLOPT_ASSIGN_OR_RETURN(bool keep,
+                                EvaluatePredicate(*p.predicate, r, in));
+        if (keep) out.push_back(r);
+      }
+      return out;
+    }
+
+    case ActivityKind::kNotNull: {
+      const auto& p = params_as<NotNullParams>();
+      size_t idx = *in.IndexOf(p.attr);
+      for (const auto& r : rows) {
+        if (!r.value(idx).is_null()) out.push_back(r);
+      }
+      return out;
+    }
+
+    case ActivityKind::kDomainCheck: {
+      const auto& p = params_as<DomainCheckParams>();
+      size_t idx = *in.IndexOf(p.attr);
+      for (const auto& r : rows) {
+        const Value& v = r.value(idx);
+        if (v.is_null()) continue;
+        if (v.type() != DataType::kInt64 && v.type() != DataType::kDouble) {
+          return Status::InvalidArgument(
+              StrFormat("activity '%s': domain check over non-numeric '%s'",
+                        label_.c_str(), p.attr.c_str()));
+        }
+        double d = v.AsDouble();
+        if (d >= p.lo && d <= p.hi) out.push_back(r);
+      }
+      return out;
+    }
+
+    case ActivityKind::kPrimaryKeyCheck: {
+      const auto& p = params_as<PrimaryKeyParams>();
+      std::map<std::vector<Value>, bool> seen;
+      for (const auto& r : rows) {
+        ETLOPT_ASSIGN_OR_RETURN(std::vector<Value> key,
+                                KeyOf(r, in, p.key_attrs));
+        if (seen.emplace(std::move(key), true).second) out.push_back(r);
+      }
+      return out;
+    }
+
+    case ActivityKind::kProjection: {
+      for (const auto& r : rows) {
+        ETLOPT_ASSIGN_OR_RETURN(Record nr, Realign(r, in, out_schema));
+        out.push_back(std::move(nr));
+      }
+      return out;
+    }
+
+    case ActivityKind::kFunction: {
+      const auto& p = params_as<FunctionParams>();
+      std::vector<ExprPtr> arg_exprs;
+      arg_exprs.reserve(p.args.size());
+      for (const auto& a : p.args) arg_exprs.push_back(Column(a));
+      ExprPtr call = Function(p.function, std::move(arg_exprs));
+      size_t out_idx = *out_schema.IndexOf(p.output);
+      for (const auto& r : rows) {
+        ETLOPT_ASSIGN_OR_RETURN(Value v, call->Evaluate(r, in));
+        Record nr;
+        for (size_t i = 0; i < out_schema.size(); ++i) {
+          if (i == out_idx) {
+            nr.Append(v);
+          } else {
+            auto src = in.IndexOf(out_schema.attribute(i).name);
+            if (!src.has_value())
+              return Status::Internal("function: missing passthrough attr");
+            nr.Append(r.value(*src));
+          }
+        }
+        out.push_back(std::move(nr));
+      }
+      return out;
+    }
+
+    case ActivityKind::kSurrogateKey: {
+      const auto& p = params_as<SurrogateKeyParams>();
+      auto lut = ctx.lookups.find(p.lookup_name);
+      if (lut == ctx.lookups.end()) {
+        return Status::NotFound(
+            StrFormat("activity '%s': lookup table '%s' not bound",
+                      label_.c_str(), p.lookup_name.c_str()));
+      }
+      size_t out_idx = *out_schema.IndexOf(p.output);
+      for (const auto& r : rows) {
+        ETLOPT_ASSIGN_OR_RETURN(std::vector<Value> key,
+                                KeyOf(r, in, p.key_attrs));
+        auto hit = lut->second.find(key);
+        if (hit == lut->second.end()) {
+          std::vector<std::string> parts;
+          for (const auto& v : key) parts.push_back(v.ToString());
+          return Status::NotFound(StrFormat(
+              "activity '%s': surrogate key miss for (%s)", label_.c_str(),
+              Join(parts, ",").c_str()));
+        }
+        Record nr;
+        for (size_t i = 0; i < out_schema.size(); ++i) {
+          if (i == out_idx) {
+            nr.Append(hit->second);
+          } else {
+            auto src = in.IndexOf(out_schema.attribute(i).name);
+            if (!src.has_value())
+              return Status::Internal("surrogate key: missing attr");
+            nr.Append(r.value(*src));
+          }
+        }
+        out.push_back(std::move(nr));
+      }
+      return out;
+    }
+
+    case ActivityKind::kAggregation: {
+      const auto& p = params_as<AggregationParams>();
+      // std::map keyed by group values gives deterministic output order,
+      // making executed outputs comparable across equivalent workflows.
+      std::map<std::vector<Value>, std::vector<AggAcc>> groups;
+      std::vector<size_t> arg_idx;
+      arg_idx.reserve(p.aggregates.size());
+      for (const auto& a : p.aggregates) arg_idx.push_back(*in.IndexOf(a.arg));
+      for (const auto& r : rows) {
+        ETLOPT_ASSIGN_OR_RETURN(std::vector<Value> key,
+                                KeyOf(r, in, p.group_by));
+        auto [it, inserted] = groups.try_emplace(
+            std::move(key), std::vector<AggAcc>(p.aggregates.size()));
+        (void)inserted;
+        for (size_t i = 0; i < p.aggregates.size(); ++i) {
+          it->second[i].Add(r.value(arg_idx[i]));
+        }
+      }
+      for (const auto& [key, accs] : groups) {
+        Record nr;
+        for (const auto& k : key) nr.Append(k);
+        for (size_t i = 0; i < p.aggregates.size(); ++i) {
+          nr.Append(accs[i].Result(p.aggregates[i].fn));
+        }
+        out.push_back(std::move(nr));
+      }
+      return out;
+    }
+
+    case ActivityKind::kUnion: {
+      out = rows;
+      for (const auto& r : inputs[1]) {
+        ETLOPT_ASSIGN_OR_RETURN(Record nr,
+                                Realign(r, input_schemas[1], out_schema));
+        out.push_back(std::move(nr));
+      }
+      return out;
+    }
+
+    case ActivityKind::kDifference:
+    case ActivityKind::kIntersection: {
+      // Bag semantics over name-aligned records.
+      std::map<Record, int64_t> right_counts;
+      for (const auto& r : inputs[1]) {
+        ETLOPT_ASSIGN_OR_RETURN(Record nr,
+                                Realign(r, input_schemas[1], out_schema));
+        ++right_counts[nr];
+      }
+      bool keep_matched = kind_ == ActivityKind::kIntersection;
+      for (const auto& r : rows) {
+        auto it = right_counts.find(r);
+        bool matched = it != right_counts.end() && it->second > 0;
+        if (matched) --it->second;
+        if (matched == keep_matched) out.push_back(r);
+      }
+      return out;
+    }
+
+    case ActivityKind::kJoin: {
+      const auto& p = params_as<JoinParams>();
+      std::map<std::vector<Value>, std::vector<const Record*>> right_index;
+      for (const auto& r : inputs[1]) {
+        ETLOPT_ASSIGN_OR_RETURN(std::vector<Value> key,
+                                KeyOf(r, input_schemas[1], p.key_attrs));
+        // NULL keys never join (SQL semantics).
+        if (std::any_of(key.begin(), key.end(),
+                        [](const Value& v) { return v.is_null(); }))
+          continue;
+        right_index[std::move(key)].push_back(&r);
+      }
+      for (const auto& l : rows) {
+        ETLOPT_ASSIGN_OR_RETURN(std::vector<Value> key,
+                                KeyOf(l, in, p.key_attrs));
+        if (std::any_of(key.begin(), key.end(),
+                        [](const Value& v) { return v.is_null(); }))
+          continue;
+        auto hit = right_index.find(key);
+        if (hit == right_index.end()) continue;
+        for (const Record* r : hit->second) {
+          Record nr = l;
+          for (const auto& a : input_schemas[1].attributes()) {
+            if (std::find(p.key_attrs.begin(), p.key_attrs.end(), a.name) !=
+                p.key_attrs.end())
+              continue;
+            nr.Append(r->value(*input_schemas[1].IndexOf(a.name)));
+          }
+          out.push_back(std::move(nr));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled activity kind in Execute");
+}
+
+}  // namespace etlopt

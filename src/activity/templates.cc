@@ -1,0 +1,112 @@
+#include "activity/templates.h"
+
+namespace etlopt {
+
+StatusOr<Activity> MakeSelection(std::string label, ExprPtr predicate,
+                                 double selectivity) {
+  return Activity::Make(std::move(label), ActivityKind::kSelection,
+                        SelectionParams{std::move(predicate)}, selectivity);
+}
+
+StatusOr<Activity> MakeNotNull(std::string label, std::string attr,
+                               double selectivity) {
+  return Activity::Make(std::move(label), ActivityKind::kNotNull,
+                        NotNullParams{std::move(attr)}, selectivity);
+}
+
+StatusOr<Activity> MakeDomainCheck(std::string label, std::string attr,
+                                   double lo, double hi, double selectivity) {
+  return Activity::Make(std::move(label), ActivityKind::kDomainCheck,
+                        DomainCheckParams{std::move(attr), lo, hi},
+                        selectivity);
+}
+
+StatusOr<Activity> MakePrimaryKeyCheck(std::string label,
+                                       std::vector<std::string> key_attrs,
+                                       double selectivity) {
+  return Activity::Make(std::move(label), ActivityKind::kPrimaryKeyCheck,
+                        PrimaryKeyParams{std::move(key_attrs)}, selectivity);
+}
+
+StatusOr<Activity> MakeProjection(std::string label,
+                                  std::vector<std::string> drop_attrs) {
+  return Activity::Make(std::move(label), ActivityKind::kProjection,
+                        ProjectionParams{std::move(drop_attrs)},
+                        /*selectivity=*/1.0);
+}
+
+StatusOr<Activity> MakeFunction(std::string label, std::string function,
+                                std::vector<std::string> args,
+                                std::string output, DataType output_type,
+                                std::vector<std::string> drop_args) {
+  FunctionParams p;
+  p.function = std::move(function);
+  p.args = std::move(args);
+  p.output = std::move(output);
+  p.output_type = output_type;
+  p.entity_preserving = false;
+  p.drop_args = std::move(drop_args);
+  return Activity::Make(std::move(label), ActivityKind::kFunction,
+                        std::move(p), /*selectivity=*/1.0);
+}
+
+StatusOr<Activity> MakeInPlaceFunction(std::string label, std::string function,
+                                       std::string attr,
+                                       DataType output_type) {
+  FunctionParams p;
+  p.function = std::move(function);
+  p.args = {attr};
+  p.output = attr;
+  p.output_type = output_type;
+  p.entity_preserving = true;
+  return Activity::Make(std::move(label), ActivityKind::kFunction,
+                        std::move(p), /*selectivity=*/1.0);
+}
+
+StatusOr<Activity> MakeSurrogateKey(std::string label,
+                                    std::vector<std::string> key_attrs,
+                                    std::string output,
+                                    std::string lookup_name,
+                                    std::vector<std::string> drop_attrs) {
+  SurrogateKeyParams p;
+  p.key_attrs = std::move(key_attrs);
+  p.output = std::move(output);
+  p.lookup_name = std::move(lookup_name);
+  p.drop_attrs = std::move(drop_attrs);
+  return Activity::Make(std::move(label), ActivityKind::kSurrogateKey,
+                        std::move(p), /*selectivity=*/1.0);
+}
+
+StatusOr<Activity> MakeAggregation(std::string label,
+                                   std::vector<std::string> group_by,
+                                   std::vector<AggSpec> aggregates,
+                                   double reduction) {
+  return Activity::Make(
+      std::move(label), ActivityKind::kAggregation,
+      AggregationParams{std::move(group_by), std::move(aggregates)},
+      reduction);
+}
+
+StatusOr<Activity> MakeUnion(std::string label) {
+  return Activity::Make(std::move(label), ActivityKind::kUnion, UnionParams{},
+                        /*selectivity=*/1.0);
+}
+
+StatusOr<Activity> MakeJoin(std::string label,
+                            std::vector<std::string> key_attrs,
+                            double selectivity) {
+  return Activity::Make(std::move(label), ActivityKind::kJoin,
+                        JoinParams{std::move(key_attrs)}, selectivity);
+}
+
+StatusOr<Activity> MakeDifference(std::string label, double selectivity) {
+  return Activity::Make(std::move(label), ActivityKind::kDifference,
+                        DifferenceParams{}, selectivity);
+}
+
+StatusOr<Activity> MakeIntersection(std::string label, double selectivity) {
+  return Activity::Make(std::move(label), ActivityKind::kIntersection,
+                        IntersectionParams{}, selectivity);
+}
+
+}  // namespace etlopt

@@ -1,0 +1,75 @@
+// Convenience constructors for the activity template library.
+//
+// These are the ergonomic entry points scenario builders use; each wraps
+// Activity::Make with the right parameter struct.
+
+#ifndef ETLOPT_ACTIVITY_TEMPLATES_H_
+#define ETLOPT_ACTIVITY_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "activity/activity.h"
+
+namespace etlopt {
+
+/// sigma: keep rows satisfying `predicate`. `selectivity` estimates the
+/// kept fraction.
+StatusOr<Activity> MakeSelection(std::string label, ExprPtr predicate,
+                                 double selectivity);
+
+/// Keep rows with a non-NULL `attr`.
+StatusOr<Activity> MakeNotNull(std::string label, std::string attr,
+                               double selectivity);
+
+/// Keep rows whose numeric `attr` lies in [lo, hi].
+StatusOr<Activity> MakeDomainCheck(std::string label, std::string attr,
+                                   double lo, double hi, double selectivity);
+
+/// Keep the first row per `key_attrs` (duplicate / PK-violation filter).
+StatusOr<Activity> MakePrimaryKeyCheck(std::string label,
+                                       std::vector<std::string> key_attrs,
+                                       double selectivity);
+
+/// pi-out: drop `drop_attrs` from the flow.
+StatusOr<Activity> MakeProjection(std::string label,
+                                  std::vector<std::string> drop_attrs);
+
+/// Entity-changing function: output = fn(args); `drop_args` are projected
+/// out (rename semantics, e.g. $2E: COST_USD -> COST_EUR). Downstream
+/// readers of `output` cannot be swapped above this activity.
+StatusOr<Activity> MakeFunction(std::string label, std::string function,
+                                std::vector<std::string> args,
+                                std::string output, DataType output_type,
+                                std::vector<std::string> drop_args = {});
+
+/// Entity-preserving in-place function, e.g. A2E date-format conversion:
+/// the output keeps the reference name and imposes no ordering constraint.
+StatusOr<Activity> MakeInPlaceFunction(std::string label, std::string function,
+                                       std::string attr, DataType output_type);
+
+/// Surrogate-key assignment via the lookup table `lookup_name` bound in
+/// the ExecutionContext; drops `drop_attrs` (subset of key) afterwards.
+StatusOr<Activity> MakeSurrogateKey(std::string label,
+                                    std::vector<std::string> key_attrs,
+                                    std::string output,
+                                    std::string lookup_name,
+                                    std::vector<std::string> drop_attrs = {});
+
+/// gamma: group by `group_by`, computing `aggregates`. `reduction` is the
+/// estimated groups/rows ratio (the activity's selectivity).
+StatusOr<Activity> MakeAggregation(std::string label,
+                                   std::vector<std::string> group_by,
+                                   std::vector<AggSpec> aggregates,
+                                   double reduction);
+
+StatusOr<Activity> MakeUnion(std::string label);
+StatusOr<Activity> MakeJoin(std::string label,
+                            std::vector<std::string> key_attrs,
+                            double selectivity);
+StatusOr<Activity> MakeDifference(std::string label, double selectivity);
+StatusOr<Activity> MakeIntersection(std::string label, double selectivity);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ACTIVITY_TEMPLATES_H_

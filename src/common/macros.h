@@ -1,0 +1,54 @@
+// Error-propagation and assertion macros used throughout etlopt.
+
+#ifndef ETLOPT_COMMON_MACROS_H_
+#define ETLOPT_COMMON_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/status.h"
+
+// Propagates a non-OK Status to the caller.
+#define ETLOPT_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::etlopt::Status _etlopt_status = (expr);      \
+    if (!_etlopt_status.ok()) return _etlopt_status; \
+  } while (false)
+
+#define ETLOPT_CONCAT_IMPL(a, b) a##b
+#define ETLOPT_CONCAT(a, b) ETLOPT_CONCAT_IMPL(a, b)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define ETLOPT_ASSIGN_OR_RETURN(lhs, expr) \
+  ETLOPT_ASSIGN_OR_RETURN_IMPL(            \
+      ETLOPT_CONCAT(_etlopt_statusor_, __LINE__), lhs, expr)
+
+#define ETLOPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+// Invariant check that aborts on failure. Used for conditions that indicate
+// a bug in etlopt itself, never for user input validation.
+#define ETLOPT_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::cerr << "ETLOPT_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << std::endl;                                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define ETLOPT_CHECK_OK(expr)                                           \
+  do {                                                                  \
+    ::etlopt::Status _etlopt_status = (expr);                           \
+    if (!_etlopt_status.ok()) {                                         \
+      std::cerr << "ETLOPT_CHECK_OK failed at " << __FILE__ << ":"      \
+                << __LINE__ << ": " << _etlopt_status.ToString()        \
+                << std::endl;                                           \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#endif  // ETLOPT_COMMON_MACROS_H_

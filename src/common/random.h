@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of etlopt (workload generation, data
+// generation) draw from Rng, a xoshiro256** generator seeded explicitly,
+// so every experiment is reproducible from its printed seed.
+
+#ifndef ETLOPT_COMMON_RANDOM_H_
+#define ETLOPT_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace etlopt {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.
+///
+/// Not cryptographically secure; fast and statistically solid, which is all
+/// the workload generators need.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Picks a uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = UniformIndex(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniform element. Requires non-empty input.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[UniformIndex(v.size())];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COMMON_RANDOM_H_

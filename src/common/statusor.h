@@ -1,0 +1,95 @@
+// StatusOr<T>: a Status or a value of type T.
+
+#ifndef ETLOPT_COMMON_STATUSOR_H_
+#define ETLOPT_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace etlopt {
+
+/// Holds either an OK status with a value, or a non-OK status.
+///
+/// Typical use:
+///   StatusOr<Schema> s = BuildSchema(...);
+///   if (!s.ok()) return s.status();
+///   Use(*s);
+///
+/// Dereferencing a non-OK StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and aborts.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      std::cerr << "StatusOr constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    CheckHasValue();
+    return &*value_;
+  }
+  T* operator->() {
+    CheckHasValue();
+    return &*value_;
+  }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  template <typename U>
+  T value_or(U&& alternative) const& {
+    if (ok()) return *value_;
+    return static_cast<T>(std::forward<U>(alternative));
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::cerr << "StatusOr accessed without value: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COMMON_STATUSOR_H_

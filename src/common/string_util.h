@@ -1,0 +1,33 @@
+// Small string helpers shared across etlopt modules.
+
+#ifndef ETLOPT_COMMON_STRING_UTIL_H_
+#define ETLOPT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace etlopt {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double compactly: integral values lose the fraction
+/// ("3" not "3.000000"), others keep up to 6 significant decimals.
+std::string DoubleToString(double v);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COMMON_STRING_UTIL_H_

@@ -1,0 +1,66 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace etlopt {
+
+double NLogN(double n) {
+  if (n <= 1.0) return 0.0;
+  return n * std::log2(n);
+}
+
+double LinearLogCostModel::ActivityCost(
+    const Activity& a, const std::vector<double>& input_cards) const {
+  ETLOPT_CHECK(static_cast<int>(input_cards.size()) == a.input_arity());
+  double n = input_cards[0];
+  switch (a.kind()) {
+    case ActivityKind::kSelection:
+    case ActivityKind::kNotNull:
+    case ActivityKind::kDomainCheck:
+    case ActivityKind::kProjection:
+    case ActivityKind::kFunction:
+      return n;
+    case ActivityKind::kPrimaryKeyCheck:
+      return NLogN(n);
+    case ActivityKind::kSurrogateKey:
+      return NLogN(n) + options_.surrogate_key_setup;
+    case ActivityKind::kAggregation:
+      return NLogN(n) + options_.aggregation_setup;
+    case ActivityKind::kUnion:
+      return n + input_cards[1];
+    case ActivityKind::kJoin:
+    case ActivityKind::kDifference:
+    case ActivityKind::kIntersection:
+      return NLogN(n) + NLogN(input_cards[1]) + n + input_cards[1];
+  }
+  return 0.0;
+}
+
+double LinearLogCostModel::OutputCardinality(
+    const Activity& a, const std::vector<double>& input_cards) const {
+  ETLOPT_CHECK(static_cast<int>(input_cards.size()) == a.input_arity());
+  double n = input_cards[0];
+  switch (a.kind()) {
+    case ActivityKind::kSelection:
+    case ActivityKind::kNotNull:
+    case ActivityKind::kDomainCheck:
+    case ActivityKind::kPrimaryKeyCheck:
+    case ActivityKind::kProjection:
+    case ActivityKind::kFunction:
+    case ActivityKind::kSurrogateKey:
+    case ActivityKind::kAggregation:
+      return a.selectivity() * n;
+    case ActivityKind::kUnion:
+      return n + input_cards[1];
+    case ActivityKind::kJoin:
+      return a.selectivity() * n * input_cards[1];
+    case ActivityKind::kDifference:
+    case ActivityKind::kIntersection:
+      return a.selectivity() * n;
+  }
+  return n;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,81 @@
+// Cost models for ETL workflow states.
+//
+// The paper's discrimination criterion (§2.2): the cost of a state is the
+// sum of its activities' costs, where each activity's cost depends on the
+// number of rows it processes at its position in the graph. The approach
+// is deliberately cost-model-agnostic; CostModel is the plug point and
+// LinearLogCostModel is the "simple cost model taking into consideration
+// only the number of processed rows based on simple formulae [15]" used
+// in the paper's experiments (and in its Fig. 4 arithmetic).
+
+#ifndef ETLOPT_COST_COST_MODEL_H_
+#define ETLOPT_COST_COST_MODEL_H_
+
+#include <vector>
+
+#include "activity/activity.h"
+
+namespace etlopt {
+
+/// Estimates per-activity cost and output cardinality from input
+/// cardinalities (rows). Implementations must be deterministic.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Cost of running `a` once over inputs of the given sizes.
+  virtual double ActivityCost(const Activity& a,
+                              const std::vector<double>& input_cards) const = 0;
+
+  /// Estimated rows `a` emits, given inputs of the given sizes.
+  virtual double OutputCardinality(
+      const Activity& a, const std::vector<double>& input_cards) const = 0;
+};
+
+/// Options for LinearLogCostModel.
+struct LinearLogCostModelOptions {
+  /// Fixed per-instance cost of a surrogate-key activity (building or
+  /// caching its lookup structure). This is what makes Factorize
+  /// profitable: one shared SK instance pays the setup once (the caching
+  /// argument of the paper's §2.2 discussion of Fig. 4).
+  double surrogate_key_setup = 0.0;
+
+  /// Fixed per-instance cost of an aggregation (hash/sort scaffolding).
+  double aggregation_setup = 0.0;
+};
+
+/// Row-count cost model:
+///   filters, functions, projections            ->  n
+///   surrogate key, PK check, aggregation       ->  n * log2(n)  (+ setup)
+///   union                                      ->  n1 + n2
+///   join, difference, intersection             ->  n1*log2(n1) + n2*log2(n2) + n1 + n2
+///
+/// Output cardinalities:
+///   filters, aggregation                       ->  selectivity * n
+///   functions, projection, SK, PK(check sel.)  ->  selectivity * n
+///   union                                      ->  n1 + n2
+///   join                                       ->  selectivity * n1 * n2
+///   difference / intersection                  ->  selectivity * n1
+class LinearLogCostModel final : public CostModel {
+ public:
+  explicit LinearLogCostModel(LinearLogCostModelOptions options = {})
+      : options_(options) {}
+
+  double ActivityCost(const Activity& a,
+                      const std::vector<double>& input_cards) const override;
+
+  double OutputCardinality(
+      const Activity& a,
+      const std::vector<double>& input_cards) const override;
+
+ private:
+  LinearLogCostModelOptions options_;
+};
+
+/// n * log2(n) with n <= 1 costing 0 (the paper's SK formula at Fig. 4's
+/// operating points: 8*3 = 24, 4*2 = 8).
+double NLogN(double n);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COST_COST_MODEL_H_

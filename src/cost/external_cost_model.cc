@@ -1,0 +1,56 @@
+#include "cost/external_cost_model.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace etlopt {
+
+double ExternalSortPasses(double n, double memory_rows, double fanin) {
+  if (n <= memory_rows || memory_rows <= 0) return 0;
+  double runs = std::ceil(n / memory_rows);
+  if (fanin < 2) fanin = 2;
+  return std::ceil(std::log(runs) / std::log(fanin));
+}
+
+double ExternalSortCostModel::SortCost(double n) const {
+  double passes =
+      ExternalSortPasses(n, options_.memory_rows, options_.merge_fanin);
+  return n * (1.0 + 2.0 * passes);
+}
+
+double ExternalSortCostModel::ActivityCost(
+    const Activity& a, const std::vector<double>& input_cards) const {
+  ETLOPT_CHECK(static_cast<int>(input_cards.size()) == a.input_arity());
+  double n = input_cards[0];
+  switch (a.kind()) {
+    case ActivityKind::kSelection:
+    case ActivityKind::kNotNull:
+    case ActivityKind::kDomainCheck:
+    case ActivityKind::kProjection:
+    case ActivityKind::kFunction:
+      return n;
+    case ActivityKind::kPrimaryKeyCheck:
+    case ActivityKind::kAggregation:
+      return SortCost(n);
+    case ActivityKind::kSurrogateKey:
+      return SortCost(n) + options_.surrogate_key_setup;
+    case ActivityKind::kUnion:
+      return n + input_cards[1];
+    case ActivityKind::kJoin:
+    case ActivityKind::kDifference:
+    case ActivityKind::kIntersection:
+      return SortCost(n) + SortCost(input_cards[1]) + n + input_cards[1];
+  }
+  return 0.0;
+}
+
+double ExternalSortCostModel::OutputCardinality(
+    const Activity& a, const std::vector<double>& input_cards) const {
+  // Cardinality estimation is physical-model independent; reuse the
+  // selectivity-based estimates of the logical model.
+  static const LinearLogCostModel kLogical;
+  return kLogical.OutputCardinality(a, input_cards);
+}
+
+}  // namespace etlopt

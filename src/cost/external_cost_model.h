@@ -1,0 +1,63 @@
+// ExternalSortCostModel: a physical-level cost model.
+//
+// The paper's future work calls out "physical optimization of ETL
+// workflows (taking physical operators and access methods into
+// consideration)". This model takes one step in that direction while
+// keeping the optimizer unchanged (the approach is cost-model agnostic,
+// §2.2): blocking activities are costed as external multi-pass sorts
+// under a memory budget, so the same logical rewrites are judged by a
+// different physical lens.
+//
+//   per-row activities:            cost = n
+//   sort-based activities:         cost = n * (1 + 2 * passes)
+//       passes = merge passes of an external sort of n rows with
+//                memory_rows of memory and merge_fanin-way merges
+//   union:                         cost = n1 + n2
+//   join/difference/intersection:  sort both inputs + linear merge
+//
+// With memory_rows >= every intermediate cardinality this degenerates to
+// (roughly) the paper's n / n*log-free costs; with small memory the
+// optimizer is pushed even harder to shrink flows before blocking
+// activities.
+
+#ifndef ETLOPT_COST_EXTERNAL_COST_MODEL_H_
+#define ETLOPT_COST_EXTERNAL_COST_MODEL_H_
+
+#include "cost/cost_model.h"
+
+namespace etlopt {
+
+struct ExternalSortCostModelOptions {
+  /// Rows that fit in memory for a blocking activity.
+  double memory_rows = 10000;
+  /// Merge fan-in of the external sort.
+  double merge_fanin = 8;
+  /// Fixed per-instance cost of a surrogate-key activity (lookup build).
+  double surrogate_key_setup = 0.0;
+};
+
+class ExternalSortCostModel final : public CostModel {
+ public:
+  explicit ExternalSortCostModel(ExternalSortCostModelOptions options = {})
+      : options_(options) {}
+
+  double ActivityCost(const Activity& a,
+                      const std::vector<double>& input_cards) const override;
+
+  double OutputCardinality(
+      const Activity& a,
+      const std::vector<double>& input_cards) const override;
+
+ private:
+  double SortCost(double n) const;
+
+  ExternalSortCostModelOptions options_;
+};
+
+/// Merge passes needed to externally sort `n` rows with `memory_rows` of
+/// memory and `fanin`-way merges (0 when the input fits in memory).
+double ExternalSortPasses(double n, double memory_rows, double fanin);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COST_EXTERNAL_COST_MODEL_H_

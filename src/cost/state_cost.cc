@@ -1,0 +1,114 @@
+#include "cost/state_cost.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+// Folds cost and cardinality over a chain's members.
+void CostChain(const ActivityChain& chain, const std::vector<double>& inputs,
+               const CostModel& model, double* cost, double* out_card) {
+  *cost = 0.0;
+  std::vector<double> cur = inputs;
+  for (const auto& m : chain.members()) {
+    *cost += model.ActivityCost(m.activity, cur);
+    double out = model.OutputCardinality(m.activity, cur);
+    cur = {out};
+  }
+  *out_card = cur[0];
+}
+
+}  // namespace
+
+StatusOr<CostBreakdown> ComputeCostBreakdown(const Workflow& workflow,
+                                             const CostModel& model) {
+  if (!workflow.fresh()) {
+    return Status::FailedPrecondition("cost: workflow must be fresh");
+  }
+  CostBreakdown bd;
+  for (NodeId id : workflow.TopoOrder()) {
+    std::vector<NodeId> providers = workflow.Providers(id);
+    std::vector<double> inputs;
+    inputs.reserve(providers.size());
+    for (NodeId p : providers) {
+      inputs.push_back(bd.node_output_cardinality.at(p));
+    }
+    if (workflow.IsRecordSet(id)) {
+      double card = providers.empty() ? workflow.recordset(id).cardinality
+                                      : inputs[0];
+      bd.node_output_cardinality[id] = card;
+    } else {
+      double cost = 0.0;
+      double out = 0.0;
+      CostChain(workflow.chain(id), inputs, model, &cost, &out);
+      bd.node_cost[id] = cost;
+      bd.node_output_cardinality[id] = out;
+      bd.total += cost;
+    }
+  }
+  return bd;
+}
+
+StatusOr<double> StateCost(const Workflow& workflow, const CostModel& model) {
+  ETLOPT_ASSIGN_OR_RETURN(CostBreakdown bd,
+                          ComputeCostBreakdown(workflow, model));
+  return bd.total;
+}
+
+StatusOr<CostBreakdown> IncrementalCostBreakdown(const Workflow& next,
+                                                 const CostBreakdown& base,
+                                                 const Workflow& base_workflow,
+                                                 const CostModel& model) {
+  if (!next.fresh()) {
+    return Status::FailedPrecondition("cost: workflow must be fresh");
+  }
+  CostBreakdown bd;
+  for (NodeId id : next.TopoOrder()) {
+    std::vector<NodeId> providers = next.Providers(id);
+    std::vector<double> inputs;
+    inputs.reserve(providers.size());
+    for (NodeId p : providers) {
+      inputs.push_back(bd.node_output_cardinality.at(p));
+    }
+    if (next.IsRecordSet(id)) {
+      double card = providers.empty() ? next.recordset(id).cardinality
+                                      : inputs[0];
+      bd.node_output_cardinality[id] = card;
+      continue;
+    }
+    // Reuse the base figures when this node is untouched: same node id,
+    // same semantics, same providers, and identical input cardinalities.
+    bool reusable = base_workflow.Exists(id) && base_workflow.IsActivity(id) &&
+                    base.node_cost.count(id) > 0;
+    if (reusable) {
+      std::vector<NodeId> base_providers = base_workflow.Providers(id);
+      reusable = base_providers == providers &&
+                 base_workflow.chain(id).semantics_hash() ==
+                     next.chain(id).semantics_hash();
+      if (reusable) {
+        for (size_t i = 0; i < providers.size() && reusable; ++i) {
+          auto it = base.node_output_cardinality.find(providers[i]);
+          reusable =
+              it != base.node_output_cardinality.end() && it->second == inputs[i];
+        }
+      }
+    }
+    if (reusable) {
+      bd.node_cost[id] = base.node_cost.at(id);
+      bd.node_output_cardinality[id] =
+          base.node_output_cardinality.at(id);
+    } else {
+      double cost = 0.0;
+      double out = 0.0;
+      CostChain(next.chain(id), inputs, model, &cost, &out);
+      bd.node_cost[id] = cost;
+      bd.node_output_cardinality[id] = out;
+    }
+    bd.total += bd.node_cost[id];
+  }
+  return bd;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,43 @@
+// State costing: C(S) = sum of activity costs over the workflow graph
+// (paper §2.2), with cardinalities propagated from the source recordsets.
+
+#ifndef ETLOPT_COST_STATE_COST_H_
+#define ETLOPT_COST_STATE_COST_H_
+
+#include <map>
+
+#include "cost/cost_model.h"
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// Full costing of one state.
+struct CostBreakdown {
+  double total = 0.0;
+  /// Cost charged to each activity node (chain members summed).
+  std::map<NodeId, double> node_cost;
+  /// Estimated rows leaving each node.
+  std::map<NodeId, double> node_output_cardinality;
+};
+
+/// Computes the breakdown for a fresh workflow. Source cardinalities come
+/// from each source RecordSetDef::cardinality.
+StatusOr<CostBreakdown> ComputeCostBreakdown(const Workflow& workflow,
+                                             const CostModel& model);
+
+/// Just the total (convenience).
+StatusOr<double> StateCost(const Workflow& workflow, const CostModel& model);
+
+/// Semi-incremental costing (paper §4.1): computes the cost of `next` by
+/// reusing `base`'s breakdown for every node whose inputs are untouched,
+/// re-costing only nodes downstream of a changed region. Falls back to a
+/// full recomputation when reuse is impossible. Results are identical to
+/// ComputeCostBreakdown(next, model).
+StatusOr<CostBreakdown> IncrementalCostBreakdown(const Workflow& next,
+                                                 const CostBreakdown& base,
+                                                 const Workflow& base_workflow,
+                                                 const CostModel& model);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COST_STATE_COST_H_

@@ -1,0 +1,61 @@
+#include "engine/calibration.h"
+
+#include "common/macros.h"
+
+namespace etlopt {
+
+StatusOr<CalibrationResult> CalibrateSelectivities(
+    const Workflow& workflow, const ExecutionInput& input) {
+  Workflow calibrated = workflow;
+  if (!calibrated.fresh()) {
+    ETLOPT_RETURN_NOT_OK(calibrated.Refresh());
+  }
+  ETLOPT_ASSIGN_OR_RETURN(ExecutionResult run,
+                          ExecuteWorkflow(calibrated, input));
+
+  // Rows entering each node: sources from the bound data, activities and
+  // downstream recordsets from their providers' observed outputs.
+  std::map<NodeId, double> rows_out;
+  for (NodeId id : calibrated.TopoOrder()) {
+    if (calibrated.IsRecordSet(id)) {
+      std::vector<NodeId> providers = calibrated.Providers(id);
+      if (providers.empty()) {
+        auto it = input.source_data.find(calibrated.recordset(id).name);
+        rows_out[id] = it == input.source_data.end()
+                           ? 0.0
+                           : static_cast<double>(it->second.size());
+      } else {
+        rows_out[id] = rows_out.at(providers[0]);
+      }
+    } else {
+      rows_out[id] = static_cast<double>(run.rows_out.at(id));
+    }
+  }
+
+  CalibrationResult result;
+  for (NodeId id : calibrated.ActivityNodeIds()) {
+    if (!calibrated.chain(id).is_unary()) continue;  // binary: keep assigned
+    double in_rows = 0;
+    for (NodeId p : calibrated.Providers(id)) in_rows += rows_out.at(p);
+    if (in_rows <= 0) continue;  // no evidence; keep assigned selectivity
+    double measured = rows_out.at(id) / in_rows;
+    // Selectivities live in (0, 1]; clamp away from zero so cost models
+    // never see an impossible (or zero) flow.
+    measured = std::min(1.0, std::max(measured, 1e-6));
+    result.measured_selectivity[id] = measured;
+    ActivityChain* chain = calibrated.mutable_chain(id);
+    // Attribute the whole chain's measured selectivity to the first
+    // member; the rest become pass-through for costing purposes.
+    chain->ReplaceMemberActivity(
+        0, chain->members()[0].activity.WithSelectivity(measured));
+    for (size_t m = 1; m < chain->size(); ++m) {
+      chain->ReplaceMemberActivity(
+          m, chain->members()[m].activity.WithSelectivity(1.0));
+    }
+  }
+  ETLOPT_RETURN_NOT_OK(calibrated.Refresh());
+  result.calibrated = std::move(calibrated);
+  return result;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,38 @@
+// Selectivity calibration: replace assigned selectivities with measured
+// ones.
+//
+// The paper assigns selectivities to activities by hand (§4.2). In a
+// running deployment the natural source of those numbers is the data
+// itself: execute the workflow over a sample, observe each activity's
+// rows-out / rows-in ratio, and rebuild the workflow with the measured
+// selectivities so the optimizer's cost model matches reality.
+
+#ifndef ETLOPT_ENGINE_CALIBRATION_H_
+#define ETLOPT_ENGINE_CALIBRATION_H_
+
+#include <map>
+
+#include "engine/executor.h"
+
+namespace etlopt {
+
+/// Observed flow statistics from one execution.
+struct CalibrationResult {
+  /// Measured selectivity per activity node (rows out / rows in; unary
+  /// chains only — binary activities keep their assigned selectivity).
+  std::map<NodeId, double> measured_selectivity;
+  /// A copy of the workflow whose unary activities carry the measured
+  /// selectivities (chains re-built member-wise, with per-chain
+  /// measurement applied to the first member).
+  Workflow calibrated;
+};
+
+/// Executes `workflow` over `input` (typically a sample of production
+/// data) and returns measured selectivities plus a calibrated workflow.
+/// Activities that saw no input rows keep their assigned selectivity.
+StatusOr<CalibrationResult> CalibrateSelectivities(const Workflow& workflow,
+                                                   const ExecutionInput& input);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_CALIBRATION_H_

@@ -1,0 +1,120 @@
+#include "engine/executor.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+// Reorders `rows` (laid out by `from`) into `to`'s attribute order.
+StatusOr<std::vector<Record>> RealignRows(const std::vector<Record>& rows,
+                                          const Schema& from,
+                                          const Schema& to) {
+  if (from == to) return rows;
+  std::vector<size_t> mapping;
+  mapping.reserve(to.size());
+  for (const auto& a : to.attributes()) {
+    auto idx = from.IndexOf(a.name);
+    if (!idx.has_value()) {
+      return Status::Internal("realign: missing attribute " + a.name);
+    }
+    mapping.push_back(*idx);
+  }
+  std::vector<Record> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) {
+    Record nr;
+    for (size_t idx : mapping) nr.Append(r.value(idx));
+    out.push_back(std::move(nr));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
+                                          const ExecutionInput& input) {
+  if (!workflow.fresh()) {
+    return Status::FailedPrecondition(
+        "workflow must pass Refresh() before execution");
+  }
+  ExecutionResult result;
+  std::map<NodeId, std::vector<Record>> flows;
+  for (NodeId id : workflow.TopoOrder()) {
+    std::vector<NodeId> providers = workflow.Providers(id);
+    if (workflow.IsRecordSet(id)) {
+      const RecordSetDef& def = workflow.recordset(id);
+      if (providers.empty()) {
+        auto it = input.source_data.find(def.name);
+        if (it == input.source_data.end()) {
+          return Status::NotFound("no data bound for source recordset '" +
+                                  def.name + "'");
+        }
+        for (const auto& r : it->second) {
+          if (r.size() != def.schema.size()) {
+            return Status::InvalidArgument(StrFormat(
+                "source '%s': record arity %zu != schema arity %zu",
+                def.name.c_str(), r.size(), def.schema.size()));
+          }
+        }
+        flows[id] = it->second;
+      } else {
+        // Staging or target recordset: realign to the declared schema.
+        ETLOPT_ASSIGN_OR_RETURN(
+            flows[id],
+            RealignRows(flows.at(providers[0]),
+                        workflow.OutputSchema(providers[0]), def.schema));
+      }
+      if (workflow.Consumers(id).empty()) {
+        result.target_data.emplace(def.name, flows[id]);
+      }
+    } else {
+      std::vector<std::vector<Record>> inputs;
+      inputs.reserve(providers.size());
+      for (NodeId p : providers) inputs.push_back(flows.at(p));
+      auto rows = workflow.chain(id).Execute(workflow.InputSchemas(id),
+                                             inputs, input.context);
+      if (!rows.ok()) {
+        return rows.status().WithContext(
+            StrFormat("executing node %d ('%s')", id,
+                      workflow.chain(id).label().c_str()));
+      }
+      result.rows_out[id] = rows->size();
+      flows[id] = std::move(rows).value();
+    }
+  }
+  return result;
+}
+
+Status ExecuteWorkflowInto(const Workflow& workflow,
+                           const ExecutionInput& input,
+                           const std::map<std::string, RecordSet*>& targets) {
+  ETLOPT_ASSIGN_OR_RETURN(ExecutionResult result,
+                          ExecuteWorkflow(workflow, input));
+  for (const auto& [name, rows] : result.target_data) {
+    auto it = targets.find(name);
+    if (it == targets.end()) continue;
+    RecordSet* rs = it->second;
+    ETLOPT_RETURN_NOT_OK(rs->Truncate());
+    for (const auto& r : rows) {
+      ETLOPT_RETURN_NOT_OK(rs->Append(r));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> ProduceSameOutput(const Workflow& a, const Workflow& b,
+                                 const ExecutionInput& input) {
+  ETLOPT_ASSIGN_OR_RETURN(ExecutionResult ra, ExecuteWorkflow(a, input));
+  ETLOPT_ASSIGN_OR_RETURN(ExecutionResult rb, ExecuteWorkflow(b, input));
+  if (ra.target_data.size() != rb.target_data.size()) return false;
+  for (const auto& [name, rows] : ra.target_data) {
+    auto it = rb.target_data.find(name);
+    if (it == rb.target_data.end()) return false;
+    if (!SameRecordMultiset(rows, it->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace etlopt

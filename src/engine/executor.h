@@ -1,0 +1,55 @@
+// Executor: runs an ETL workflow over actual data.
+//
+// The optimizer never needs this — it reasons over schemas and costs —
+// but the executor is what makes transition correctness *testable*: two
+// equivalent states must produce identical target contents from identical
+// source contents (the paper's definition of equivalence, §2.2).
+
+#ifndef ETLOPT_ENGINE_EXECUTOR_H_
+#define ETLOPT_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/workflow.h"
+#include "records/recordset.h"
+
+namespace etlopt {
+
+/// Everything a run needs besides the workflow itself: source contents
+/// (keyed by recordset name) and the surrogate-key lookup tables.
+struct ExecutionInput {
+  std::map<std::string, std::vector<Record>> source_data;
+  ExecutionContext context;
+};
+
+/// The result of a run: rows delivered to each target recordset (keyed by
+/// name, realigned to the target's declared schema), plus bookkeeping.
+struct ExecutionResult {
+  std::map<std::string, std::vector<Record>> target_data;
+  /// Rows that crossed each activity node's output, keyed by node id —
+  /// the observed analogue of the cost model's cardinality estimates.
+  std::map<NodeId, size_t> rows_out;
+};
+
+/// Executes `workflow` (which must be fresh, i.e. Refresh() succeeded)
+/// over `input`. Fails if a source has no data entry, a lookup is missing,
+/// or any activity rejects its input.
+StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
+                                          const ExecutionInput& input);
+
+/// Convenience: executes and loads the results into bound RecordSet
+/// objects (e.g. MemoryTable or CsvFile targets), truncating them first.
+Status ExecuteWorkflowInto(
+    const Workflow& workflow, const ExecutionInput& input,
+    const std::map<std::string, RecordSet*>& targets);
+
+/// True iff the two workflows produce identical target multisets on
+/// `input` — the empirical equivalence check used throughout the tests.
+StatusOr<bool> ProduceSameOutput(const Workflow& a, const Workflow& b,
+                                 const ExecutionInput& input);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_EXECUTOR_H_

@@ -1,0 +1,39 @@
+// Pipelined executor: a pull-based (Volcano-style) row-at-a-time engine.
+//
+// The paper's workflow paradigm lets activities "output data to one
+// another" without intermediate data stores. ExecuteWorkflow
+// (executor.h) materializes every edge; this executor streams instead:
+// filters, projections, functions, surrogate keys, duplicate elimination
+// and unions pass rows through one at a time, and only genuinely
+// blocking activities (aggregation; the build side of join, difference
+// and intersection) buffer rows.
+//
+// Both executors produce identical results — the test suite asserts it —
+// so the pipelined one also serves as an independent implementation of
+// the activity semantics (N-version check).
+
+#ifndef ETLOPT_ENGINE_PIPELINE_H_
+#define ETLOPT_ENGINE_PIPELINE_H_
+
+#include "engine/executor.h"
+
+namespace etlopt {
+
+/// Execution statistics that distinguish pipelining from materialization.
+struct PipelineStats {
+  /// Rows buffered inside blocking operators (aggregation groups, build
+  /// sides). A fully streaming plan buffers nothing.
+  size_t buffered_rows = 0;
+  /// Rows the materializing executor would have staged on every edge.
+  size_t materialized_equivalent = 0;
+};
+
+/// Runs `workflow` (must be fresh) over `input` with the pipelined
+/// engine. `target_data` and `rows_out` match ExecuteWorkflow's output.
+StatusOr<ExecutionResult> ExecutePipelined(const Workflow& workflow,
+                                           const ExecutionInput& input,
+                                           PipelineStats* stats = nullptr);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_PIPELINE_H_

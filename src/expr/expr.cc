@@ -1,0 +1,524 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+// ---- Scalar function registry ----
+// Function-local static reference (never destroyed) per the style guide's
+// static-storage rules. Built-ins are installed on first access so every
+// entry point sees them.
+bool EnsureBuiltinsRegistered();
+
+std::map<std::string, ScalarFn>& RegistryRaw() {
+  static auto& m = *new std::map<std::string, ScalarFn>();
+  return m;
+}
+
+std::map<std::string, ScalarFn>& Registry() {
+  static const bool builtins_ready = EnsureBuiltinsRegistered();
+  (void)builtins_ready;
+  return RegistryRaw();
+}
+
+Status ExpectArgs(const std::vector<Value>& args, size_t n,
+                  const char* fname) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("%s expects %zu args, got %zu", fname, n, args.size()));
+  }
+  return Status::OK();
+}
+
+// Fixed conversion rate keeps every experiment deterministic.
+constexpr double kDollarsPerEuro = 1.25;
+
+StatusOr<Value> FnDollar2Euro(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "dollar2euro"));
+  if (args[0].is_null()) return Value::Null();
+  return Value::Double(args[0].AsDouble() / kDollarsPerEuro);
+}
+
+StatusOr<Value> FnEuro2Dollar(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "euro2dollar"));
+  if (args[0].is_null()) return Value::Null();
+  return Value::Double(args[0].AsDouble() * kDollarsPerEuro);
+}
+
+// "MM/DD/YYYY" -> "DD/MM/YYYY".
+StatusOr<Value> SwapDateParts(const Value& v, const char* fname) {
+  if (v.is_null()) return Value::Null();
+  if (v.type() != DataType::kString) {
+    return Status::InvalidArgument(std::string(fname) +
+                                   " expects a string date");
+  }
+  const std::string& s = v.string_value();
+  auto parts = Split(s, '/');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(std::string(fname) + ": bad date '" + s +
+                                   "'");
+  }
+  return Value::String(parts[1] + "/" + parts[0] + "/" + parts[2]);
+}
+
+StatusOr<Value> FnA2EDate(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "a2e_date"));
+  return SwapDateParts(args[0], "a2e_date");
+}
+
+StatusOr<Value> FnE2ADate(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "e2a_date"));
+  return SwapDateParts(args[0], "e2a_date");
+}
+
+StatusOr<Value> FnUpper(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "upper"));
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != DataType::kString)
+    return Status::InvalidArgument("upper expects a string");
+  std::string s = args[0].string_value();
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return Value::String(std::move(s));
+}
+
+StatusOr<Value> FnLower(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "lower"));
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != DataType::kString)
+    return Status::InvalidArgument("lower expects a string");
+  std::string s = args[0].string_value();
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return Value::String(std::move(s));
+}
+
+StatusOr<Value> FnRound(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "round"));
+  if (args[0].is_null()) return Value::Null();
+  return Value::Double(std::round(args[0].AsDouble()));
+}
+
+StatusOr<Value> FnAbs(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "abs"));
+  if (args[0].is_null()) return Value::Null();
+  return Value::Double(std::fabs(args[0].AsDouble()));
+}
+
+StatusOr<Value> FnConcat(const std::vector<Value>& args) {
+  std::string out;
+  for (const auto& a : args) {
+    if (a.is_null()) return Value::Null();
+    out += a.ToString();
+  }
+  return Value::String(std::move(out));
+}
+
+// Year from "DD/MM/YYYY" or "MM/DD/YYYY".
+StatusOr<Value> FnYearOf(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "year_of"));
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != DataType::kString)
+    return Status::InvalidArgument("year_of expects a string date");
+  auto parts = Split(args[0].string_value(), '/');
+  if (parts.size() != 3)
+    return Status::InvalidArgument("year_of: bad date '" +
+                                   args[0].string_value() + "'");
+  return Value::Parse(parts[2], DataType::kInt64);
+}
+
+// Month/year grouper "DD/MM/YYYY" -> "MM/YYYY". Used by the monthly
+// aggregation of the paper's running example.
+StatusOr<Value> FnMonthOf(const std::vector<Value>& args) {
+  ETLOPT_RETURN_NOT_OK(ExpectArgs(args, 1, "month_of"));
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != DataType::kString)
+    return Status::InvalidArgument("month_of expects a string date");
+  auto parts = Split(args[0].string_value(), '/');
+  if (parts.size() != 3)
+    return Status::InvalidArgument("month_of: bad date '" +
+                                   args[0].string_value() + "'");
+  return Value::String(parts[1] + "/" + parts[2]);
+}
+
+bool EnsureBuiltinsRegistered() {
+  auto& m = RegistryRaw();
+  m.emplace("dollar2euro", &FnDollar2Euro);
+  m.emplace("euro2dollar", &FnEuro2Dollar);
+  m.emplace("a2e_date", &FnA2EDate);
+  m.emplace("e2a_date", &FnE2ADate);
+  m.emplace("upper", &FnUpper);
+  m.emplace("lower", &FnLower);
+  m.emplace("round", &FnRound);
+  m.emplace("abs", &FnAbs);
+  m.emplace("concat", &FnConcat);
+  m.emplace("year_of", &FnYearOf);
+  m.emplace("month_of", &FnMonthOf);
+  return true;
+}
+
+// ---- Node classes ----
+
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name)
+      : Expr(Kind::kColumn), name_(std::move(name)) {}
+
+  StatusOr<Value> Evaluate(const Record& record,
+                           const Schema& schema) const override {
+    auto idx = schema.IndexOf(name_);
+    if (!idx.has_value())
+      return Status::NotFound("column not in schema: " + name_);
+    if (*idx >= record.size())
+      return Status::Internal("record narrower than schema at " + name_);
+    return record.value(*idx);
+  }
+
+  void CollectColumns(std::vector<std::string>* out) const override {
+    out->push_back(name_);
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(Kind::kLiteral), value_(std::move(v)) {}
+
+  StatusOr<Value> Evaluate(const Record&, const Schema&) const override {
+    return value_;
+  }
+
+  void CollectColumns(std::vector<std::string>*) const override {}
+
+  std::string ToString() const override {
+    if (value_.type() == DataType::kString)
+      return "'" + value_.ToString() + "'";
+    if (value_.is_null()) return "NULL";
+    return value_.ToString();
+  }
+
+ private:
+  Value value_;
+};
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Kind::kCompare), op_(op), lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  StatusOr<Value> Evaluate(const Record& record,
+                           const Schema& schema) const override {
+    ETLOPT_ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(record, schema));
+    ETLOPT_ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(record, schema));
+    if (l.is_null() || r.is_null()) return Value::Null();
+    switch (op_) {
+      case CompareOp::kEq:
+        return Value::Bool(l == r);
+      case CompareOp::kNe:
+        return Value::Bool(!(l == r));
+      case CompareOp::kLt:
+        return Value::Bool(l < r);
+      case CompareOp::kLe:
+        return Value::Bool(!(r < l));
+      case CompareOp::kGt:
+        return Value::Bool(r < l);
+      case CompareOp::kGe:
+        return Value::Bool(!(l < r));
+    }
+    return Status::Internal("bad compare op");
+  }
+
+  void CollectColumns(std::vector<std::string>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " +
+           std::string(CompareOpToString(op_)) + " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Kind::kLogical), op_(op), lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  StatusOr<Value> Evaluate(const Record& record,
+                           const Schema& schema) const override {
+    ETLOPT_ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(record, schema));
+    if (op_ == LogicalOp::kNot) {
+      if (l.is_null()) return Value::Null();
+      if (l.type() != DataType::kBool)
+        return Status::InvalidArgument("NOT over non-bool");
+      return Value::Bool(!l.bool_value());
+    }
+    ETLOPT_ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(record, schema));
+    // Three-valued logic with NULL.
+    auto as_tri = [](const Value& v) -> StatusOr<int> {
+      if (v.is_null()) return -1;
+      if (v.type() != DataType::kBool)
+        return Status::InvalidArgument("logical op over non-bool");
+      return v.bool_value() ? 1 : 0;
+    };
+    ETLOPT_ASSIGN_OR_RETURN(int tl, as_tri(l));
+    ETLOPT_ASSIGN_OR_RETURN(int tr, as_tri(r));
+    if (op_ == LogicalOp::kAnd) {
+      if (tl == 0 || tr == 0) return Value::Bool(false);
+      if (tl == -1 || tr == -1) return Value::Null();
+      return Value::Bool(true);
+    }
+    // kOr
+    if (tl == 1 || tr == 1) return Value::Bool(true);
+    if (tl == -1 || tr == -1) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  void CollectColumns(std::vector<std::string>* out) const override {
+    lhs_->CollectColumns(out);
+    if (rhs_) rhs_->CollectColumns(out);
+  }
+
+  std::string ToString() const override {
+    if (op_ == LogicalOp::kNot) return "(NOT " + lhs_->ToString() + ")";
+    const char* op = op_ == LogicalOp::kAnd ? "AND" : "OR";
+    return "(" + lhs_->ToString() + " " + op + " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  LogicalOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;  // null for kNot
+};
+
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Kind::kArith), op_(op), lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  StatusOr<Value> Evaluate(const Record& record,
+                           const Schema& schema) const override {
+    ETLOPT_ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(record, schema));
+    ETLOPT_ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(record, schema));
+    if (l.is_null() || r.is_null()) return Value::Null();
+    double a = l.AsDouble();
+    double b = r.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Double(a + b);
+      case ArithOp::kSub:
+        return Value::Double(a - b);
+      case ArithOp::kMul:
+        return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a / b);
+    }
+    return Status::Internal("bad arith op");
+  }
+
+  void CollectColumns(std::vector<std::string>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + std::string(ArithOpToString(op_)) +
+           " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class FunctionExpr final : public Expr {
+ public:
+  FunctionExpr(std::string name, std::vector<ExprPtr> args)
+      : Expr(Kind::kFunction), name_(std::move(name)), args_(std::move(args)) {}
+
+  StatusOr<Value> Evaluate(const Record& record,
+                           const Schema& schema) const override {
+    auto it = Registry().find(name_);
+    if (it == Registry().end())
+      return Status::NotFound("unregistered scalar function: " + name_);
+    std::vector<Value> vals;
+    vals.reserve(args_.size());
+    for (const auto& a : args_) {
+      ETLOPT_ASSIGN_OR_RETURN(Value v, a->Evaluate(record, schema));
+      vals.push_back(std::move(v));
+    }
+    return it->second(vals);
+  }
+
+  void CollectColumns(std::vector<std::string>* out) const override {
+    for (const auto& a : args_) a->CollectColumns(out);
+  }
+
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    parts.reserve(args_.size());
+    for (const auto& a : args_) parts.push_back(a->ToString());
+    return name_ + "(" + Join(parts, ", ") + ")";
+  }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+class NullTestExpr final : public Expr {
+ public:
+  NullTestExpr(Kind kind, ExprPtr inner)
+      : Expr(kind), inner_(std::move(inner)) {}
+
+  StatusOr<Value> Evaluate(const Record& record,
+                           const Schema& schema) const override {
+    ETLOPT_ASSIGN_OR_RETURN(Value v, inner_->Evaluate(record, schema));
+    bool isnull = v.is_null();
+    return Value::Bool(kind() == Kind::kIsNull ? isnull : !isnull);
+  }
+
+  void CollectColumns(std::vector<std::string>* out) const override {
+    inner_->CollectColumns(out);
+  }
+
+  std::string ToString() const override {
+    return "(" + inner_->ToString() +
+           (kind() == Kind::kIsNull ? " IS NULL)" : " IS NOT NULL)");
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+}  // namespace
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::vector<std::string> Expr::ReferencedColumns() const {
+  std::vector<std::string> all;
+  CollectColumns(&all);
+  std::vector<std::string> out;
+  for (auto& n : all) {
+    if (std::find(out.begin(), out.end(), n) == out.end())
+      out.push_back(std::move(n));
+  }
+  return out;
+}
+
+ExprPtr Column(std::string name) {
+  return std::make_shared<ColumnExpr>(std::move(name));
+}
+
+ExprPtr Literal(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+
+ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(lhs),
+                                       std::move(rhs));
+}
+
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kOr, std::move(lhs),
+                                       std::move(rhs));
+}
+
+ExprPtr Not(ExprPtr inner) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kNot, std::move(inner),
+                                       nullptr);
+}
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr IsNull(ExprPtr inner) {
+  return std::make_shared<NullTestExpr>(Expr::Kind::kIsNull, std::move(inner));
+}
+
+ExprPtr IsNotNull(ExprPtr inner) {
+  return std::make_shared<NullTestExpr>(Expr::Kind::kIsNotNull,
+                                        std::move(inner));
+}
+
+ExprPtr Function(std::string name, std::vector<ExprPtr> args) {
+  return std::make_shared<FunctionExpr>(std::move(name), std::move(args));
+}
+
+Status RegisterScalarFunction(const std::string& name, ScalarFn fn) {
+  auto [it, inserted] = Registry().emplace(name, fn);
+  (void)it;
+  if (!inserted)
+    return Status::AlreadyExists("scalar function exists: " + name);
+  return Status::OK();
+}
+
+bool IsScalarFunctionRegistered(const std::string& name) {
+  return Registry().count(name) > 0;
+}
+
+StatusOr<bool> EvaluatePredicate(const Expr& expr, const Record& record,
+                                 const Schema& schema) {
+  ETLOPT_ASSIGN_OR_RETURN(Value v, expr.Evaluate(record, schema));
+  if (v.is_null()) return false;
+  if (v.type() != DataType::kBool)
+    return Status::InvalidArgument("predicate evaluated to non-bool: " +
+                                   expr.ToString());
+  return v.bool_value();
+}
+
+}  // namespace etlopt

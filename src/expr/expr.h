@@ -1,0 +1,109 @@
+// Expr: immutable scalar/boolean expression trees.
+//
+// Activities carry their semantics as relational algebra extended with
+// functions (paper §2.1). Selection predicates and function applications
+// are represented with this small AST. Nodes are immutable and shared
+// (states copy workflows frequently during search).
+
+#ifndef ETLOPT_EXPR_EXPR_H_
+#define ETLOPT_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "records/record.h"
+#include "schema/schema.h"
+
+namespace etlopt {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison and logical operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr, kNot };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+std::string_view CompareOpToString(CompareOp op);
+std::string_view ArithOpToString(ArithOp op);
+
+/// An immutable expression node.
+///
+/// SQL-ish NULL semantics: comparisons and arithmetic involving NULL yield
+/// NULL; a NULL predicate result is treated as false by filters; IsNull /
+/// IsNotNull test NULL-ness directly.
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,    // reference-attribute name
+    kLiteral,   // constant Value
+    kCompare,   // lhs op rhs
+    kLogical,   // and/or/not
+    kArith,     // lhs op rhs
+    kFunction,  // named scalar function over args
+    kIsNull,
+    kIsNotNull,
+  };
+
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluates against one record laid out by `schema`.
+  virtual StatusOr<Value> Evaluate(const Record& record,
+                                   const Schema& schema) const = 0;
+
+  /// Appends the names of all referenced columns (with duplicates).
+  virtual void CollectColumns(std::vector<std::string>* out) const = 0;
+
+  /// Canonical text form; equal text implies equal semantics for the
+  /// homologous-activity test (§3.2).
+  virtual std::string ToString() const = 0;
+
+  /// Distinct referenced column names, in first-appearance order.
+  std::vector<std::string> ReferencedColumns() const;
+
+ protected:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+/// --- Factory functions (the public construction API) ---
+
+ExprPtr Column(std::string name);
+ExprPtr Literal(Value v);
+ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr inner);
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr IsNull(ExprPtr inner);
+ExprPtr IsNotNull(ExprPtr inner);
+
+/// Calls a registered scalar function (see RegisterScalarFunction).
+ExprPtr Function(std::string name, std::vector<ExprPtr> args);
+
+/// Signature of a user-registerable scalar function.
+using ScalarFn = StatusOr<Value> (*)(const std::vector<Value>& args);
+
+/// Registers `fn` under `name`; AlreadyExists if the name is taken.
+/// Built-ins registered at startup: dollar2euro, euro2dollar, a2e_date,
+/// e2a_date, upper, lower, round, abs, concat, year_of.
+Status RegisterScalarFunction(const std::string& name, ScalarFn fn);
+
+/// True iff `name` resolves to a registered scalar function.
+bool IsScalarFunctionRegistered(const std::string& name);
+
+/// Evaluates a predicate: NULL and non-bool results are false.
+StatusOr<bool> EvaluatePredicate(const Expr& expr, const Record& record,
+                                 const Schema& schema);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_EXPR_EXPR_H_

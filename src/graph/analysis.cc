@@ -1,0 +1,100 @@
+#include "graph/analysis.h"
+
+#include <map>
+
+namespace etlopt {
+
+namespace {
+
+bool IsUnaryActivityNode(const Workflow& w, NodeId id) {
+  return w.IsActivity(id) && w.chain(id).is_unary();
+}
+
+}  // namespace
+
+std::vector<LocalGroup> FindLocalGroups(const Workflow& w) {
+  std::vector<LocalGroup> groups;
+  for (NodeId id : w.ActivityNodeIds()) {
+    if (!IsUnaryActivityNode(w, id)) continue;
+    // Group heads: unary nodes whose provider is not a unary activity.
+    NodeId provider = w.Providers(id)[0];
+    if (IsUnaryActivityNode(w, provider)) continue;
+    LocalGroup g;
+    NodeId cur = id;
+    while (true) {
+      g.nodes.push_back(cur);
+      std::vector<NodeId> consumers = w.Consumers(cur);
+      if (consumers.size() != 1 || !IsUnaryActivityNode(w, consumers[0]))
+        break;
+      cur = consumers[0];
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+NodeId NextBinaryOrRecordSet(const Workflow& w, NodeId from) {
+  NodeId cur = from;
+  while (true) {
+    std::vector<NodeId> consumers = w.Consumers(cur);
+    if (consumers.empty()) return kInvalidNode;
+    NodeId next = consumers[0];
+    if (w.IsRecordSet(next) || !w.chain(next).is_unary()) return next;
+    cur = next;
+  }
+}
+
+NodeId PrevBinaryOrRecordSet(const Workflow& w, NodeId from) {
+  NodeId cur = from;
+  while (true) {
+    std::vector<NodeId> providers = w.Providers(cur);
+    if (providers.empty()) return cur;  // a source recordset
+    NodeId prev = providers[0];
+    if (w.IsRecordSet(prev) || !w.chain(prev).is_unary()) return prev;
+    cur = prev;
+  }
+}
+
+std::vector<HomologousPair> FindHomologousPairs(const Workflow& w) {
+  std::vector<HomologousPair> out;
+  std::vector<LocalGroup> groups = FindLocalGroups(w);
+  std::map<NodeId, size_t> group_of;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId n : groups[g].nodes) group_of[n] = g;
+  }
+  std::vector<NodeId> unary;
+  for (NodeId id : w.ActivityNodeIds()) {
+    if (IsUnaryActivityNode(w, id)) unary.push_back(id);
+  }
+  for (size_t i = 0; i < unary.size(); ++i) {
+    for (size_t j = i + 1; j < unary.size(); ++j) {
+      NodeId a1 = unary[i];
+      NodeId a2 = unary[j];
+      // Homologous activities live in *different*, converging groups.
+      if (group_of[a1] == group_of[a2]) continue;
+      if (w.chain(a1).SemanticsString() != w.chain(a2).SemanticsString())
+        continue;
+      NodeId b1 = NextBinaryOrRecordSet(w, a1);
+      NodeId b2 = NextBinaryOrRecordSet(w, a2);
+      if (b1 == kInvalidNode || b1 != b2) continue;
+      if (!w.IsActivity(b1) || !w.chain(b1).is_binary()) continue;
+      out.push_back({a1, a2, b1});
+    }
+  }
+  return out;
+}
+
+std::vector<DistributableActivity> FindDistributable(const Workflow& w) {
+  std::vector<DistributableActivity> out;
+  for (NodeId id : w.ActivityNodeIds()) {
+    if (!IsUnaryActivityNode(w, id)) continue;
+    NodeId prev = PrevBinaryOrRecordSet(w, id);
+    if (prev != kInvalidNode && w.IsActivity(prev) &&
+        w.chain(prev).is_binary()) {
+      out.push_back({id, prev});
+    }
+  }
+  return out;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,57 @@
+// Structural analyses over workflows used by the heuristic search:
+// local groups, homologous activities, distributable activities (§3.2,
+// §4.2 of the paper).
+
+#ifndef ETLOPT_GRAPH_ANALYSIS_H_
+#define ETLOPT_GRAPH_ANALYSIS_H_
+
+#include <vector>
+
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// A local group: a maximal linear path of unary activity nodes, bordered
+/// by recordsets and/or binary activities (paper §3.2). Nodes are listed
+/// in flow order.
+struct LocalGroup {
+  std::vector<NodeId> nodes;
+};
+
+/// Finds all local groups, ordered by their first node id.
+std::vector<LocalGroup> FindLocalGroups(const Workflow& w);
+
+/// Walks downstream from `from` through unary activity nodes; returns the
+/// first binary activity node or recordset hit (kInvalidNode if none).
+NodeId NextBinaryOrRecordSet(const Workflow& w, NodeId from);
+
+/// Walks upstream from `from` through unary activity nodes (single
+/// provider); returns the first binary activity node or recordset.
+NodeId PrevBinaryOrRecordSet(const Workflow& w, NodeId from);
+
+/// Two activities are homologous (paper §3.2) when they live in local
+/// groups converging to the same binary activity and have the same
+/// semantics (algebraic expression + functionality/generated/projected-out
+/// schemata, all captured by the chain's SemanticsString).
+struct HomologousPair {
+  NodeId a1 = kInvalidNode;
+  NodeId a2 = kInvalidNode;
+  /// The binary activity both groups converge to.
+  NodeId binary = kInvalidNode;
+};
+
+std::vector<HomologousPair> FindHomologousPairs(const Workflow& w);
+
+/// A candidate for the Distribute transition: a unary node whose local
+/// group directly follows a binary activity (the node could be shifted
+/// backwards in front of it and cloned into the converging flows).
+struct DistributableActivity {
+  NodeId node = kInvalidNode;
+  NodeId binary = kInvalidNode;
+};
+
+std::vector<DistributableActivity> FindDistributable(const Workflow& w);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_GRAPH_ANALYSIS_H_

@@ -1,0 +1,566 @@
+#include "graph/workflow.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+NodeId Workflow::AddRecordSet(RecordSetDef def) {
+  NodeId id = NewId();
+  Node n;
+  n.is_activity = false;
+  n.recordset = std::move(def);
+  nodes_.emplace(id, std::move(n));
+  Invalidate();
+  return id;
+}
+
+StatusOr<NodeId> Workflow::AddActivity(Activity activity,
+                                       const std::vector<NodeId>& providers) {
+  if (static_cast<int>(providers.size()) != activity.input_arity()) {
+    return Status::InvalidArgument(StrFormat(
+        "activity '%s' needs %d providers, got %zu", activity.label().c_str(),
+        activity.input_arity(), providers.size()));
+  }
+  for (NodeId p : providers) {
+    if (!Exists(p)) {
+      return Status::NotFound(StrFormat("provider node %d does not exist", p));
+    }
+  }
+  NodeId id = NewId();
+  Node n;
+  n.is_activity = true;
+  n.chain = ActivityChain(std::move(activity));
+  nodes_.emplace(id, std::move(n));
+  for (size_t i = 0; i < providers.size(); ++i) {
+    edges_.push_back({providers[i], id, static_cast<int>(i)});
+  }
+  Invalidate();
+  return id;
+}
+
+Status Workflow::Connect(NodeId from, NodeId to, int port) {
+  if (!Exists(from) || !Exists(to)) {
+    return Status::NotFound("connect: node does not exist");
+  }
+  for (const auto& e : edges_) {
+    if (e.to == to && e.port == port) {
+      return Status::AlreadyExists(
+          StrFormat("connect: port %d of node %d already has a provider",
+                    port, to));
+    }
+  }
+  edges_.push_back({from, to, port});
+  Invalidate();
+  return Status::OK();
+}
+
+Status Workflow::Finalize() {
+  if (finalized_) {
+    return Status::FailedPrecondition("workflow already finalized");
+  }
+  ETLOPT_RETURN_NOT_OK(Refresh());
+  // Assign priorities in topological order, 1-based (paper §4.1).
+  int next = 1;
+  for (NodeId id : topo_) {
+    Node& n = GetNodeMutable(id);
+    if (n.is_activity) {
+      for (size_t i = 0; i < n.chain->size(); ++i) {
+        n.chain->set_plabel(i, std::to_string(next++));
+      }
+    } else {
+      n.plabel = std::to_string(next++);
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+bool Workflow::Exists(NodeId id) const { return nodes_.count(id) > 0; }
+
+bool Workflow::IsActivity(NodeId id) const {
+  return Exists(id) && GetNode(id).is_activity;
+}
+
+bool Workflow::IsRecordSet(NodeId id) const {
+  return Exists(id) && !GetNode(id).is_activity;
+}
+
+const ActivityChain& Workflow::chain(NodeId id) const {
+  const Node& n = GetNode(id);
+  ETLOPT_CHECK(n.is_activity);
+  return *n.chain;
+}
+
+ActivityChain* Workflow::mutable_chain(NodeId id) {
+  Node& n = GetNodeMutable(id);
+  ETLOPT_CHECK(n.is_activity);
+  Invalidate();
+  return &*n.chain;
+}
+
+const RecordSetDef& Workflow::recordset(NodeId id) const {
+  const Node& n = GetNode(id);
+  ETLOPT_CHECK(!n.is_activity);
+  return *n.recordset;
+}
+
+std::string Workflow::PriorityLabelOf(NodeId id) const {
+  const Node& n = GetNode(id);
+  return n.is_activity ? n.chain->PriorityLabel() : n.plabel;
+}
+
+std::vector<NodeId> Workflow::NodeIds() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> Workflow::ActivityNodeIds() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, n] : nodes_) {
+    if (n.is_activity) out.push_back(id);
+  }
+  return out;
+}
+
+size_t Workflow::ActivityCount() const {
+  size_t count = 0;
+  for (const auto& [id, n] : nodes_) {
+    if (n.is_activity) count += n.chain->size();
+  }
+  return count;
+}
+
+std::vector<NodeId> Workflow::Providers(NodeId id) const {
+  std::vector<const WorkflowEdge*> in;
+  for (const auto& e : edges_) {
+    if (e.to == id) in.push_back(&e);
+  }
+  std::sort(in.begin(), in.end(),
+            [](const WorkflowEdge* a, const WorkflowEdge* b) {
+              return a->port < b->port;
+            });
+  std::vector<NodeId> out;
+  out.reserve(in.size());
+  for (const auto* e : in) out.push_back(e->from);
+  return out;
+}
+
+std::vector<NodeId> Workflow::Consumers(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& e : edges_) {
+    if (e.from == id) out.push_back(e.to);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> Workflow::SourceRecordSets() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, n] : nodes_) {
+    if (!n.is_activity && Providers(id).empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Workflow::TargetRecordSets() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, n] : nodes_) {
+    if (!n.is_activity && Consumers(id).empty()) out.push_back(id);
+  }
+  return out;
+}
+
+Status Workflow::CheckStructure() const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty workflow");
+  // One pass over the edges builds the degree/port index; per-node O(E)
+  // rescans made Refresh() a search-loop bottleneck.
+  std::map<NodeId, std::vector<int>> in_ports;
+  std::map<NodeId, int> out_degree;
+  for (const auto& e : edges_) {
+    if (!Exists(e.from) || !Exists(e.to)) {
+      return Status::Internal("edge references missing node");
+    }
+    if (e.from == e.to) return Status::Internal("self-loop edge");
+    in_ports[e.to].push_back(e.port);
+    ++out_degree[e.from];
+  }
+  for (const auto& [id, n] : nodes_) {
+    auto in_it = in_ports.find(id);
+    size_t n_providers = in_it == in_ports.end() ? 0 : in_it->second.size();
+    auto out_it = out_degree.find(id);
+    size_t n_consumers = out_it == out_degree.end()
+                             ? 0
+                             : static_cast<size_t>(out_it->second);
+    if (n.is_activity) {
+      int arity = n.chain->input_arity();
+      if (static_cast<int>(n_providers) != arity) {
+        return Status::FailedPrecondition(StrFormat(
+            "activity node %d ('%s') has %zu providers, needs %d", id,
+            n.chain->label().c_str(), n_providers, arity));
+      }
+      // Port set must be exactly {0..arity-1}.
+      std::vector<int>& ports = in_it->second;
+      std::sort(ports.begin(), ports.end());
+      for (int i = 0; i < arity; ++i) {
+        if (ports[i] != i) {
+          return Status::FailedPrecondition(
+              StrFormat("activity node %d has bad port wiring", id));
+        }
+      }
+      if (n_consumers != 1) {
+        return Status::FailedPrecondition(StrFormat(
+            "activity node %d ('%s') must have exactly one consumer, has %zu",
+            id, n.chain->label().c_str(), n_consumers));
+      }
+    } else {
+      if (n_providers > 1) {
+        return Status::FailedPrecondition(StrFormat(
+            "recordset node %d ('%s') has multiple providers; use a UNION "
+            "activity",
+            id, n.recordset->name.c_str()));
+      }
+      if (n_providers == 0 && n_consumers == 0) {
+        return Status::FailedPrecondition(
+            StrFormat("recordset node %d ('%s') is disconnected", id,
+                      n.recordset->name.c_str()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<NodeId>> Workflow::ComputeTopoOrder() const {
+  // Kahn's algorithm; ready nodes processed in ascending id order for
+  // determinism. Adjacency is indexed once up front.
+  std::map<NodeId, int> indegree;
+  std::map<NodeId, std::vector<NodeId>> successors;
+  for (const auto& [id, n] : nodes_) indegree[id] = 0;
+  for (const auto& e : edges_) {
+    ++indegree[e.to];
+    successors[e.from].push_back(e.to);
+  }
+  std::set<NodeId> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.insert(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    NodeId id = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(id);
+    auto it = successors.find(id);
+    if (it == successors.end()) continue;
+    for (NodeId next : it->second) {
+      if (--indegree[next] == 0) ready.insert(next);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::FailedPrecondition("workflow graph contains a cycle");
+  }
+  return order;
+}
+
+Status Workflow::Refresh() {
+  fresh_ = false;
+  ETLOPT_RETURN_NOT_OK(CheckStructure());
+  ETLOPT_ASSIGN_OR_RETURN(topo_, ComputeTopoOrder());
+  out_schema_.clear();
+  in_schemas_.clear();
+  // Port-ordered provider index built in one pass.
+  std::map<NodeId, std::vector<std::pair<int, NodeId>>> providers_of;
+  for (const auto& e : edges_) {
+    providers_of[e.to].push_back({e.port, e.from});
+  }
+  for (auto& [id, ps] : providers_of) std::sort(ps.begin(), ps.end());
+  for (NodeId id : topo_) {
+    const Node& n = GetNode(id);
+    std::vector<NodeId> providers;
+    if (auto it = providers_of.find(id); it != providers_of.end()) {
+      providers.reserve(it->second.size());
+      for (const auto& [port, from] : it->second) providers.push_back(from);
+    }
+    std::vector<Schema> inputs;
+    inputs.reserve(providers.size());
+    for (NodeId p : providers) inputs.push_back(out_schema_.at(p));
+    if (n.is_activity) {
+      auto out = n.chain->ComputeOutputSchema(inputs);
+      if (!out.ok()) {
+        return out.status().WithContext(
+            StrFormat("schema propagation at node %d ('%s')", id,
+                      n.chain->label().c_str()));
+      }
+      out_schema_.emplace(id, std::move(out).value());
+    } else {
+      if (!providers.empty()) {
+        if (!inputs[0].EquivalentTo(n.recordset->schema)) {
+          return Status::FailedPrecondition(StrFormat(
+              "recordset '%s' declared %s but receives %s",
+              n.recordset->name.c_str(),
+              n.recordset->schema.ToString().c_str(),
+              inputs[0].ToString().c_str()));
+        }
+      }
+      out_schema_.emplace(id, n.recordset->schema);
+    }
+    in_schemas_.emplace(id, std::move(inputs));
+  }
+  fresh_ = true;
+  return Status::OK();
+}
+
+const Schema& Workflow::OutputSchema(NodeId id) const {
+  ETLOPT_CHECK(fresh_);
+  return out_schema_.at(id);
+}
+
+const std::vector<Schema>& Workflow::InputSchemas(NodeId id) const {
+  ETLOPT_CHECK(fresh_);
+  return in_schemas_.at(id);
+}
+
+const std::vector<NodeId>& Workflow::TopoOrder() const {
+  ETLOPT_CHECK(fresh_);
+  return topo_;
+}
+
+std::string Workflow::Unfold(NodeId id,
+                             std::map<NodeId, std::string>* memo) const {
+  auto it = memo->find(id);
+  if (it != memo->end()) return it->second;
+  std::vector<NodeId> providers = Providers(id);
+  std::string s = PriorityLabelOf(id);
+  if (!providers.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(providers.size());
+    for (NodeId p : providers) parts.push_back(Unfold(p, memo));
+    s += "(" + Join(parts, ",") + ")";
+  }
+  memo->emplace(id, s);
+  return s;
+}
+
+std::string Workflow::Signature() const {
+  std::map<NodeId, std::string> memo;
+  std::vector<std::string> targets;
+  for (NodeId t : TargetRecordSets()) targets.push_back(Unfold(t, &memo));
+  std::sort(targets.begin(), targets.end());
+  return Join(targets, ";") + "#" + std::to_string(ActivityCount());
+}
+
+std::string Workflow::PrettySignature() const {
+  // Recursive render: a node is its providers' rendering followed by its
+  // own priority label; multiple providers bracket as (a//b).
+  std::map<NodeId, std::string> memo;
+  std::function<std::string(NodeId)> render = [&](NodeId id) -> std::string {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    std::vector<NodeId> providers = Providers(id);
+    std::string s;
+    if (providers.size() == 1) {
+      s = render(providers[0]) + ".";
+    } else if (providers.size() > 1) {
+      std::vector<std::string> parts;
+      parts.reserve(providers.size());
+      for (NodeId p : providers) parts.push_back("(" + render(p) + ")");
+      s = "(" + Join(parts, "//") + ").";
+    }
+    s += PriorityLabelOf(id);
+    memo.emplace(id, s);
+    return s;
+  };
+  std::vector<std::string> targets;
+  for (NodeId t : TargetRecordSets()) targets.push_back(render(t));
+  std::sort(targets.begin(), targets.end());
+  return Join(targets, " ; ");
+}
+
+std::set<std::string> Workflow::PostConditionSet() const {
+  std::set<std::string> out;
+  for (const auto& [id, n] : nodes_) {
+    if (n.is_activity) {
+      for (const auto& p : n.chain->PredicateStrings()) out.insert(p);
+    } else {
+      out.insert(n.recordset->name + n.recordset->schema.ToString());
+    }
+  }
+  return out;
+}
+
+bool Workflow::EquivalentTo(const Workflow& other) const {
+  // (a) Targets must coincide by name with equivalent schemata.
+  std::map<std::string, const Schema*> mine;
+  for (NodeId t : TargetRecordSets()) {
+    mine.emplace(recordset(t).name, &recordset(t).schema);
+  }
+  std::map<std::string, const Schema*> theirs;
+  for (NodeId t : other.TargetRecordSets()) {
+    theirs.emplace(other.recordset(t).name, &other.recordset(t).schema);
+  }
+  if (mine.size() != theirs.size()) return false;
+  for (const auto& [name, schema] : mine) {
+    auto it = theirs.find(name);
+    if (it == theirs.end() || !schema->EquivalentTo(*it->second)) return false;
+  }
+  // (b) Equivalent post-conditions.
+  return PostConditionSet() == other.PostConditionSet();
+}
+
+Status Workflow::SwapAdjacent(NodeId upstream, NodeId downstream) {
+  if (!IsActivity(upstream) || !IsActivity(downstream)) {
+    return Status::InvalidArgument("swap: both nodes must be activities");
+  }
+  if (!chain(upstream).is_unary() || !chain(downstream).is_unary()) {
+    return Status::InvalidArgument("swap: both nodes must be unary");
+  }
+  std::vector<NodeId> up_consumers = Consumers(upstream);
+  if (up_consumers.size() != 1 || up_consumers[0] != downstream) {
+    return Status::FailedPrecondition("swap: nodes are not adjacent");
+  }
+  std::vector<NodeId> down_consumers = Consumers(downstream);
+  if (down_consumers.size() != 1) {
+    return Status::FailedPrecondition(
+        "swap: downstream must have exactly one consumer");
+  }
+  NodeId provider = Providers(upstream)[0];
+  NodeId consumer = down_consumers[0];
+  int provider_port = 0;
+  int consumer_port = 0;
+  for (const auto& e : edges_) {
+    if (e.to == upstream && e.from == provider) provider_port = e.port;
+    if (e.from == downstream && e.to == consumer) consumer_port = e.port;
+  }
+  // provider -> downstream -> upstream -> consumer.
+  std::vector<WorkflowEdge> kept;
+  for (const auto& e : edges_) {
+    bool remove = (e.from == provider && e.to == upstream) ||
+                  (e.from == upstream && e.to == downstream) ||
+                  (e.from == downstream && e.to == consumer);
+    if (!remove) kept.push_back(e);
+  }
+  kept.push_back({provider, downstream, provider_port});
+  kept.push_back({downstream, upstream, 0});
+  kept.push_back({upstream, consumer, consumer_port});
+  edges_ = std::move(kept);
+  Invalidate();
+  return Status::OK();
+}
+
+Status Workflow::RemoveChainNode(NodeId id) {
+  if (!IsActivity(id) || !chain(id).is_unary()) {
+    return Status::InvalidArgument("remove: node must be a unary activity");
+  }
+  NodeId provider = Providers(id)[0];
+  // Rewire each outgoing edge to start at the provider.
+  std::vector<WorkflowEdge> kept;
+  for (const auto& e : edges_) {
+    if (e.to == id) continue;
+    if (e.from == id) {
+      kept.push_back({provider, e.to, e.port});
+    } else {
+      kept.push_back(e);
+    }
+  }
+  edges_ = std::move(kept);
+  nodes_.erase(id);
+  Invalidate();
+  return Status::OK();
+}
+
+StatusOr<NodeId> Workflow::InsertOnEdge(ActivityChain chain, NodeId from,
+                                        NodeId to) {
+  if (!chain.is_unary()) {
+    return Status::InvalidArgument("insert: chain must be unary");
+  }
+  auto it = std::find_if(edges_.begin(), edges_.end(),
+                         [&](const WorkflowEdge& e) {
+                           return e.from == from && e.to == to;
+                         });
+  if (it == edges_.end()) {
+    return Status::NotFound(
+        StrFormat("insert: no edge %d -> %d", from, to));
+  }
+  int port = it->port;
+  edges_.erase(it);
+  NodeId id = NewId();
+  Node n;
+  n.is_activity = true;
+  n.chain = std::move(chain);
+  nodes_.emplace(id, std::move(n));
+  edges_.push_back({from, id, 0});
+  edges_.push_back({id, to, port});
+  Invalidate();
+  return id;
+}
+
+Status Workflow::MergeInto(NodeId first, NodeId second) {
+  if (!IsActivity(first) || !IsActivity(second)) {
+    return Status::InvalidArgument("merge: both nodes must be activities");
+  }
+  std::vector<NodeId> consumers = Consumers(first);
+  if (consumers.size() != 1 || consumers[0] != second) {
+    return Status::FailedPrecondition(
+        "merge: second must be first's only consumer");
+  }
+  if (!chain(second).is_unary()) {
+    return Status::InvalidArgument("merge: second must be a unary chain");
+  }
+  ETLOPT_ASSIGN_OR_RETURN(
+      ActivityChain merged,
+      ActivityChain::Concat(chain(first), chain(second)));
+  GetNodeMutable(first).chain = std::move(merged);
+  // Bridge: second's consumers now consume first.
+  std::vector<WorkflowEdge> kept;
+  for (const auto& e : edges_) {
+    if (e.to == second) continue;  // the first->second edge
+    if (e.from == second) {
+      kept.push_back({first, e.to, e.port});
+    } else {
+      kept.push_back(e);
+    }
+  }
+  edges_ = std::move(kept);
+  nodes_.erase(second);
+  Invalidate();
+  return Status::OK();
+}
+
+StatusOr<NodeId> Workflow::SplitNode(NodeId id, size_t at) {
+  if (!IsActivity(id)) {
+    return Status::InvalidArgument("split: node must be an activity");
+  }
+  ETLOPT_ASSIGN_OR_RETURN(auto parts, chain(id).SplitAt(at));
+  NodeId tail_id = NewId();
+  Node tail;
+  tail.is_activity = true;
+  tail.chain = std::move(parts.second);
+  nodes_.emplace(tail_id, std::move(tail));
+  // Tail takes over id's outgoing edges.
+  for (auto& e : edges_) {
+    if (e.from == id) e.from = tail_id;
+  }
+  edges_.push_back({id, tail_id, 0});
+  GetNodeMutable(id).chain = std::move(parts.first);
+  Invalidate();
+  return tail_id;
+}
+
+const Workflow::Node& Workflow::GetNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  ETLOPT_CHECK(it != nodes_.end());
+  return it->second;
+}
+
+Workflow::Node& Workflow::GetNodeMutable(NodeId id) {
+  auto it = nodes_.find(id);
+  ETLOPT_CHECK(it != nodes_.end());
+  return it->second;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,195 @@
+// Workflow: a directed acyclic graph of activities and recordsets
+// (paper §2.1). States of the optimizer's search space *are* workflows,
+// so Workflow is a value type: transitions copy it, rewire the copy, and
+// revalidate via Refresh().
+//
+// Invariants enforced by Refresh():
+//  * the graph is acyclic;
+//  * every activity node has exactly input_arity() providers (one per
+//    input port) and exactly one consumer (the paper's setting for the
+//    correctness theorems);
+//  * schema propagation succeeds: every chain's functionality schema is
+//    covered by its input, and every non-source recordset receives a
+//    schema equivalent to its declared one.
+
+#ifndef ETLOPT_GRAPH_WORKFLOW_H_
+#define ETLOPT_GRAPH_WORKFLOW_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/activity_chain.h"
+#include "schema/schema.h"
+
+namespace etlopt {
+
+/// Node identifier, unique within one workflow (and its descendants —
+/// copies made by transitions keep ids stable, new nodes get fresh ids).
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A recordset as it appears in a workflow: name, declared schema, and the
+/// estimated cardinality used by cost models (meaningful for sources).
+struct RecordSetDef {
+  std::string name;
+  Schema schema;
+  double cardinality = 0.0;
+};
+
+/// A provider edge: data flows from `from` into input port `port` of `to`.
+struct WorkflowEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  int port = 0;
+
+  friend bool operator==(const WorkflowEdge& a, const WorkflowEdge& b) {
+    return a.from == b.from && a.to == b.to && a.port == b.port;
+  }
+};
+
+class Workflow {
+ public:
+  Workflow() = default;
+
+  // --- Construction ---
+
+  /// Adds a recordset node (source, staging, or target — determined by how
+  /// it is wired).
+  NodeId AddRecordSet(RecordSetDef def);
+
+  /// Adds an activity node and connects `providers` to its input ports in
+  /// order.
+  StatusOr<NodeId> AddActivity(Activity activity,
+                               const std::vector<NodeId>& providers);
+
+  /// Adds an explicit edge (used to wire targets: Connect(act, target_rs)).
+  Status Connect(NodeId from, NodeId to, int port = 0);
+
+  /// Assigns execution-priority labels from the topological order of the
+  /// *initial* graph (paper §4.1) and validates via Refresh(). Call once
+  /// after construction; transitions preserve the labels thereafter.
+  Status Finalize();
+
+  // --- Node access ---
+
+  bool Exists(NodeId id) const;
+  bool IsActivity(NodeId id) const;
+  bool IsRecordSet(NodeId id) const;
+
+  const ActivityChain& chain(NodeId id) const;
+  ActivityChain* mutable_chain(NodeId id);
+  const RecordSetDef& recordset(NodeId id) const;
+
+  /// Priority label of a node: a recordset's own label, or the chain's
+  /// joined member labels.
+  std::string PriorityLabelOf(NodeId id) const;
+
+  /// All node ids, ascending.
+  std::vector<NodeId> NodeIds() const;
+  /// Activity node ids, ascending.
+  std::vector<NodeId> ActivityNodeIds() const;
+  /// Total number of activities (chain members summed).
+  size_t ActivityCount() const;
+
+  /// Providers of `id`, ordered by input port.
+  std::vector<NodeId> Providers(NodeId id) const;
+  /// Consumers of `id`, ascending by node id.
+  std::vector<NodeId> Consumers(NodeId id) const;
+  const std::vector<WorkflowEdge>& edges() const { return edges_; }
+
+  /// Source recordsets (no providers) / target recordsets (no consumers).
+  std::vector<NodeId> SourceRecordSets() const;
+  std::vector<NodeId> TargetRecordSets() const;
+
+  // --- Validation and schema propagation ---
+
+  /// Revalidates the graph and recomputes every node's input/output
+  /// schemata (the automatic schema regeneration of §3.2). Must be called
+  /// after any surgery before reading schemas; transitions use its failure
+  /// as the rejection signal for illegal states (conditions 3-4 of §3.3).
+  Status Refresh();
+
+  /// True if Refresh() succeeded since the last mutation.
+  bool fresh() const { return fresh_; }
+
+  /// Computed output schema (requires fresh()).
+  const Schema& OutputSchema(NodeId id) const;
+  /// Computed input schemata, port-ordered (requires fresh()).
+  const std::vector<Schema>& InputSchemas(NodeId id) const;
+  /// Topological order (requires fresh()).
+  const std::vector<NodeId>& TopoOrder() const;
+
+  // --- State identity and equivalence ---
+
+  /// Canonical state signature (paper §4.1): the unfolding of each target
+  /// node as plabel(provider-unfoldings), targets sorted, suffixed with
+  /// the activity count. Equal signatures identify equal states.
+  std::string Signature() const;
+
+  /// The paper's display form of the signature: linear runs joined with
+  /// '.', converging branches bracketed with '//' — Fig. 1 renders as
+  /// "((1.3)//(2.4.5.6)).7.8.9".
+  std::string PrettySignature() const;
+
+  /// The workflow post-condition (paper §3.4) canonicalized as the set of
+  /// member predicates plus recordset predicates.
+  std::set<std::string> PostConditionSet() const;
+
+  /// Paper's equivalence: same target schemata and same post-condition.
+  bool EquivalentTo(const Workflow& other) const;
+
+  // --- Surgery (transitions build on these; callers Refresh() after) ---
+
+  /// Swaps two adjacent nodes linked upstream -> downstream, both unary
+  /// single-consumer chains. Purely structural; semantic applicability is
+  /// checked by the transition layer.
+  Status SwapAdjacent(NodeId upstream, NodeId downstream);
+
+  /// Removes a unary chain node, bridging its provider to its consumers.
+  Status RemoveChainNode(NodeId id);
+
+  /// Inserts a unary chain on the edge from -> to (keeping to's port).
+  StatusOr<NodeId> InsertOnEdge(ActivityChain chain, NodeId from, NodeId to);
+
+  /// Appends `second`'s chain to `first`'s (Merge); `second` must be
+  /// `first`'s only consumer and a unary chain. `second` is removed.
+  Status MergeInto(NodeId first, NodeId second);
+
+  /// Splits `id`'s chain at `at`; the tail becomes a new node placed
+  /// after the head. Returns the tail's id.
+  StatusOr<NodeId> SplitNode(NodeId id, size_t at);
+
+ private:
+  struct Node {
+    bool is_activity = false;
+    std::optional<ActivityChain> chain;     // engaged iff activity
+    std::optional<RecordSetDef> recordset;  // engaged iff recordset
+    std::string plabel;                     // recordsets only
+  };
+
+  NodeId NewId() { return next_id_++; }
+  const Node& GetNode(NodeId id) const;
+  Node& GetNodeMutable(NodeId id);
+  Status CheckStructure() const;
+  StatusOr<std::vector<NodeId>> ComputeTopoOrder() const;
+  std::string Unfold(NodeId id, std::map<NodeId, std::string>* memo) const;
+  void Invalidate() { fresh_ = false; }
+
+  std::map<NodeId, Node> nodes_;
+  std::vector<WorkflowEdge> edges_;
+  NodeId next_id_ = 1;
+  bool finalized_ = false;
+
+  // Computed by Refresh().
+  bool fresh_ = false;
+  std::vector<NodeId> topo_;
+  std::map<NodeId, Schema> out_schema_;
+  std::map<NodeId, std::vector<Schema>> in_schemas_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_GRAPH_WORKFLOW_H_

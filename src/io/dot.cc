@@ -1,0 +1,49 @@
+#include "io/dot.h"
+
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WorkflowToDot(const Workflow& workflow) {
+  std::string out = "digraph etl {\n  rankdir=LR;\n";
+  for (NodeId id : workflow.NodeIds()) {
+    if (workflow.IsRecordSet(id)) {
+      const RecordSetDef& def = workflow.recordset(id);
+      out += StrFormat(
+          "  n%d [shape=box, style=filled, fillcolor=lightgray, "
+          "label=\"%s: %s\"];\n",
+          id, workflow.PriorityLabelOf(id).c_str(),
+          EscapeDot(def.name).c_str());
+    } else {
+      const ActivityChain& chain = workflow.chain(id);
+      out += StrFormat(
+          "  n%d [shape=ellipse, label=\"%s: %s\\n%s\"];\n", id,
+          workflow.PriorityLabelOf(id).c_str(),
+          EscapeDot(chain.label()).c_str(),
+          EscapeDot(chain.SemanticsString()).c_str());
+    }
+  }
+  for (const auto& e : workflow.edges()) {
+    out += StrFormat("  n%d -> n%d", e.from, e.to);
+    if (e.port > 0) out += StrFormat(" [label=\"port %d\"]", e.port);
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,18 @@
+// Graphviz DOT export for workflows, for visual inspection of states.
+
+#ifndef ETLOPT_IO_DOT_H_
+#define ETLOPT_IO_DOT_H_
+
+#include <string>
+
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// Renders the workflow as a DOT digraph: recordsets as boxes, activities
+/// as ellipses labelled "<priority>: <label>\n<semantics>".
+std::string WorkflowToDot(const Workflow& workflow);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_IO_DOT_H_

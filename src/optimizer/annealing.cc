@@ -1,0 +1,121 @@
+#include "optimizer/annealing.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "graph/analysis.h"
+#include "optimizer/transitions.h"
+
+namespace etlopt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A proposable move; operands are looked up lazily because node ids churn
+// as transitions apply.
+struct Move {
+  enum class Kind { kSwap, kFactorize, kDistribute };
+  Kind kind = Kind::kSwap;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  NodeId binary = kInvalidNode;
+};
+
+// Collects every structurally plausible move in `w` (semantic legality is
+// checked on application).
+std::vector<Move> CollectMoves(const Workflow& w) {
+  std::vector<Move> moves;
+  for (NodeId u : w.ActivityNodeIds()) {
+    if (!w.chain(u).is_unary()) continue;
+    std::vector<NodeId> consumers = w.Consumers(u);
+    if (consumers.size() == 1 && w.IsActivity(consumers[0]) &&
+        w.chain(consumers[0]).is_unary()) {
+      moves.push_back({Move::Kind::kSwap, u, consumers[0], kInvalidNode});
+    }
+  }
+  for (const auto& h : FindHomologousPairs(w)) {
+    moves.push_back({Move::Kind::kFactorize, h.a1, h.a2, h.binary});
+  }
+  for (const auto& d : FindDistributable(w)) {
+    moves.push_back({Move::Kind::kDistribute, d.node, kInvalidNode, d.binary});
+  }
+  return moves;
+}
+
+StatusOr<Workflow> ApplyMove(const Workflow& w, const Move& move) {
+  switch (move.kind) {
+    case Move::Kind::kSwap:
+      return ApplySwap(w, move.a, move.b);
+    case Move::Kind::kFactorize:
+      return ApplyFactorize(w, move.binary, move.a, move.b);
+    case Move::Kind::kDistribute:
+      return ApplyDistribute(w, move.binary, move.a);
+  }
+  return Status::Internal("bad move kind");
+}
+
+}  // namespace
+
+StatusOr<SearchResult> SimulatedAnnealingSearch(
+    const Workflow& initial, const CostModel& model,
+    const SearchOptions& options, const AnnealingOptions& annealing) {
+  auto start = Clock::now();
+  auto deadline = start + std::chrono::milliseconds(options.max_millis);
+  Rng rng(annealing.seed);
+
+  Workflow w0 = initial;
+  if (!w0.fresh()) {
+    ETLOPT_RETURN_NOT_OK(w0.Refresh());
+  }
+  ETLOPT_ASSIGN_OR_RETURN(State current, MakeState(std::move(w0), model));
+  SearchResult result;
+  result.initial_cost = current.cost;
+  State best = current;
+  size_t evaluated = 1;
+
+  double temperature =
+      annealing.initial_temperature_fraction * result.initial_cost;
+  const double floor_temperature =
+      annealing.min_temperature_fraction * result.initial_cost;
+  bool budget_hit = false;
+
+  while (temperature > floor_temperature) {
+    for (size_t step = 0; step < annealing.steps_per_temperature; ++step) {
+      if (evaluated >= options.max_states || Clock::now() >= deadline) {
+        budget_hit = true;
+        break;
+      }
+      std::vector<Move> moves = CollectMoves(current.workflow);
+      if (moves.empty()) break;
+      const Move& move = moves[rng.UniformIndex(moves.size())];
+      auto next = ApplyMove(current.workflow, move);
+      if (!next.ok()) continue;  // structurally plausible, semantically not
+      ETLOPT_ASSIGN_OR_RETURN(State candidate,
+                              MakeState(std::move(next).value(), model));
+      ++evaluated;
+      double delta = candidate.cost - current.cost;
+      bool accept = delta <= 0.0 ||
+                    rng.UniformDouble() < std::exp(-delta / temperature);
+      if (accept) {
+        current = std::move(candidate);
+        if (current.cost < best.cost) best = current;
+      }
+    }
+    if (budget_hit) break;
+    temperature *= annealing.cooling;
+  }
+
+  result.best = std::move(best);
+  result.visited_states = evaluated;
+  result.elapsed_millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count();
+  result.exhausted = !budget_hit;
+  return result;
+}
+
+}  // namespace etlopt

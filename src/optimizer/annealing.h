@@ -1,0 +1,42 @@
+// EXTENSION beyond the ICDE'05 paper: randomized search (simulated
+// annealing) over the same transition space.
+//
+// The paper's future-work section invites alternative search strategies;
+// annealing is the canonical one for plan spaces with local minima. Each
+// step picks a random applicable transition (SWA / FAC / DIS), accepts
+// improvements always, and accepts regressions with probability
+// exp(-delta / T) under a geometric cooling schedule. The best state ever
+// visited is returned, so the result is never worse than the initial
+// state.
+
+#ifndef ETLOPT_OPTIMIZER_ANNEALING_H_
+#define ETLOPT_OPTIMIZER_ANNEALING_H_
+
+#include "optimizer/search.h"
+
+namespace etlopt {
+
+struct AnnealingOptions {
+  /// PRNG seed; equal seeds give equal runs.
+  uint64_t seed = 1;
+  /// Starting temperature, as a fraction of the initial state's cost.
+  double initial_temperature_fraction = 0.05;
+  /// Geometric cooling factor per plateau.
+  double cooling = 0.92;
+  /// Proposals evaluated at each temperature.
+  size_t steps_per_temperature = 40;
+  /// Stop when the temperature falls below this fraction of the initial
+  /// cost.
+  double min_temperature_fraction = 1e-5;
+};
+
+/// Simulated-annealing optimization. Shares SearchOptions budgets
+/// (max_states counts evaluated proposals) with the other algorithms.
+StatusOr<SearchResult> SimulatedAnnealingSearch(
+    const Workflow& initial, const CostModel& model,
+    const SearchOptions& options = {},
+    const AnnealingOptions& annealing = {});
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPTIMIZER_ANNEALING_H_

@@ -1,0 +1,32 @@
+// Human-readable optimization reports: what the optimizer did, where the
+// cost went, and why the rewritten workflow is cheaper.
+
+#ifndef ETLOPT_OPTIMIZER_REPORT_H_
+#define ETLOPT_OPTIMIZER_REPORT_H_
+
+#include <string>
+
+#include "cost/state_cost.h"
+#include "optimizer/search.h"
+
+namespace etlopt {
+
+/// Renders a per-activity cost table for one workflow:
+///
+///   priority  activity            semantics           rows in    cost
+///   3         nn_cost             NN[COST_EUR]          1000     1000
+///   ...
+///   total                                                       45852
+StatusOr<std::string> CostReport(const Workflow& workflow,
+                                 const CostModel& model);
+
+/// Renders a before/after comparison for a search result: summary line,
+/// the ES rewrite path when available, and the activities whose position
+/// or cost changed.
+StatusOr<std::string> OptimizationReport(const Workflow& initial,
+                                         const SearchResult& result,
+                                         const CostModel& model);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPTIMIZER_REPORT_H_

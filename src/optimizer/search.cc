@@ -1,0 +1,513 @@
+#include "optimizer/search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "graph/analysis.h"
+#include "optimizer/transitions.h"
+
+namespace etlopt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Shared budget accounting across one algorithm run.
+struct Budget {
+  Clock::time_point start = Clock::now();
+  Clock::time_point deadline;
+  size_t max_states = 0;
+  size_t visited = 0;
+
+  explicit Budget(const SearchOptions& options)
+      : deadline(start + std::chrono::milliseconds(options.max_millis)),
+        max_states(options.max_states) {}
+
+  bool Exhausted() const {
+    return visited >= max_states || Clock::now() >= deadline;
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start)
+        .count();
+  }
+};
+
+bool IsUnaryActivityNode(const Workflow& w, NodeId id) {
+  return w.IsActivity(id) && w.chain(id).is_unary();
+}
+
+// Moves `a` downstream via swaps until its consumer is `stop`.
+StatusOr<Workflow> ShiftForward(Workflow w, NodeId a, NodeId stop) {
+  while (true) {
+    std::vector<NodeId> consumers = w.Consumers(a);
+    if (consumers.size() != 1) {
+      return Status::FailedPrecondition("shift-forward: no single consumer");
+    }
+    if (consumers[0] == stop) return w;
+    if (!IsUnaryActivityNode(w, consumers[0])) {
+      return Status::FailedPrecondition(
+          "shift-forward: blocked by a non-unary node");
+    }
+    ETLOPT_ASSIGN_OR_RETURN(w, ApplySwap(w, a, consumers[0]));
+  }
+}
+
+// Moves `a` upstream via swaps until its provider is `stop`.
+StatusOr<Workflow> ShiftBackward(Workflow w, NodeId a, NodeId stop) {
+  while (true) {
+    std::vector<NodeId> providers = w.Providers(a);
+    if (providers.size() != 1) {
+      return Status::FailedPrecondition("shift-backward: not unary");
+    }
+    if (providers[0] == stop) return w;
+    if (!IsUnaryActivityNode(w, providers[0])) {
+      return Status::FailedPrecondition(
+          "shift-backward: blocked by a non-unary node");
+    }
+    ETLOPT_ASSIGN_OR_RETURN(w, ApplySwap(w, providers[0], a));
+  }
+}
+
+// Adjacent pairs (u, d) with both endpoints inside `group`.
+std::vector<std::pair<NodeId, NodeId>> AdjacentPairsInGroup(
+    const Workflow& w, const std::set<NodeId>& group) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId u : group) {
+    if (!w.Exists(u)) continue;
+    std::vector<NodeId> consumers = w.Consumers(u);
+    if (consumers.size() == 1 && group.count(consumers[0])) {
+      out.push_back({u, consumers[0]});
+    }
+  }
+  return out;
+}
+
+// Phase I / IV inner loop: optimizes the order of one local group's
+// activities by swaps only.
+//
+// HS explores every reachable ordering of the group (bounded BFS,
+// Heuristic 4's divide-and-conquer); HS-Greedy hill-climbs, accepting only
+// cost-improving swaps (§4.2's greedy variant).
+StatusOr<State> OptimizeGroupSwaps(const State& start,
+                                   const std::vector<NodeId>& group_nodes,
+                                   const CostModel& model, bool greedy,
+                                   const SearchOptions& options,
+                                   Budget* budget) {
+  std::set<NodeId> group(group_nodes.begin(), group_nodes.end());
+  // Hill-climb: repeatedly apply the best cost-improving swap.
+  auto hill_climb = [&](State current) -> StatusOr<State> {
+    bool improved = true;
+    while (improved && !budget->Exhausted()) {
+      improved = false;
+      State best = current;
+      for (const auto& [u, d] : AdjacentPairsInGroup(current.workflow, group)) {
+        auto trial = ApplySwap(current.workflow, u, d);
+        if (!trial.ok()) continue;
+        ETLOPT_ASSIGN_OR_RETURN(State st,
+                                MakeState(std::move(trial).value(), model));
+        ++budget->visited;
+        if (st.cost < best.cost) {
+          best = std::move(st);
+          improved = true;
+        }
+      }
+      if (improved) current = std::move(best);
+    }
+    return current;
+  };
+  if (greedy) return hill_climb(start);
+  // HS: seed the bounded BFS with the hill-climbed ordering so the sweep
+  // is never worse than the greedy one, then explore around it.
+  ETLOPT_ASSIGN_OR_RETURN(State best, hill_climb(start));
+  std::deque<State> queue;
+  queue.push_back(best);
+  queue.push_back(start);
+  std::set<std::string> seen{best.signature, start.signature};
+  while (!queue.empty() && seen.size() < options.max_states_per_group &&
+         !budget->Exhausted()) {
+    State cur = std::move(queue.front());
+    queue.pop_front();
+    for (const auto& [u, d] : AdjacentPairsInGroup(cur.workflow, group)) {
+      auto trial = ApplySwap(cur.workflow, u, d);
+      if (!trial.ok()) continue;
+      ETLOPT_ASSIGN_OR_RETURN(State st,
+                              MakeState(std::move(trial).value(), model));
+      if (!seen.insert(st.signature).second) continue;
+      ++budget->visited;
+      if (st.cost < best.cost) best = st;
+      queue.push_back(std::move(st));
+    }
+  }
+  return best;
+}
+
+// Splits every multi-member chain back into singleton nodes (the final
+// SPL applications of Fig. 7, line 36).
+StatusOr<Workflow> SplitAllMergedNodes(Workflow w) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id : w.ActivityNodeIds()) {
+      if (w.chain(id).size() > 1) {
+        ETLOPT_RETURN_NOT_OK(w.SplitNode(id, 1).status());
+        changed = true;
+        break;
+      }
+    }
+  }
+  ETLOPT_RETURN_NOT_OK(w.Refresh());
+  return w;
+}
+
+// Finds the activity node whose chain has exactly one member labelled
+// `label`.
+StatusOr<NodeId> FindNodeByActivityLabel(const Workflow& w,
+                                         const std::string& label) {
+  NodeId found = kInvalidNode;
+  for (NodeId id : w.ActivityNodeIds()) {
+    for (const auto& m : w.chain(id).members()) {
+      if (m.activity.label() == label) {
+        if (found != kInvalidNode) {
+          return Status::FailedPrecondition("ambiguous activity label: " +
+                                            label);
+        }
+        found = id;
+      }
+    }
+  }
+  if (found == kInvalidNode) {
+    return Status::NotFound("no activity labelled: " + label);
+  }
+  return found;
+}
+
+StatusOr<SearchResult> RunHeuristic(
+    const Workflow& initial, const CostModel& model,
+    const SearchOptions& options,
+    const std::vector<MergeConstraint>& merge_constraints, bool greedy) {
+  Budget budget(options);
+  Workflow w0 = initial;
+  if (!w0.fresh()) {
+    ETLOPT_RETURN_NOT_OK(w0.Refresh());
+  }
+  // Pre-processing (Fig. 7, ln 4): apply merge constraints.
+  for (const auto& mc : merge_constraints) {
+    ETLOPT_ASSIGN_OR_RETURN(NodeId a1,
+                            FindNodeByActivityLabel(w0, mc.first_label));
+    ETLOPT_ASSIGN_OR_RETURN(NodeId a2,
+                            FindNodeByActivityLabel(w0, mc.second_label));
+    ETLOPT_ASSIGN_OR_RETURN(w0, ApplyMerge(w0, a1, a2));
+  }
+  ETLOPT_ASSIGN_OR_RETURN(State s0, MakeState(std::move(w0), model));
+  ++budget.visited;
+  SearchResult result;
+  result.initial_cost = s0.cost;
+  State smin = s0;
+
+  // Fig. 7, ln 6-8: homologous (H), distributable (D), local groups (L).
+  std::vector<HomologousPair> homologous = FindHomologousPairs(s0.workflow);
+  std::vector<DistributableActivity> distributable =
+      FindDistributable(s0.workflow);
+  std::vector<LocalGroup> groups = FindLocalGroups(s0.workflow);
+
+  // Phase I (ln 9-13): swap optimization inside each local group.
+  State cur = s0;
+  if (options.enable_phase1_sweep) {
+    for (const auto& g : groups) {
+      if (budget.Exhausted()) break;
+      ETLOPT_ASSIGN_OR_RETURN(cur, OptimizeGroupSwaps(cur, g.nodes, model,
+                                                      greedy, options,
+                                                      &budget));
+    }
+  }
+  if (cur.cost < smin.cost) smin = cur;
+
+  // `visited` list of distinct promising states (ln 14).
+  std::map<std::string, State> visited;
+  visited.emplace(smin.signature, smin);
+
+  // Phase II (ln 15-20): factorize homologous pairs that can be shifted
+  // forward to their binary. A successful factorization can expose a new
+  // homologous pair one level up a union tree (the shared clone and its
+  // counterpart on the sibling flow), so each seed pair cascades to a
+  // fixpoint.
+  for (const auto& h : homologous) {
+    if (!options.enable_factorize) break;
+    if (budget.Exhausted()) break;
+    const Workflow& base = smin.workflow;
+    if (!base.Exists(h.a1) || !base.Exists(h.a2) || !base.Exists(h.binary))
+      continue;
+    std::string semantics = base.chain(h.a1).SemanticsString();
+    auto shifted1 = ShiftForward(base, h.a1, h.binary);
+    if (!shifted1.ok()) continue;
+    auto shifted2 = ShiftForward(std::move(shifted1).value(), h.a2, h.binary);
+    if (!shifted2.ok()) continue;
+    auto factored =
+        ApplyFactorize(std::move(shifted2).value(), h.binary, h.a1, h.a2);
+    if (!factored.ok()) continue;
+    ETLOPT_ASSIGN_OR_RETURN(State st,
+                            MakeState(std::move(factored).value(), model));
+    ++budget.visited;
+    // Cascade: keep factorizing pairs with the same semantics.
+    bool changed = true;
+    while (changed && !budget.Exhausted()) {
+      changed = false;
+      for (const auto& hc : FindHomologousPairs(st.workflow)) {
+        if (st.workflow.chain(hc.a1).SemanticsString() != semantics) continue;
+        auto s1 = ShiftForward(st.workflow, hc.a1, hc.binary);
+        if (!s1.ok()) continue;
+        auto s2 = ShiftForward(std::move(s1).value(), hc.a2, hc.binary);
+        if (!s2.ok()) continue;
+        auto next = ApplyFactorize(std::move(s2).value(), hc.binary, hc.a1,
+                                   hc.a2);
+        if (!next.ok()) continue;
+        ETLOPT_ASSIGN_OR_RETURN(st, MakeState(std::move(next).value(), model));
+        ++budget.visited;
+        changed = true;
+        break;
+      }
+    }
+    if (st.cost < smin.cost) smin = st;
+    visited.emplace(st.signature, std::move(st));
+  }
+
+  // Phase III (ln 21-28): distribute the initial state's distributable
+  // activities in every state produced so far (activities factorized in
+  // Phase II have fresh node ids, so they are naturally excluded). The
+  // worklist includes states Phase III itself produces, so distributions
+  // of *different* activities compose (e.g. two post-union filters both
+  // pushed into the flows).
+  std::deque<State> worklist;
+  std::set<std::string> queued;
+  for (const auto& [sig, st] : visited) {
+    worklist.push_back(st);
+    queued.insert(sig);
+  }
+  while (!worklist.empty() && options.enable_distribute &&
+         !budget.Exhausted()) {
+    const State si = std::move(worklist.front());
+    worklist.pop_front();
+    for (const auto& d : distributable) {
+      if (budget.Exhausted()) break;
+      if (!si.workflow.Exists(d.node)) continue;
+      std::string plabel = si.workflow.PriorityLabelOf(d.node);
+      // Distribute, then cascade the clones (identified by the carried
+      // priority label) down through any further binary activities — a
+      // selection above a union tree can be pushed into every leaf flow.
+      State st = si;
+      bool changed = true;
+      bool any = false;
+      while (changed && !budget.Exhausted()) {
+        changed = false;
+        for (const auto& dc : FindDistributable(st.workflow)) {
+          if (st.workflow.PriorityLabelOf(dc.node) != plabel) continue;
+          auto shifted = ShiftBackward(st.workflow, dc.node, dc.binary);
+          if (!shifted.ok()) continue;
+          auto dist =
+              ApplyDistribute(std::move(shifted).value(), dc.binary, dc.node);
+          if (!dist.ok()) continue;
+          ETLOPT_ASSIGN_OR_RETURN(st,
+                                  MakeState(std::move(dist).value(), model));
+          ++budget.visited;
+          changed = true;
+          any = true;
+          // Every cascade depth is a candidate: pushing all the way down
+          // is not always the cheapest placement.
+          if (st.cost < smin.cost) smin = st;
+          // Bound the composition frontier: past the cap, keep improving
+          // states only and stop re-enqueueing.
+          if (queued.insert(st.signature).second &&
+              visited.size() < options.max_phase3_states) {
+            visited.emplace(st.signature, st);
+            worklist.push_back(st);
+          }
+          break;
+        }
+      }
+      if (!any) continue;
+    }
+  }
+
+  // Phase IV (ln 29-35): re-run the swap sweeps on the visited states
+  // (local groups changed after FAC/DIS). Visited states are processed in
+  // ascending cost order and the sweep is limited to the most promising
+  // ones — the tail of the list rarely overtakes a full sweep of the
+  // leaders and re-sweeping everything dominates the runtime.
+  std::vector<State> snapshot;
+  snapshot.reserve(visited.size());
+  for (const auto& [sig, st] : visited) snapshot.push_back(st);
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const State& a, const State& b) { return a.cost < b.cost; });
+  if (snapshot.size() > options.max_phase4_states) {
+    snapshot.resize(options.max_phase4_states);
+  }
+  for (const State& si : snapshot) {
+    if (!options.enable_phase4_resweep) break;
+    if (budget.Exhausted()) break;
+    State c = si;
+    for (const auto& g : FindLocalGroups(c.workflow)) {
+      if (budget.Exhausted()) break;
+      ETLOPT_ASSIGN_OR_RETURN(
+          c, OptimizeGroupSwaps(c, g.nodes, model, greedy, options, &budget));
+    }
+    if (c.cost < smin.cost) smin = c;
+  }
+
+  // Post-processing (ln 36): split anything still merged.
+  ETLOPT_ASSIGN_OR_RETURN(Workflow split, SplitAllMergedNodes(smin.workflow));
+  ETLOPT_ASSIGN_OR_RETURN(smin, MakeState(std::move(split), model));
+
+  result.best = std::move(smin);
+  result.visited_states = budget.visited;
+  result.elapsed_millis = budget.ElapsedMillis();
+  result.exhausted = !budget.Exhausted();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<State> MakeState(Workflow workflow, const CostModel& model) {
+  if (!workflow.fresh()) {
+    ETLOPT_RETURN_NOT_OK(workflow.Refresh());
+  }
+  State s;
+  ETLOPT_ASSIGN_OR_RETURN(s.cost, StateCost(workflow, model));
+  s.signature = workflow.Signature();
+  s.workflow = std::move(workflow);
+  return s;
+}
+
+StatusOr<std::vector<std::pair<State, TransitionRecord>>> EnumerateSuccessors(
+    const State& state, const CostModel& model) {
+  const Workflow& w = state.workflow;
+  std::vector<std::pair<State, TransitionRecord>> out;
+
+  // SWA over every adjacent unary pair.
+  for (NodeId u : w.ActivityNodeIds()) {
+    if (!IsUnaryActivityNode(w, u)) continue;
+    std::vector<NodeId> consumers = w.Consumers(u);
+    if (consumers.size() != 1 || !IsUnaryActivityNode(w, consumers[0]))
+      continue;
+    NodeId d = consumers[0];
+    auto trial = ApplySwap(w, u, d);
+    if (!trial.ok()) continue;
+    ETLOPT_ASSIGN_OR_RETURN(State st, MakeState(std::move(trial).value(), model));
+    out.emplace_back(std::move(st),
+                     TransitionRecord{TransitionRecord::Kind::kSwap,
+                                      StrFormat("SWA(%s,%s)",
+                                                w.PriorityLabelOf(u).c_str(),
+                                                w.PriorityLabelOf(d).c_str())});
+  }
+
+  // FAC over homologous pairs adjacent to their binary.
+  for (const auto& h : FindHomologousPairs(w)) {
+    auto trial = ApplyFactorize(w, h.binary, h.a1, h.a2);
+    if (!trial.ok()) continue;
+    ETLOPT_ASSIGN_OR_RETURN(State st, MakeState(std::move(trial).value(), model));
+    out.emplace_back(
+        std::move(st),
+        TransitionRecord{TransitionRecord::Kind::kFactorize,
+                         StrFormat("FAC(%s,%s,%s)",
+                                   w.PriorityLabelOf(h.binary).c_str(),
+                                   w.PriorityLabelOf(h.a1).c_str(),
+                                   w.PriorityLabelOf(h.a2).c_str())});
+  }
+
+  // DIS of direct consumers of binary activities.
+  for (const auto& d : FindDistributable(w)) {
+    auto trial = ApplyDistribute(w, d.binary, d.node);
+    if (!trial.ok()) continue;
+    ETLOPT_ASSIGN_OR_RETURN(State st, MakeState(std::move(trial).value(), model));
+    out.emplace_back(
+        std::move(st),
+        TransitionRecord{TransitionRecord::Kind::kDistribute,
+                         StrFormat("DIS(%s,%s)",
+                                   w.PriorityLabelOf(d.binary).c_str(),
+                                   w.PriorityLabelOf(d.node).c_str())});
+  }
+  return out;
+}
+
+StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
+                                        const CostModel& model,
+                                        const SearchOptions& options) {
+  Budget budget(options);
+  Workflow w0 = initial;
+  if (!w0.fresh()) {
+    ETLOPT_RETURN_NOT_OK(w0.Refresh());
+  }
+  ETLOPT_ASSIGN_OR_RETURN(State s0, MakeState(std::move(w0), model));
+  SearchResult result;
+  result.initial_cost = s0.cost;
+  State best = s0;
+
+  // Lineage: signature -> (parent signature, producing transition), for
+  // reconstructing the rewrite path of the optimum.
+  std::map<std::string, std::pair<std::string, TransitionRecord>> parent;
+  std::set<std::string> visited{s0.signature};
+  std::string initial_signature = s0.signature;
+  std::deque<State> queue;
+  queue.push_back(std::move(s0));
+  ++budget.visited;
+  bool complete = true;
+  while (!queue.empty()) {
+    if (budget.Exhausted()) {
+      complete = false;
+      break;
+    }
+    State cur = std::move(queue.front());
+    queue.pop_front();
+    ETLOPT_ASSIGN_OR_RETURN(auto successors,
+                            EnumerateSuccessors(cur, model));
+    for (auto& [st, rec] : successors) {
+      if (!visited.insert(st.signature).second) continue;
+      parent.emplace(st.signature, std::make_pair(cur.signature, rec));
+      ++budget.visited;
+      if (st.cost < best.cost) best = st;
+      queue.push_back(std::move(st));
+      if (budget.Exhausted()) {
+        complete = false;
+        break;
+      }
+    }
+  }
+  // Walk the lineage back from the optimum to the initial state.
+  std::string sig = best.signature;
+  while (sig != initial_signature) {
+    auto it = parent.find(sig);
+    ETLOPT_CHECK(it != parent.end());
+    result.best_path.push_back(it->second.second);
+    sig = it->second.first;
+  }
+  std::reverse(result.best_path.begin(), result.best_path.end());
+  result.best = std::move(best);
+  result.visited_states = budget.visited;
+  result.elapsed_millis = budget.ElapsedMillis();
+  result.exhausted = complete;
+  return result;
+}
+
+StatusOr<SearchResult> HeuristicSearch(
+    const Workflow& initial, const CostModel& model,
+    const SearchOptions& options,
+    const std::vector<MergeConstraint>& merge_constraints) {
+  return RunHeuristic(initial, model, options, merge_constraints,
+                      /*greedy=*/false);
+}
+
+StatusOr<SearchResult> HeuristicSearchGreedy(
+    const Workflow& initial, const CostModel& model,
+    const SearchOptions& options,
+    const std::vector<MergeConstraint>& merge_constraints) {
+  return RunHeuristic(initial, model, options, merge_constraints,
+                      /*greedy=*/true);
+}
+
+}  // namespace etlopt

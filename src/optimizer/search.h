@@ -1,0 +1,112 @@
+// State-space search algorithms for ETL workflow optimization (paper §4):
+// Exhaustive Search (ES), Heuristic Search (HS, the four-phase algorithm
+// of Fig. 7), and HS-Greedy.
+
+#ifndef ETLOPT_OPTIMIZER_SEARCH_H_
+#define ETLOPT_OPTIMIZER_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/state_cost.h"
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// A state of the search space: a workflow plus its cost and signature.
+struct State {
+  Workflow workflow;
+  double cost = 0.0;
+  std::string signature;
+};
+
+/// Costs and signs a workflow (refreshing it if needed).
+StatusOr<State> MakeState(Workflow workflow, const CostModel& model);
+
+/// A description of one applied transition, for tracing.
+struct TransitionRecord {
+  enum class Kind { kSwap, kFactorize, kDistribute, kMerge, kSplit };
+  Kind kind = Kind::kSwap;
+  std::string description;
+};
+
+/// All states one transition away from `state` (SWA, FAC, DIS — the
+/// cost-relevant transitions; MER/SPL only reshape the search space).
+/// Each successor is paired with the transition that produced it.
+StatusOr<std::vector<std::pair<State, TransitionRecord>>> EnumerateSuccessors(
+    const State& state, const CostModel& model);
+
+/// Budget and tuning knobs shared by the algorithms.
+struct SearchOptions {
+  /// Stop after visiting this many states.
+  size_t max_states = 200000;
+  /// Stop after this much wall-clock time.
+  int64_t max_millis = 60000;
+  /// HS/HS-Greedy: cap on states explored per local-group swap sweep.
+  size_t max_states_per_group = 64;
+
+  /// HS: cap on the states kept by the Phase III distribution worklist
+  /// (compositions of distributions past the cap are dropped).
+  size_t max_phase3_states = 192;
+  /// HS: Phase IV re-sweeps only the this-many cheapest visited states.
+  size_t max_phase4_states = 16;
+
+  /// HS/HS-Greedy ablation toggles; all true reproduces the paper's
+  /// algorithm. Used by the heuristic-ablation bench to measure each
+  /// phase's contribution.
+  bool enable_phase1_sweep = true;   // Fig. 7 Phase I
+  bool enable_factorize = true;      // Fig. 7 Phase II
+  bool enable_distribute = true;     // Fig. 7 Phase III
+  bool enable_phase4_resweep = true; // Fig. 7 Phase IV
+};
+
+/// User-supplied merge constraints for HS pre-processing: activities are
+/// named by label; each pair is packaged before the search and split
+/// afterwards (paper §2.2 Merge/Split and Heuristic 3).
+struct MergeConstraint {
+  std::string first_label;
+  std::string second_label;
+};
+
+struct SearchResult {
+  State best;
+  double initial_cost = 0.0;
+  size_t visited_states = 0;
+  int64_t elapsed_millis = 0;
+  /// ES only: true when the whole space was enumerated within budget.
+  bool exhausted = true;
+  /// ES only: the transition sequence that rewrites the initial state
+  /// into `best` (empty when best == initial). The heuristics do not
+  /// track lineage; their vector stays empty.
+  std::vector<TransitionRecord> best_path;
+
+  /// The paper's Table 2 metric: cost improvement over the initial state.
+  double improvement_pct() const {
+    if (initial_cost <= 0.0) return 0.0;
+    return 100.0 * (initial_cost - best.cost) / initial_cost;
+  }
+};
+
+/// ES: breadth-first enumeration of every reachable state (budgeted).
+StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
+                                        const CostModel& model,
+                                        const SearchOptions& options = {});
+
+/// HS: the four-phase heuristic of the paper's Fig. 7 — merge
+/// pre-processing, per-local-group swap optimization, factorization of
+/// homologous pairs, distribution, and a final swap re-sweep, then splits.
+StatusOr<SearchResult> HeuristicSearch(
+    const Workflow& initial, const CostModel& model,
+    const SearchOptions& options = {},
+    const std::vector<MergeConstraint>& merge_constraints = {});
+
+/// HS-Greedy: HS with the swap sweeps (Phases I and IV) replaced by
+/// hill-climbing that only accepts cost-improving swaps.
+StatusOr<SearchResult> HeuristicSearchGreedy(
+    const Workflow& initial, const CostModel& model,
+    const SearchOptions& options = {},
+    const std::vector<MergeConstraint>& merge_constraints = {});
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPTIMIZER_SEARCH_H_

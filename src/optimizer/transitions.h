@@ -1,0 +1,65 @@
+// The five state transitions of the paper (§2.2, §3.3): Swap, Factorize,
+// Distribute, Merge, Split.
+//
+// Each Apply* function checks the transition's applicability conditions,
+// then produces a NEW workflow (states are immutable values); the input
+// state is never modified. A non-OK status means "transition not
+// applicable here" — the search layers treat that as pruning, not as an
+// error.
+//
+// Correctness (the paper's Theorems 1-2) is enforced in two layers:
+//  1. structural/semantic preconditions checked up front (conditions 1-4
+//     of §3.3, plus the distributivity rules for FAC/DIS);
+//  2. full schema regeneration via Workflow::Refresh() on the rewired
+//     copy — any state whose schemata no longer line up is rejected.
+
+#ifndef ETLOPT_OPTIMIZER_TRANSITIONS_H_
+#define ETLOPT_OPTIMIZER_TRANSITIONS_H_
+
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// SWA(a1, a2): interchange two adjacent unary activities (a1 provider of
+/// a2). Conditions (paper §3.3):
+///  1-2. adjacency; both unary with single input/output and one consumer;
+///  3-4. functionality and input schemata remain covered after the swap —
+///       checked both via the value-changed/functionality dependency test
+///       (neither activity may read or re-change what the other computes)
+///       and via full schema regeneration.
+StatusOr<Workflow> ApplySwap(const Workflow& w, NodeId a1, NodeId a2);
+
+/// True iff ApplySwap(w, a1, a2) would succeed (cheaper: no copy on the
+/// happy path is still required, so this simply wraps ApplySwap's checks).
+bool CanSwap(const Workflow& w, NodeId a1, NodeId a2);
+
+/// FAC(ab, a1, a2): replace homologous activities a1, a2 (each adjacent
+/// providers of binary ab through different ports) with a single clone
+/// placed right after ab.
+StatusOr<Workflow> ApplyFactorize(const Workflow& w, NodeId ab, NodeId a1,
+                                  NodeId a2);
+
+/// DIS(ab, a): remove a (the direct consumer of binary ab) and clone it
+/// into each flow entering ab.
+StatusOr<Workflow> ApplyDistribute(const Workflow& w, NodeId ab, NodeId a);
+
+/// MER(a1+2, a1, a2): package a2 (a1's only consumer) into a1's node.
+StatusOr<Workflow> ApplyMerge(const Workflow& w, NodeId a1, NodeId a2);
+
+/// SPL(a1+2, a1, a2): unpackage a merged node at member position `at`.
+StatusOr<Workflow> ApplySplit(const Workflow& w, NodeId a, size_t at);
+
+/// The shared FAC/DIS legality rule: can `chain` be moved across binary
+/// activity `binary` (in either direction) without changing semantics?
+///  * UNION: any per-row activity (filters, projection, function, SK);
+///    PK-check and aggregation do not distribute (rows from different
+///    flows interact);
+///  * DIFFERENCE / INTERSECTION: pure filters only (projections and
+///    functions can merge distinct rows and change bag semantics);
+///  * JOIN: filters whose functionality is covered by the join keys.
+Status CheckDistributesOverBinary(const ActivityChain& chain,
+                                  const ActivityChain& binary);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPTIMIZER_TRANSITIONS_H_

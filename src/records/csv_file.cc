@@ -1,0 +1,220 @@
+#include "records/csv_file.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string EscapeField(const Value& v) {
+  if (v.is_null()) return "";
+  std::string s = v.ToString();
+  if (v.type() == DataType::kString && s.empty()) return "\"\"";
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Splits a CSV line into raw fields; `quoted[i]` records whether field i
+// was quoted (distinguishes NULL from empty string).
+Status SplitCsvLine(const std::string& line, std::vector<std::string>* fields,
+                    std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cur));
+      quoted->push_back(was_quoted);
+      cur.clear();
+      was_quoted = false;
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote: " + line);
+  fields->push_back(std::move(cur));
+  quoted->push_back(was_quoted);
+  return Status::OK();
+}
+
+StatusOr<DataType> ParseTypeName(const std::string& name) {
+  if (name == "bool") return DataType::kBool;
+  if (name == "int") return DataType::kInt64;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+std::string HeaderLine(const Schema& schema) {
+  std::vector<std::string> parts;
+  parts.reserve(schema.size());
+  for (const auto& a : schema.attributes()) parts.push_back(a.ToString());
+  return Join(parts, ",");
+}
+
+StatusOr<Schema> ParseHeader(const std::string& line) {
+  std::vector<Attribute> attrs;
+  for (const auto& part : Split(line, ',')) {
+    auto colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad header field: " + part);
+    }
+    ETLOPT_ASSIGN_OR_RETURN(DataType type,
+                            ParseTypeName(part.substr(colon + 1)));
+    attrs.push_back({part.substr(0, colon), type});
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+}  // namespace
+
+std::string RecordToCsvLine(const Record& record) {
+  std::vector<std::string> parts;
+  parts.reserve(record.size());
+  for (const auto& v : record.values()) parts.push_back(EscapeField(v));
+  return Join(parts, ",");
+}
+
+StatusOr<Record> CsvLineToRecord(const std::string& line,
+                                 const Schema& schema) {
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  ETLOPT_RETURN_NOT_OK(SplitCsvLine(line, &fields, &quoted));
+  if (fields.size() != schema.size()) {
+    return Status::InvalidArgument(
+        StrFormat("csv arity %zu != schema arity %zu in line: %s",
+                  fields.size(), schema.size(), line.c_str()));
+  }
+  Record r;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].empty() && !quoted[i]) {
+      r.Append(Value::Null());
+    } else if (schema.attribute(i).type == DataType::kString) {
+      r.Append(Value::String(fields[i]));
+    } else {
+      ETLOPT_ASSIGN_OR_RETURN(Value v,
+                              Value::Parse(fields[i], schema.attribute(i).type));
+      r.Append(std::move(v));
+    }
+  }
+  return r;
+}
+
+StatusOr<std::unique_ptr<CsvFile>> CsvFile::Create(std::string path,
+                                                   std::string name,
+                                                   Schema schema) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot create file: " + path);
+  out << HeaderLine(schema) << "\n";
+  if (!out) return Status::IOError("cannot write header: " + path);
+  out.close();
+  return std::unique_ptr<CsvFile>(
+      new CsvFile(std::move(path), std::move(name), std::move(schema)));
+}
+
+StatusOr<std::unique_ptr<CsvFile>> CsvFile::Open(std::string path,
+                                                 std::string name) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::IOError("missing header: " + path);
+  }
+  ETLOPT_ASSIGN_OR_RETURN(Schema schema, ParseHeader(header));
+  return std::unique_ptr<CsvFile>(
+      new CsvFile(std::move(path), std::move(name), std::move(schema)));
+}
+
+CsvFile::~CsvFile() {
+  // Destructor flush is best-effort; call Flush() to observe errors.
+  Flush().ok();
+}
+
+StatusOr<std::vector<Record>> CsvFile::ScanAll() const {
+  std::ifstream in(path_);
+  if (!in) return Status::IOError("cannot open file: " + path_);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("missing header: " + path_);
+  }
+  std::vector<Record> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // A quoted field may contain raw newlines: keep consuming physical
+    // lines while an opening quote is unbalanced.
+    while (std::count(line.begin(), line.end(), '"') % 2 == 1) {
+      std::string more;
+      if (!std::getline(in, more)) break;
+      line += "\n";
+      line += more;
+    }
+    ETLOPT_ASSIGN_OR_RETURN(Record r, CsvLineToRecord(line, schema()));
+    rows.push_back(std::move(r));
+  }
+  for (const auto& r : pending_) rows.push_back(r);
+  return rows;
+}
+
+Status CsvFile::Append(Record record) {
+  ETLOPT_RETURN_NOT_OK(CheckArity(record));
+  pending_.push_back(std::move(record));
+  if (pending_.size() >= 1024) return Flush();
+  return Status::OK();
+}
+
+StatusOr<size_t> CsvFile::Count() const {
+  ETLOPT_ASSIGN_OR_RETURN(std::vector<Record> rows, ScanAll());
+  return rows.size();
+}
+
+Status CsvFile::Truncate() {
+  pending_.clear();
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return Status::IOError("cannot truncate file: " + path_);
+  out << HeaderLine(schema()) << "\n";
+  return out ? Status::OK() : Status::IOError("cannot write header: " + path_);
+}
+
+Status CsvFile::Flush() {
+  if (pending_.empty()) return Status::OK();
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return Status::IOError("cannot append to file: " + path_);
+  for (const auto& r : pending_) out << RecordToCsvLine(r) << "\n";
+  if (!out) return Status::IOError("write failed: " + path_);
+  pending_.clear();
+  return Status::OK();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,60 @@
+// CsvFile: a record-file recordset backed by a CSV file on disk.
+//
+// Format: first line is "name:type,..." header; fields are escaped with
+// double quotes when they contain separators, quotes, or newlines. Empty
+// unquoted fields are NULL; quoted empty fields are empty strings.
+
+#ifndef ETLOPT_RECORDS_CSV_FILE_H_
+#define ETLOPT_RECORDS_CSV_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "records/recordset.h"
+
+namespace etlopt {
+
+/// A recordset persisted as a CSV file. Appends buffer in memory until
+/// Flush() (or destruction) writes them out.
+class CsvFile final : public RecordSet {
+ public:
+  /// Creates (or truncates) `path` with the given schema.
+  static StatusOr<std::unique_ptr<CsvFile>> Create(std::string path,
+                                                   std::string name,
+                                                   Schema schema);
+
+  /// Opens an existing file; the schema is read from its header.
+  static StatusOr<std::unique_ptr<CsvFile>> Open(std::string path,
+                                                 std::string name);
+
+  ~CsvFile() override;
+
+  StatusOr<std::vector<Record>> ScanAll() const override;
+  Status Append(Record record) override;
+  StatusOr<size_t> Count() const override;
+  Status Truncate() override;
+
+  /// Writes buffered appends to disk.
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  CsvFile(std::string path, std::string name, Schema schema)
+      : RecordSet(std::move(name), std::move(schema)),
+        path_(std::move(path)) {}
+
+  std::string path_;
+  std::vector<Record> pending_;
+};
+
+/// Serializes one record as a CSV line (no trailing newline).
+std::string RecordToCsvLine(const Record& record);
+
+/// Parses one CSV line against `schema`.
+StatusOr<Record> CsvLineToRecord(const std::string& line,
+                                 const Schema& schema);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_RECORDS_CSV_FILE_H_

@@ -1,0 +1,31 @@
+#include "records/record.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace etlopt {
+
+std::string Record::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& v : values_) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+size_t Record::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  for (const auto& v : values_) {
+    h = (h ^ v.Hash()) * 1099511628211ULL;
+  }
+  return h;
+}
+
+bool SameRecordMultiset(std::vector<Record> a, std::vector<Record> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace etlopt

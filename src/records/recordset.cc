@@ -1,0 +1,30 @@
+#include "records/recordset.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+Status RecordSet::CheckArity(const Record& record) const {
+  if (record.size() != schema_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "recordset '%s': record arity %zu != schema arity %zu", name_.c_str(),
+        record.size(), schema_.size()));
+  }
+  return Status::OK();
+}
+
+Status MemoryTable::Append(Record record) {
+  ETLOPT_RETURN_NOT_OK(CheckArity(record));
+  rows_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status MemoryTable::AppendAll(const std::vector<Record>& records) {
+  for (const auto& r : records) {
+    ETLOPT_RETURN_NOT_OK(Append(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace etlopt

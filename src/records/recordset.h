@@ -1,0 +1,81 @@
+// RecordSet: any data store exposing a flat record schema (paper §2.1).
+//
+// The two recordset types the paper singles out are relational tables
+// (MemoryTable here) and record files (CsvFile in csv_file.h).
+
+#ifndef ETLOPT_RECORDS_RECORDSET_H_
+#define ETLOPT_RECORDS_RECORDSET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "records/record.h"
+#include "schema/schema.h"
+
+namespace etlopt {
+
+/// Abstract flat-schema data store. Sources are read with ScanAll();
+/// warehouse targets are populated with Append().
+class RecordSet {
+ public:
+  virtual ~RecordSet() = default;
+
+  RecordSet(const RecordSet&) = delete;
+  RecordSet& operator=(const RecordSet&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Reads the full contents. ETL workflows are batch processes over
+  /// bounded snapshots, so a full scan is the natural access path.
+  virtual StatusOr<std::vector<Record>> ScanAll() const = 0;
+
+  /// Appends one record; fails if arity mismatches the schema.
+  virtual Status Append(Record record) = 0;
+
+  /// Number of stored records.
+  virtual StatusOr<size_t> Count() const = 0;
+
+  /// Removes all records.
+  virtual Status Truncate() = 0;
+
+ protected:
+  RecordSet(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Status CheckArity(const Record& record) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+};
+
+/// An in-memory relational table.
+class MemoryTable final : public RecordSet {
+ public:
+  MemoryTable(std::string name, Schema schema)
+      : RecordSet(std::move(name), std::move(schema)) {}
+
+  StatusOr<std::vector<Record>> ScanAll() const override { return rows_; }
+
+  Status Append(Record record) override;
+
+  StatusOr<size_t> Count() const override { return rows_.size(); }
+
+  Status Truncate() override {
+    rows_.clear();
+    return Status::OK();
+  }
+
+  /// Bulk load, validating arity of every row.
+  Status AppendAll(const std::vector<Record>& records);
+
+ private:
+  std::vector<Record> rows_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_RECORDS_RECORDSET_H_

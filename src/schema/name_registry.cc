@@ -1,0 +1,54 @@
+#include "schema/name_registry.h"
+
+namespace etlopt {
+
+void NameRegistry::DeclareReference(std::string reference) {
+  references_.insert(std::move(reference));
+}
+
+bool NameRegistry::IsReference(std::string_view reference) const {
+  return references_.count(std::string(reference)) > 0;
+}
+
+Status NameRegistry::Register(std::string qualified, std::string reference) {
+  auto it = qualified_to_reference_.find(qualified);
+  if (it != qualified_to_reference_.end()) {
+    if (it->second == reference) return Status::OK();
+    return Status::AlreadyExists("'" + qualified + "' already bound to '" +
+                                 it->second + "', cannot re-bind to '" +
+                                 reference + "'");
+  }
+  references_.insert(reference);
+  qualified_to_reference_.emplace(std::move(qualified), std::move(reference));
+  return Status::OK();
+}
+
+StatusOr<std::string> NameRegistry::Resolve(std::string_view qualified) const {
+  auto it = qualified_to_reference_.find(std::string(qualified));
+  if (it == qualified_to_reference_.end()) {
+    return Status::NotFound("unregistered qualified name: " +
+                            std::string(qualified));
+  }
+  return it->second;
+}
+
+std::set<std::string> NameRegistry::SynonymsOf(
+    std::string_view reference) const {
+  std::set<std::string> out;
+  for (const auto& [qualified, ref] : qualified_to_reference_) {
+    if (ref == reference) out.insert(qualified);
+  }
+  return out;
+}
+
+std::string NameRegistry::FreshReference(std::string_view base) {
+  std::string candidate(base);
+  int suffix = 2;
+  while (references_.count(candidate) > 0) {
+    candidate = std::string(base) + "_" + std::to_string(suffix++);
+  }
+  references_.insert(candidate);
+  return candidate;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,64 @@
+// NameRegistry: the paper's naming principle (§3.1).
+//
+// The optimizer assumes (a) all synonyms denote the same real-world entity
+// and (b) distinct names denote distinct entities. Real sources violate
+// this (PARTS1.COST is Euros, PARTS2.COST is Dollars), so every source
+// attribute is mapped to a *reference* name drawn from a scenario-wide
+// terminology Ωn, and only reference names appear inside workflows.
+
+#ifndef ETLOPT_SCHEMA_NAME_REGISTRY_H_
+#define ETLOPT_SCHEMA_NAME_REGISTRY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace etlopt {
+
+/// Maintains the terminology Ωn and the mapping from qualified source
+/// names ("PARTS2.COST") to reference names ("DOLLAR_COST").
+///
+/// Invariant enforced: a qualified name maps to exactly one reference
+/// name, and the mapping never silently re-binds (re-registering with a
+/// different target is an error — that is precisely the homonym bug the
+/// naming principle guards against).
+class NameRegistry {
+ public:
+  NameRegistry() = default;
+
+  /// Declares `reference` as a member of the terminology Ωn.
+  /// Idempotent.
+  void DeclareReference(std::string reference);
+
+  /// True iff `reference` is in Ωn.
+  bool IsReference(std::string_view reference) const;
+
+  /// Maps `qualified` (e.g. "PARTS2.COST") to `reference`. Declares the
+  /// reference name implicitly. Fails with AlreadyExists if `qualified`
+  /// is already bound to a different reference name.
+  Status Register(std::string qualified, std::string reference);
+
+  /// Resolves a qualified name; NotFound if unregistered.
+  StatusOr<std::string> Resolve(std::string_view qualified) const;
+
+  /// All qualified names bound to `reference` (synonym set).
+  std::set<std::string> SynonymsOf(std::string_view reference) const;
+
+  /// Makes a fresh reference name "<base>", "<base>_2", "<base>_3", ...
+  /// not yet in Ωn, and declares it. Used when a transition or template
+  /// instantiation needs a new generated-attribute name.
+  std::string FreshReference(std::string_view base);
+
+  size_t reference_count() const { return references_.size(); }
+
+ private:
+  std::set<std::string> references_;
+  std::map<std::string, std::string> qualified_to_reference_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_SCHEMA_NAME_REGISTRY_H_

@@ -1,0 +1,109 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+std::string Attribute::ToString() const {
+  std::string out = name;
+  out += ":";
+  out += DataTypeToString(type);
+  return out;
+}
+
+StatusOr<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  Schema s;
+  for (auto& a : attributes) {
+    if (s.Contains(a.name)) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+    s.attributes_.push_back(std::move(a));
+  }
+  return s;
+}
+
+Schema Schema::MakeOrDie(std::initializer_list<Attribute> attributes) {
+  auto s = Make(std::vector<Attribute>(attributes));
+  ETLOPT_CHECK_OK(s.status());
+  return std::move(s).value();
+}
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Schema::ContainsAll(const std::vector<std::string>& names) const {
+  return std::all_of(names.begin(), names.end(),
+                     [this](const std::string& n) { return Contains(n); });
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> out;
+  out.reserve(attributes_.size());
+  for (const auto& a : attributes_) out.push_back(a.name);
+  return out;
+}
+
+StatusOr<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  Schema out;
+  for (const auto& n : names) {
+    auto idx = IndexOf(n);
+    if (!idx.has_value())
+      return Status::NotFound("attribute not in schema: " + n);
+    ETLOPT_RETURN_NOT_OK(out.Append(attributes_[*idx]));
+  }
+  return out;
+}
+
+Schema Schema::Minus(const std::vector<std::string>& names) const {
+  Schema out;
+  for (const auto& a : attributes_) {
+    if (std::find(names.begin(), names.end(), a.name) == names.end()) {
+      ETLOPT_CHECK_OK(out.Append(a));
+    }
+  }
+  return out;
+}
+
+Schema Schema::UnionWith(const Schema& other) const {
+  Schema out = *this;
+  for (const auto& a : other.attributes_) {
+    if (!out.Contains(a.name)) {
+      ETLOPT_CHECK_OK(out.Append(a));
+    }
+  }
+  return out;
+}
+
+Status Schema::Append(Attribute attr) {
+  if (Contains(attr.name)) {
+    return Status::AlreadyExists("duplicate attribute name: " + attr.name);
+  }
+  attributes_.push_back(std::move(attr));
+  return Status::OK();
+}
+
+bool Schema::EquivalentTo(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (const auto& a : attributes_) {
+    auto idx = other.IndexOf(a.name);
+    if (!idx.has_value() || other.attributes_[*idx].type != a.type)
+      return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (const auto& a : attributes_) parts.push_back(a.ToString());
+  return "[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace etlopt

@@ -1,0 +1,94 @@
+// Attribute and Schema: the typed, ordered attribute lists that annotate
+// every node of an ETL workflow (paper §2.1).
+//
+// Attribute names used inside the optimizer are *reference* names in the
+// sense of the paper's naming principle (§3.1): one name, one real-world
+// entity. NameRegistry (name_registry.h) maintains the mapping from
+// source-native names to reference names.
+
+#ifndef ETLOPT_SCHEMA_SCHEMA_H_
+#define ETLOPT_SCHEMA_SCHEMA_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "schema/value.h"
+
+namespace etlopt {
+
+/// A named, typed column.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kString;
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+
+  std::string ToString() const;
+};
+
+/// An ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; duplicate names are an InvalidArgument error.
+  static StatusOr<Schema> Make(std::vector<Attribute> attributes);
+
+  /// Convenience for tests/examples: aborts on duplicates.
+  static Schema MakeOrDie(std::initializer_list<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of `name`, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+  bool Contains(std::string_view name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// True iff every name in `names` is present.
+  bool ContainsAll(const std::vector<std::string>& names) const;
+
+  /// The attribute names in order.
+  std::vector<std::string> Names() const;
+
+  /// Schema with only `names`, in the order given; error if any is missing.
+  StatusOr<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// Schema with `names` removed (names absent from the schema are ignored).
+  Schema Minus(const std::vector<std::string>& names) const;
+
+  /// Appends attributes of `other` not already present (set-union keeping
+  /// left-to-right order).
+  Schema UnionWith(const Schema& other) const;
+
+  /// Adds one attribute; error if the name already exists.
+  Status Append(Attribute attr);
+
+  /// Exact equality: same names, same types, same order.
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+
+  /// Same attribute set regardless of order.
+  bool EquivalentTo(const Schema& other) const;
+
+  /// "[PKEY:int, COST:double]".
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_SCHEMA_SCHEMA_H_

@@ -1,0 +1,61 @@
+// Synthetic ETL workflow generator.
+//
+// The paper evaluates on 40 hand-designed scenarios characterized only by
+// size: small / medium / large with 15-70 activities (§4.2). This
+// generator reproduces that population with seeded randomness:
+//
+//  * F parallel source flows converge through a balanced tree of binary
+//    activities (mostly unions) into a post-processing chain and a
+//    warehouse target;
+//  * all flows share the same "backbone" of entity-changing stages
+//    (currency rename, date normalization, surrogate-key assignment) so
+//    sibling flows carry homologous activities (Factorize candidates);
+//  * each flow independently draws cleansing filters with random
+//    selectivities and positions (Swap opportunities), and the post-union
+//    chain carries filters that can be distributed into the flows.
+
+#ifndef ETLOPT_WORKLOAD_GENERATOR_H_
+#define ETLOPT_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "engine/executor.h"
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// The paper's three scenario sizes.
+enum class WorkloadCategory { kSmall, kMedium, kLarge };
+
+std::string_view WorkloadCategoryToString(WorkloadCategory c);
+
+struct GeneratorOptions {
+  WorkloadCategory category = WorkloadCategory::kSmall;
+  uint64_t seed = 1;
+  /// Source cardinalities are drawn uniformly from this range.
+  double min_cardinality = 1000;
+  double max_cardinality = 50000;
+};
+
+/// A generated scenario: the finalized workflow plus its nominal activity
+/// count (for reporting).
+struct GeneratedWorkflow {
+  Workflow workflow;
+  size_t activity_count = 0;
+};
+
+/// Generates one scenario. Equal options yield equal workflows.
+StatusOr<GeneratedWorkflow> GenerateWorkflow(const GeneratorOptions& options);
+
+/// Generates `count` scenarios with seeds base_seed, base_seed+1, ...
+StatusOr<std::vector<GeneratedWorkflow>> GenerateSuite(
+    WorkloadCategory category, size_t count, uint64_t base_seed);
+
+/// Deterministic source data + surrogate-key lookups for executing a
+/// generated workflow (used by the property tests).
+ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
+                                size_t rows_per_source);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,203 @@
+#include "workload/scenarios.h"
+
+#include "activity/templates.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+Schema PartsSchema() {
+  return Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                            {"SOURCE", DataType::kString},
+                            {"DATE", DataType::kString},
+                            {"COST_EUR", DataType::kDouble}});
+}
+
+Schema Parts2Schema() {
+  return Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                            {"SOURCE", DataType::kString},
+                            {"DATE", DataType::kString},
+                            {"DEPT", DataType::kString},
+                            {"COST_USD", DataType::kDouble}});
+}
+
+// "DD/MM/YYYY" within 2004, day restricted to 1..28.
+std::string EuropeanDate(Rng* rng) {
+  return StrFormat("%02d/%02d/2004", static_cast<int>(rng->UniformInt(1, 28)),
+                   static_cast<int>(rng->UniformInt(1, 12)));
+}
+
+// "MM/DD/YYYY" within 2004.
+std::string AmericanDate(Rng* rng) {
+  return StrFormat("%02d/%02d/2004", static_cast<int>(rng->UniformInt(1, 12)),
+                   static_cast<int>(rng->UniformInt(1, 28)));
+}
+
+}  // namespace
+
+StatusOr<Fig1Scenario> BuildFig1Scenario(double threshold) {
+  Fig1Scenario s;
+  Workflow& w = s.workflow;
+
+  s.parts1 = w.AddRecordSet({"PARTS1", PartsSchema(), /*cardinality=*/1000});
+  s.parts2 = w.AddRecordSet({"PARTS2", Parts2Schema(), /*cardinality=*/3000});
+
+  // Flow 1: (3) NotNull check on the (already-Euro) cost.
+  ETLOPT_ASSIGN_OR_RETURN(Activity nn,
+                          MakeNotNull("nn_cost", "COST_EUR", 0.9));
+  ETLOPT_ASSIGN_OR_RETURN(s.not_null, w.AddActivity(nn, {s.parts1}));
+
+  // Flow 2: (4) Dollars -> Euros (entity-changing rename);
+  ETLOPT_ASSIGN_OR_RETURN(
+      Activity to_euro,
+      MakeFunction("to_euro", "dollar2euro", {"COST_USD"}, "COST_EUR",
+                   DataType::kDouble, /*drop_args=*/{"COST_USD"}));
+  ETLOPT_ASSIGN_OR_RETURN(s.to_euro, w.AddActivity(to_euro, {s.parts2}));
+
+  // (5) American -> European date format (entity-preserving in-place).
+  ETLOPT_ASSIGN_OR_RETURN(
+      Activity a2e,
+      MakeInPlaceFunction("a2e_date", "a2e_date", "DATE", DataType::kString));
+  ETLOPT_ASSIGN_OR_RETURN(s.a2e_date, w.AddActivity(a2e, {s.to_euro}));
+
+  // (6) Aggregation: total cost per (PKEY, SOURCE, DATE); DEPT discarded.
+  ETLOPT_ASSIGN_OR_RETURN(
+      Activity agg,
+      MakeAggregation("monthly_sum", {"PKEY", "SOURCE", "DATE"},
+                      {{AggFn::kSum, "COST_EUR", "COST_EUR"}},
+                      /*reduction=*/0.4));
+  ETLOPT_ASSIGN_OR_RETURN(s.aggregate, w.AddActivity(agg, {s.a2e_date}));
+
+  // (7) Union of the two flows.
+  ETLOPT_ASSIGN_OR_RETURN(Activity u, MakeUnion("u"));
+  ETLOPT_ASSIGN_OR_RETURN(s.union_node,
+                          w.AddActivity(u, {s.not_null, s.aggregate}));
+
+  // (8) Final threshold check on Euro costs.
+  ETLOPT_ASSIGN_OR_RETURN(
+      Activity sel,
+      MakeSelection("cost_threshold",
+                    Compare(CompareOp::kGe, Column("COST_EUR"),
+                            Literal(Value::Double(threshold))),
+                    /*selectivity=*/0.5));
+  ETLOPT_ASSIGN_OR_RETURN(s.threshold, w.AddActivity(sel, {s.union_node}));
+
+  // (9) Warehouse target.
+  s.dw = w.AddRecordSet({"DW", PartsSchema(), 0});
+  ETLOPT_RETURN_NOT_OK(w.Connect(s.threshold, s.dw));
+
+  ETLOPT_RETURN_NOT_OK(w.Finalize());
+  return s;
+}
+
+ExecutionInput MakeFig1Input(uint64_t seed, size_t rows_per_source) {
+  Rng rng(seed);
+  ExecutionInput input;
+  std::vector<Record> parts1;
+  parts1.reserve(rows_per_source);
+  for (size_t i = 0; i < rows_per_source; ++i) {
+    Record r;
+    r.Append(Value::Int(rng.UniformInt(1, 50)));
+    r.Append(Value::String("S1"));
+    r.Append(Value::String(EuropeanDate(&rng)));
+    // ~10% NULL costs exercise the NotNull cleansing.
+    if (rng.Bernoulli(0.1)) {
+      r.Append(Value::Null());
+    } else {
+      r.Append(Value::Double(rng.UniformDouble(10.0, 400.0)));
+    }
+    parts1.push_back(std::move(r));
+  }
+  std::vector<Record> parts2;
+  parts2.reserve(rows_per_source);
+  for (size_t i = 0; i < rows_per_source; ++i) {
+    Record r;
+    r.Append(Value::Int(rng.UniformInt(1, 50)));
+    r.Append(Value::String("S2"));
+    r.Append(Value::String(AmericanDate(&rng)));
+    r.Append(Value::String(StrFormat("dept%d",
+                                     static_cast<int>(rng.UniformInt(1, 5)))));
+    r.Append(Value::Double(rng.UniformDouble(10.0, 500.0)));
+    parts2.push_back(std::move(r));
+  }
+  input.source_data.emplace("PARTS1", std::move(parts1));
+  input.source_data.emplace("PARTS2", std::move(parts2));
+  return input;
+}
+
+StatusOr<Fig4Scenario> BuildFig4Scenario(double rows_per_flow) {
+  Fig4Scenario s;
+  Workflow& w = s.workflow;
+  Schema src_schema = Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                                         {"SOURCE", DataType::kString},
+                                         {"QTY", DataType::kDouble}});
+  s.src1 = w.AddRecordSet({"R1", src_schema, rows_per_flow});
+  s.src2 = w.AddRecordSet({"R2", src_schema, rows_per_flow});
+
+  // The two SK activities are homologous: same semantics, different flows.
+  auto make_sk = [](const char* label) {
+    return MakeSurrogateKey(label, {"PKEY", "SOURCE"}, "SKEY", "parts_lut",
+                            /*drop_attrs=*/{"PKEY"});
+  };
+  ETLOPT_ASSIGN_OR_RETURN(Activity sk1, make_sk("sk1"));
+  ETLOPT_ASSIGN_OR_RETURN(Activity sk2, make_sk("sk2"));
+  ETLOPT_ASSIGN_OR_RETURN(s.sk1, w.AddActivity(sk1, {s.src1}));
+  ETLOPT_ASSIGN_OR_RETURN(s.sk2, w.AddActivity(sk2, {s.src2}));
+
+  ETLOPT_ASSIGN_OR_RETURN(Activity u, MakeUnion("u"));
+  ETLOPT_ASSIGN_OR_RETURN(s.union_node, w.AddActivity(u, {s.sk1, s.sk2}));
+
+  // sigma with 50% selectivity (the paper's setting), over QTY so that it
+  // is independent of the surrogate key and can be distributed.
+  ETLOPT_ASSIGN_OR_RETURN(
+      Activity sel,
+      MakeSelection("sigma",
+                    Compare(CompareOp::kGe, Column("QTY"),
+                            Literal(Value::Double(0.5))),
+                    /*selectivity=*/0.5));
+  ETLOPT_ASSIGN_OR_RETURN(s.selection, w.AddActivity(sel, {s.union_node}));
+
+  Schema out_schema = Schema::MakeOrDie({{"SOURCE", DataType::kString},
+                                         {"QTY", DataType::kDouble},
+                                         {"SKEY", DataType::kInt64}});
+  s.target = w.AddRecordSet({"T", out_schema, 0});
+  ETLOPT_RETURN_NOT_OK(w.Connect(s.selection, s.target));
+
+  ETLOPT_RETURN_NOT_OK(w.Finalize());
+  return s;
+}
+
+ExecutionInput MakeFig4Input(uint64_t seed, size_t rows_per_source) {
+  Rng rng(seed);
+  ExecutionInput input;
+  auto make_rows = [&rng, rows_per_source](const char* source) {
+    std::vector<Record> rows;
+    rows.reserve(rows_per_source);
+    for (size_t i = 0; i < rows_per_source; ++i) {
+      Record r;
+      r.Append(Value::Int(rng.UniformInt(1, 20)));
+      r.Append(Value::String(source));
+      r.Append(Value::Double(rng.UniformDouble(0.0, 1.0)));
+      rows.push_back(std::move(r));
+    }
+    return rows;
+  };
+  input.source_data.emplace("R1", make_rows("S1"));
+  input.source_data.emplace("R2", make_rows("S2"));
+  // Complete lookup table: every (PKEY, SOURCE) combination that the data
+  // generator can emit resolves to a deterministic surrogate id.
+  auto& lut = input.context.lookups["parts_lut"];
+  int64_t next = 1000;
+  for (int64_t pkey = 1; pkey <= 20; ++pkey) {
+    for (const char* src : {"S1", "S2"}) {
+      lut.emplace(std::vector<Value>{Value::Int(pkey), Value::String(src)},
+                  Value::Int(next++));
+    }
+  }
+  return input;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,64 @@
+// The paper's concrete scenarios, built programmatically:
+//  * Fig. 1 — the PARTS1/PARTS2 running example (two sources, currency and
+//    date conversions, monthly aggregation, union, threshold selection);
+//  * Fig. 4 — the factorize/distribute cost illustration (two flows with
+//    surrogate-key assignment and a selection around a union).
+//
+// These are used by the unit/integration tests, the quickstart example,
+// and the figure-reproduction benches.
+
+#ifndef ETLOPT_WORKLOAD_SCENARIOS_H_
+#define ETLOPT_WORKLOAD_SCENARIOS_H_
+
+#include "engine/executor.h"
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// Node handles into the Fig. 1 workflow, so tests can name the pieces.
+struct Fig1Scenario {
+  Workflow workflow;
+  NodeId parts1 = kInvalidNode;       // source S1 (monthly, Euros)
+  NodeId parts2 = kInvalidNode;       // source S2 (daily, Dollars)
+  NodeId not_null = kInvalidNode;     // (3) NN(COST_EUR) on flow 1
+  NodeId to_euro = kInvalidNode;      // (4) $2E on flow 2
+  NodeId a2e_date = kInvalidNode;     // (5) American -> European dates
+  NodeId aggregate = kInvalidNode;    // (6) gamma SUM per (PKEY,SOURCE,DATE)
+  NodeId union_node = kInvalidNode;   // (7) U
+  NodeId threshold = kInvalidNode;    // (8) sigma(COST_EUR >= threshold)
+  NodeId dw = kInvalidNode;           // (9) warehouse target
+};
+
+/// Builds the finalized Fig. 1 workflow. `threshold` parameterizes the
+/// final selection (paper: "values above a certain threshold").
+StatusOr<Fig1Scenario> BuildFig1Scenario(double threshold = 100.0);
+
+/// Deterministic source data + lookup context for executing Fig. 1.
+/// `rows_per_source` rows are generated per source from `seed`; a fraction
+/// of PARTS1 costs are NULL so the NotNull cleansing has work to do.
+ExecutionInput MakeFig1Input(uint64_t seed, size_t rows_per_source);
+
+/// Fig. 4: two source flows each with SK assignment, converging in a
+/// union followed by a 50%-selective selection. This is the initial
+/// configuration whose cost the paper calls c1.
+struct Fig4Scenario {
+  Workflow workflow;
+  NodeId src1 = kInvalidNode;
+  NodeId src2 = kInvalidNode;
+  NodeId sk1 = kInvalidNode;
+  NodeId sk2 = kInvalidNode;
+  NodeId union_node = kInvalidNode;
+  NodeId selection = kInvalidNode;
+  NodeId target = kInvalidNode;
+};
+
+/// Builds the finalized Fig. 4 workflow with `rows_per_flow` as each
+/// source's cardinality (the paper uses 8).
+StatusOr<Fig4Scenario> BuildFig4Scenario(double rows_per_flow = 8.0);
+
+/// Deterministic input for executing Fig. 4 scenarios.
+ExecutionInput MakeFig4Input(uint64_t seed, size_t rows_per_source);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_WORKLOAD_SCENARIOS_H_

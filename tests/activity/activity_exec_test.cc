@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+
+namespace etlopt {
+namespace {
+
+Schema ItemSchema() {
+  return Schema::MakeOrDie({{"ID", DataType::kInt64},
+                            {"TAG", DataType::kString},
+                            {"VAL", DataType::kDouble}});
+}
+
+Record Row(int64_t id, const std::string& tag, double val) {
+  return Record({Value::Int(id), Value::String(tag), Value::Double(val)});
+}
+
+Record RowNullVal(int64_t id, const std::string& tag) {
+  return Record({Value::Int(id), Value::String(tag), Value::Null()});
+}
+
+std::vector<Record> Rows() {
+  return {Row(1, "a", 10), Row(2, "b", 20), RowNullVal(3, "a"),
+          Row(1, "a", 30), Row(4, "c", -5)};
+}
+
+StatusOr<std::vector<Record>> RunActivity(const Activity& a,
+                                  std::vector<Record> rows,
+                                  ExecutionContext ctx = {}) {
+  return a.Execute({ItemSchema()}, {std::move(rows)}, ctx);
+}
+
+TEST(ExecTest, SelectionFilters) {
+  auto a = MakeSelection("s",
+                         Compare(CompareOp::kGt, Column("VAL"),
+                                 Literal(Value::Double(15.0))),
+                         0.5);
+  auto out = RunActivity(*a, Rows());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);  // 20 and 30; NULL predicate is false
+  EXPECT_EQ((*out)[0].value(2).double_value(), 20);
+  EXPECT_EQ((*out)[1].value(2).double_value(), 30);
+}
+
+TEST(ExecTest, NotNullDropsNulls) {
+  auto a = MakeNotNull("nn", "VAL", 0.9);
+  auto out = RunActivity(*a, Rows());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 4u);
+}
+
+TEST(ExecTest, DomainCheckKeepsRange) {
+  auto a = MakeDomainCheck("dc", "VAL", 0.0, 20.0, 0.5);
+  auto out = RunActivity(*a, Rows());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);  // 10 and 20; NULL and -5 dropped
+}
+
+TEST(ExecTest, DomainCheckNonNumericFails) {
+  auto a = MakeDomainCheck("dc", "TAG", 0.0, 20.0, 0.5);
+  EXPECT_FALSE(RunActivity(*a, Rows()).ok());
+}
+
+TEST(ExecTest, PrimaryKeyKeepsFirst) {
+  auto a = MakePrimaryKeyCheck("pk", {"ID"}, 0.9);
+  auto out = RunActivity(*a, Rows());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);  // second ID=1 dropped
+  EXPECT_EQ((*out)[0].value(2).double_value(), 10);  // first ID=1 kept
+}
+
+TEST(ExecTest, ProjectionReshapesRows) {
+  auto a = MakeProjection("p", {"TAG"});
+  auto out = RunActivity(*a, {Row(1, "a", 10)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].size(), 2u);
+  EXPECT_EQ((*out)[0].value(0).int_value(), 1);
+  EXPECT_EQ((*out)[0].value(1).double_value(), 10);
+}
+
+TEST(ExecTest, FunctionComputesAndDropsArgs) {
+  auto a = MakeFunction("f", "dollar2euro", {"VAL"}, "VAL_EUR",
+                        DataType::kDouble, {"VAL"});
+  auto out = RunActivity(*a, {Row(1, "a", 10)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].size(), 3u);
+  EXPECT_DOUBLE_EQ((*out)[0].value(2).double_value(), 8.0);  // 10 / 1.25
+}
+
+TEST(ExecTest, InPlaceFunctionUpdatesColumn) {
+  auto a = MakeInPlaceFunction("f", "upper", "TAG", DataType::kString);
+  auto out = RunActivity(*a, {Row(1, "abc", 10)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0].value(1).string_value(), "ABC");
+  EXPECT_EQ((*out)[0].size(), 3u);
+}
+
+TEST(ExecTest, SurrogateKeyLooksUp) {
+  ExecutionContext ctx;
+  ctx.lookups["lut"].emplace(std::vector<Value>{Value::Int(1)},
+                             Value::Int(101));
+  ctx.lookups["lut"].emplace(std::vector<Value>{Value::Int(2)},
+                             Value::Int(102));
+  auto a = MakeSurrogateKey("sk", {"ID"}, "SKEY", "lut", {"ID"});
+  auto out = RunActivity(*a, {Row(1, "a", 10), Row(2, "b", 20)}, ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  // Schema: TAG, VAL, SKEY.
+  EXPECT_EQ((*out)[0].value(2).int_value(), 101);
+  EXPECT_EQ((*out)[1].value(2).int_value(), 102);
+}
+
+TEST(ExecTest, SurrogateKeyMissFails) {
+  ExecutionContext ctx;
+  ctx.lookups["lut"];  // empty table
+  auto a = MakeSurrogateKey("sk", {"ID"}, "SKEY", "lut");
+  EXPECT_TRUE(RunActivity(*a, {Row(1, "a", 10)}, ctx).status().IsNotFound());
+}
+
+TEST(ExecTest, SurrogateKeyUnboundTableFails) {
+  auto a = MakeSurrogateKey("sk", {"ID"}, "SKEY", "lut");
+  EXPECT_TRUE(RunActivity(*a, {Row(1, "a", 10)}).status().IsNotFound());
+}
+
+TEST(ExecTest, AggregationSumPerGroup) {
+  auto a = MakeAggregation("g", {"TAG"}, {{AggFn::kSum, "VAL", "TOTAL"}}, 0.5);
+  auto out = RunActivity(*a, Rows());
+  ASSERT_TRUE(out.ok());
+  // Groups sorted by key: a, b, c.
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[0].value(0).string_value(), "a");
+  EXPECT_DOUBLE_EQ((*out)[0].value(1).double_value(), 40.0);  // 10+30, NULL skipped
+  EXPECT_DOUBLE_EQ((*out)[1].value(1).double_value(), 20.0);
+  EXPECT_DOUBLE_EQ((*out)[2].value(1).double_value(), -5.0);
+}
+
+TEST(ExecTest, AggregationAllFns) {
+  auto a = MakeAggregation("g", {"TAG"},
+                           {{AggFn::kSum, "VAL", "S"},
+                            {AggFn::kMin, "VAL", "MN"},
+                            {AggFn::kMax, "VAL", "MX"},
+                            {AggFn::kCount, "VAL", "N"},
+                            {AggFn::kAvg, "VAL", "AV"}},
+                           0.5);
+  auto out = RunActivity(*a, {Row(1, "a", 10), Row(2, "a", 30), RowNullVal(3, "a")});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  const Record& r = (*out)[0];
+  EXPECT_DOUBLE_EQ(r.value(1).double_value(), 40.0);
+  EXPECT_DOUBLE_EQ(r.value(2).double_value(), 10.0);
+  EXPECT_DOUBLE_EQ(r.value(3).double_value(), 30.0);
+  EXPECT_EQ(r.value(4).int_value(), 2);  // NULL not counted
+  EXPECT_DOUBLE_EQ(r.value(5).double_value(), 20.0);
+}
+
+TEST(ExecTest, AggregationAllNullGroup) {
+  auto a = MakeAggregation("g", {"TAG"},
+                           {{AggFn::kSum, "VAL", "S"},
+                            {AggFn::kCount, "VAL", "N"}},
+                           0.5);
+  auto out = RunActivity(*a, {RowNullVal(1, "z")});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_TRUE((*out)[0].value(1).is_null());
+  EXPECT_EQ((*out)[0].value(2).int_value(), 0);
+}
+
+TEST(ExecTest, UnionConcatenatesAndRealigns) {
+  auto u = MakeUnion("u");
+  Schema right = Schema::MakeOrDie({{"VAL", DataType::kDouble},
+                                    {"ID", DataType::kInt64},
+                                    {"TAG", DataType::kString}});
+  std::vector<Record> right_rows = {
+      Record({Value::Double(99), Value::Int(7), Value::String("z")})};
+  auto out = u->Execute({ItemSchema(), right},
+                        {{Row(1, "a", 10)}, right_rows}, {});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  // Right row realigned to left layout (ID, TAG, VAL).
+  EXPECT_EQ((*out)[1].value(0).int_value(), 7);
+  EXPECT_EQ((*out)[1].value(1).string_value(), "z");
+  EXPECT_DOUBLE_EQ((*out)[1].value(2).double_value(), 99);
+}
+
+TEST(ExecTest, DifferenceBagSemantics) {
+  auto d = MakeDifference("d", 0.5);
+  std::vector<Record> left = {Row(1, "a", 10), Row(1, "a", 10),
+                              Row(2, "b", 20)};
+  std::vector<Record> right = {Row(1, "a", 10)};
+  auto out = d->Execute({ItemSchema(), ItemSchema()}, {left, right}, {});
+  ASSERT_TRUE(out.ok());
+  // One copy of (1,a,10) subtracted; the duplicate survives.
+  ASSERT_EQ(out->size(), 2u);
+}
+
+TEST(ExecTest, IntersectionBagSemantics) {
+  auto x = MakeIntersection("i", 0.5);
+  std::vector<Record> left = {Row(1, "a", 10), Row(1, "a", 10),
+                              Row(2, "b", 20)};
+  std::vector<Record> right = {Row(1, "a", 10), Row(3, "c", 30)};
+  auto out = x->Execute({ItemSchema(), ItemSchema()}, {left, right}, {});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value(0).int_value(), 1);
+}
+
+TEST(ExecTest, JoinInnerEquiJoin) {
+  auto j = MakeJoin("j", {"ID"}, 0.5);
+  Schema right = Schema::MakeOrDie({{"ID", DataType::kInt64},
+                                    {"EXTRA", DataType::kString}});
+  std::vector<Record> right_rows = {
+      Record({Value::Int(1), Value::String("x")}),
+      Record({Value::Int(1), Value::String("y")}),
+      Record({Value::Int(9), Value::String("z")})};
+  auto out = j->Execute({ItemSchema(), right},
+                        {{Row(1, "a", 10), Row(2, "b", 20)}, right_rows}, {});
+  ASSERT_TRUE(out.ok());
+  // ID=1 matches twice; ID=2 unmatched.
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0].size(), 4u);
+  EXPECT_EQ((*out)[0].value(3).string_value(), "x");
+  EXPECT_EQ((*out)[1].value(3).string_value(), "y");
+}
+
+TEST(ExecTest, JoinNullKeysNeverMatch) {
+  auto j = MakeJoin("j", {"VAL"}, 0.5);
+  Schema right = Schema::MakeOrDie({{"VAL", DataType::kDouble},
+                                    {"EXTRA", DataType::kString}});
+  std::vector<Record> right_rows = {
+      Record({Value::Null(), Value::String("x")})};
+  auto out =
+      j->Execute({ItemSchema(), right}, {{RowNullVal(1, "a")}, right_rows}, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+}  // namespace
+}  // namespace etlopt

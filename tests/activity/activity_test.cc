@@ -1,0 +1,295 @@
+#include "activity/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+
+namespace etlopt {
+namespace {
+
+Schema PartsSchema() {
+  return Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                            {"SOURCE", DataType::kString},
+                            {"DATE", DataType::kString},
+                            {"DEPT", DataType::kString},
+                            {"COST_USD", DataType::kDouble}});
+}
+
+TEST(ActivityKindTest, UnaryBinaryClassification) {
+  EXPECT_TRUE(IsUnaryKind(ActivityKind::kSelection));
+  EXPECT_TRUE(IsUnaryKind(ActivityKind::kAggregation));
+  EXPECT_TRUE(IsBinaryKind(ActivityKind::kUnion));
+  EXPECT_TRUE(IsBinaryKind(ActivityKind::kJoin));
+  EXPECT_TRUE(IsBinaryKind(ActivityKind::kDifference));
+  EXPECT_FALSE(IsBinaryKind(ActivityKind::kSurrogateKey));
+}
+
+TEST(ActivityMakeTest, RejectsMismatchedParams) {
+  auto a = Activity::Make("x", ActivityKind::kSelection,
+                          NotNullParams{"COST"}, 0.5);
+  EXPECT_TRUE(a.status().IsInvalidArgument());
+}
+
+TEST(ActivityMakeTest, RejectsBadSelectivity) {
+  EXPECT_FALSE(MakeNotNull("x", "A", 0.0).ok());
+  EXPECT_FALSE(MakeNotNull("x", "A", 1.5).ok());
+  EXPECT_TRUE(MakeNotNull("x", "A", 1.0).ok());
+}
+
+TEST(ActivityMakeTest, RejectsMissingPredicate) {
+  auto a = Activity::Make("x", ActivityKind::kSelection,
+                          SelectionParams{nullptr}, 0.5);
+  EXPECT_TRUE(a.status().IsInvalidArgument());
+}
+
+TEST(ActivityMakeTest, RejectsUnregisteredFunction) {
+  auto a = MakeFunction("x", "bogus_fn", {"A"}, "B", DataType::kDouble);
+  EXPECT_TRUE(a.status().IsNotFound());
+}
+
+TEST(ActivityMakeTest, RejectsDomainLoAboveHi) {
+  EXPECT_FALSE(MakeDomainCheck("x", "A", 10.0, 1.0, 0.5).ok());
+}
+
+TEST(ActivityMakeTest, RejectsDroppingFunctionOutput) {
+  FunctionParams p;
+  p.function = "dollar2euro";
+  p.args = {"A"};
+  p.output = "A";
+  p.drop_args = {"A"};
+  EXPECT_FALSE(Activity::Make("x", ActivityKind::kFunction, p, 1.0).ok());
+}
+
+TEST(ActivityMakeTest, RejectsAggregationOutputCollision) {
+  auto a = MakeAggregation("x", {"K"},
+                           {{AggFn::kSum, "V", "K"}},  // collides with group-by
+                           0.5);
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(ActivityMakeTest, RejectsSkeyOutputInKey) {
+  auto a = MakeSurrogateKey("x", {"PKEY"}, "PKEY", "lut");
+  EXPECT_FALSE(a.ok());
+}
+
+// --- Functionality / generated / projected-out / value-changed schemata ---
+
+TEST(ActivitySchemataTest, SelectionFunctionality) {
+  auto a = MakeSelection("s",
+                         Compare(CompareOp::kGt, Column("COST_USD"),
+                                 Literal(Value::Double(0))),
+                         0.5);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->FunctionalityAttrs(), (std::vector<std::string>{"COST_USD"}));
+  EXPECT_TRUE(a->ValueChangedAttrs().empty());
+  EXPECT_TRUE(a->GeneratedAttrNames().empty());
+  EXPECT_TRUE(a->ProjectedOutAttrs().empty());
+}
+
+TEST(ActivitySchemataTest, RenamingFunction) {
+  auto a = MakeFunction("to_euro", "dollar2euro", {"COST_USD"}, "COST_EUR",
+                        DataType::kDouble, {"COST_USD"});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->FunctionalityAttrs(), (std::vector<std::string>{"COST_USD"}));
+  EXPECT_EQ(a->ValueChangedAttrs(), (std::vector<std::string>{"COST_EUR"}));
+  EXPECT_EQ(a->GeneratedAttrNames(), (std::vector<std::string>{"COST_EUR"}));
+  EXPECT_EQ(a->ProjectedOutAttrs(), (std::vector<std::string>{"COST_USD"}));
+}
+
+TEST(ActivitySchemataTest, InPlaceEntityPreservingFunction) {
+  auto a = MakeInPlaceFunction("a2e", "a2e_date", "DATE", DataType::kString);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->FunctionalityAttrs(), (std::vector<std::string>{"DATE"}));
+  // Entity-preserving: no ordering constraint on consumers of DATE.
+  EXPECT_TRUE(a->ValueChangedAttrs().empty());
+  EXPECT_TRUE(a->GeneratedAttrNames().empty());
+}
+
+TEST(ActivitySchemataTest, AggregationSchemas) {
+  auto a = MakeAggregation("g", {"PKEY", "DATE"},
+                           {{AggFn::kSum, "COST_USD", "COST_USD"}}, 0.3);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->FunctionalityAttrs(),
+            (std::vector<std::string>{"PKEY", "DATE", "COST_USD"}));
+  // Aggregate outputs are new entities even when they reuse the arg name.
+  EXPECT_EQ(a->ValueChangedAttrs(), (std::vector<std::string>{"COST_USD"}));
+  EXPECT_TRUE(a->GeneratedAttrNames().empty());  // name reused in place
+}
+
+TEST(ActivitySchemataTest, SurrogateKeySchemas) {
+  auto a = MakeSurrogateKey("sk", {"PKEY", "SOURCE"}, "SKEY", "lut", {"PKEY"});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->FunctionalityAttrs(),
+            (std::vector<std::string>{"PKEY", "SOURCE"}));
+  EXPECT_EQ(a->ValueChangedAttrs(), (std::vector<std::string>{"SKEY"}));
+  EXPECT_EQ(a->GeneratedAttrNames(), (std::vector<std::string>{"SKEY"}));
+  EXPECT_EQ(a->ProjectedOutAttrs(), (std::vector<std::string>{"PKEY"}));
+}
+
+// --- Output schema computation ---
+
+TEST(OutputSchemaTest, FiltersPreserveSchema) {
+  auto a = MakeNotNull("nn", "COST_USD", 0.9);
+  ASSERT_TRUE(a.ok());
+  auto out = a->ComputeOutputSchema({PartsSchema()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, PartsSchema());
+}
+
+TEST(OutputSchemaTest, FilterMissingAttrFails) {
+  auto a = MakeNotNull("nn", "MISSING", 0.9);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->ComputeOutputSchema({PartsSchema()})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(OutputSchemaTest, ProjectionDrops) {
+  auto a = MakeProjection("p", {"DEPT"});
+  ASSERT_TRUE(a.ok());
+  auto out = a->ComputeOutputSchema({PartsSchema()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->Contains("DEPT"));
+  EXPECT_EQ(out->size(), 4u);
+}
+
+TEST(OutputSchemaTest, ProjectionCannotDropEverything) {
+  Schema narrow = Schema::MakeOrDie({{"A", DataType::kInt64}});
+  auto a = MakeProjection("p", {"A"});
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->ComputeOutputSchema({narrow}).ok());
+}
+
+TEST(OutputSchemaTest, RenamingFunctionSwapsAttr) {
+  auto a = MakeFunction("f", "dollar2euro", {"COST_USD"}, "COST_EUR",
+                        DataType::kDouble, {"COST_USD"});
+  ASSERT_TRUE(a.ok());
+  auto out = a->ComputeOutputSchema({PartsSchema()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->Contains("COST_USD"));
+  EXPECT_TRUE(out->Contains("COST_EUR"));
+  EXPECT_EQ(out->attributes().back().name, "COST_EUR");
+}
+
+TEST(OutputSchemaTest, InPlaceFunctionKeepsPositionAndSetsType) {
+  auto a = MakeInPlaceFunction("f", "year_of", "DATE", DataType::kInt64);
+  ASSERT_TRUE(a.ok());
+  auto out = a->ComputeOutputSchema({PartsSchema()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->IndexOf("DATE"), PartsSchema().IndexOf("DATE"));
+  EXPECT_EQ(out->attribute(*out->IndexOf("DATE")).type, DataType::kInt64);
+}
+
+TEST(OutputSchemaTest, AggregationShape) {
+  auto a = MakeAggregation(
+      "g", {"PKEY", "SOURCE"},
+      {{AggFn::kSum, "COST_USD", "TOTAL"}, {AggFn::kCount, "COST_USD", "N"}},
+      0.3);
+  ASSERT_TRUE(a.ok());
+  auto out = a->ComputeOutputSchema({PartsSchema()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Names(),
+            (std::vector<std::string>{"PKEY", "SOURCE", "TOTAL", "N"}));
+  EXPECT_EQ(out->attribute(2).type, DataType::kDouble);
+  EXPECT_EQ(out->attribute(3).type, DataType::kInt64);
+}
+
+TEST(OutputSchemaTest, SurrogateKeyAppendsIntDropsKey) {
+  auto a = MakeSurrogateKey("sk", {"PKEY", "SOURCE"}, "SKEY", "lut", {"PKEY"});
+  ASSERT_TRUE(a.ok());
+  auto out = a->ComputeOutputSchema({PartsSchema()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->Contains("PKEY"));
+  EXPECT_TRUE(out->Contains("SOURCE"));
+  EXPECT_EQ(out->attributes().back().name, "SKEY");
+  EXPECT_EQ(out->attributes().back().type, DataType::kInt64);
+}
+
+TEST(OutputSchemaTest, UnionRequiresEquivalentInputs) {
+  auto u = MakeUnion("u");
+  ASSERT_TRUE(u.ok());
+  Schema a = Schema::MakeOrDie({{"X", DataType::kInt64}});
+  Schema b = Schema::MakeOrDie({{"Y", DataType::kInt64}});
+  EXPECT_FALSE(u->ComputeOutputSchema({a, b}).ok());
+  EXPECT_TRUE(u->ComputeOutputSchema({a, a}).ok());
+  // Order-insensitive equivalence suffices.
+  Schema ab = Schema::MakeOrDie({{"X", DataType::kInt64},
+                                 {"Y", DataType::kInt64}});
+  Schema ba = Schema::MakeOrDie({{"Y", DataType::kInt64},
+                                 {"X", DataType::kInt64}});
+  EXPECT_TRUE(u->ComputeOutputSchema({ab, ba}).ok());
+}
+
+TEST(OutputSchemaTest, JoinMergesSchemas) {
+  auto j = MakeJoin("j", {"PKEY"}, 0.1);
+  ASSERT_TRUE(j.ok());
+  Schema left = Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                                   {"A", DataType::kString}});
+  Schema right = Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                                    {"B", DataType::kDouble}});
+  auto out = j->ComputeOutputSchema({left, right});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Names(), (std::vector<std::string>{"PKEY", "A", "B"}));
+}
+
+TEST(OutputSchemaTest, JoinRejectsAmbiguousNonKey) {
+  auto j = MakeJoin("j", {"PKEY"}, 0.1);
+  ASSERT_TRUE(j.ok());
+  Schema left = Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                                   {"A", DataType::kString}});
+  EXPECT_FALSE(j->ComputeOutputSchema({left, left}).ok());
+}
+
+TEST(OutputSchemaTest, WrongArityRejected) {
+  auto a = MakeNotNull("nn", "COST_USD", 0.9);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->ComputeOutputSchema({PartsSchema(), PartsSchema()}).ok());
+  auto u = MakeUnion("u");
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(u->ComputeOutputSchema({PartsSchema()}).ok());
+}
+
+// --- Semantics strings (homologous test + post-conditions) ---
+
+TEST(SemanticsTest, CanonicalForms) {
+  EXPECT_EQ(MakeNotNull("x", "COST", 0.9)->SemanticsString(), "NN[COST]");
+  EXPECT_EQ(MakeDomainCheck("x", "V", 0, 10, 0.5)->SemanticsString(),
+            "DOM[V,0,10]");
+  EXPECT_EQ(MakePrimaryKeyCheck("x", {"A", "B"}, 0.9)->SemanticsString(),
+            "PK[A,B]");
+  EXPECT_EQ(MakeProjection("x", {"DEPT"})->SemanticsString(), "PROJ-[DEPT]");
+  EXPECT_EQ(MakeUnion("x")->SemanticsString(), "UNION");
+  EXPECT_EQ(MakeJoin("x", {"K"}, 0.2)->SemanticsString(), "JOIN[K]");
+}
+
+TEST(SemanticsTest, FunctionForms) {
+  auto rename = MakeFunction("x", "dollar2euro", {"C_USD"}, "C_EUR",
+                             DataType::kDouble, {"C_USD"});
+  EXPECT_EQ(rename->SemanticsString(),
+            "FN[dollar2euro(C_USD)->C_EUR;-C_USD]");
+  auto inplace = MakeInPlaceFunction("x", "a2e_date", "DATE",
+                                     DataType::kString);
+  EXPECT_EQ(inplace->SemanticsString(), "FN~[a2e_date(DATE)->DATE]");
+}
+
+TEST(SemanticsTest, AggregationAndSkForms) {
+  auto agg = MakeAggregation("x", {"K"}, {{AggFn::kSum, "V", "T"}}, 0.5);
+  EXPECT_EQ(agg->SemanticsString(), "AGG[K|SUM(V)->T]");
+  auto sk = MakeSurrogateKey("x", {"P", "S"}, "SKEY", "lut", {"P"});
+  EXPECT_EQ(sk->SemanticsString(), "SK[P,S->SKEY;lut=lut;-P]");
+}
+
+TEST(SemanticsTest, LabelDoesNotAffectSemantics) {
+  auto a = MakeNotNull("first", "COST", 0.9);
+  auto b = MakeNotNull("second", "COST", 0.8);
+  EXPECT_EQ(a->SemanticsString(), b->SemanticsString());
+}
+
+TEST(SemanticsTest, ParamsAffectSemantics) {
+  auto a = MakeNotNull("x", "COST", 0.9);
+  auto b = MakeNotNull("x", "DATE", 0.9);
+  EXPECT_NE(a->SemanticsString(), b->SemanticsString());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,174 @@
+// Parameterized sweeps over the activity template library: invariants
+// that every template must satisfy regardless of kind.
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "common/macros.h"
+
+namespace etlopt {
+namespace {
+
+Schema WideSchema() {
+  return Schema::MakeOrDie({{"K", DataType::kInt64},
+                            {"SRC", DataType::kString},
+                            {"DATE", DataType::kString},
+                            {"V1", DataType::kDouble},
+                            {"V2", DataType::kDouble}});
+}
+
+// A representative instance of every unary template over WideSchema().
+std::vector<Activity> AllUnaryTemplates() {
+  std::vector<Activity> out;
+  auto add = [&out](StatusOr<Activity> a) {
+    ETLOPT_CHECK_OK(a.status());
+    out.push_back(std::move(a).value());
+  };
+  add(MakeSelection("sel",
+                    Compare(CompareOp::kGe, Column("V1"),
+                            Literal(Value::Double(10))),
+                    0.5));
+  add(MakeNotNull("nn", "V1", 0.9));
+  add(MakeDomainCheck("dom", "V2", 0, 100, 0.7));
+  add(MakePrimaryKeyCheck("pk", {"K", "SRC"}, 0.95));
+  add(MakeProjection("proj", {"V2"}));
+  add(MakeFunction("fn", "dollar2euro", {"V1"}, "V1E", DataType::kDouble,
+                   {"V1"}));
+  add(MakeInPlaceFunction("ipf", "a2e_date", "DATE", DataType::kString));
+  add(MakeSurrogateKey("sk", {"K"}, "SKEY", "lut", {"K"}));
+  add(MakeAggregation("agg", {"SRC", "DATE"}, {{AggFn::kSum, "V1", "T"}},
+                      0.3));
+  return out;
+}
+
+class UnaryTemplateTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  Activity Get() { return AllUnaryTemplates()[GetParam()]; }
+};
+
+TEST_P(UnaryTemplateTest, IsUnaryWithSingleInput) {
+  Activity a = Get();
+  EXPECT_TRUE(a.is_unary());
+  EXPECT_EQ(a.input_arity(), 1);
+}
+
+TEST_P(UnaryTemplateTest, FunctionalityIsCoveredByInput) {
+  Activity a = Get();
+  Schema in = WideSchema();
+  for (const auto& f : a.FunctionalityAttrs()) {
+    EXPECT_TRUE(in.Contains(f)) << a.label() << " reads " << f;
+  }
+}
+
+TEST_P(UnaryTemplateTest, OutputSchemaIsDeterministic) {
+  Activity a = Get();
+  auto o1 = a.ComputeOutputSchema({WideSchema()});
+  auto o2 = a.ComputeOutputSchema({WideSchema()});
+  ASSERT_TRUE(o1.ok()) << a.label();
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(*o1, *o2);
+}
+
+TEST_P(UnaryTemplateTest, GeneratedAttrsAppearInOutput) {
+  Activity a = Get();
+  auto out = a.ComputeOutputSchema({WideSchema()});
+  ASSERT_TRUE(out.ok()) << a.label();
+  for (const auto& g : a.GeneratedAttrNames()) {
+    EXPECT_TRUE(out->Contains(g)) << a.label() << " generates " << g;
+  }
+}
+
+TEST_P(UnaryTemplateTest, ProjectedOutAttrsAbsentFromOutput) {
+  Activity a = Get();
+  auto out = a.ComputeOutputSchema({WideSchema()});
+  ASSERT_TRUE(out.ok()) << a.label();
+  for (const auto& p : a.ProjectedOutAttrs()) {
+    EXPECT_FALSE(out->Contains(p)) << a.label() << " drops " << p;
+  }
+}
+
+TEST_P(UnaryTemplateTest, ValueChangedAttrsAppearInOutput) {
+  Activity a = Get();
+  auto out = a.ComputeOutputSchema({WideSchema()});
+  ASSERT_TRUE(out.ok()) << a.label();
+  for (const auto& v : a.ValueChangedAttrs()) {
+    EXPECT_TRUE(out->Contains(v)) << a.label() << " changes " << v;
+  }
+}
+
+TEST_P(UnaryTemplateTest, SemanticsStringIsStable) {
+  Activity a = Get();
+  Activity b = AllUnaryTemplates()[GetParam()];
+  EXPECT_EQ(a.SemanticsString(), b.SemanticsString());
+  EXPECT_FALSE(a.SemanticsString().empty());
+}
+
+TEST_P(UnaryTemplateTest, SelectivityRoundTripsThroughWithSelectivity) {
+  Activity a = Get().WithSelectivity(0.123);
+  EXPECT_DOUBLE_EQ(a.selectivity(), 0.123);
+  // Semantics unchanged.
+  EXPECT_EQ(a.SemanticsString(), Get().SemanticsString());
+}
+
+TEST_P(UnaryTemplateTest, ExecuteOnEmptyInputYieldsEmptyOrGroups) {
+  Activity a = Get();
+  ExecutionContext ctx;
+  ctx.lookups["lut"];  // SK resolves the table (empty: no rows, no misses)
+  auto out = a.Execute({WideSchema()}, {std::vector<Record>{}}, ctx);
+  ASSERT_TRUE(out.ok()) << a.label() << ": " << out.status().ToString();
+  EXPECT_TRUE(out->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnary, UnaryTemplateTest,
+                         ::testing::Range<size_t>(0, 9));
+
+// Binary templates.
+std::vector<Activity> AllBinaryTemplates() {
+  std::vector<Activity> out;
+  auto add = [&out](StatusOr<Activity> a) {
+    ETLOPT_CHECK_OK(a.status());
+    out.push_back(std::move(a).value());
+  };
+  add(MakeUnion("u"));
+  add(MakeJoin("j", {"K"}, 0.1));
+  add(MakeDifference("d", 0.5));
+  add(MakeIntersection("i", 0.5));
+  return out;
+}
+
+class BinaryTemplateTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  Activity Get() { return AllBinaryTemplates()[GetParam()]; }
+};
+
+TEST_P(BinaryTemplateTest, IsBinaryWithTwoInputs) {
+  Activity a = Get();
+  EXPECT_TRUE(a.is_binary());
+  EXPECT_EQ(a.input_arity(), 2);
+}
+
+TEST_P(BinaryTemplateTest, ExecuteOnEmptyInputsYieldsEmpty) {
+  Activity a = Get();
+  Schema s = a.kind() == ActivityKind::kJoin
+                 ? Schema::MakeOrDie({{"K", DataType::kInt64}})
+                 : WideSchema();
+  Schema s2 = a.kind() == ActivityKind::kJoin
+                  ? Schema::MakeOrDie({{"K", DataType::kInt64},
+                                       {"X", DataType::kDouble}})
+                  : WideSchema();
+  auto out = a.Execute({s, s2}, {std::vector<Record>{}, std::vector<Record>{}},
+                       {});
+  ASSERT_TRUE(out.ok()) << a.label() << ": " << out.status().ToString();
+  EXPECT_TRUE(out->empty());
+}
+
+TEST_P(BinaryTemplateTest, WrongArityRejected) {
+  Activity a = Get();
+  EXPECT_FALSE(a.ComputeOutputSchema({WideSchema()}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBinary, BinaryTemplateTest,
+                         ::testing::Range<size_t>(0, 4));
+
+}  // namespace
+}  // namespace etlopt

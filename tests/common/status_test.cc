@@ -1,0 +1,116 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/statusor.h"
+
+namespace etlopt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryPredicatesMatch) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("thing");
+  Status wrapped = s.WithContext("loading schema");
+  EXPECT_TRUE(wrapped.IsNotFound());
+  EXPECT_EQ(wrapped.message(), "loading schema: thing");
+}
+
+TEST(StatusTest, WithContextNoOpOnOk) {
+  Status s = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  ETLOPT_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Caller(3).ok());
+  EXPECT_TRUE(Caller(-1).IsInvalidArgument());
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+StatusOr<int> DoubleIt(int x) {
+  ETLOPT_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(MacrosTest, AssignOrReturn) {
+  auto ok = DoubleIt(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = DoubleIt(0);
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<std::string> s = std::string("hello");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "hello");
+  EXPECT_EQ(s->size(), 5u);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<std::string> s = Status::NotFound("nope");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsNotFound());
+  EXPECT_EQ(s.value_or("fallback"), "fallback");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::unique_ptr<int>> s = std::make_unique<int>(7);
+  ASSERT_TRUE(s.ok());
+  std::unique_ptr<int> p = std::move(s).value();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,61 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+TEST(StringUtilTest, JoinBasic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string s = "x,y,,z";
+  EXPECT_EQ(Join(Split(s, ','), ","), s);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi\r\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("workflow", "work"));
+  EXPECT_FALSE(StartsWith("work", "workflow"));
+  EXPECT_TRUE(EndsWith("state.sig", ".sig"));
+  EXPECT_FALSE(EndsWith("sig", ".sig"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, DoubleToStringIntegral) {
+  EXPECT_EQ(DoubleToString(3.0), "3");
+  EXPECT_EQ(DoubleToString(-17.0), "-17");
+  EXPECT_EQ(DoubleToString(0.0), "0");
+}
+
+TEST(StringUtilTest, DoubleToStringFractional) {
+  EXPECT_EQ(DoubleToString(2.5), "2.5");
+  EXPECT_EQ(DoubleToString(0.125), "0.125");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,88 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+
+namespace etlopt {
+namespace {
+
+TEST(NLogNTest, Values) {
+  EXPECT_DOUBLE_EQ(NLogN(8), 24.0);
+  EXPECT_DOUBLE_EQ(NLogN(4), 8.0);
+  EXPECT_DOUBLE_EQ(NLogN(2), 2.0);
+  EXPECT_DOUBLE_EQ(NLogN(1), 0.0);
+  EXPECT_DOUBLE_EQ(NLogN(0), 0.0);
+}
+
+class LinearLogTest : public ::testing::Test {
+ protected:
+  LinearLogCostModel model_;
+};
+
+TEST_F(LinearLogTest, FiltersAndFunctionsCostN) {
+  auto nn = MakeNotNull("nn", "A", 0.9);
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*nn, {100}), 100.0);
+  auto f = MakeInPlaceFunction("f", "round", "A", DataType::kDouble);
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*f, {250}), 250.0);
+  auto p = MakeProjection("p", {"A"});
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*p, {10}), 10.0);
+}
+
+TEST_F(LinearLogTest, SortBasedCostNLogN) {
+  auto sk = MakeSurrogateKey("sk", {"A"}, "SKEY", "lut");
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*sk, {8}), 24.0);  // paper Fig. 4
+  auto agg = MakeAggregation("g", {"A"}, {{AggFn::kSum, "B", "S"}}, 0.5);
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*agg, {8}), 24.0);
+  auto pk = MakePrimaryKeyCheck("pk", {"A"}, 0.9);
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*pk, {8}), 24.0);
+}
+
+TEST_F(LinearLogTest, SetupCostsApply) {
+  LinearLogCostModelOptions opts;
+  opts.surrogate_key_setup = 100.0;
+  opts.aggregation_setup = 50.0;
+  LinearLogCostModel m(opts);
+  auto sk = MakeSurrogateKey("sk", {"A"}, "SKEY", "lut");
+  EXPECT_DOUBLE_EQ(m.ActivityCost(*sk, {8}), 124.0);
+  auto agg = MakeAggregation("g", {"A"}, {{AggFn::kSum, "B", "S"}}, 0.5);
+  EXPECT_DOUBLE_EQ(m.ActivityCost(*agg, {8}), 74.0);
+}
+
+TEST_F(LinearLogTest, BinaryCosts) {
+  auto u = MakeUnion("u");
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*u, {10, 20}), 30.0);
+  auto j = MakeJoin("j", {"K"}, 0.01);
+  EXPECT_DOUBLE_EQ(model_.ActivityCost(*j, {8, 4}), 24.0 + 8.0 + 12.0);
+}
+
+TEST_F(LinearLogTest, OutputCardinalities) {
+  auto nn = MakeNotNull("nn", "A", 0.9);
+  EXPECT_DOUBLE_EQ(model_.OutputCardinality(*nn, {100}), 90.0);
+  auto agg = MakeAggregation("g", {"A"}, {{AggFn::kSum, "B", "S"}}, 0.25);
+  EXPECT_DOUBLE_EQ(model_.OutputCardinality(*agg, {100}), 25.0);
+  auto u = MakeUnion("u");
+  EXPECT_DOUBLE_EQ(model_.OutputCardinality(*u, {10, 20}), 30.0);
+  auto j = MakeJoin("j", {"K"}, 0.01);
+  EXPECT_DOUBLE_EQ(model_.OutputCardinality(*j, {100, 50}), 50.0);
+  auto d = MakeDifference("d", 0.4);
+  EXPECT_DOUBLE_EQ(model_.OutputCardinality(*d, {100, 50}), 40.0);
+}
+
+TEST_F(LinearLogTest, Fig4PaperFormulas) {
+  // The paper's illustrative arithmetic (§2.2, Fig. 4) at n = 8 rows per
+  // flow, sigma selectivity 50%, union cost ignored:
+  //   c1 = 2 n log2 n + n            = 56
+  //   c2 = 2 (n + (n/2) log2(n/2))   = 32
+  //   c3 = 2 n + (n/2) log2(n/2)     = 24
+  double n = 8;
+  double c1 = 2 * NLogN(n) + n;
+  double c2 = 2 * (n + NLogN(n / 2));
+  double c3 = 2 * n + NLogN(n / 2);
+  EXPECT_DOUBLE_EQ(c1, 56.0);
+  EXPECT_DOUBLE_EQ(c2, 32.0);
+  EXPECT_DOUBLE_EQ(c3, 24.0);
+}
+
+}  // namespace
+}  // namespace etlopt

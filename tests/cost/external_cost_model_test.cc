@@ -1,0 +1,101 @@
+#include "cost/external_cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "cost/state_cost.h"
+#include "optimizer/search.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+TEST(ExternalSortPassesTest, Values) {
+  // Fits in memory: no merge pass.
+  EXPECT_DOUBLE_EQ(ExternalSortPasses(1000, 10000, 8), 0);
+  EXPECT_DOUBLE_EQ(ExternalSortPasses(10000, 10000, 8), 0);
+  // 10 runs, fan-in 8 -> 2 passes; fan-in 16 -> 1 pass.
+  EXPECT_DOUBLE_EQ(ExternalSortPasses(100000, 10000, 8), 2);
+  EXPECT_DOUBLE_EQ(ExternalSortPasses(100000, 10000, 16), 1);
+  // 64 runs, fan-in 8 -> exactly 2 passes.
+  EXPECT_DOUBLE_EQ(ExternalSortPasses(640000, 10000, 8), 2);
+  // Degenerate fan-in clamps to 2.
+  EXPECT_DOUBLE_EQ(ExternalSortPasses(40000, 10000, 1), 2);
+}
+
+class ExternalCostModelTest : public ::testing::Test {
+ protected:
+  ExternalSortCostModelOptions Small() {
+    ExternalSortCostModelOptions o;
+    o.memory_rows = 100;
+    o.merge_fanin = 8;
+    return o;
+  }
+};
+
+TEST_F(ExternalCostModelTest, PerRowActivitiesCostN) {
+  ExternalSortCostModel m(Small());
+  auto nn = MakeNotNull("nn", "A", 0.9);
+  EXPECT_DOUBLE_EQ(m.ActivityCost(*nn, {5000}), 5000);
+}
+
+TEST_F(ExternalCostModelTest, InMemorySortCostsOnePass) {
+  ExternalSortCostModel m(Small());
+  auto agg = MakeAggregation("g", {"A"}, {{AggFn::kSum, "B", "S"}}, 0.5);
+  EXPECT_DOUBLE_EQ(m.ActivityCost(*agg, {80}), 80);  // fits: n * (1+0)
+}
+
+TEST_F(ExternalCostModelTest, SpillingSortPaysMergePasses) {
+  ExternalSortCostModel m(Small());
+  auto agg = MakeAggregation("g", {"A"}, {{AggFn::kSum, "B", "S"}}, 0.5);
+  // 800 rows -> 8 runs -> 1 pass -> n * 3.
+  EXPECT_DOUBLE_EQ(m.ActivityCost(*agg, {800}), 2400);
+  // 8000 rows -> 80 runs -> 3 passes (8^2 = 64 < 80) -> n * 7.
+  EXPECT_DOUBLE_EQ(m.ActivityCost(*agg, {8000}), 56000);
+}
+
+TEST_F(ExternalCostModelTest, SurrogateKeySetupApplies) {
+  ExternalSortCostModelOptions o = Small();
+  o.surrogate_key_setup = 500;
+  ExternalSortCostModel m(o);
+  auto sk = MakeSurrogateKey("sk", {"A"}, "SKEY", "lut");
+  EXPECT_DOUBLE_EQ(m.ActivityCost(*sk, {80}), 580);
+}
+
+TEST_F(ExternalCostModelTest, CardinalitiesMatchLogicalModel) {
+  ExternalSortCostModel physical(Small());
+  LinearLogCostModel logical;
+  auto agg = MakeAggregation("g", {"A"}, {{AggFn::kSum, "B", "S"}}, 0.3);
+  EXPECT_DOUBLE_EQ(physical.OutputCardinality(*agg, {1000}),
+                   logical.OutputCardinality(*agg, {1000}));
+  auto j = MakeJoin("j", {"K"}, 0.01);
+  EXPECT_DOUBLE_EQ(physical.OutputCardinality(*j, {100, 200}),
+                   logical.OutputCardinality(*j, {100, 200}));
+}
+
+TEST_F(ExternalCostModelTest, OptimizerWorksUnderPhysicalModel) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExternalSortCostModelOptions o;
+  o.memory_rows = 500;  // the 3000-row flow spills
+  ExternalSortCostModel m(o);
+  auto r = HeuristicSearch(s->workflow, m);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LT(r->best.cost, r->initial_cost);
+  EXPECT_TRUE(r->best.workflow.EquivalentTo(s->workflow));
+}
+
+TEST_F(ExternalCostModelTest, SmallerMemoryNeverCheapens) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExternalSortCostModelOptions big;
+  big.memory_rows = 1e9;
+  ExternalSortCostModelOptions tiny;
+  tiny.memory_rows = 50;
+  double cost_big = *StateCost(s->workflow, ExternalSortCostModel(big));
+  double cost_tiny = *StateCost(s->workflow, ExternalSortCostModel(tiny));
+  EXPECT_GE(cost_tiny, cost_big);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,104 @@
+#include "cost/state_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/transitions.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+class StateCostTest : public ::testing::Test {
+ protected:
+  LinearLogCostModel model_;
+};
+
+TEST_F(StateCostTest, RequiresFreshWorkflow) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  Workflow w = s->workflow;
+  ASSERT_TRUE(w.SwapAdjacent(s->to_euro, s->a2e_date).ok());
+  EXPECT_TRUE(StateCost(w, model_).status().IsFailedPrecondition());
+}
+
+TEST_F(StateCostTest, Fig1BreakdownIsConsistent) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto bd = ComputeCostBreakdown(s->workflow, model_);
+  ASSERT_TRUE(bd.ok());
+  // Total equals the sum of per-node costs.
+  double sum = 0;
+  for (const auto& [id, c] : bd->node_cost) sum += c;
+  EXPECT_DOUBLE_EQ(bd->total, sum);
+  // Source cardinalities flow from the recordset definitions.
+  EXPECT_DOUBLE_EQ(bd->node_output_cardinality.at(s->parts1), 1000.0);
+  EXPECT_DOUBLE_EQ(bd->node_output_cardinality.at(s->parts2), 3000.0);
+  // NotNull keeps 90%.
+  EXPECT_DOUBLE_EQ(bd->node_output_cardinality.at(s->not_null), 900.0);
+  // Union sums its inputs.
+  EXPECT_DOUBLE_EQ(bd->node_output_cardinality.at(s->union_node),
+                   900.0 + 1200.0);
+  // Filters cost their input size.
+  EXPECT_DOUBLE_EQ(bd->node_cost.at(s->not_null), 1000.0);
+  EXPECT_DOUBLE_EQ(bd->node_cost.at(s->threshold), 2100.0);
+}
+
+TEST_F(StateCostTest, SwapReducesCostWhenFilterMovesEarly) {
+  // Swapping the aggregation before the date conversion lets the (cheap)
+  // conversion run on fewer rows: cost must drop (paper's Fig. 2 swap).
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  double before = *StateCost(s->workflow, model_);
+  auto swapped = ApplySwap(s->workflow, s->a2e_date, s->aggregate);
+  ASSERT_TRUE(swapped.ok());
+  double after = *StateCost(*swapped, model_);
+  EXPECT_LT(after, before);
+  // The delta is exactly the date-conversion rows saved: 3000 -> 1200.
+  EXPECT_DOUBLE_EQ(before - after, 1800.0);
+}
+
+TEST_F(StateCostTest, IncrementalMatchesFullAfterSwap) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto base = ComputeCostBreakdown(s->workflow, model_);
+  ASSERT_TRUE(base.ok());
+  auto swapped = ApplySwap(s->workflow, s->a2e_date, s->aggregate);
+  ASSERT_TRUE(swapped.ok());
+  auto full = ComputeCostBreakdown(*swapped, model_);
+  auto incr = IncrementalCostBreakdown(*swapped, *base, s->workflow, model_);
+  ASSERT_TRUE(full.ok() && incr.ok());
+  EXPECT_DOUBLE_EQ(full->total, incr->total);
+  EXPECT_EQ(full->node_cost, incr->node_cost);
+  EXPECT_EQ(full->node_output_cardinality, incr->node_output_cardinality);
+}
+
+TEST_F(StateCostTest, IncrementalMatchesFullAfterDistribute) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto base = ComputeCostBreakdown(s->workflow, model_);
+  ASSERT_TRUE(base.ok());
+  auto dist = ApplyDistribute(s->workflow, s->union_node, s->threshold);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  auto full = ComputeCostBreakdown(*dist, model_);
+  auto incr = IncrementalCostBreakdown(*dist, *base, s->workflow, model_);
+  ASSERT_TRUE(full.ok() && incr.ok());
+  EXPECT_DOUBLE_EQ(full->total, incr->total);
+}
+
+TEST_F(StateCostTest, IncrementalReusesUntouchedBranch) {
+  // After swapping inside flow 2, flow 1's NotNull figures are reused
+  // verbatim (same id, same providers, same input cardinality).
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto base = ComputeCostBreakdown(s->workflow, model_);
+  ASSERT_TRUE(base.ok());
+  auto swapped = ApplySwap(s->workflow, s->a2e_date, s->aggregate);
+  ASSERT_TRUE(swapped.ok());
+  auto incr = IncrementalCostBreakdown(*swapped, *base, s->workflow, model_);
+  ASSERT_TRUE(incr.ok());
+  EXPECT_DOUBLE_EQ(incr->node_cost.at(s->not_null),
+                   base->node_cost.at(s->not_null));
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,155 @@
+#include "engine/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "common/macros.h"
+#include "optimizer/search.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+// The pipelined and materializing executors are independent
+// implementations of the same semantics; they must agree everywhere.
+void ExpectSameResults(const Workflow& w, const ExecutionInput& input) {
+  auto batch = ExecuteWorkflow(w, input);
+  PipelineStats stats;
+  auto piped = ExecutePipelined(w, input, &stats);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(piped.ok()) << piped.status().ToString();
+  ASSERT_EQ(batch->target_data.size(), piped->target_data.size());
+  for (const auto& [name, rows] : batch->target_data) {
+    ASSERT_TRUE(piped->target_data.count(name)) << name;
+    EXPECT_TRUE(SameRecordMultiset(rows, piped->target_data.at(name)))
+        << name;
+  }
+  EXPECT_EQ(batch->rows_out, piped->rows_out);
+}
+
+TEST(PipelineExecTest, MatchesBatchOnFig1) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExpectSameResults(s->workflow, MakeFig1Input(42, 300));
+}
+
+TEST(PipelineExecTest, MatchesBatchOnFig4) {
+  auto s = BuildFig4Scenario();
+  ASSERT_TRUE(s.ok());
+  ExpectSameResults(s->workflow, MakeFig4Input(7, 64));
+}
+
+TEST(PipelineExecTest, MatchesBatchOnGeneratedWorkflows) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    GeneratorOptions options;
+    options.category = WorkloadCategory::kSmall;
+    options.seed = seed;
+    auto g = GenerateWorkflow(options);
+    ASSERT_TRUE(g.ok());
+    ExpectSameResults(g->workflow, GenerateInputFor(g->workflow, seed, 60));
+  }
+}
+
+TEST(PipelineExecTest, MatchesBatchOnOptimizedWorkflow) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  LinearLogCostModel model;
+  auto r = HeuristicSearch(s->workflow, model);
+  ASSERT_TRUE(r.ok());
+  ExpectSameResults(r->best.workflow, MakeFig1Input(8, 250));
+}
+
+TEST(PipelineExecTest, BuffersOnlyBlockingActivities) {
+  // A filter-only flow buffers nothing; the materializing executor would
+  // stage every intermediate edge.
+  Workflow w;
+  Schema sch = Schema::MakeOrDie({{"V", DataType::kDouble}});
+  NodeId src = w.AddRecordSet({"S", sch, 100});
+  NodeId nn = *w.AddActivity(*MakeNotNull("nn", "V", 0.9), {src});
+  NodeId sel = *w.AddActivity(
+      *MakeSelection("sel",
+                     Compare(CompareOp::kGt, Column("V"),
+                             Literal(Value::Double(5))),
+                     0.5),
+      {nn});
+  NodeId tgt = w.AddRecordSet({"T", sch, 0});
+  ETLOPT_CHECK_OK(w.Connect(sel, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+
+  ExecutionInput input;
+  std::vector<Record> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back(Record({Value::Double(i)}));
+  input.source_data.emplace("S", std::move(rows));
+
+  PipelineStats stats;
+  auto r = ExecutePipelined(w, input, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.buffered_rows, 0u);
+  EXPECT_GT(stats.materialized_equivalent, 0u);
+}
+
+TEST(PipelineExecTest, AggregationBuffersItsInput) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  PipelineStats stats;
+  auto r = ExecutePipelined(s->workflow, MakeFig1Input(3, 200), &stats);
+  ASSERT_TRUE(r.ok());
+  // The aggregation sees all 200 PARTS2 rows.
+  EXPECT_GE(stats.buffered_rows, 200u);
+  // Far less than full materialization of every edge.
+  EXPECT_LT(stats.buffered_rows, stats.materialized_equivalent);
+}
+
+TEST(PipelineExecTest, PkCheckStreamsKeepingFirst) {
+  Workflow w;
+  Schema sch = Schema::MakeOrDie({{"K", DataType::kInt64},
+                                  {"V", DataType::kDouble}});
+  NodeId src = w.AddRecordSet({"S", sch, 10});
+  NodeId pk = *w.AddActivity(*MakePrimaryKeyCheck("pk", {"K"}, 0.5), {src});
+  NodeId tgt = w.AddRecordSet({"T", sch, 0});
+  ETLOPT_CHECK_OK(w.Connect(pk, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+
+  ExecutionInput input;
+  std::vector<Record> rows = {
+      Record({Value::Int(1), Value::Double(10)}),
+      Record({Value::Int(2), Value::Double(20)}),
+      Record({Value::Int(1), Value::Double(99)}),  // dup key, dropped
+  };
+  input.source_data.emplace("S", std::move(rows));
+  auto r = ExecutePipelined(w, input);
+  ASSERT_TRUE(r.ok());
+  const auto& out = r->target_data.at("T");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].value(1).double_value(), 10);  // first kept
+}
+
+TEST(PipelineExecTest, PropagatesActivityErrors) {
+  auto s = BuildFig4Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input = MakeFig4Input(7, 16);
+  input.context.lookups.clear();  // surrogate key has no table
+  auto r = ExecutePipelined(s->workflow, input);
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(PipelineExecTest, RequiresFreshWorkflow) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  Workflow w = s->workflow;
+  ASSERT_TRUE(w.SwapAdjacent(s->to_euro, s->a2e_date).ok());
+  EXPECT_TRUE(ExecutePipelined(w, MakeFig1Input(1, 10))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PipelineExecTest, MissingSourceFails) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input;
+  EXPECT_TRUE(ExecutePipelined(s->workflow, input).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,90 @@
+// Deeply composed expressions: function-over-function, arithmetic inside
+// predicates, and evaluation stability.
+
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+
+namespace etlopt {
+namespace {
+
+class ExprNestingTest : public ::testing::Test {
+ protected:
+  Schema schema_ = Schema::MakeOrDie({{"USD", DataType::kDouble},
+                                      {"QTY", DataType::kInt64},
+                                      {"DATE", DataType::kString}});
+  Record row_{std::vector<Value>{Value::Double(125.0), Value::Int(4),
+                                 Value::String("12/28/2004")}};
+};
+
+TEST_F(ExprNestingTest, FunctionComposition) {
+  // euro2dollar(dollar2euro(x)) == x.
+  auto e = Function("euro2dollar", {Function("dollar2euro", {Column("USD")})});
+  EXPECT_DOUBLE_EQ(e->Evaluate(row_, schema_)->double_value(), 125.0);
+  // a2e(a2e(x)) == x for day<=12 dates (parts swap twice).
+  auto d = Function("a2e_date", {Function("a2e_date", {Column("DATE")})});
+  EXPECT_EQ(d->Evaluate(row_, schema_)->string_value(), "12/28/2004");
+}
+
+TEST_F(ExprNestingTest, ArithmeticInsidePredicate) {
+  // (USD * QTY) >= 400  ->  125*4 = 500 >= 400.
+  auto pred = Compare(CompareOp::kGe,
+                      Arith(ArithOp::kMul, Column("USD"), Column("QTY")),
+                      Literal(Value::Double(400)));
+  auto r = EvaluatePredicate(*pred, row_, schema_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_EQ(pred->ToString(), "((USD * QTY) >= 400)");
+}
+
+TEST_F(ExprNestingTest, FunctionInsidePredicate) {
+  // dollar2euro(USD) < 110  ->  100 < 110.
+  auto pred = Compare(CompareOp::kLt,
+                      Function("dollar2euro", {Column("USD")}),
+                      Literal(Value::Double(110)));
+  auto r = EvaluatePredicate(*pred, row_, schema_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(ExprNestingTest, DeepLogicalNesting) {
+  // Build a 32-deep AND chain of the same true comparison.
+  ExprPtr e = Compare(CompareOp::kGt, Column("USD"),
+                      Literal(Value::Double(0)));
+  ExprPtr acc = e;
+  for (int i = 0; i < 32; ++i) acc = And(acc, e);
+  auto r = EvaluatePredicate(*acc, row_, schema_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(ExprNestingTest, ReferencedColumnsThroughDepth) {
+  auto e = And(Compare(CompareOp::kGt,
+                       Arith(ArithOp::kAdd, Column("USD"), Column("QTY")),
+                       Literal(Value::Double(0))),
+               IsNotNull(Function("a2e_date", {Column("DATE")})));
+  auto cols = e->ReferencedColumns();
+  EXPECT_EQ(cols, (std::vector<std::string>{"USD", "QTY", "DATE"}));
+}
+
+TEST_F(ExprNestingTest, SharedSubexpressionsAreSafe) {
+  // The same node used in two parents evaluates consistently (immutable,
+  // shared ownership).
+  ExprPtr shared = Arith(ArithOp::kMul, Column("USD"), Column("QTY"));
+  auto a = Compare(CompareOp::kGe, shared, Literal(Value::Double(500)));
+  auto b = Compare(CompareOp::kLt, shared, Literal(Value::Double(501)));
+  EXPECT_TRUE(*EvaluatePredicate(*a, row_, schema_));
+  EXPECT_TRUE(*EvaluatePredicate(*b, row_, schema_));
+}
+
+TEST_F(ExprNestingTest, ErrorPropagatesFromDepth) {
+  // Unknown column buried three levels deep surfaces as NotFound.
+  auto e = And(Literal(Value::Bool(true)),
+               Compare(CompareOp::kGt,
+                       Function("round", {Column("MISSING")}),
+                       Literal(Value::Double(0))));
+  EXPECT_TRUE(e->Evaluate(row_, schema_).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,222 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Schema schema_ = Schema::MakeOrDie({{"COST", DataType::kDouble},
+                                      {"DATE", DataType::kString},
+                                      {"QTY", DataType::kInt64}});
+  Record row_{std::vector<Value>{Value::Double(120.0),
+                                 Value::String("07/25/2004"),
+                                 Value::Int(3)}};
+};
+
+TEST_F(ExprTest, ColumnLookup) {
+  auto v = Column("QTY")->Evaluate(row_, schema_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), 3);
+}
+
+TEST_F(ExprTest, ColumnMissingIsNotFound) {
+  EXPECT_TRUE(Column("NOPE")->Evaluate(row_, schema_).status().IsNotFound());
+}
+
+TEST_F(ExprTest, LiteralEvaluatesToItself) {
+  auto v = Literal(Value::String("x"))->Evaluate(row_, schema_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "x");
+}
+
+TEST_F(ExprTest, Comparisons) {
+  auto gt = Compare(CompareOp::kGt, Column("COST"),
+                    Literal(Value::Double(100.0)));
+  EXPECT_TRUE(gt->Evaluate(row_, schema_)->bool_value());
+  auto le = Compare(CompareOp::kLe, Column("COST"),
+                    Literal(Value::Double(100.0)));
+  EXPECT_FALSE(le->Evaluate(row_, schema_)->bool_value());
+  auto eq = Compare(CompareOp::kEq, Column("QTY"), Literal(Value::Int(3)));
+  EXPECT_TRUE(eq->Evaluate(row_, schema_)->bool_value());
+  auto ne = Compare(CompareOp::kNe, Column("QTY"), Literal(Value::Int(3)));
+  EXPECT_FALSE(ne->Evaluate(row_, schema_)->bool_value());
+}
+
+TEST_F(ExprTest, ComparisonWithNullYieldsNull) {
+  Record with_null({Value::Null(), Value::String("d"), Value::Int(1)});
+  auto gt = Compare(CompareOp::kGt, Column("COST"),
+                    Literal(Value::Double(100.0)));
+  auto v = gt->Evaluate(with_null, schema_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  // And the predicate wrapper treats it as false.
+  auto p = EvaluatePredicate(*gt, with_null, schema_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(*p);
+}
+
+TEST_F(ExprTest, LogicalOps) {
+  auto t = Literal(Value::Bool(true));
+  auto f = Literal(Value::Bool(false));
+  EXPECT_TRUE(And(t, t)->Evaluate(row_, schema_)->bool_value());
+  EXPECT_FALSE(And(t, f)->Evaluate(row_, schema_)->bool_value());
+  EXPECT_TRUE(Or(f, t)->Evaluate(row_, schema_)->bool_value());
+  EXPECT_FALSE(Or(f, f)->Evaluate(row_, schema_)->bool_value());
+  EXPECT_FALSE(Not(t)->Evaluate(row_, schema_)->bool_value());
+}
+
+TEST_F(ExprTest, ThreeValuedLogic) {
+  auto t = Literal(Value::Bool(true));
+  auto f = Literal(Value::Bool(false));
+  auto n = Literal(Value::Null());
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  EXPECT_FALSE(And(f, n)->Evaluate(row_, schema_)->bool_value());
+  EXPECT_TRUE(And(t, n)->Evaluate(row_, schema_)->is_null());
+  // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+  EXPECT_TRUE(Or(t, n)->Evaluate(row_, schema_)->bool_value());
+  EXPECT_TRUE(Or(f, n)->Evaluate(row_, schema_)->is_null());
+  EXPECT_TRUE(Not(n)->Evaluate(row_, schema_)->is_null());
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  auto sum = Arith(ArithOp::kAdd, Column("COST"), Literal(Value::Double(5)));
+  EXPECT_DOUBLE_EQ(sum->Evaluate(row_, schema_)->double_value(), 125.0);
+  auto prod = Arith(ArithOp::kMul, Column("QTY"), Literal(Value::Int(4)));
+  EXPECT_DOUBLE_EQ(prod->Evaluate(row_, schema_)->double_value(), 12.0);
+  auto div0 =
+      Arith(ArithOp::kDiv, Column("COST"), Literal(Value::Double(0.0)));
+  EXPECT_FALSE(div0->Evaluate(row_, schema_).ok());
+}
+
+TEST_F(ExprTest, NullTests) {
+  Record with_null({Value::Null(), Value::String("d"), Value::Int(1)});
+  EXPECT_TRUE(
+      IsNull(Column("COST"))->Evaluate(with_null, schema_)->bool_value());
+  EXPECT_FALSE(
+      IsNotNull(Column("COST"))->Evaluate(with_null, schema_)->bool_value());
+  EXPECT_TRUE(IsNotNull(Column("COST"))->Evaluate(row_, schema_)->bool_value());
+}
+
+TEST_F(ExprTest, Dollar2EuroFunction) {
+  auto e = Function("dollar2euro", {Column("COST")});
+  auto v = e->Evaluate(row_, schema_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->double_value(), 120.0 / 1.25);
+}
+
+TEST_F(ExprTest, CurrencyFunctionsInvert) {
+  auto there = Function("dollar2euro", {Literal(Value::Double(50.0))});
+  auto back =
+      Function("euro2dollar", {Function("dollar2euro",
+                                        {Literal(Value::Double(50.0))})});
+  EXPECT_DOUBLE_EQ(back->Evaluate(row_, schema_)->double_value(), 50.0);
+  EXPECT_LT(there->Evaluate(row_, schema_)->double_value(), 50.0);
+}
+
+TEST_F(ExprTest, DateConversionFunctions) {
+  auto a2e = Function("a2e_date", {Column("DATE")});
+  auto v = a2e->Evaluate(row_, schema_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "25/07/2004");  // MM/DD -> DD/MM
+  auto roundtrip = Function("e2a_date", {a2e});
+  EXPECT_EQ(roundtrip->Evaluate(row_, schema_)->string_value(), "07/25/2004");
+}
+
+TEST_F(ExprTest, DateConversionRejectsMalformed) {
+  auto e = Function("a2e_date", {Literal(Value::String("2004-07-25"))});
+  EXPECT_FALSE(e->Evaluate(row_, schema_).ok());
+}
+
+TEST_F(ExprTest, StringFunctions) {
+  EXPECT_EQ(Function("upper", {Literal(Value::String("ab"))})
+                ->Evaluate(row_, schema_)
+                ->string_value(),
+            "AB");
+  EXPECT_EQ(Function("lower", {Literal(Value::String("AB"))})
+                ->Evaluate(row_, schema_)
+                ->string_value(),
+            "ab");
+  EXPECT_EQ(Function("concat", {Literal(Value::String("a")),
+                                Literal(Value::Int(1))})
+                ->Evaluate(row_, schema_)
+                ->string_value(),
+            "a1");
+}
+
+TEST_F(ExprTest, NumericFunctions) {
+  EXPECT_DOUBLE_EQ(Function("round", {Literal(Value::Double(2.6))})
+                       ->Evaluate(row_, schema_)
+                       ->double_value(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(Function("abs", {Literal(Value::Double(-2.5))})
+                       ->Evaluate(row_, schema_)
+                       ->double_value(),
+                   2.5);
+}
+
+TEST_F(ExprTest, DatePartFunctions) {
+  EXPECT_EQ(Function("year_of", {Column("DATE")})
+                ->Evaluate(row_, schema_)
+                ->int_value(),
+            2004);
+  EXPECT_EQ(Function("month_of", {Literal(Value::String("25/07/2004"))})
+                ->Evaluate(row_, schema_)
+                ->string_value(),
+            "07/2004");
+}
+
+TEST_F(ExprTest, FunctionsPropagateNull) {
+  auto e = Function("dollar2euro", {Literal(Value::Null())});
+  EXPECT_TRUE(e->Evaluate(row_, schema_)->is_null());
+  EXPECT_TRUE(Function("upper", {Literal(Value::Null())})
+                  ->Evaluate(row_, schema_)
+                  ->is_null());
+}
+
+TEST_F(ExprTest, UnknownFunctionIsNotFound) {
+  auto e = Function("no_such_fn", {Column("COST")});
+  EXPECT_TRUE(e->Evaluate(row_, schema_).status().IsNotFound());
+  EXPECT_FALSE(IsScalarFunctionRegistered("no_such_fn"));
+  EXPECT_TRUE(IsScalarFunctionRegistered("dollar2euro"));
+}
+
+StatusOr<Value> FnConstant(const std::vector<Value>&) {
+  return Value::Int(77);
+}
+
+TEST_F(ExprTest, UserRegisteredFunction) {
+  ASSERT_TRUE(RegisterScalarFunction("test_constant77", &FnConstant).ok());
+  EXPECT_TRUE(
+      RegisterScalarFunction("test_constant77", &FnConstant).IsAlreadyExists());
+  auto e = Function("test_constant77", {});
+  EXPECT_EQ(e->Evaluate(row_, schema_)->int_value(), 77);
+}
+
+TEST_F(ExprTest, ReferencedColumnsDeduplicated) {
+  auto e = And(Compare(CompareOp::kGt, Column("COST"),
+                       Literal(Value::Double(0))),
+               Compare(CompareOp::kLt, Column("COST"), Column("QTY")));
+  EXPECT_EQ(e->ReferencedColumns(),
+            (std::vector<std::string>{"COST", "QTY"}));
+}
+
+TEST_F(ExprTest, ToStringCanonicalForms) {
+  auto e = Compare(CompareOp::kGe, Column("COST"),
+                   Literal(Value::Double(100.0)));
+  EXPECT_EQ(e->ToString(), "(COST >= 100)");
+  EXPECT_EQ(Function("dollar2euro", {Column("COST")})->ToString(),
+            "dollar2euro(COST)");
+  EXPECT_EQ(IsNotNull(Column("X"))->ToString(), "(X IS NOT NULL)");
+  EXPECT_EQ(Literal(Value::String("s"))->ToString(), "'s'");
+  EXPECT_EQ(Literal(Value::Null())->ToString(), "NULL");
+}
+
+TEST_F(ExprTest, PredicateRejectsNonBool) {
+  auto e = Column("COST");
+  EXPECT_FALSE(EvaluatePredicate(*e, row_, schema_).ok());
+}
+
+}  // namespace
+}  // namespace etlopt

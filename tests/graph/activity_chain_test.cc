@@ -1,0 +1,131 @@
+#include "graph/activity_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+
+namespace etlopt {
+namespace {
+
+Schema ItemSchema() {
+  return Schema::MakeOrDie({{"ID", DataType::kInt64},
+                            {"TAG", DataType::kString},
+                            {"VAL", DataType::kDouble}});
+}
+
+ActivityChain NN() { return ActivityChain(*MakeNotNull("nn", "VAL", 0.9), "1"); }
+
+ActivityChain Sel() {
+  return ActivityChain(*MakeSelection("sel",
+                                      Compare(CompareOp::kGt, Column("VAL"),
+                                              Literal(Value::Double(5))),
+                                      0.5),
+                       "2");
+}
+
+ActivityChain ToEuro() {
+  return ActivityChain(*MakeFunction("f", "dollar2euro", {"VAL"}, "VAL_EUR",
+                                     DataType::kDouble, {"VAL"}),
+                       "3");
+}
+
+TEST(ActivityChainTest, SingletonBasics) {
+  ActivityChain c = NN();
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.is_unary());
+  EXPECT_EQ(c.input_arity(), 1);
+  EXPECT_EQ(c.label(), "nn");
+  EXPECT_EQ(c.PriorityLabel(), "1");
+  EXPECT_DOUBLE_EQ(c.selectivity(), 0.9);
+}
+
+TEST(ActivityChainTest, ConcatComposesEverything) {
+  auto merged = ActivityChain::Concat(NN(), Sel());
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 2u);
+  EXPECT_EQ(merged->label(), "nn+sel");
+  EXPECT_EQ(merged->PriorityLabel(), "1+2");
+  EXPECT_DOUBLE_EQ(merged->selectivity(), 0.45);
+  EXPECT_EQ(merged->SemanticsString(), "NN[VAL]+SEL[(VAL > 5)]");
+  EXPECT_EQ(merged->PredicateStrings().size(), 2u);
+}
+
+TEST(ActivityChainTest, ConcatRejectsBinaryTail) {
+  ActivityChain u(*MakeUnion("u"), "7");
+  EXPECT_FALSE(ActivityChain::Concat(NN(), u).ok());
+  // Binary may lead a chain.
+  auto ok = ActivityChain::Concat(u, NN());
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->is_binary());
+  EXPECT_EQ(ok->input_arity(), 2);
+}
+
+TEST(ActivityChainTest, SplitRoundTrip) {
+  auto merged = ActivityChain::Concat(NN(), Sel());
+  ASSERT_TRUE(merged.ok());
+  auto parts = merged->SplitAt(1);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->first.SemanticsString(), NN().SemanticsString());
+  EXPECT_EQ(parts->second.SemanticsString(), Sel().SemanticsString());
+  EXPECT_EQ(parts->first.PriorityLabel(), "1");
+  EXPECT_EQ(parts->second.PriorityLabel(), "2");
+}
+
+TEST(ActivityChainTest, SplitOutOfRange) {
+  ActivityChain c = NN();
+  EXPECT_FALSE(c.SplitAt(0).ok());
+  EXPECT_FALSE(c.SplitAt(1).ok());
+}
+
+TEST(ActivityChainTest, FunctionalityExcludesInternallyGenerated) {
+  // to_euro generates VAL_EUR; a following selection on VAL_EUR reads it
+  // internally, so the chain's external functionality is just VAL.
+  ActivityChain sel_eur(
+      *MakeSelection("sel",
+                     Compare(CompareOp::kGt, Column("VAL_EUR"),
+                             Literal(Value::Double(5))),
+                     0.5),
+      "4");
+  auto merged = ActivityChain::Concat(ToEuro(), sel_eur);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->FunctionalityAttrs(), (std::vector<std::string>{"VAL"}));
+  EXPECT_EQ(merged->ValueChangedAttrs(),
+            (std::vector<std::string>{"VAL_EUR"}));
+}
+
+TEST(ActivityChainTest, ComputeOutputSchemaFolds) {
+  auto merged = ActivityChain::Concat(ToEuro(), NN());
+  // NN is on VAL which to_euro dropped -> schema propagation must fail.
+  ASSERT_TRUE(merged.ok());
+  EXPECT_FALSE(merged->ComputeOutputSchema({ItemSchema()}).ok());
+
+  ActivityChain nn_eur(*MakeNotNull("nn2", "VAL_EUR", 0.9), "5");
+  auto merged2 = ActivityChain::Concat(ToEuro(), nn_eur);
+  ASSERT_TRUE(merged2.ok());
+  auto out = merged2->ComputeOutputSchema({ItemSchema()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Contains("VAL_EUR"));
+  EXPECT_FALSE(out->Contains("VAL"));
+}
+
+TEST(ActivityChainTest, ExecuteFoldsMembers) {
+  auto merged = ActivityChain::Concat(NN(), Sel());
+  ASSERT_TRUE(merged.ok());
+  std::vector<Record> rows = {
+      Record({Value::Int(1), Value::String("a"), Value::Double(10)}),
+      Record({Value::Int(2), Value::String("b"), Value::Null()}),
+      Record({Value::Int(3), Value::String("c"), Value::Double(2)})};
+  auto out = merged->Execute({ItemSchema()}, {rows}, {});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value(0).int_value(), 1);
+}
+
+TEST(ActivityChainTest, SetPlabel) {
+  ActivityChain c = NN();
+  c.set_plabel(0, "42");
+  EXPECT_EQ(c.PriorityLabel(), "42");
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,101 @@
+#include "graph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "common/macros.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+TEST(LocalGroupsTest, Fig1GroupsMatchPaper) {
+  // Paper §3.2: the local groups of Fig. 1 are {3}, {4,5,6} and {8}.
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto groups = FindLocalGroups(s->workflow);
+  ASSERT_EQ(groups.size(), 3u);
+  std::vector<std::vector<NodeId>> expected = {
+      {s->not_null},
+      {s->to_euro, s->a2e_date, s->aggregate},
+      {s->threshold}};
+  for (const auto& e : expected) {
+    bool found = false;
+    for (const auto& g : groups) found |= (g.nodes == e);
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(LocalGroupsTest, BordersAreBinaryAndRecordsets) {
+  auto s = BuildFig4Scenario();
+  ASSERT_TRUE(s.ok());
+  auto groups = FindLocalGroups(s->workflow);
+  // {sk1}, {sk2}, {selection}.
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) EXPECT_EQ(g.nodes.size(), 1u);
+}
+
+TEST(WalkTest, NextBinaryOrRecordSet) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(NextBinaryOrRecordSet(s->workflow, s->to_euro), s->union_node);
+  EXPECT_EQ(NextBinaryOrRecordSet(s->workflow, s->not_null), s->union_node);
+  EXPECT_EQ(NextBinaryOrRecordSet(s->workflow, s->threshold), s->dw);
+}
+
+TEST(WalkTest, PrevBinaryOrRecordSet) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(PrevBinaryOrRecordSet(s->workflow, s->aggregate), s->parts2);
+  EXPECT_EQ(PrevBinaryOrRecordSet(s->workflow, s->threshold), s->union_node);
+}
+
+TEST(HomologousTest, Fig4SksAreHomologous) {
+  auto s = BuildFig4Scenario();
+  ASSERT_TRUE(s.ok());
+  auto pairs = FindHomologousPairs(s->workflow);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].binary, s->union_node);
+  EXPECT_TRUE((pairs[0].a1 == s->sk1 && pairs[0].a2 == s->sk2) ||
+              (pairs[0].a1 == s->sk2 && pairs[0].a2 == s->sk1));
+}
+
+TEST(HomologousTest, Fig1HasNone) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(FindHomologousPairs(s->workflow).empty());
+}
+
+TEST(HomologousTest, SameGroupDuplicatesNotHomologous) {
+  // Two identical filters in sequence (same local group) are not
+  // homologous: homology requires converging groups.
+  Workflow w;
+  Schema sch = Schema::MakeOrDie({{"V", DataType::kDouble}});
+  NodeId src = w.AddRecordSet({"S", sch, 10});
+  NodeId a = *w.AddActivity(*MakeNotNull("a", "V", 0.9), {src});
+  NodeId b = *w.AddActivity(*MakeNotNull("b", "V", 0.9), {a});
+  NodeId t = w.AddRecordSet({"T", sch, 0});
+  ETLOPT_CHECK_OK(w.Connect(b, t));
+  ETLOPT_CHECK_OK(w.Finalize());
+  EXPECT_TRUE(FindHomologousPairs(w).empty());
+}
+
+TEST(DistributableTest, Fig1ThresholdIsDistributable) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto ds = FindDistributable(s->workflow);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].node, s->threshold);
+  EXPECT_EQ(ds[0].binary, s->union_node);
+}
+
+TEST(DistributableTest, Fig4SelectionIsDistributable) {
+  auto s = BuildFig4Scenario();
+  ASSERT_TRUE(s.ok());
+  auto ds = FindDistributable(s->workflow);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].node, s->selection);
+}
+
+}  // namespace
+}  // namespace etlopt

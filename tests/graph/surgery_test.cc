@@ -1,0 +1,141 @@
+// Edge cases of the workflow surgery primitives that the transition layer
+// builds on.
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "common/macros.h"
+#include "graph/workflow.h"
+
+namespace etlopt {
+namespace {
+
+Schema TwoCol() {
+  return Schema::MakeOrDie({{"A", DataType::kDouble},
+                            {"B", DataType::kDouble}});
+}
+
+struct Chain3 {
+  Workflow w;
+  NodeId src, a, b, c, tgt;
+};
+
+Chain3 MakeChain3() {
+  Chain3 f;
+  f.src = f.w.AddRecordSet({"S", TwoCol(), 100});
+  f.a = *f.w.AddActivity(*MakeNotNull("a", "A", 0.9), {f.src});
+  f.b = *f.w.AddActivity(*MakeNotNull("b", "B", 0.8), {f.a});
+  f.c = *f.w.AddActivity(
+      *MakeSelection("c",
+                     Compare(CompareOp::kGt, Column("A"),
+                             Literal(Value::Double(0))),
+                     0.5),
+      {f.b});
+  f.tgt = f.w.AddRecordSet({"T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(f.w.Connect(f.c, f.tgt));
+  ETLOPT_CHECK_OK(f.w.Finalize());
+  return f;
+}
+
+TEST(SurgeryTest, TripleMergeAndSplitPositions) {
+  Chain3 f = MakeChain3();
+  ASSERT_TRUE(f.w.MergeInto(f.a, f.b).ok());
+  ASSERT_TRUE(f.w.MergeInto(f.a, f.c).ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.chain(f.a).size(), 3u);
+  EXPECT_EQ(f.w.PriorityLabelOf(f.a), "2+3+4");
+
+  // Split at 2: head keeps (a, b), tail gets (c).
+  auto tail = f.w.SplitNode(f.a, 2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.chain(f.a).size(), 2u);
+  EXPECT_EQ(f.w.chain(*tail).size(), 1u);
+  EXPECT_EQ(f.w.PriorityLabelOf(*tail), "4");
+  EXPECT_EQ(f.w.Consumers(f.a), std::vector<NodeId>{*tail});
+}
+
+TEST(SurgeryTest, MergeBinaryHeadWithUnaryTail) {
+  // A binary activity may lead a chain; merging its unary consumer in is
+  // legal and the chain keeps two input ports.
+  Workflow w;
+  NodeId s1 = w.AddRecordSet({"S1", TwoCol(), 10});
+  NodeId s2 = w.AddRecordSet({"S2", TwoCol(), 10});
+  NodeId u = *w.AddActivity(*MakeUnion("u"), {s1, s2});
+  NodeId nn = *w.AddActivity(*MakeNotNull("nn", "A", 0.9), {u});
+  NodeId tgt = w.AddRecordSet({"T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(w.Connect(nn, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+
+  ASSERT_TRUE(w.MergeInto(u, nn).ok());
+  ASSERT_TRUE(w.Refresh().ok());
+  EXPECT_TRUE(w.chain(u).is_binary());
+  EXPECT_EQ(w.chain(u).input_arity(), 2);
+  EXPECT_EQ(w.Providers(u).size(), 2u);
+}
+
+TEST(SurgeryTest, CannotMergeUnaryIntoBinaryTail) {
+  // The reverse — appending a *binary* chain to a unary one — must fail.
+  Workflow w;
+  NodeId s1 = w.AddRecordSet({"S1", TwoCol(), 10});
+  NodeId s2 = w.AddRecordSet({"S2", TwoCol(), 10});
+  NodeId nn = *w.AddActivity(*MakeNotNull("nn", "A", 0.9), {s1});
+  NodeId u = *w.AddActivity(*MakeUnion("u"), {nn, s2});
+  NodeId tgt = w.AddRecordSet({"T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(w.Connect(u, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+  EXPECT_FALSE(w.MergeInto(nn, u).ok());
+}
+
+TEST(SurgeryTest, RemoveBinaryNodeRejected) {
+  Workflow w;
+  NodeId s1 = w.AddRecordSet({"S1", TwoCol(), 10});
+  NodeId s2 = w.AddRecordSet({"S2", TwoCol(), 10});
+  NodeId u = *w.AddActivity(*MakeUnion("u"), {s1, s2});
+  NodeId tgt = w.AddRecordSet({"T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(w.Connect(u, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+  EXPECT_TRUE(w.RemoveChainNode(u).IsInvalidArgument());
+}
+
+TEST(SurgeryTest, InsertBinaryChainRejected) {
+  Chain3 f = MakeChain3();
+  ActivityChain u(*MakeUnion("u2"), "9");
+  EXPECT_TRUE(
+      f.w.InsertOnEdge(std::move(u), f.src, f.a).status().IsInvalidArgument());
+}
+
+TEST(SurgeryTest, SwapEndsOfChainThroughMiddle) {
+  // a and c are not adjacent; two swaps through b reorder the chain
+  // end-to-end and schemas stay valid throughout.
+  Chain3 f = MakeChain3();
+  ASSERT_TRUE(f.w.SwapAdjacent(f.a, f.b).ok());  // b a c
+  ASSERT_TRUE(f.w.Refresh().ok());
+  ASSERT_TRUE(f.w.SwapAdjacent(f.a, f.c).ok());  // b c a
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.Providers(f.c), std::vector<NodeId>{f.b});
+  EXPECT_EQ(f.w.Providers(f.a), std::vector<NodeId>{f.c});
+  EXPECT_EQ(f.w.Consumers(f.a), std::vector<NodeId>{f.tgt});
+  EXPECT_EQ(f.w.PrettySignature(), "1.3.4.2.5");
+}
+
+TEST(SurgeryTest, SplitBinaryLedChainKeepsPorts) {
+  Workflow w;
+  NodeId s1 = w.AddRecordSet({"S1", TwoCol(), 10});
+  NodeId s2 = w.AddRecordSet({"S2", TwoCol(), 10});
+  NodeId u = *w.AddActivity(*MakeUnion("u"), {s1, s2});
+  NodeId nn = *w.AddActivity(*MakeNotNull("nn", "A", 0.9), {u});
+  NodeId tgt = w.AddRecordSet({"T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(w.Connect(nn, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+  ASSERT_TRUE(w.MergeInto(u, nn).ok());
+  auto tail = w.SplitNode(u, 1);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_TRUE(w.Refresh().ok());
+  EXPECT_TRUE(w.chain(u).is_binary());
+  EXPECT_EQ(w.Providers(u).size(), 2u);
+  EXPECT_TRUE(w.chain(*tail).is_unary());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,288 @@
+#include "graph/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "common/macros.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+Schema OneCol() { return Schema::MakeOrDie({{"V", DataType::kDouble}}); }
+
+// Source -> NotNull -> Selection -> Target.
+struct LinearFlow {
+  Workflow w;
+  NodeId src, nn, sel, tgt;
+};
+
+LinearFlow MakeLinear() {
+  LinearFlow f;
+  f.src = f.w.AddRecordSet({"SRC", OneCol(), 100});
+  f.nn = *f.w.AddActivity(*MakeNotNull("nn", "V", 0.9), {f.src});
+  f.sel = *f.w.AddActivity(
+      *MakeSelection("sel",
+                     Compare(CompareOp::kGt, Column("V"),
+                             Literal(Value::Double(0))),
+                     0.5),
+      {f.nn});
+  f.tgt = f.w.AddRecordSet({"TGT", OneCol(), 0});
+  ETLOPT_CHECK_OK(f.w.Connect(f.sel, f.tgt));
+  ETLOPT_CHECK_OK(f.w.Finalize());
+  return f;
+}
+
+TEST(WorkflowTest, BuildAndQueryLinear) {
+  LinearFlow f = MakeLinear();
+  EXPECT_TRUE(f.w.IsRecordSet(f.src));
+  EXPECT_TRUE(f.w.IsActivity(f.nn));
+  EXPECT_EQ(f.w.ActivityCount(), 2u);
+  EXPECT_EQ(f.w.Providers(f.sel), (std::vector<NodeId>{f.nn}));
+  EXPECT_EQ(f.w.Consumers(f.nn), (std::vector<NodeId>{f.sel}));
+  EXPECT_EQ(f.w.SourceRecordSets(), (std::vector<NodeId>{f.src}));
+  EXPECT_EQ(f.w.TargetRecordSets(), (std::vector<NodeId>{f.tgt}));
+}
+
+TEST(WorkflowTest, TopoOrderRespectsEdges) {
+  LinearFlow f = MakeLinear();
+  const auto& topo = f.w.TopoOrder();
+  auto pos = [&](NodeId id) {
+    return std::find(topo.begin(), topo.end(), id) - topo.begin();
+  };
+  EXPECT_LT(pos(f.src), pos(f.nn));
+  EXPECT_LT(pos(f.nn), pos(f.sel));
+  EXPECT_LT(pos(f.sel), pos(f.tgt));
+}
+
+TEST(WorkflowTest, SchemasPropagated) {
+  LinearFlow f = MakeLinear();
+  EXPECT_EQ(f.w.OutputSchema(f.src), OneCol());
+  EXPECT_EQ(f.w.OutputSchema(f.sel), OneCol());
+  EXPECT_EQ(f.w.InputSchemas(f.sel)[0], OneCol());
+}
+
+TEST(WorkflowTest, PriorityLabelsAssignedInTopoOrder) {
+  LinearFlow f = MakeLinear();
+  EXPECT_EQ(f.w.PriorityLabelOf(f.src), "1");
+  EXPECT_EQ(f.w.PriorityLabelOf(f.nn), "2");
+  EXPECT_EQ(f.w.PriorityLabelOf(f.sel), "3");
+  EXPECT_EQ(f.w.PriorityLabelOf(f.tgt), "4");
+}
+
+TEST(WorkflowTest, SignatureShape) {
+  LinearFlow f = MakeLinear();
+  EXPECT_EQ(f.w.Signature(), "4(3(2(1)))#2");
+}
+
+TEST(WorkflowTest, FinalizeTwiceFails) {
+  LinearFlow f = MakeLinear();
+  EXPECT_TRUE(f.w.Finalize().IsFailedPrecondition());
+}
+
+TEST(WorkflowTest, DanglingActivityRejected) {
+  Workflow w;
+  NodeId src = w.AddRecordSet({"SRC", OneCol(), 100});
+  ETLOPT_CHECK_OK(w.AddActivity(*MakeNotNull("nn", "V", 0.9), {src}).status());
+  // nn has no consumer.
+  EXPECT_TRUE(w.Refresh().IsFailedPrecondition());
+}
+
+TEST(WorkflowTest, MissingFunctionalityAttrRejected) {
+  Workflow w;
+  NodeId src = w.AddRecordSet({"SRC", OneCol(), 100});
+  NodeId bad = *w.AddActivity(*MakeNotNull("nn", "MISSING", 0.9), {src});
+  NodeId tgt = w.AddRecordSet({"TGT", OneCol(), 0});
+  ETLOPT_CHECK_OK(w.Connect(bad, tgt));
+  Status s = w.Refresh();
+  EXPECT_TRUE(s.IsFailedPrecondition()) << s.ToString();
+}
+
+TEST(WorkflowTest, TargetSchemaMismatchRejected) {
+  Workflow w;
+  NodeId src = w.AddRecordSet({"SRC", OneCol(), 100});
+  NodeId nn = *w.AddActivity(*MakeNotNull("nn", "V", 0.9), {src});
+  NodeId tgt = w.AddRecordSet(
+      {"TGT", Schema::MakeOrDie({{"OTHER", DataType::kDouble}}), 0});
+  ETLOPT_CHECK_OK(w.Connect(nn, tgt));
+  EXPECT_TRUE(w.Refresh().IsFailedPrecondition());
+}
+
+TEST(WorkflowTest, DoubleProviderOnPortRejected) {
+  Workflow w;
+  NodeId s1 = w.AddRecordSet({"S1", OneCol(), 10});
+  NodeId s2 = w.AddRecordSet({"S2", OneCol(), 10});
+  NodeId nn = *w.AddActivity(*MakeNotNull("nn", "V", 0.9), {s1});
+  EXPECT_TRUE(w.Connect(s2, nn, 0).IsAlreadyExists());
+}
+
+TEST(WorkflowTest, SwapAdjacentRewires) {
+  LinearFlow f = MakeLinear();
+  ASSERT_TRUE(f.w.SwapAdjacent(f.nn, f.sel).ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.Providers(f.sel), (std::vector<NodeId>{f.src}));
+  EXPECT_EQ(f.w.Providers(f.nn), (std::vector<NodeId>{f.sel}));
+  EXPECT_EQ(f.w.Consumers(f.nn), (std::vector<NodeId>{f.tgt}));
+  EXPECT_EQ(f.w.Signature(), "4(2(3(1)))#2");
+}
+
+TEST(WorkflowTest, SwapNonAdjacentFails) {
+  LinearFlow f = MakeLinear();
+  EXPECT_TRUE(f.w.SwapAdjacent(f.sel, f.nn).IsFailedPrecondition());
+}
+
+TEST(WorkflowTest, RemoveChainNodeBridges) {
+  LinearFlow f = MakeLinear();
+  ASSERT_TRUE(f.w.RemoveChainNode(f.nn).ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.Providers(f.sel), (std::vector<NodeId>{f.src}));
+  EXPECT_EQ(f.w.ActivityCount(), 1u);
+}
+
+TEST(WorkflowTest, InsertOnEdgeSplices) {
+  LinearFlow f = MakeLinear();
+  ActivityChain extra(*MakeDomainCheck("dc", "V", 0, 50, 0.7), "9");
+  auto id = f.w.InsertOnEdge(std::move(extra), f.src, f.nn);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.Providers(f.nn), (std::vector<NodeId>{*id}));
+  EXPECT_EQ(f.w.Providers(*id), (std::vector<NodeId>{f.src}));
+  EXPECT_EQ(f.w.ActivityCount(), 3u);
+}
+
+TEST(WorkflowTest, InsertOnMissingEdgeFails) {
+  LinearFlow f = MakeLinear();
+  ActivityChain extra(*MakeDomainCheck("dc", "V", 0, 50, 0.7), "9");
+  EXPECT_TRUE(
+      f.w.InsertOnEdge(std::move(extra), f.src, f.sel).status().IsNotFound());
+}
+
+TEST(WorkflowTest, MergeAndSplitRoundTrip) {
+  LinearFlow f = MakeLinear();
+  std::string sig_before = f.w.Signature();
+  ASSERT_TRUE(f.w.MergeInto(f.nn, f.sel).ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.chain(f.nn).size(), 2u);
+  EXPECT_EQ(f.w.ActivityCount(), 2u);  // members still count
+  EXPECT_EQ(f.w.PriorityLabelOf(f.nn), "2+3");
+  EXPECT_EQ(f.w.Signature(), "4(2+3(1))#2");
+
+  auto tail = f.w.SplitNode(f.nn, 1);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.Signature(), sig_before);
+}
+
+TEST(WorkflowTest, MergeNonConsumerFails) {
+  LinearFlow f = MakeLinear();
+  EXPECT_FALSE(f.w.MergeInto(f.sel, f.nn).ok());
+}
+
+TEST(WorkflowTest, MultipleConsumersOfActivityRejected) {
+  Workflow w;
+  NodeId src = w.AddRecordSet({"SRC", OneCol(), 10});
+  NodeId a = *w.AddActivity(*MakeNotNull("a", "V", 0.9), {src});
+  NodeId b = *w.AddActivity(*MakeNotNull("b", "V", 0.9), {a});
+  // b feeds both union ports: two consumers of one activity output.
+  NodeId u = *w.AddActivity(*MakeUnion("u"), {b, b});
+  (void)u;
+  EXPECT_FALSE(w.Refresh().ok());
+}
+
+TEST(WorkflowTest, CycleDetected) {
+  Workflow w;
+  NodeId rs = w.AddRecordSet({"RS", OneCol(), 10});
+  NodeId a = *w.AddActivity(*MakeNotNull("a", "V", 0.9), {rs});
+  // rs -> a -> rs is structurally well-formed port-wise but cyclic.
+  ETLOPT_CHECK_OK(w.Connect(a, rs));
+  Status s = w.Refresh();
+  ASSERT_TRUE(s.IsFailedPrecondition());
+  EXPECT_NE(s.message().find("cycle"), std::string::npos);
+}
+
+TEST(WorkflowTest, CopyIsIndependent) {
+  LinearFlow f = MakeLinear();
+  Workflow copy = f.w;
+  ASSERT_TRUE(copy.SwapAdjacent(f.nn, f.sel).ok());
+  ASSERT_TRUE(copy.Refresh().ok());
+  // Original untouched.
+  EXPECT_EQ(f.w.Providers(f.sel), (std::vector<NodeId>{f.nn}));
+  EXPECT_NE(copy.Signature(), f.w.Signature());
+}
+
+// --- The paper's running example (Fig. 1) ---
+
+TEST(Fig1Test, BuildsAndValidates) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->workflow.ActivityCount(), 6u);
+  EXPECT_EQ(s->workflow.SourceRecordSets().size(), 2u);
+  EXPECT_EQ(s->workflow.TargetRecordSets(), (std::vector<NodeId>{s->dw}));
+}
+
+TEST(Fig1Test, SignatureMatchesPaperStructure) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  // Paper §4.1 gives ((1.3)//(2.4.5.6)).7.8.9 for this state; our canonical
+  // unfolding encodes the same structure.
+  EXPECT_EQ(s->workflow.Signature(), "9(8(7(3(1),6(5(4(2))))))#6");
+  // And the display form reproduces the paper's notation verbatim.
+  EXPECT_EQ(s->workflow.PrettySignature(), "((1.3)//(2.4.5.6)).7.8.9");
+}
+
+TEST(WorkflowTest, PrettySignatureLinear) {
+  LinearFlow f = MakeLinear();
+  EXPECT_EQ(f.w.PrettySignature(), "1.2.3.4");
+}
+
+TEST(WorkflowTest, PrettySignatureReflectsMerge) {
+  LinearFlow f = MakeLinear();
+  ASSERT_TRUE(f.w.MergeInto(f.nn, f.sel).ok());
+  ASSERT_TRUE(f.w.Refresh().ok());
+  EXPECT_EQ(f.w.PrettySignature(), "1.2+3.4");
+}
+
+TEST(Fig1Test, SchemaFlow) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  const Workflow& w = s->workflow;
+  // After $2E: COST_USD replaced by COST_EUR; DEPT still present.
+  EXPECT_TRUE(w.OutputSchema(s->to_euro).Contains("COST_EUR"));
+  EXPECT_FALSE(w.OutputSchema(s->to_euro).Contains("COST_USD"));
+  EXPECT_TRUE(w.OutputSchema(s->to_euro).Contains("DEPT"));
+  // Aggregation discards DEPT.
+  EXPECT_FALSE(w.OutputSchema(s->aggregate).Contains("DEPT"));
+  // Union inputs equivalent.
+  EXPECT_TRUE(w.OutputSchema(s->not_null)
+                  .EquivalentTo(w.OutputSchema(s->aggregate)));
+}
+
+TEST(Fig1Test, PostConditionSetContents) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto post = s->workflow.PostConditionSet();
+  EXPECT_TRUE(post.count("NN[COST_EUR]"));
+  EXPECT_TRUE(post.count("FN[dollar2euro(COST_USD)->COST_EUR;-COST_USD]"));
+  EXPECT_TRUE(post.count("FN~[a2e_date(DATE)->DATE]"));
+  EXPECT_TRUE(post.count("UNION"));
+  EXPECT_EQ(post.size(), 9u);  // 6 activities + 3 recordset predicates
+}
+
+TEST(Fig1Test, EquivalentToItselfButNotToFig4) {
+  auto f1 = BuildFig1Scenario();
+  auto f1b = BuildFig1Scenario();
+  auto f4 = BuildFig4Scenario();
+  ASSERT_TRUE(f1.ok() && f1b.ok() && f4.ok());
+  EXPECT_TRUE(f1->workflow.EquivalentTo(f1b->workflow));
+  EXPECT_FALSE(f1->workflow.EquivalentTo(f4->workflow));
+}
+
+TEST(Fig1Test, ThresholdChangesEquivalence) {
+  auto a = BuildFig1Scenario(100.0);
+  auto b = BuildFig1Scenario(200.0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a->workflow.EquivalentTo(b->workflow));
+}
+
+}  // namespace
+}  // namespace etlopt

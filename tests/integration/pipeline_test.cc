@@ -1,0 +1,132 @@
+// End-to-end integration tests across module boundaries: DSL -> optimizer
+// -> engine -> CSV, and the full optimize-then-load pipeline on the
+// paper's running example.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "io/dot.h"
+#include "io/text_format.h"
+#include "optimizer/search.h"
+#include "records/csv_file.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+TEST(PipelineTest, DslToOptimizedDslToEngine) {
+  // Author a workflow in the DSL, optimize it, print it, re-parse it, and
+  // run both the original and the reprinted optimum on the same data.
+  constexpr char kText[] = R"(
+source S1 card=5000 schema=K:int,SRC:string,DATE:string,V1:double,V2:double
+source S2 card=8000 schema=K:int,SRC:string,DATE:string,V1:double,V2:double
+function e1 in=S1 fn=dollar2euro args=V1 out=V1E:double drop=V1
+function e2 in=S2 fn=dollar2euro args=V1 out=V1E:double drop=V1
+union u in=e1,e2
+notnull nn in=u attr=V1E sel=0.9
+selection big in=nn pred=(V1E >= 400) sel=0.5
+target T in=big schema=K:int,SRC:string,DATE:string,V1E:double,V2:double
+)";
+  auto w = ParseWorkflowText(kText);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+
+  LinearLogCostModel model;
+  auto result = HeuristicSearch(*w, model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->best.cost, result->initial_cost);
+
+  auto printed = PrintWorkflowText(result->best.workflow);
+  ASSERT_TRUE(printed.ok()) << printed.status().ToString();
+  auto reparsed = ParseWorkflowText(*printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+
+  ExecutionInput input = GenerateInputFor(*w, 5, 120);
+  auto same = ProduceSameOutput(*w, *reparsed, input);
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  EXPECT_TRUE(*same);
+}
+
+TEST(PipelineTest, OptimizedFig1LoadsCsvTargetIdenticalToOriginal) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  LinearLogCostModel model;
+  auto optimized = HeuristicSearch(s->workflow, model);
+  ASSERT_TRUE(optimized.ok());
+
+  ExecutionInput input = MakeFig1Input(77, 300);
+  const Schema& dw_schema = s->workflow.recordset(s->dw).schema;
+
+  std::string path_a = ::testing::TempDir() + "/etlopt_pipe_a.csv";
+  std::string path_b = ::testing::TempDir() + "/etlopt_pipe_b.csv";
+  {
+    auto csv_a = CsvFile::Create(path_a, "DW", dw_schema);
+    auto csv_b = CsvFile::Create(path_b, "DW", dw_schema);
+    ASSERT_TRUE(csv_a.ok() && csv_b.ok());
+    ASSERT_TRUE(ExecuteWorkflowInto(s->workflow, input,
+                                    {{"DW", csv_a->get()}})
+                    .ok());
+    ASSERT_TRUE(ExecuteWorkflowInto(optimized->best.workflow, input,
+                                    {{"DW", csv_b->get()}})
+                    .ok());
+    ASSERT_TRUE((*csv_a)->Flush().ok());
+    ASSERT_TRUE((*csv_b)->Flush().ok());
+  }
+  // Reopen from disk and compare contents as multisets.
+  auto a = CsvFile::Open(path_a, "A");
+  auto b = CsvFile::Open(path_b, "B");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto rows_a = (*a)->ScanAll();
+  auto rows_b = (*b)->ScanAll();
+  ASSERT_TRUE(rows_a.ok() && rows_b.ok());
+  EXPECT_FALSE(rows_a->empty());
+  EXPECT_TRUE(SameRecordMultiset(*rows_a, *rows_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(PipelineTest, DotExportOfOptimizedGeneratedWorkflow) {
+  GeneratorOptions options;
+  options.category = WorkloadCategory::kSmall;
+  options.seed = 9;
+  auto g = GenerateWorkflow(options);
+  ASSERT_TRUE(g.ok());
+  LinearLogCostModel model;
+  auto r = HeuristicSearchGreedy(g->workflow, model);
+  ASSERT_TRUE(r.ok());
+  std::string dot = WorkflowToDot(r->best.workflow);
+  // Every node appears exactly once.
+  for (NodeId id : r->best.workflow.NodeIds()) {
+    std::string decl = "  n" + std::to_string(id) + " [";
+    EXPECT_NE(dot.find(decl), std::string::npos) << decl;
+  }
+}
+
+TEST(PipelineTest, MergeConstraintSurvivesFullPipeline) {
+  // A user pins two activities together; the optimized plan must keep
+  // them adjacent and still produce identical data.
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  LinearLogCostModel model;
+  std::vector<MergeConstraint> cons = {{"a2e_date", "monthly_sum"}};
+  auto r = HeuristicSearch(s->workflow, model, {}, cons);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExecutionInput input = MakeFig1Input(12, 200);
+  auto same = ProduceSameOutput(s->workflow, r->best.workflow, input);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same);
+  // With (a2e_date, monthly_sum) pinned, the pair may still move as a
+  // unit but a2e_date must directly feed monthly_sum.
+  NodeId a2e = kInvalidNode;
+  for (NodeId id : r->best.workflow.ActivityNodeIds()) {
+    if (r->best.workflow.chain(id).label() == "a2e_date") a2e = id;
+  }
+  ASSERT_NE(a2e, kInvalidNode);
+  NodeId next = r->best.workflow.Consumers(a2e)[0];
+  EXPECT_EQ(r->best.workflow.chain(next).label(), "monthly_sum");
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,46 @@
+#include "io/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+TEST(DotTest, RendersAllNodesAndEdges) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  std::string dot = WorkflowToDot(s->workflow);
+  EXPECT_NE(dot.find("digraph etl"), std::string::npos);
+  EXPECT_NE(dot.find("PARTS1"), std::string::npos);
+  EXPECT_NE(dot.find("PARTS2"), std::string::npos);
+  EXPECT_NE(dot.find("DW"), std::string::npos);
+  EXPECT_NE(dot.find("UNION"), std::string::npos);
+  // One edge line per workflow edge (" -> " distinguishes edges from the
+  // "->" inside semantics labels).
+  size_t arrows = 0;
+  for (size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, s->workflow.edges().size());
+}
+
+TEST(DotTest, SecondUnionPortLabelled) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  std::string dot = WorkflowToDot(s->workflow);
+  EXPECT_NE(dot.find("port 1"), std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotes) {
+  Workflow w;
+  Schema sch = Schema::MakeOrDie({{"V", DataType::kDouble}});
+  NodeId src = w.AddRecordSet({"SRC\"quoted\"", sch, 10});
+  (void)src;
+  std::string dot = WorkflowToDot(w);
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace etlopt

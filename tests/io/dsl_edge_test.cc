@@ -1,0 +1,120 @@
+// DSL robustness: malformed inputs must fail with the right status and a
+// line number, never crash; valid-but-unusual inputs must parse.
+
+#include <gtest/gtest.h>
+
+#include "io/text_format.h"
+
+namespace etlopt {
+namespace {
+
+TEST(DslEdgeTest, ErrorsCarryLineNumbers) {
+  std::string text =
+      "source A card=10 schema=V:double\n"
+      "notnull nn in=A attr=V sel=bogus\n";
+  auto w = ParseWorkflowText(text);
+  ASSERT_FALSE(w.ok());
+  EXPECT_NE(w.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(DslEdgeTest, MissingRequiredField) {
+  auto w = ParseWorkflowText(
+      "source A card=10 schema=V:double\n"
+      "notnull nn in=A sel=0.9\n");  // no attr=
+  ASSERT_FALSE(w.ok());
+  EXPECT_NE(w.status().message().find("attr"), std::string::npos);
+}
+
+TEST(DslEdgeTest, BadTypeName) {
+  EXPECT_FALSE(ParseWorkflowText("source A card=10 schema=V:float\n").ok());
+}
+
+TEST(DslEdgeTest, BadSchemaField) {
+  EXPECT_FALSE(ParseWorkflowText("source A card=10 schema=V\n").ok());
+}
+
+TEST(DslEdgeTest, SelectivityOutOfRangeRejected) {
+  auto w = ParseWorkflowText(
+      "source A card=10 schema=V:double\n"
+      "notnull nn in=A attr=V sel=1.5\n"
+      "target T in=nn schema=V:double\n");
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(DslEdgeTest, PredicateWithNestedParensInLine) {
+  std::string text =
+      "source A card=10 schema=V:double,W:double\n"
+      "selection s in=A pred=((V > 1) AND ((W < 5) OR (V IS NULL))) sel=0.4\n"
+      "target T in=s schema=V:double,W:double\n";
+  auto w = ParseWorkflowText(text);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  auto printed = PrintWorkflowText(*w);
+  ASSERT_TRUE(printed.ok());
+  EXPECT_NE(printed->find("((V > 1) AND ((W < 5) OR (V IS NULL)))"),
+            std::string::npos);
+}
+
+TEST(DslEdgeTest, StringLiteralPredicates) {
+  std::string text =
+      "source A card=10 schema=SRC:string,V:double\n"
+      "selection s in=A pred=(SRC = 'S1') sel=0.5\n"
+      "target T in=s schema=SRC:string,V:double\n";
+  auto w = ParseWorkflowText(text);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  auto rt = ParseWorkflowText(*PrintWorkflowText(*w));
+  ASSERT_TRUE(rt.ok());
+  EXPECT_TRUE(rt->EquivalentTo(*w));
+}
+
+TEST(DslEdgeTest, MultiAggregateRoundTrip) {
+  std::string text =
+      "source A card=10 schema=K:string,V:double\n"
+      "aggregate g in=A group=K aggs=SUM(V)->S,MIN(V)->MN,MAX(V)->MX,"
+      "COUNT(V)->N,AVG(V)->AV sel=0.3\n"
+      "target T in=g schema=K:string,S:double,MN:double,MX:double,N:int,"
+      "AV:double\n";
+  auto w = ParseWorkflowText(text);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  auto rt = ParseWorkflowText(*PrintWorkflowText(*w));
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt->Signature(), w->Signature());
+}
+
+TEST(DslEdgeTest, JoinDifferenceIntersectionRoundTrip) {
+  std::string text =
+      "source L card=10 schema=K:int,A:string\n"
+      "source R card=10 schema=K:int,B:double\n"
+      "join j in=L,R keys=K sel=0.05\n"
+      "target T in=j schema=K:int,A:string,B:double\n"
+      "source X card=5 schema=V:double\n"
+      "source Y card=5 schema=V:double\n"
+      "difference d in=X,Y sel=0.5\n"
+      "source P card=5 schema=W:double\n"
+      "source Q card=5 schema=W:double\n"
+      "intersection i in=P,Q sel=0.5\n"
+      "target T2 in=d schema=V:double\n"
+      "target T3 in=i schema=W:double\n";
+  auto w = ParseWorkflowText(text);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->TargetRecordSets().size(), 3u);
+  auto rt = ParseWorkflowText(*PrintWorkflowText(*w));
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_TRUE(rt->EquivalentTo(*w));
+}
+
+TEST(DslEdgeTest, WindowsLineEndingsAccepted) {
+  std::string text =
+      "source A card=10 schema=V:double\r\n"
+      "notnull nn in=A attr=V sel=0.9\r\n"
+      "target T in=nn schema=V:double\r\n";
+  auto w = ParseWorkflowText(text);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+}
+
+TEST(DslEdgeTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseWorkflowText("").ok());
+  EXPECT_FALSE(ParseWorkflowText("# only comments\n\n").ok());
+}
+
+}  // namespace
+}  // namespace etlopt

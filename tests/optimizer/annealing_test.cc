@@ -1,0 +1,81 @@
+#include "optimizer/annealing.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+class AnnealingTest : public ::testing::Test {
+ protected:
+  LinearLogCostModel model_;
+};
+
+TEST_F(AnnealingTest, NeverWorseThanInitial) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto r = SimulatedAnnealingSearch(s->workflow, model_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r->best.cost, r->initial_cost);
+}
+
+TEST_F(AnnealingTest, FindsFig1OptimumWithEnoughSteps) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto es = ExhaustiveSearch(s->workflow, model_);
+  ASSERT_TRUE(es.ok());
+  AnnealingOptions annealing;
+  annealing.seed = 5;
+  annealing.steps_per_temperature = 100;
+  auto sa = SimulatedAnnealingSearch(s->workflow, model_, {}, annealing);
+  ASSERT_TRUE(sa.ok());
+  // The Fig. 1 space is tiny; annealing should land on the optimum.
+  EXPECT_DOUBLE_EQ(sa->best.cost, es->best.cost);
+}
+
+TEST_F(AnnealingTest, ResultIsEquivalentAndExecutable) {
+  GeneratorOptions options;
+  options.category = WorkloadCategory::kSmall;
+  options.seed = 4;
+  auto g = GenerateWorkflow(options);
+  ASSERT_TRUE(g.ok());
+  auto r = SimulatedAnnealingSearch(g->workflow, model_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->best.workflow.EquivalentTo(g->workflow));
+  ExecutionInput input = GenerateInputFor(g->workflow, 11, 50);
+  auto same = ProduceSameOutput(g->workflow, r->best.workflow, input);
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  EXPECT_TRUE(*same);
+}
+
+TEST_F(AnnealingTest, DeterministicForEqualSeeds) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  AnnealingOptions annealing;
+  annealing.seed = 77;
+  auto a = SimulatedAnnealingSearch(s->workflow, model_, {}, annealing);
+  auto b = SimulatedAnnealingSearch(s->workflow, model_, {}, annealing);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->best.signature, b->best.signature);
+  EXPECT_EQ(a->visited_states, b->visited_states);
+}
+
+TEST_F(AnnealingTest, RespectsStateBudget) {
+  GeneratorOptions options;
+  options.category = WorkloadCategory::kMedium;
+  options.seed = 2;
+  auto g = GenerateWorkflow(options);
+  ASSERT_TRUE(g.ok());
+  SearchOptions budget;
+  budget.max_states = 50;
+  auto r = SimulatedAnnealingSearch(g->workflow, model_, budget);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->visited_states, 51u);
+  EXPECT_FALSE(r->exhausted);
+}
+
+}  // namespace
+}  // namespace etlopt

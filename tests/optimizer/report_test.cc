@@ -1,0 +1,79 @@
+#include "optimizer/report.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "common/macros.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  LinearLogCostModel model_;
+};
+
+TEST_F(ReportTest, CostReportListsEveryActivityAndTotal) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto report = CostReport(s->workflow, model_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const char* label : {"nn_cost", "to_euro", "a2e_date", "monthly_sum",
+                            "u", "cost_threshold"}) {
+    EXPECT_NE(report->find(label), std::string::npos) << label;
+  }
+  EXPECT_NE(report->find("total"), std::string::npos);
+  EXPECT_NE(report->find("45852"), std::string::npos);  // known Fig. 1 cost
+}
+
+TEST_F(ReportTest, OptimizationReportShowsBeforeAfterAndPath) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto es = ExhaustiveSearch(s->workflow, model_);
+  ASSERT_TRUE(es.ok());
+  auto report = OptimizationReport(s->workflow, *es, model_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("initial plan"), std::string::npos);
+  EXPECT_NE(report->find("optimized plan"), std::string::npos);
+  EXPECT_NE(report->find("rewrite path"), std::string::npos);
+  EXPECT_NE(report->find("45852"), std::string::npos);
+  EXPECT_NE(report->find("42002"), std::string::npos);
+}
+
+TEST_F(ReportTest, EsRewritePathReplaysToTheOptimum) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto es = ExhaustiveSearch(s->workflow, model_);
+  ASSERT_TRUE(es.ok());
+  // The path must be non-empty (the optimum differs from the initial
+  // state) and contain the Fig. 2 moves: a DIS of the selection and a SWA
+  // involving the aggregation.
+  ASSERT_FALSE(es->best_path.empty());
+  bool has_dis = false;
+  bool has_swap = false;
+  for (const auto& rec : es->best_path) {
+    has_dis |= rec.kind == TransitionRecord::Kind::kDistribute;
+    has_swap |= rec.kind == TransitionRecord::Kind::kSwap;
+  }
+  EXPECT_TRUE(has_dis);
+  EXPECT_TRUE(has_swap);
+}
+
+TEST_F(ReportTest, PathEmptyWhenInitialIsOptimal) {
+  // A single-filter workflow has no cheaper rewriting.
+  Workflow w;
+  Schema sch = Schema::MakeOrDie({{"V", DataType::kDouble}});
+  NodeId src = w.AddRecordSet({"S", sch, 100});
+  NodeId nn = *w.AddActivity(*MakeNotNull("nn", "V", 0.9), {src});
+  NodeId tgt = w.AddRecordSet({"T", sch, 0});
+  ETLOPT_CHECK_OK(w.Connect(nn, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+  auto es = ExhaustiveSearch(w, model_);
+  ASSERT_TRUE(es.ok());
+  EXPECT_TRUE(es->best_path.empty());
+  EXPECT_DOUBLE_EQ(es->best.cost, es->initial_cost);
+}
+
+}  // namespace
+}  // namespace etlopt

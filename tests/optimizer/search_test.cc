@@ -1,0 +1,237 @@
+#include "optimizer/search.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "graph/analysis.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+class SearchTest : public ::testing::Test {
+ protected:
+  LinearLogCostModel model_;
+};
+
+TEST_F(SearchTest, MakeStateCostsAndSigns) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto st = MakeState(s->workflow, model_);
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(st->cost, 0.0);
+  EXPECT_EQ(st->signature, s->workflow.Signature());
+}
+
+TEST_F(SearchTest, EnumerateSuccessorsOfFig1) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto st = MakeState(s->workflow, model_);
+  ASSERT_TRUE(st.ok());
+  auto succ = EnumerateSuccessors(*st, model_);
+  ASSERT_TRUE(succ.ok());
+  // Legal moves from Fig. 1: SWA(to_euro, a2e), SWA(a2e, aggregate), and
+  // DIS(union, threshold). The selection cannot enter the flows any other
+  // way and no homologous pairs exist yet.
+  ASSERT_EQ(succ->size(), 3u);
+  int swaps = 0;
+  int dis = 0;
+  for (const auto& [state, rec] : *succ) {
+    if (rec.kind == TransitionRecord::Kind::kSwap) ++swaps;
+    if (rec.kind == TransitionRecord::Kind::kDistribute) ++dis;
+  }
+  EXPECT_EQ(swaps, 2);
+  EXPECT_EQ(dis, 1);
+}
+
+TEST_F(SearchTest, SuccessorsAreAllEquivalentToParent) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto st = MakeState(s->workflow, model_);
+  ASSERT_TRUE(st.ok());
+  auto succ = EnumerateSuccessors(*st, model_);
+  ASSERT_TRUE(succ.ok());
+  ExecutionInput input = MakeFig1Input(13, 120);
+  for (const auto& [state, rec] : *succ) {
+    EXPECT_TRUE(state.workflow.EquivalentTo(s->workflow)) << rec.description;
+    auto same = ProduceSameOutput(state.workflow, s->workflow, input);
+    ASSERT_TRUE(same.ok()) << rec.description;
+    EXPECT_TRUE(*same) << rec.description;
+  }
+}
+
+TEST_F(SearchTest, ExhaustiveFindsOptimumOnFig1) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto r = ExhaustiveSearch(s->workflow, model_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->exhausted);
+  EXPECT_GT(r->visited_states, 3u);
+  EXPECT_LT(r->best.cost, r->initial_cost);
+  EXPECT_GT(r->improvement_pct(), 0.0);
+  // The optimum is still a correct workflow.
+  EXPECT_TRUE(r->best.workflow.EquivalentTo(s->workflow));
+  auto same =
+      ProduceSameOutput(r->best.workflow, s->workflow, MakeFig1Input(21, 150));
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same);
+}
+
+TEST_F(SearchTest, OptimumHasFig2Shape) {
+  // The ES optimum of the running example should show Fig. 2's features:
+  // the threshold selection distributed into both branches (i.e. no
+  // selection following the union) and the aggregation before the date
+  // conversion.
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto r = ExhaustiveSearch(s->workflow, model_);
+  ASSERT_TRUE(r.ok());
+  const Workflow& best = r->best.workflow;
+  // Union's consumer is the warehouse, not the selection.
+  NodeId after_union = best.Consumers(s->union_node)[0];
+  EXPECT_TRUE(best.IsRecordSet(after_union));
+  // The aggregation now runs before the date conversion in flow 2.
+  const auto& topo = best.TopoOrder();
+  auto pos = [&](NodeId id) {
+    return std::find(topo.begin(), topo.end(), id) - topo.begin();
+  };
+  EXPECT_LT(pos(s->aggregate), pos(s->a2e_date));
+}
+
+TEST_F(SearchTest, BudgetStopsExhaustive) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  SearchOptions options;
+  options.max_states = 2;
+  auto r = ExhaustiveSearch(s->workflow, model_, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->exhausted);
+  EXPECT_LE(r->visited_states, 3u);
+}
+
+TEST_F(SearchTest, HeuristicMatchesExhaustiveOnFig1) {
+  // Paper Table 1: for small workflows HS attains ES quality.
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto es = ExhaustiveSearch(s->workflow, model_);
+  auto hs = HeuristicSearch(s->workflow, model_);
+  ASSERT_TRUE(es.ok() && hs.ok());
+  EXPECT_DOUBLE_EQ(hs->best.cost, es->best.cost);
+}
+
+TEST_F(SearchTest, GreedyCloseToHeuristicOnFig1) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto hs = HeuristicSearch(s->workflow, model_);
+  auto hsg = HeuristicSearchGreedy(s->workflow, model_);
+  ASSERT_TRUE(hs.ok() && hsg.ok());
+  EXPECT_LE(hs->best.cost, hsg->best.cost + 1e-9);
+  EXPECT_LT(hsg->best.cost, hsg->initial_cost);
+}
+
+TEST_F(SearchTest, HeuristicResultIsEquivalentAndSplit) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto hs = HeuristicSearch(s->workflow, model_);
+  ASSERT_TRUE(hs.ok());
+  EXPECT_TRUE(hs->best.workflow.EquivalentTo(s->workflow));
+  // All chains are singletons after the final splits.
+  for (NodeId id : hs->best.workflow.ActivityNodeIds()) {
+    EXPECT_EQ(hs->best.workflow.chain(id).size(), 1u);
+  }
+  auto same = ProduceSameOutput(hs->best.workflow, s->workflow,
+                                MakeFig1Input(33, 120));
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same);
+}
+
+TEST_F(SearchTest, MergeConstraintsRespected) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  std::vector<MergeConstraint> cons = {{"to_euro", "a2e_date"}};
+  auto hs = HeuristicSearch(s->workflow, model_, {}, cons);
+  ASSERT_TRUE(hs.ok()) << hs.status().ToString();
+  EXPECT_TRUE(hs->best.workflow.EquivalentTo(s->workflow));
+  // The merged pair stayed adjacent (to_euro immediately feeds a2e_date).
+  NodeId to_euro = kInvalidNode;
+  for (NodeId id : hs->best.workflow.ActivityNodeIds()) {
+    if (hs->best.workflow.chain(id).label() == "to_euro") to_euro = id;
+  }
+  ASSERT_NE(to_euro, kInvalidNode);
+  NodeId next = hs->best.workflow.Consumers(to_euro)[0];
+  EXPECT_EQ(hs->best.workflow.chain(next).label(), "a2e_date");
+}
+
+TEST_F(SearchTest, UnknownMergeConstraintFails) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  std::vector<MergeConstraint> cons = {{"nope", "a2e_date"}};
+  EXPECT_TRUE(
+      HeuristicSearch(s->workflow, model_, {}, cons).status().IsNotFound());
+}
+
+TEST_F(SearchTest, Fig4SetupCostMakesFactorizeWin) {
+  // With a setup cost on SK, the factorized plan (one shared SK) beats
+  // both the initial and the merely-distributed plan — the caching
+  // argument of the paper's §2.2.
+  LinearLogCostModelOptions opts;
+  opts.surrogate_key_setup = 200.0;
+  LinearLogCostModel costly_sk(opts);
+  auto s = BuildFig4Scenario(/*rows_per_flow=*/128);
+  ASSERT_TRUE(s.ok());
+  auto es = ExhaustiveSearch(s->workflow, costly_sk);
+  ASSERT_TRUE(es.ok());
+  EXPECT_TRUE(es->exhausted);
+  // Exactly one SK activity in the optimum.
+  int sk_count = 0;
+  for (NodeId id : es->best.workflow.ActivityNodeIds()) {
+    for (const auto& m : es->best.workflow.chain(id).members()) {
+      if (m.activity.kind() == ActivityKind::kSurrogateKey) ++sk_count;
+    }
+  }
+  EXPECT_EQ(sk_count, 1);
+  EXPECT_LT(es->best.cost, es->initial_cost);
+}
+
+TEST_F(SearchTest, Fig4NoSetupCostMakesDistributeWin) {
+  // Without setup costs, pushing the 50% selection below the SKs (DIS)
+  // and keeping two SKs on halved inputs is the cheaper shape (case 2 of
+  // Fig. 4 under exact accounting).
+  auto s = BuildFig4Scenario(/*rows_per_flow=*/128);
+  ASSERT_TRUE(s.ok());
+  auto es = ExhaustiveSearch(s->workflow, model_);
+  ASSERT_TRUE(es.ok());
+  int sk_count = 0;
+  int sel_count = 0;
+  for (NodeId id : es->best.workflow.ActivityNodeIds()) {
+    for (const auto& m : es->best.workflow.chain(id).members()) {
+      if (m.activity.kind() == ActivityKind::kSurrogateKey) ++sk_count;
+      if (m.activity.kind() == ActivityKind::kSelection) ++sel_count;
+    }
+  }
+  EXPECT_EQ(sk_count, 2);
+  EXPECT_EQ(sel_count, 2);
+  // In the optimum each selection precedes its SK.
+  for (NodeId id : es->best.workflow.ActivityNodeIds()) {
+    if (es->best.workflow.chain(id).front().kind() ==
+        ActivityKind::kSurrogateKey) {
+      NodeId provider = es->best.workflow.Providers(id)[0];
+      ASSERT_TRUE(es->best.workflow.IsActivity(provider));
+      EXPECT_EQ(es->best.workflow.chain(provider).front().kind(),
+                ActivityKind::kSelection);
+    }
+  }
+}
+
+TEST_F(SearchTest, DeterministicResults) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto r1 = ExhaustiveSearch(s->workflow, model_);
+  auto r2 = ExhaustiveSearch(s->workflow, model_);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->best.signature, r2->best.signature);
+  EXPECT_EQ(r1->visited_states, r2->visited_states);
+}
+
+}  // namespace
+}  // namespace etlopt

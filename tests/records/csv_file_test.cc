@@ -1,0 +1,149 @@
+#include "records/csv_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace etlopt {
+namespace {
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/etlopt_csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Schema TestSchema() {
+    return Schema::MakeOrDie({{"ID", DataType::kInt64},
+                              {"NAME", DataType::kString},
+                              {"PRICE", DataType::kDouble}});
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvFileTest, CreateWritesHeader) {
+  auto f = CsvFile::Create(path_, "F", TestSchema());
+  ASSERT_TRUE(f.ok());
+  std::ifstream in(path_);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "ID:int,NAME:string,PRICE:double");
+}
+
+TEST_F(CsvFileTest, AppendFlushScanRoundTrip) {
+  auto f = CsvFile::Create(path_, "F", TestSchema());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append(Record({Value::Int(1), Value::String("widget"),
+                                   Value::Double(9.5)}))
+                  .ok());
+  ASSERT_TRUE((*f)->Flush().ok());
+  auto rows = (*f)->ScanAll();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].value(0).int_value(), 1);
+  EXPECT_EQ((*rows)[0].value(1).string_value(), "widget");
+  EXPECT_DOUBLE_EQ((*rows)[0].value(2).double_value(), 9.5);
+}
+
+TEST_F(CsvFileTest, ScanSeesUnflushedAppends) {
+  auto f = CsvFile::Create(path_, "F", TestSchema());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append(Record({Value::Int(7), Value::String("x"),
+                                   Value::Double(1.0)}))
+                  .ok());
+  EXPECT_EQ(*(*f)->Count(), 1u);
+}
+
+TEST_F(CsvFileTest, OpenReadsSchemaFromHeader) {
+  {
+    auto f = CsvFile::Create(path_, "F", TestSchema());
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(Record({Value::Int(2), Value::String("y"),
+                                     Value::Double(3.0)}))
+                    .ok());
+    ASSERT_TRUE((*f)->Flush().ok());
+  }
+  auto g = CsvFile::Open(path_, "G");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->schema(), TestSchema());
+  EXPECT_EQ(*(*g)->Count(), 1u);
+}
+
+TEST_F(CsvFileTest, OpenMissingFileIsIOError) {
+  EXPECT_TRUE(CsvFile::Open("/nonexistent/x.csv", "X").status().IsIOError());
+}
+
+TEST_F(CsvFileTest, NullVsEmptyStringDistinct) {
+  auto f = CsvFile::Create(path_, "F", TestSchema());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append(Record({Value::Null(), Value::String(""),
+                                   Value::Null()}))
+                  .ok());
+  ASSERT_TRUE((*f)->Flush().ok());
+  auto rows = (*f)->ScanAll();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_TRUE((*rows)[0].value(0).is_null());
+  EXPECT_FALSE((*rows)[0].value(1).is_null());
+  EXPECT_EQ((*rows)[0].value(1).string_value(), "");
+  EXPECT_TRUE((*rows)[0].value(2).is_null());
+}
+
+TEST_F(CsvFileTest, QuotingRoundTrip) {
+  Schema s = Schema::MakeOrDie({{"TXT", DataType::kString}});
+  std::string p2 = path_ + ".q";
+  auto f = CsvFile::Create(p2, "F", s);
+  ASSERT_TRUE(f.ok());
+  std::string tricky = "a,\"b\"\nnew";
+  ASSERT_TRUE((*f)->Append(Record({Value::String(tricky)})).ok());
+  ASSERT_TRUE((*f)->Flush().ok());
+  // Re-scan through a fresh open to force disk parsing.
+  auto g = CsvFile::Open(p2, "G");
+  ASSERT_TRUE(g.ok());
+  auto rows = (*g)->ScanAll();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].value(0).string_value(), tricky);
+  std::remove(p2.c_str());
+}
+
+TEST_F(CsvFileTest, TruncateKeepsHeader) {
+  auto f = CsvFile::Create(path_, "F", TestSchema());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append(Record({Value::Int(1), Value::String("a"),
+                                   Value::Double(2.0)}))
+                  .ok());
+  ASSERT_TRUE((*f)->Truncate().ok());
+  EXPECT_EQ(*(*f)->Count(), 0u);
+  auto g = CsvFile::Open(path_, "G");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->schema(), TestSchema());
+}
+
+TEST_F(CsvFileTest, ArityMismatchRejected) {
+  auto f = CsvFile::Create(path_, "F", TestSchema());
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->Append(Record({Value::Int(1)})).IsInvalidArgument());
+}
+
+TEST(CsvLineTest, LineSerialization) {
+  Record r({Value::Int(1), Value::String("a,b"), Value::Null()});
+  EXPECT_EQ(RecordToCsvLine(r), "1,\"a,b\",");
+}
+
+TEST(CsvLineTest, ParseRejectsWrongArity) {
+  Schema s = Schema::MakeOrDie({{"A", DataType::kInt64}});
+  EXPECT_FALSE(CsvLineToRecord("1,2", s).ok());
+}
+
+TEST(CsvLineTest, ParseRejectsUnterminatedQuote) {
+  Schema s = Schema::MakeOrDie({{"A", DataType::kString}});
+  EXPECT_FALSE(CsvLineToRecord("\"abc", s).ok());
+}
+
+}  // namespace
+}  // namespace etlopt

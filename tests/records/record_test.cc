@@ -1,0 +1,69 @@
+#include "records/record.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+Record R(std::initializer_list<Value> vs) {
+  return Record(std::vector<Value>(vs));
+}
+
+TEST(RecordTest, BuildAndAccess) {
+  Record r = R({Value::Int(1), Value::String("a")});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.value(0).int_value(), 1);
+  EXPECT_EQ(r.value(1).string_value(), "a");
+}
+
+TEST(RecordTest, AppendGrows) {
+  Record r;
+  r.Append(Value::Int(5));
+  r.Append(Value::Null());
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.value(1).is_null());
+}
+
+TEST(RecordTest, EqualityAndOrdering) {
+  Record a = R({Value::Int(1), Value::String("x")});
+  Record b = R({Value::Int(1), Value::String("x")});
+  Record c = R({Value::Int(1), Value::String("y")});
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(RecordTest, ToString) {
+  EXPECT_EQ(R({Value::Int(1), Value::String("w"), Value::Null()}).ToString(),
+            "(1, w, )");
+}
+
+TEST(RecordTest, HashMatchesEquality) {
+  Record a = R({Value::Int(1), Value::Double(1.0)});
+  Record b = R({Value::Double(1.0), Value::Int(1)});
+  EXPECT_EQ(a.Hash(), b.Hash());  // values hash numerically
+  Record c = R({Value::Int(2), Value::Int(1)});
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(SameRecordMultisetTest, OrderInsensitive) {
+  std::vector<Record> a = {R({Value::Int(1)}), R({Value::Int(2)})};
+  std::vector<Record> b = {R({Value::Int(2)}), R({Value::Int(1)})};
+  EXPECT_TRUE(SameRecordMultiset(a, b));
+}
+
+TEST(SameRecordMultisetTest, MultiplicityMatters) {
+  std::vector<Record> a = {R({Value::Int(1)}), R({Value::Int(1)})};
+  std::vector<Record> b = {R({Value::Int(1)}), R({Value::Int(2)})};
+  EXPECT_FALSE(SameRecordMultiset(a, b));
+}
+
+TEST(SameRecordMultisetTest, SizeMismatch) {
+  std::vector<Record> a = {R({Value::Int(1)})};
+  std::vector<Record> b;
+  EXPECT_FALSE(SameRecordMultiset(a, b));
+  EXPECT_TRUE(SameRecordMultiset({}, {}));
+}
+
+}  // namespace
+}  // namespace etlopt

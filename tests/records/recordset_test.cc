@@ -1,0 +1,66 @@
+#include "records/recordset.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+Schema TwoCol() {
+  return Schema::MakeOrDie(
+      {{"ID", DataType::kInt64}, {"NAME", DataType::kString}});
+}
+
+Record Row(int64_t id, const std::string& name) {
+  return Record({Value::Int(id), Value::String(name)});
+}
+
+TEST(MemoryTableTest, StartsEmpty) {
+  MemoryTable t("T", TwoCol());
+  EXPECT_EQ(t.name(), "T");
+  EXPECT_EQ(*t.Count(), 0u);
+  EXPECT_TRUE(t.ScanAll()->empty());
+}
+
+TEST(MemoryTableTest, AppendAndScan) {
+  MemoryTable t("T", TwoCol());
+  ASSERT_TRUE(t.Append(Row(1, "a")).ok());
+  ASSERT_TRUE(t.Append(Row(2, "b")).ok());
+  auto rows = t.ScanAll();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].value(1).string_value(), "a");
+  EXPECT_EQ(*t.Count(), 2u);
+}
+
+TEST(MemoryTableTest, ArityMismatchRejected) {
+  MemoryTable t("T", TwoCol());
+  Status s = t.Append(Record({Value::Int(1)}));
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(*t.Count(), 0u);
+}
+
+TEST(MemoryTableTest, TruncateClears) {
+  MemoryTable t("T", TwoCol());
+  ASSERT_TRUE(t.Append(Row(1, "a")).ok());
+  ASSERT_TRUE(t.Truncate().ok());
+  EXPECT_EQ(*t.Count(), 0u);
+}
+
+TEST(MemoryTableTest, AppendAllValidatesEveryRow) {
+  MemoryTable t("T", TwoCol());
+  std::vector<Record> rows = {Row(1, "a"), Record({Value::Int(2)})};
+  EXPECT_FALSE(t.AppendAll(rows).ok());
+  // First row landed before the failure; contract is per-row validation.
+  EXPECT_EQ(*t.Count(), 1u);
+}
+
+TEST(MemoryTableTest, NullValuesRoundTrip) {
+  MemoryTable t("T", TwoCol());
+  ASSERT_TRUE(t.Append(Record({Value::Null(), Value::Null()})).ok());
+  auto rows = t.ScanAll();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE((*rows)[0].value(0).is_null());
+}
+
+}  // namespace
+}  // namespace etlopt

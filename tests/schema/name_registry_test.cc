@@ -1,0 +1,84 @@
+#include "schema/name_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+TEST(NameRegistryTest, DeclareAndQueryReference) {
+  NameRegistry reg;
+  EXPECT_FALSE(reg.IsReference("COST_EUR"));
+  reg.DeclareReference("COST_EUR");
+  EXPECT_TRUE(reg.IsReference("COST_EUR"));
+  reg.DeclareReference("COST_EUR");  // idempotent
+  EXPECT_EQ(reg.reference_count(), 1u);
+}
+
+TEST(NameRegistryTest, RegisterBindsQualifiedName) {
+  NameRegistry reg;
+  ASSERT_TRUE(reg.Register("PARTS1.COST", "COST_EUR").ok());
+  auto r = reg.Resolve("PARTS1.COST");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "COST_EUR");
+  EXPECT_TRUE(reg.IsReference("COST_EUR"));
+}
+
+TEST(NameRegistryTest, HomonymsMapToDistinctReferences) {
+  // The paper's PARTS1.COST (Euros) vs PARTS2.COST (Dollars) case.
+  NameRegistry reg;
+  ASSERT_TRUE(reg.Register("PARTS1.COST", "COST_EUR").ok());
+  ASSERT_TRUE(reg.Register("PARTS2.COST", "COST_USD").ok());
+  EXPECT_EQ(*reg.Resolve("PARTS1.COST"), "COST_EUR");
+  EXPECT_EQ(*reg.Resolve("PARTS2.COST"), "COST_USD");
+}
+
+TEST(NameRegistryTest, RebindingIsRejected) {
+  NameRegistry reg;
+  ASSERT_TRUE(reg.Register("PARTS2.COST", "COST_USD").ok());
+  Status s = reg.Register("PARTS2.COST", "COST_EUR");
+  EXPECT_TRUE(s.IsAlreadyExists());
+  // Original binding unaffected.
+  EXPECT_EQ(*reg.Resolve("PARTS2.COST"), "COST_USD");
+}
+
+TEST(NameRegistryTest, ReRegisterSameBindingIsOk) {
+  NameRegistry reg;
+  ASSERT_TRUE(reg.Register("A.X", "X").ok());
+  EXPECT_TRUE(reg.Register("A.X", "X").ok());
+}
+
+TEST(NameRegistryTest, ResolveUnknownIsNotFound) {
+  NameRegistry reg;
+  EXPECT_TRUE(reg.Resolve("NOPE.X").status().IsNotFound());
+}
+
+TEST(NameRegistryTest, SynonymsShareReference) {
+  // Synonyms: both sources' DATE attributes are groupers of the same
+  // real-world entity (paper §3.1).
+  NameRegistry reg;
+  ASSERT_TRUE(reg.Register("PARTS1.DATE", "DATE").ok());
+  ASSERT_TRUE(reg.Register("PARTS2.DATE", "DATE").ok());
+  auto syn = reg.SynonymsOf("DATE");
+  EXPECT_EQ(syn.size(), 2u);
+  EXPECT_TRUE(syn.count("PARTS1.DATE"));
+  EXPECT_TRUE(syn.count("PARTS2.DATE"));
+}
+
+TEST(NameRegistryTest, FreshReferenceAvoidsCollisions) {
+  NameRegistry reg;
+  reg.DeclareReference("COST");
+  std::string f1 = reg.FreshReference("COST");
+  EXPECT_NE(f1, "COST");
+  std::string f2 = reg.FreshReference("COST");
+  EXPECT_NE(f2, f1);
+  EXPECT_TRUE(reg.IsReference(f1));
+  EXPECT_TRUE(reg.IsReference(f2));
+}
+
+TEST(NameRegistryTest, FreshReferenceUsesBaseWhenFree) {
+  NameRegistry reg;
+  EXPECT_EQ(reg.FreshReference("NEW_ATTR"), "NEW_ATTR");
+}
+
+}  // namespace
+}  // namespace etlopt

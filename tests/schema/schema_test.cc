@@ -1,0 +1,98 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+Schema PartsSchema() {
+  return Schema::MakeOrDie({{"PKEY", DataType::kInt64},
+                            {"SOURCE", DataType::kString},
+                            {"DATE", DataType::kString},
+                            {"COST", DataType::kDouble}});
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  auto s = Schema::Make({{"A", DataType::kInt64}, {"A", DataType::kDouble}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, SizeAndLookup) {
+  Schema s = PartsSchema();
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.IndexOf("DATE"), 2u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+  EXPECT_TRUE(s.Contains("COST"));
+}
+
+TEST(SchemaTest, ContainsAll) {
+  Schema s = PartsSchema();
+  EXPECT_TRUE(s.ContainsAll({"PKEY", "COST"}));
+  EXPECT_TRUE(s.ContainsAll({}));
+  EXPECT_FALSE(s.ContainsAll({"PKEY", "DEPT"}));
+}
+
+TEST(SchemaTest, NamesInOrder) {
+  EXPECT_EQ(PartsSchema().Names(),
+            (std::vector<std::string>{"PKEY", "SOURCE", "DATE", "COST"}));
+}
+
+TEST(SchemaTest, ProjectSelectsAndReorders) {
+  auto p = PartsSchema().Project({"COST", "PKEY"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Names(), (std::vector<std::string>{"COST", "PKEY"}));
+  EXPECT_EQ(p->attribute(0).type, DataType::kDouble);
+}
+
+TEST(SchemaTest, ProjectMissingIsNotFound) {
+  EXPECT_TRUE(PartsSchema().Project({"DEPT"}).status().IsNotFound());
+}
+
+TEST(SchemaTest, MinusDropsPresentIgnoresAbsent) {
+  Schema s = PartsSchema().Minus({"DATE", "NOPE"});
+  EXPECT_EQ(s.Names(), (std::vector<std::string>{"PKEY", "SOURCE", "COST"}));
+}
+
+TEST(SchemaTest, UnionWithDeduplicates) {
+  Schema other = Schema::MakeOrDie(
+      {{"COST", DataType::kDouble}, {"DEPT", DataType::kString}});
+  Schema u = PartsSchema().UnionWith(other);
+  EXPECT_EQ(u.Names(),
+            (std::vector<std::string>{"PKEY", "SOURCE", "DATE", "COST",
+                                      "DEPT"}));
+}
+
+TEST(SchemaTest, AppendRejectsDuplicate) {
+  Schema s = PartsSchema();
+  EXPECT_TRUE(s.Append({"PKEY", DataType::kInt64}).IsAlreadyExists());
+  EXPECT_TRUE(s.Append({"DEPT", DataType::kString}).ok());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(SchemaTest, ExactVsOrderInsensitiveEquality) {
+  Schema a = Schema::MakeOrDie(
+      {{"X", DataType::kInt64}, {"Y", DataType::kString}});
+  Schema b = Schema::MakeOrDie(
+      {{"Y", DataType::kString}, {"X", DataType::kInt64}});
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_TRUE(a.EquivalentTo(a));
+}
+
+TEST(SchemaTest, EquivalentToChecksTypes) {
+  Schema a = Schema::MakeOrDie({{"X", DataType::kInt64}});
+  Schema b = Schema::MakeOrDie({{"X", DataType::kDouble}});
+  EXPECT_FALSE(a.EquivalentTo(b));
+}
+
+TEST(SchemaTest, ToStringFormat) {
+  Schema s =
+      Schema::MakeOrDie({{"A", DataType::kInt64}, {"B", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "[A:int, B:string]");
+  EXPECT_EQ(Schema().ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace etlopt

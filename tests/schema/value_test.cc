@@ -1,0 +1,109 @@
+#include "schema/value.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Bool(false).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(0).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(0).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("").type(), DataType::kString);
+}
+
+TEST(ValueTest, AsDoubleBridgesNumerics) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).AsDouble(), 3.5);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-9).ToString(), "-9");
+  EXPECT_EQ(Value::Double(4.0).ToString(), "4");
+  EXPECT_EQ(Value::Double(4.25).ToString(), "4.25");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Double(3.0));
+  EXPECT_FALSE(Value::Int(3) == Value::Double(3.5));
+}
+
+TEST(ValueTest, NullEqualsNullOnly) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int(0));
+  EXPECT_FALSE(Value::Null() == Value::String(""));
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // NULL < bool < numeric < string.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(99), Value::String("a"));
+}
+
+TEST(ValueTest, NumericOrdering) {
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  EXPECT_LT(Value::Double(-0.5), Value::Int(0));
+  EXPECT_FALSE(Value::Int(2) < Value::Double(2.0));
+  EXPECT_FALSE(Value::Double(2.0) < Value::Int(2));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value::String("apple"), Value::String("banana"));
+  EXPECT_FALSE(Value::String("b") < Value::String("a"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  EXPECT_NE(Value::String("x").Hash(), Value::String("y").Hash());
+}
+
+TEST(ValueParseTest, EmptyIsNull) {
+  auto v = Value::Parse("", DataType::kInt64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ValueParseTest, ParsesEachType) {
+  EXPECT_EQ(Value::Parse("true", DataType::kBool)->bool_value(), true);
+  EXPECT_EQ(Value::Parse("0", DataType::kBool)->bool_value(), false);
+  EXPECT_EQ(Value::Parse("-12", DataType::kInt64)->int_value(), -12);
+  EXPECT_DOUBLE_EQ(Value::Parse("2.5", DataType::kDouble)->double_value(),
+                   2.5);
+  EXPECT_EQ(Value::Parse("txt", DataType::kString)->string_value(), "txt");
+}
+
+TEST(ValueParseTest, RejectsMalformed) {
+  EXPECT_FALSE(Value::Parse("yes", DataType::kBool).ok());
+  EXPECT_FALSE(Value::Parse("12x", DataType::kInt64).ok());
+  EXPECT_FALSE(Value::Parse("1.2.3", DataType::kDouble).ok());
+}
+
+TEST(ValueParseTest, RoundTripsToString) {
+  for (const Value& v :
+       {Value::Int(77), Value::Double(1.5), Value::String("w")}) {
+    auto parsed = Value::Parse(v.ToString(), v.type());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+}  // namespace
+}  // namespace etlopt

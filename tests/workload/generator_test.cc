@@ -1,0 +1,126 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "graph/analysis.h"
+
+namespace etlopt {
+namespace {
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  GeneratorOptions options;
+  options.seed = 77;
+  auto a = GenerateWorkflow(options);
+  auto b = GenerateWorkflow(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->workflow.Signature(), b->workflow.Signature());
+  EXPECT_EQ(a->workflow.PostConditionSet(), b->workflow.PostConditionSet());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions a_opts;
+  a_opts.seed = 1;
+  GeneratorOptions b_opts;
+  b_opts.seed = 2;
+  auto a = GenerateWorkflow(a_opts);
+  auto b = GenerateWorkflow(b_opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->workflow.PostConditionSet(), b->workflow.PostConditionSet());
+}
+
+TEST(GeneratorTest, CategorySizesMatchPaper) {
+  // Paper: 15-70 activities across small/medium/large.
+  struct Case {
+    WorkloadCategory category;
+    size_t lo, hi;
+  };
+  for (const Case& c : {Case{WorkloadCategory::kSmall, 12, 25},
+                        Case{WorkloadCategory::kMedium, 30, 50},
+                        Case{WorkloadCategory::kLarge, 55, 85}}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      GeneratorOptions options;
+      options.category = c.category;
+      options.seed = seed;
+      auto g = GenerateWorkflow(options);
+      ASSERT_TRUE(g.ok()) << g.status().ToString();
+      EXPECT_GE(g->activity_count, c.lo)
+          << WorkloadCategoryToString(c.category) << " seed " << seed;
+      EXPECT_LE(g->activity_count, c.hi)
+          << WorkloadCategoryToString(c.category) << " seed " << seed;
+      EXPECT_EQ(g->workflow.ActivityCount(), g->activity_count);
+    }
+  }
+}
+
+TEST(GeneratorTest, GeneratedWorkflowsValidate) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorOptions options;
+    options.category = WorkloadCategory::kMedium;
+    options.seed = seed;
+    auto g = GenerateWorkflow(options);
+    ASSERT_TRUE(g.ok()) << "seed " << seed << ": " << g.status().ToString();
+    EXPECT_TRUE(g->workflow.fresh());
+    EXPECT_EQ(g->workflow.TargetRecordSets().size(), 1u);
+    EXPECT_GE(g->workflow.SourceRecordSets().size(), 2u);
+  }
+}
+
+TEST(GeneratorTest, GeneratedWorkflowsHaveOptimizationOpportunities) {
+  size_t with_groups = 0;
+  size_t with_distributable = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    GeneratorOptions options;
+    options.category = WorkloadCategory::kSmall;
+    options.seed = seed;
+    auto g = GenerateWorkflow(options);
+    ASSERT_TRUE(g.ok());
+    if (FindLocalGroups(g->workflow).size() >= 3) ++with_groups;
+    if (!FindDistributable(g->workflow).empty()) ++with_distributable;
+  }
+  EXPECT_GE(with_groups, 6u);
+  EXPECT_GE(with_distributable, 6u);
+}
+
+TEST(GeneratorTest, SiblingFlowsCarryHomologousActivities) {
+  size_t with_homologous = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    GeneratorOptions options;
+    options.category = WorkloadCategory::kSmall;
+    options.seed = seed;
+    auto g = GenerateWorkflow(options);
+    ASSERT_TRUE(g.ok());
+    if (!FindHomologousPairs(g->workflow).empty()) ++with_homologous;
+  }
+  // The shared backbone (to_euro in every flow) makes homologous pairs
+  // the norm.
+  EXPECT_GE(with_homologous, 6u);
+}
+
+TEST(GeneratorTest, SuiteGeneratesDistinctScenarios) {
+  auto suite = GenerateSuite(WorkloadCategory::kSmall, 5, 100);
+  ASSERT_TRUE(suite.ok());
+  ASSERT_EQ(suite->size(), 5u);
+  std::set<std::set<std::string>> posts;
+  for (const auto& g : *suite) {
+    posts.insert(g.workflow.PostConditionSet());
+  }
+  EXPECT_EQ(posts.size(), 5u);
+}
+
+TEST(GeneratorTest, GeneratedWorkflowsExecute) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorOptions options;
+    options.category = WorkloadCategory::kSmall;
+    options.seed = seed;
+    auto g = GenerateWorkflow(options);
+    ASSERT_TRUE(g.ok());
+    ExecutionInput input = GenerateInputFor(g->workflow, seed * 31, 60);
+    auto r = ExecuteWorkflow(g->workflow, input);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+    EXPECT_EQ(r->target_data.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,93 @@
+// Invariants of the paper-scenario builders and their data generators.
+
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace etlopt {
+namespace {
+
+TEST(Fig1InputTest, DeterministicAndSized) {
+  ExecutionInput a = MakeFig1Input(5, 100);
+  ExecutionInput b = MakeFig1Input(5, 100);
+  ASSERT_EQ(a.source_data.at("PARTS1").size(), 100u);
+  ASSERT_EQ(a.source_data.at("PARTS2").size(), 100u);
+  EXPECT_EQ(a.source_data.at("PARTS1"), b.source_data.at("PARTS1"));
+  EXPECT_EQ(a.source_data.at("PARTS2"), b.source_data.at("PARTS2"));
+  ExecutionInput c = MakeFig1Input(6, 100);
+  EXPECT_FALSE(a.source_data.at("PARTS1") == c.source_data.at("PARTS1"));
+}
+
+TEST(Fig1InputTest, Parts1HasNullCostsParts2DoesNot) {
+  ExecutionInput in = MakeFig1Input(11, 400);
+  size_t nulls1 = 0;
+  for (const auto& r : in.source_data.at("PARTS1")) {
+    if (r.value(3).is_null()) ++nulls1;
+  }
+  // ~10% of 400.
+  EXPECT_GT(nulls1, 10u);
+  EXPECT_LT(nulls1, 100u);
+  for (const auto& r : in.source_data.at("PARTS2")) {
+    EXPECT_FALSE(r.value(4).is_null());
+  }
+}
+
+TEST(Fig1InputTest, DateFormatsPerSource) {
+  ExecutionInput in = MakeFig1Input(3, 200);
+  // PARTS1 dates are European DD/MM with day up to 28, month <= 12;
+  // PARTS2 dates are American MM/DD.
+  for (const auto& r : in.source_data.at("PARTS1")) {
+    auto parts = Split(r.value(2).string_value(), '/');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_LE(std::stoi(parts[1]), 12);  // month in the middle
+  }
+  for (const auto& r : in.source_data.at("PARTS2")) {
+    auto parts = Split(r.value(2).string_value(), '/');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_LE(std::stoi(parts[0]), 12);  // month first
+  }
+}
+
+TEST(Fig4InputTest, LookupCoversAllGeneratedKeys) {
+  ExecutionInput in = MakeFig4Input(9, 128);
+  const auto& lut = in.context.lookups.at("parts_lut");
+  for (const char* src : {"R1", "R2"}) {
+    for (const auto& r : in.source_data.at(src)) {
+      std::vector<Value> key = {r.value(0), r.value(1)};
+      EXPECT_TRUE(lut.count(key))
+          << "missing lookup for " << r.ToString();
+    }
+  }
+}
+
+TEST(Fig4ScenarioTest, CardinalityParameterLandsInDefs) {
+  auto s = BuildFig4Scenario(512);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->workflow.recordset(s->src1).cardinality, 512);
+  EXPECT_DOUBLE_EQ(s->workflow.recordset(s->src2).cardinality, 512);
+}
+
+TEST(Fig4ScenarioTest, SksAreHomologousByConstruction) {
+  auto s = BuildFig4Scenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->workflow.chain(s->sk1).SemanticsString(),
+            s->workflow.chain(s->sk2).SemanticsString());
+  EXPECT_NE(s->workflow.chain(s->sk1).label(),
+            s->workflow.chain(s->sk2).label());
+}
+
+TEST(Fig1ScenarioTest, SelectivitiesMatchPaperRoles) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  // Functions don't change cardinality; filters and the aggregation do.
+  EXPECT_DOUBLE_EQ(s->workflow.chain(s->to_euro).selectivity(), 1.0);
+  EXPECT_DOUBLE_EQ(s->workflow.chain(s->a2e_date).selectivity(), 1.0);
+  EXPECT_LT(s->workflow.chain(s->not_null).selectivity(), 1.0);
+  EXPECT_LT(s->workflow.chain(s->aggregate).selectivity(), 1.0);
+  EXPECT_LT(s->workflow.chain(s->threshold).selectivity(), 1.0);
+}
+
+}  // namespace
+}  // namespace etlopt
