@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annealing_extension.dir/bench_annealing_extension.cc.o"
+  "CMakeFiles/bench_annealing_extension.dir/bench_annealing_extension.cc.o.d"
+  "bench_annealing_extension"
+  "bench_annealing_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annealing_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transition_throughput.dir/bench_transition_throughput.cc.o"
+  "CMakeFiles/bench_transition_throughput.dir/bench_transition_throughput.cc.o.d"
+  "bench_transition_throughput"
+  "bench_transition_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transition_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

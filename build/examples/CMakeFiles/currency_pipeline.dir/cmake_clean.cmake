@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/currency_pipeline.dir/currency_pipeline.cpp.o"
+  "CMakeFiles/currency_pipeline.dir/currency_pipeline.cpp.o.d"
+  "currency_pipeline"
+  "currency_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/currency_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

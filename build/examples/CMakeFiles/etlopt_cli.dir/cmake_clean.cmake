@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_cli.dir/etlopt_cli.cpp.o"
+  "CMakeFiles/etlopt_cli.dir/etlopt_cli.cpp.o.d"
+  "etlopt_cli"
+  "etlopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

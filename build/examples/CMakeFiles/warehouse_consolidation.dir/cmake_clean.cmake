@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_consolidation.dir/warehouse_consolidation.cpp.o"
+  "CMakeFiles/warehouse_consolidation.dir/warehouse_consolidation.cpp.o.d"
+  "warehouse_consolidation"
+  "warehouse_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_activity.dir/activity.cc.o"
+  "CMakeFiles/etlopt_activity.dir/activity.cc.o.d"
+  "CMakeFiles/etlopt_activity.dir/activity_exec.cc.o"
+  "CMakeFiles/etlopt_activity.dir/activity_exec.cc.o.d"
+  "CMakeFiles/etlopt_activity.dir/templates.cc.o"
+  "CMakeFiles/etlopt_activity.dir/templates.cc.o.d"
+  "libetlopt_activity.a"
+  "libetlopt_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

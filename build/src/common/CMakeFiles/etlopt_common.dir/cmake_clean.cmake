@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_common.dir/random.cc.o"
+  "CMakeFiles/etlopt_common.dir/random.cc.o.d"
+  "CMakeFiles/etlopt_common.dir/status.cc.o"
+  "CMakeFiles/etlopt_common.dir/status.cc.o.d"
+  "CMakeFiles/etlopt_common.dir/string_util.cc.o"
+  "CMakeFiles/etlopt_common.dir/string_util.cc.o.d"
+  "libetlopt_common.a"
+  "libetlopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

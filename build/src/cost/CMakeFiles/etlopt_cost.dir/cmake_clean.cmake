@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_cost.dir/cost_model.cc.o"
+  "CMakeFiles/etlopt_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/etlopt_cost.dir/external_cost_model.cc.o"
+  "CMakeFiles/etlopt_cost.dir/external_cost_model.cc.o.d"
+  "CMakeFiles/etlopt_cost.dir/state_cost.cc.o"
+  "CMakeFiles/etlopt_cost.dir/state_cost.cc.o.d"
+  "libetlopt_cost.a"
+  "libetlopt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_engine.dir/calibration.cc.o"
+  "CMakeFiles/etlopt_engine.dir/calibration.cc.o.d"
+  "CMakeFiles/etlopt_engine.dir/executor.cc.o"
+  "CMakeFiles/etlopt_engine.dir/executor.cc.o.d"
+  "CMakeFiles/etlopt_engine.dir/pipeline.cc.o"
+  "CMakeFiles/etlopt_engine.dir/pipeline.cc.o.d"
+  "libetlopt_engine.a"
+  "libetlopt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

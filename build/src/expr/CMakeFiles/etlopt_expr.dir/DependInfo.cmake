@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/etlopt_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/etlopt_expr.dir/expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/records/CMakeFiles/etlopt_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/etlopt_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etlopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

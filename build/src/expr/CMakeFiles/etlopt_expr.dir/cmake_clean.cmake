@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_expr.dir/expr.cc.o"
+  "CMakeFiles/etlopt_expr.dir/expr.cc.o.d"
+  "libetlopt_expr.a"
+  "libetlopt_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/activity_chain.cc" "src/graph/CMakeFiles/etlopt_graph.dir/activity_chain.cc.o" "gcc" "src/graph/CMakeFiles/etlopt_graph.dir/activity_chain.cc.o.d"
+  "/root/repo/src/graph/analysis.cc" "src/graph/CMakeFiles/etlopt_graph.dir/analysis.cc.o" "gcc" "src/graph/CMakeFiles/etlopt_graph.dir/analysis.cc.o.d"
+  "/root/repo/src/graph/workflow.cc" "src/graph/CMakeFiles/etlopt_graph.dir/workflow.cc.o" "gcc" "src/graph/CMakeFiles/etlopt_graph.dir/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/activity/CMakeFiles/etlopt_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/etlopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/records/CMakeFiles/etlopt_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/etlopt_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etlopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

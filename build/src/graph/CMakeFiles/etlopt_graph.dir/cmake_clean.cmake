@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_graph.dir/activity_chain.cc.o"
+  "CMakeFiles/etlopt_graph.dir/activity_chain.cc.o.d"
+  "CMakeFiles/etlopt_graph.dir/analysis.cc.o"
+  "CMakeFiles/etlopt_graph.dir/analysis.cc.o.d"
+  "CMakeFiles/etlopt_graph.dir/workflow.cc.o"
+  "CMakeFiles/etlopt_graph.dir/workflow.cc.o.d"
+  "libetlopt_graph.a"
+  "libetlopt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_io.dir/dot.cc.o"
+  "CMakeFiles/etlopt_io.dir/dot.cc.o.d"
+  "CMakeFiles/etlopt_io.dir/text_format.cc.o"
+  "CMakeFiles/etlopt_io.dir/text_format.cc.o.d"
+  "libetlopt_io.a"
+  "libetlopt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

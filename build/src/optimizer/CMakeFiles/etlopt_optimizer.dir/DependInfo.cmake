@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/annealing.cc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/annealing.cc.o" "gcc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/annealing.cc.o.d"
+  "/root/repo/src/optimizer/report.cc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/report.cc.o" "gcc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/report.cc.o.d"
+  "/root/repo/src/optimizer/search.cc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/search.cc.o" "gcc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/search.cc.o.d"
+  "/root/repo/src/optimizer/transitions.cc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/transitions.cc.o" "gcc" "src/optimizer/CMakeFiles/etlopt_optimizer.dir/transitions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/etlopt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/etlopt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/etlopt_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/etlopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/records/CMakeFiles/etlopt_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/etlopt_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etlopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

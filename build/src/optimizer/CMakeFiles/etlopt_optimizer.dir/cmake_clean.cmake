@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_optimizer.dir/annealing.cc.o"
+  "CMakeFiles/etlopt_optimizer.dir/annealing.cc.o.d"
+  "CMakeFiles/etlopt_optimizer.dir/report.cc.o"
+  "CMakeFiles/etlopt_optimizer.dir/report.cc.o.d"
+  "CMakeFiles/etlopt_optimizer.dir/search.cc.o"
+  "CMakeFiles/etlopt_optimizer.dir/search.cc.o.d"
+  "CMakeFiles/etlopt_optimizer.dir/transitions.cc.o"
+  "CMakeFiles/etlopt_optimizer.dir/transitions.cc.o.d"
+  "libetlopt_optimizer.a"
+  "libetlopt_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/records/csv_file.cc" "src/records/CMakeFiles/etlopt_records.dir/csv_file.cc.o" "gcc" "src/records/CMakeFiles/etlopt_records.dir/csv_file.cc.o.d"
+  "/root/repo/src/records/record.cc" "src/records/CMakeFiles/etlopt_records.dir/record.cc.o" "gcc" "src/records/CMakeFiles/etlopt_records.dir/record.cc.o.d"
+  "/root/repo/src/records/recordset.cc" "src/records/CMakeFiles/etlopt_records.dir/recordset.cc.o" "gcc" "src/records/CMakeFiles/etlopt_records.dir/recordset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/etlopt_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etlopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_records.dir/csv_file.cc.o"
+  "CMakeFiles/etlopt_records.dir/csv_file.cc.o.d"
+  "CMakeFiles/etlopt_records.dir/record.cc.o"
+  "CMakeFiles/etlopt_records.dir/record.cc.o.d"
+  "CMakeFiles/etlopt_records.dir/recordset.cc.o"
+  "CMakeFiles/etlopt_records.dir/recordset.cc.o.d"
+  "libetlopt_records.a"
+  "libetlopt_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

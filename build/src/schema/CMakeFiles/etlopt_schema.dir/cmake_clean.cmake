@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_schema.dir/name_registry.cc.o"
+  "CMakeFiles/etlopt_schema.dir/name_registry.cc.o.d"
+  "CMakeFiles/etlopt_schema.dir/schema.cc.o"
+  "CMakeFiles/etlopt_schema.dir/schema.cc.o.d"
+  "CMakeFiles/etlopt_schema.dir/value.cc.o"
+  "CMakeFiles/etlopt_schema.dir/value.cc.o.d"
+  "libetlopt_schema.a"
+  "libetlopt_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlopt_workload.dir/generator.cc.o"
+  "CMakeFiles/etlopt_workload.dir/generator.cc.o.d"
+  "CMakeFiles/etlopt_workload.dir/scenarios.cc.o"
+  "CMakeFiles/etlopt_workload.dir/scenarios.cc.o.d"
+  "libetlopt_workload.a"
+  "libetlopt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlopt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetlopt_workload.a"
+)

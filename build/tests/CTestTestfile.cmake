@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("schema")
+subdirs("records")
+subdirs("expr")
+subdirs("activity")
+subdirs("graph")
+subdirs("engine")
+subdirs("cost")
+subdirs("optimizer")
+subdirs("workload")
+subdirs("io")
+subdirs("integration")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/records/csv_file_test.cc" "tests/records/CMakeFiles/records_test.dir/csv_file_test.cc.o" "gcc" "tests/records/CMakeFiles/records_test.dir/csv_file_test.cc.o.d"
+  "/root/repo/tests/records/record_test.cc" "tests/records/CMakeFiles/records_test.dir/record_test.cc.o" "gcc" "tests/records/CMakeFiles/records_test.dir/record_test.cc.o.d"
+  "/root/repo/tests/records/recordset_test.cc" "tests/records/CMakeFiles/records_test.dir/recordset_test.cc.o" "gcc" "tests/records/CMakeFiles/records_test.dir/recordset_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/etlopt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/etlopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/etlopt_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/etlopt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/etlopt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/etlopt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/etlopt_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/etlopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/records/CMakeFiles/etlopt_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/etlopt_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etlopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

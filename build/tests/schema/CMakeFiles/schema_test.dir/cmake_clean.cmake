@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_test.dir/name_registry_test.cc.o"
+  "CMakeFiles/schema_test.dir/name_registry_test.cc.o.d"
+  "CMakeFiles/schema_test.dir/naming_principle_test.cc.o"
+  "CMakeFiles/schema_test.dir/naming_principle_test.cc.o.d"
+  "CMakeFiles/schema_test.dir/schema_test.cc.o"
+  "CMakeFiles/schema_test.dir/schema_test.cc.o.d"
+  "CMakeFiles/schema_test.dir/value_test.cc.o"
+  "CMakeFiles/schema_test.dir/value_test.cc.o.d"
+  "schema_test"
+  "schema_test.pdb"
+  "schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
