@@ -42,6 +42,10 @@ int Run() {
               "to the best solution found by any algorithm\n");
   std::printf("\npaper reference: small ES/HS/HSG = 100/100/99, "
               "medium HS/HSG = 99*/86*, large HS/HSG = 98*/62*\n");
+
+  JsonReport report("table1_quality");
+  for (const auto& r : *results) ReportCategory(report, r);
+  report.Write();
   return 0;
 }
 

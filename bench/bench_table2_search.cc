@@ -67,6 +67,10 @@ int Run() {
                 std::string(WorkloadCategoryToString(r.category)).c_str(),
                 speedup, r.hs.avg_improvement(), r.hsg.avg_improvement());
   }
+
+  JsonReport report("table2_search");
+  for (const auto& r : *results) ReportCategory(report, r);
+  report.Write();
   return 0;
 }
 

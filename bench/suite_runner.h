@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -125,6 +126,90 @@ inline StatusOr<std::vector<CategoryResult>> RunSuite(
     seed += 1000;
   }
   return out;
+}
+
+/// The current git revision, for stamping bench reports. Falls back to
+/// $ETLOPT_GIT_REV, then "unknown", so benches work from tarballs too.
+inline std::string GitRevision() {
+  if (const char* env = std::getenv("ETLOPT_GIT_REV")) return env;
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string rev;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) rev = buf;
+  ::pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+/// Machine-readable bench output: collects (metric, value, units) triples
+/// and writes them as BENCH_<name>.json next to the binary's working
+/// directory, stamped with the git revision. CI and regression tooling
+/// parse these instead of scraping stdout tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void Add(const std::string& metric, double value,
+           const std::string& units) {
+    metrics_.push_back({metric, value, units});
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
+                 name_.c_str(), GitRevision().c_str());
+    std::fprintf(f, "  \"metrics\": [\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"value\": %.6g, "
+                   "\"units\": \"%s\"}%s\n",
+                   m.name.c_str(), m.value, m.units.c_str(),
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string units;
+  };
+  std::string name_;
+  std::vector<Metric> metrics_;
+};
+
+/// Adds the per-algorithm aggregates of a category to a JsonReport under
+/// "<category>.<algo>.<metric>" keys.
+inline void ReportCategory(JsonReport& report, const CategoryResult& r) {
+  const std::string prefix(WorkloadCategoryToString(r.category));
+  report.Add(prefix + ".avg_activities", r.avg_activities, "activities");
+  struct Named {
+    const char* algo;
+    const AlgorithmStats* stats;
+  };
+  const Named algos[] = {{"es", &r.es}, {"hs", &r.hs}, {"hsg", &r.hsg}};
+  for (const Named& a : algos) {
+    const std::string p = prefix + "." + a.algo;
+    report.Add(p + ".avg_quality", a.stats->avg_quality(), "percent");
+    report.Add(p + ".avg_improvement", a.stats->avg_improvement(), "percent");
+    report.Add(p + ".avg_visited", a.stats->avg_visited(), "states");
+    report.Add(p + ".avg_millis", a.stats->avg_millis(), "ms");
+  }
 }
 
 /// Reads a "quick mode" flag from the environment so the full suite can be

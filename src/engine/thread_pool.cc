@@ -1,0 +1,90 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace etlopt {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void(size_t)> fn) {
+  std::packaged_task<void(size_t)> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  while (true) {
+    std::packaged_task<void(size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker_index);
+  }
+}
+
+Status ThreadPool::ParallelFor(
+    size_t n, const std::function<Status(size_t, size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  size_t error_item = n;
+  Status error = Status::OK();
+
+  auto drive = [&](size_t worker) {
+    while (true) {
+      size_t item = next.fetch_add(1, std::memory_order_relaxed);
+      if (item >= n || failed.load(std::memory_order_relaxed)) return;
+      Status s = fn(item, worker);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        // Keep the error from the smallest item index so concurrent
+        // failures report deterministically.
+        if (item < error_item) {
+          error_item = item;
+          error = std::move(s);
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  size_t drivers = std::min(n, num_threads());
+  std::vector<std::future<void>> futures;
+  futures.reserve(drivers);
+  for (size_t d = 0; d < drivers; ++d) futures.push_back(Submit(drive));
+  for (auto& f : futures) f.wait();
+  return error;
+}
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace etlopt

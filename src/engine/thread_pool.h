@@ -1,0 +1,68 @@
+// ThreadPool: a fixed-size worker pool for the parallel execution engine.
+//
+// The pool is deliberately small-surface: fire-and-collect tasks
+// (Submit) and a blocking data-parallel loop (ParallelFor) built on an
+// atomic work counter, which is all the morsel-driven engine needs.
+// Workers are numbered 0..num_threads-1 and the number is passed to every
+// task, so callers can keep contention-free per-worker accumulators.
+
+#ifndef ETLOPT_ENGINE_THREAD_POOL_H_
+#define ETLOPT_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace etlopt {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins the workers. Pending tasks still run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task; the future resolves when it has run. The task
+  /// receives the index of the worker that executes it.
+  std::future<void> Submit(std::function<void(size_t worker)> fn);
+
+  /// Runs `fn(item, worker)` for every item in [0, n), distributing items
+  /// over the workers via an atomic claim counter, and blocks until all
+  /// items finish. If any invocation returns a non-OK status, no further
+  /// items are claimed and the error with the *smallest* item index is
+  /// returned — callers see a deterministic error regardless of thread
+  /// interleaving. The calling thread only waits; all work happens on the
+  /// pool, so nesting ParallelFor inside a task would deadlock (the
+  /// engine never does).
+  Status ParallelFor(size_t n,
+                     const std::function<Status(size_t item, size_t worker)>& fn);
+
+  /// A default number of workers for callers that pass 0: the hardware
+  /// concurrency, clamped to >= 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop(size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void(size_t)>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_THREAD_POOL_H_

@@ -286,18 +286,18 @@ StatusOr<std::vector<GeneratedWorkflow>> GenerateSuite(
 }
 
 ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
-                                size_t rows_per_source) {
+                                const InputGenOptions& options) {
   Rng rng(seed);
   ExecutionInput input;
   for (NodeId src : workflow.SourceRecordSets()) {
     const RecordSetDef& def = workflow.recordset(src);
     std::vector<Record> rows;
-    rows.reserve(rows_per_source);
-    for (size_t i = 0; i < rows_per_source; ++i) {
+    rows.reserve(options.rows_per_source);
+    for (size_t i = 0; i < options.rows_per_source; ++i) {
       Record r;
       for (const auto& attr : def.schema.attributes()) {
         if (attr.type == DataType::kInt64) {
-          r.Append(Value::Int(rng.UniformInt(1, 50)));
+          r.Append(Value::Int(rng.UniformInt(1, options.key_domain)));
         } else if (attr.type == DataType::kDouble) {
           // A few NULLs keep the NotNull cleansing activities honest.
           if (rng.Bernoulli(0.05)) {
@@ -318,8 +318,8 @@ ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
     }
     input.source_data.emplace(def.name, std::move(rows));
   }
-  // Bind every surrogate-key lookup: our generated SK keys range over the
-  // int domain 1..50.
+  // Bind every surrogate-key lookup: generated SK keys range over the int
+  // domain [1, key_domain].
   for (NodeId id : workflow.ActivityNodeIds()) {
     for (const auto& m : workflow.chain(id).members()) {
       if (m.activity.kind() != ActivityKind::kSurrogateKey) continue;
@@ -327,12 +327,19 @@ ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
       auto& lut = input.context.lookups[p.lookup_name];
       if (!lut.empty()) continue;
       int64_t next = 1000;
-      for (int64_t k = 1; k <= 50; ++k) {
+      for (int64_t k = 1; k <= options.key_domain; ++k) {
         lut.emplace(std::vector<Value>{Value::Int(k)}, Value::Int(next++));
       }
     }
   }
   return input;
+}
+
+ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
+                                size_t rows_per_source) {
+  InputGenOptions options;
+  options.rows_per_source = rows_per_source;
+  return GenerateInputFor(workflow, seed, options);
 }
 
 }  // namespace etlopt

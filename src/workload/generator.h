@@ -51,8 +51,23 @@ StatusOr<GeneratedWorkflow> GenerateWorkflow(const GeneratorOptions& options);
 StatusOr<std::vector<GeneratedWorkflow>> GenerateSuite(
     WorkloadCategory category, size_t count, uint64_t base_seed);
 
+/// Knobs for generated execution inputs. The defaults reproduce the
+/// historical shape (small test inputs); benches scale rows_per_source
+/// into the hundreds of thousands and widen key_domain so blocking
+/// operators see realistically many distinct keys.
+struct InputGenOptions {
+  size_t rows_per_source = 1000;
+  /// Source keys (and surrogate-key lookup coverage) range over
+  /// [1, key_domain].
+  int64_t key_domain = 50;
+};
+
 /// Deterministic source data + surrogate-key lookups for executing a
-/// generated workflow (used by the property tests).
+/// generated workflow (used by the property tests and the engine benches).
+ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
+                                const InputGenOptions& options);
+
+/// Convenience overload with the historical signature.
 ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
                                 size_t rows_per_source);
 

@@ -1,0 +1,196 @@
+#include "engine/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "activity/templates.h"
+#include "engine/thread_pool.h"
+
+namespace etlopt {
+namespace {
+
+Schema TestSchema() {
+  return Schema::MakeOrDie({{"K", DataType::kInt64},
+                            {"G", DataType::kString},
+                            {"V", DataType::kDouble}});
+}
+
+std::vector<Record> TestRows(size_t n) {
+  std::vector<Record> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Record({Value::Int(static_cast<int64_t>(i % 17)),
+                           Value::String("g" + std::to_string(i % 5)),
+                           Value::Double(static_cast<double>(i))}));
+  }
+  return rows;
+}
+
+TEST(PartitionTest, MakeMorselsCoversRange) {
+  auto morsels = MakeMorsels(10, 3);
+  ASSERT_EQ(morsels.size(), 4u);
+  EXPECT_EQ(morsels[0].begin, 0u);
+  EXPECT_EQ(morsels[3].end, 10u);
+  size_t total = 0;
+  for (const auto& m : morsels) total += m.size();
+  EXPECT_EQ(total, 10u);
+  EXPECT_TRUE(MakeMorsels(0, 3).empty());
+  // Zero morsel size clamps rather than loops forever.
+  EXPECT_EQ(MakeMorsels(2, 0).size(), 2u);
+}
+
+TEST(PartitionTest, PartitionKeysFollowActivitySemantics) {
+  auto pk = MakePrimaryKeyCheck("pk", {"K", "G"}, 0.9);
+  ASSERT_TRUE(pk.ok());
+  auto keys = PartitionKeysFor(*pk);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"K", "G"}));
+
+  auto agg = MakeAggregation("agg", {"G"}, {{AggFn::kSum, "V", "V"}}, 0.2);
+  ASSERT_TRUE(agg.ok());
+  keys = PartitionKeysFor(*agg);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"G"}));
+
+  auto join = MakeJoin("j", {"K"}, 1.0);
+  ASSERT_TRUE(join.ok());
+  keys = PartitionKeysFor(*join);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"K"}));
+
+  // Difference interacts on whole-record equality.
+  auto diff = MakeDifference("d", 0.5);
+  ASSERT_TRUE(diff.ok());
+  keys = PartitionKeysFor(*diff);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_TRUE(keys->empty());
+
+  // Streaming templates need no exchange.
+  auto nn = MakeNotNull("nn", "V", 0.9);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_FALSE(PartitionKeysFor(*nn).has_value());
+  EXPECT_TRUE(IsStreamingKind(ActivityKind::kSelection));
+  EXPECT_TRUE(IsStreamingKind(ActivityKind::kSurrogateKey));
+  EXPECT_FALSE(IsStreamingKind(ActivityKind::kAggregation));
+  EXPECT_FALSE(IsStreamingKind(ActivityKind::kJoin));
+}
+
+TEST(PartitionTest, HashPartitionCoversAllRowsDisjointly) {
+  ThreadPool pool(4);
+  std::vector<Record> rows = TestRows(1000);
+  auto parts = HashPartitionIndices(rows, TestSchema(), {"K"}, 8, 64, &pool);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 8u);
+  std::set<uint32_t> seen;
+  for (const auto& p : *parts) {
+    for (uint32_t i : p) {
+      EXPECT_TRUE(seen.insert(i).second) << "row " << i << " in two partitions";
+    }
+  }
+  EXPECT_EQ(seen.size(), rows.size());
+}
+
+TEST(PartitionTest, EqualKeysLandInSamePartition) {
+  ThreadPool pool(4);
+  std::vector<Record> rows = TestRows(1000);
+  Schema schema = TestSchema();
+  auto parts = HashPartitionIndices(rows, schema, {"K"}, 8, 64, &pool);
+  ASSERT_TRUE(parts.ok());
+  // All rows with the same K value must share a partition.
+  std::map<int64_t, size_t> home;
+  for (size_t p = 0; p < parts->size(); ++p) {
+    for (uint32_t i : (*parts)[p]) {
+      int64_t k = rows[i].value(0).int_value();
+      auto [it, inserted] = home.emplace(k, p);
+      EXPECT_EQ(it->second, p) << "key " << k << " split across partitions";
+    }
+  }
+}
+
+TEST(PartitionTest, IndicesAscendWithinEachPartition) {
+  ThreadPool pool(4);
+  std::vector<Record> rows = TestRows(5000);
+  auto parts =
+      HashPartitionIndices(rows, TestSchema(), {"G"}, 7, 128, &pool);
+  ASSERT_TRUE(parts.ok());
+  for (const auto& p : *parts) {
+    for (size_t j = 1; j < p.size(); ++j) {
+      ASSERT_LT(p[j - 1], p[j]) << "partition order not ascending";
+    }
+  }
+}
+
+TEST(PartitionTest, DeterministicAcrossThreadCountsAndRuns) {
+  std::vector<Record> rows = TestRows(2000);
+  Schema schema = TestSchema();
+  PartitionIndices reference;
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    auto parts = HashPartitionIndices(rows, schema, {"K", "G"}, 16, 97, &pool);
+    ASSERT_TRUE(parts.ok());
+    if (reference.empty()) {
+      reference = *parts;
+    } else {
+      EXPECT_EQ(reference, *parts) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(PartitionTest, WholeRecordPartitioningGroupsDuplicates) {
+  ThreadPool pool(2);
+  std::vector<Record> rows;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 50; ++i) {
+      rows.push_back(Record({Value::Int(i), Value::String("x"),
+                             Value::Double(1.0)}));
+    }
+  }
+  auto parts = HashPartitionIndices(rows, TestSchema(), {}, 4, 32, &pool);
+  ASSERT_TRUE(parts.ok());
+  // Duplicate records (i, i+50, i+100) must colocate.
+  std::map<int64_t, size_t> home;
+  for (size_t p = 0; p < parts->size(); ++p) {
+    for (uint32_t i : (*parts)[p]) {
+      int64_t k = rows[i].value(0).int_value();
+      auto [it, inserted] = home.emplace(k, p);
+      EXPECT_EQ(it->second, p);
+    }
+  }
+}
+
+TEST(PartitionTest, ProbeSideHashMatchesBuildSidePartitions) {
+  // PartitionOfKey over a differently-laid-out schema must route a key to
+  // the same partition HashPartitionIndices chose — the join probe
+  // depends on it.
+  ThreadPool pool(2);
+  std::vector<Record> rows = TestRows(500);
+  Schema schema = TestSchema();
+  auto parts = HashPartitionIndices(rows, schema, {"K"}, 8, 64, &pool);
+  ASSERT_TRUE(parts.ok());
+  std::vector<size_t> key_idx = {0};  // K's position
+  for (size_t p = 0; p < parts->size(); ++p) {
+    for (uint32_t i : (*parts)[p]) {
+      EXPECT_EQ(PartitionOfKey(rows[i], key_idx, parts->size()), p);
+    }
+  }
+}
+
+TEST(PartitionTest, MissingKeyAttributeFails) {
+  ThreadPool pool(1);
+  std::vector<Record> rows = TestRows(10);
+  auto parts =
+      HashPartitionIndices(rows, TestSchema(), {"NOPE"}, 4, 32, &pool);
+  EXPECT_FALSE(parts.ok());
+}
+
+TEST(PartitionTest, RoundRobinBalancesAndAscends) {
+  PartitionIndices parts = RoundRobinPartitionIndices(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (std::vector<uint32_t>{0, 3, 6, 9}));
+  EXPECT_EQ(parts[1], (std::vector<uint32_t>{1, 4, 7}));
+  EXPECT_EQ(parts[2], (std::vector<uint32_t>{2, 5, 8}));
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,123 @@
+#include "engine/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace etlopt {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&](size_t) { ++ran; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&](size_t) { ran = true; }).wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WorkerIndexInRange) {
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&](size_t worker) {
+      if (worker >= 3) ++bad;
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryItemExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    Status s = pool.ParallelFor(hits.size(), [&](size_t i, size_t) {
+      ++hits[i];
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok());
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  Status s = pool.ParallelFor(0, [&](size_t, size_t) {
+    ADD_FAILURE() << "callback must not run for n == 0";
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(ThreadPoolTest, ParallelForReportsSmallestFailingItem) {
+  // Items 3 and 7 fail; the reported error must be item 3's on every run
+  // and at every thread count.
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    Status s = pool.ParallelFor(10, [&](size_t i, size_t) {
+      if (i == 3 || i == 7) {
+        return Status::Internal("boom " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("boom 3"), std::string::npos)
+        << s.ToString();
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStopsClaimingAfterError) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  Status s = pool.ParallelFor(100000, [&](size_t i, size_t) {
+    ++ran;
+    if (i == 0) return Status::Internal("early");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  // Far fewer than all items should have run (claimed-before-error items
+  // still finish, but claiming stops).
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ThreadPoolTest, ParallelForSumsCorrectlyUnderContention) {
+  ThreadPool pool(8);
+  constexpr size_t kN = 4096;
+  std::vector<size_t> out(kN, 0);
+  Status s = pool.ParallelFor(kN, [&](size_t i, size_t) {
+    out[i] = i * 2;
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  size_t sum = std::accumulate(out.begin(), out.end(), size_t{0});
+  EXPECT_EQ(sum, kN * (kN - 1));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&](size_t) { ++ran; });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(ran.load(), 64);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "engine/executor.h"
+#include "engine/parallel.h"
 #include "engine/pipeline.h"
 #include "optimizer/search.h"
 #include "optimizer/transitions.h"
@@ -137,10 +138,43 @@ TEST_P(TransitionPropertyTest, SignatureIdentifiesStatesUniquely) {
   }
 }
 
+// N-version check: the materializing, pipelined and parallel engines
+// implement the activity semantics independently and must agree on target
+// multisets and per-node cardinalities. The parallel engine is checked at
+// one worker and at several.
+void ExpectAllEnginesAgree(const Workflow& w, const ExecutionInput& input,
+                           const char* what) {
+  auto batch = ExecuteWorkflow(w, input);
+  ASSERT_TRUE(batch.ok()) << what << ": " << batch.status().ToString();
+  auto piped = ExecutePipelined(w, input);
+  ASSERT_TRUE(piped.ok()) << what << ": " << piped.status().ToString();
+  ASSERT_EQ(batch->target_data.size(), piped->target_data.size()) << what;
+  for (const auto& [name, rows] : batch->target_data) {
+    EXPECT_TRUE(SameRecordMultiset(rows, piped->target_data.at(name)))
+        << what << " pipelined target " << name;
+  }
+  EXPECT_EQ(batch->rows_out, piped->rows_out) << what;
+  for (size_t threads : {1u, 4u}) {
+    ParallelOptions options;
+    options.num_threads = threads;
+    options.morsel_size = 64;
+    auto par = ExecuteParallel(w, input, options);
+    ASSERT_TRUE(par.ok()) << what << ": " << par.status().ToString();
+    ASSERT_EQ(batch->target_data.size(), par->target_data.size()) << what;
+    for (const auto& [name, rows] : batch->target_data) {
+      // The parallel engine promises byte-identical output, not just the
+      // same multiset.
+      EXPECT_EQ(rows, par->target_data.at(name))
+          << what << " parallel(" << threads << ") target " << name;
+    }
+    EXPECT_EQ(batch->rows_out, par->rows_out)
+        << what << " parallel(" << threads << ")";
+  }
+}
+
 TEST_P(TransitionPropertyTest, PipelinedExecutorAgreesWithBatch) {
-  // N-version check across the whole generated population: the pull-based
-  // pipelined engine and the materializing engine implement the activity
-  // semantics independently and must agree.
+  // The pipelined engine also reports buffering stats; check them here,
+  // separately from the three-way agreement sweep below.
   GeneratedWorkflow g = Generate();
   ExecutionInput input = GenerateInputFor(g.workflow, GetParam().seed + 5, 50);
   auto batch = ExecuteWorkflow(g.workflow, input);
@@ -155,6 +189,31 @@ TEST_P(TransitionPropertyTest, PipelinedExecutorAgreesWithBatch) {
   EXPECT_EQ(batch->rows_out, piped->rows_out);
   // Pipelining buffers strictly less than full materialization.
   EXPECT_LT(stats.buffered_rows, stats.materialized_equivalent);
+}
+
+TEST_P(TransitionPropertyTest, AllThreeEnginesAgreePreAndPostOptimization) {
+  // Every seeded scenario: materializing == pipelined == parallel (1 and
+  // N workers), on the initial state, on a transition successor, and on
+  // the heuristically optimized state.
+  GeneratedWorkflow g = Generate();
+  ExecutionInput input = GenerateInputFor(g.workflow, GetParam().seed + 9, 50);
+  ExpectAllEnginesAgree(g.workflow, input, "initial state");
+
+  auto st = MakeState(g.workflow, model_);
+  ASSERT_TRUE(st.ok());
+  auto succ = EnumerateSuccessors(*st, model_);
+  ASSERT_TRUE(succ.ok());
+  if (!succ->empty()) {
+    ExpectAllEnginesAgree(succ->front().first.workflow, input,
+                          "transition successor");
+  }
+
+  SearchOptions fast;
+  fast.max_states = 8000;
+  fast.max_millis = 10000;
+  auto hsg = HeuristicSearchGreedy(g.workflow, model_, fast);
+  ASSERT_TRUE(hsg.ok());
+  ExpectAllEnginesAgree(hsg->best.workflow, input, "optimized state");
 }
 
 INSTANTIATE_TEST_SUITE_P(
