@@ -12,6 +12,7 @@
 #include "engine/executor.h"
 #include "optimizer/search.h"
 #include "optimizer/transitions.h"
+#include "suite_runner.h"
 #include "workload/scenarios.h"
 
 namespace {
@@ -83,6 +84,25 @@ int Run() {
   std::printf("\nimprovement: ES %.1f%%, HS %.1f%%, HS-Greedy %.1f%%\n",
               es->improvement_pct(), hs->improvement_pct(),
               hsg->improvement_pct());
+
+  bench::JsonReport report("fig1_example");
+  report.Add("initial_cost", es->initial_cost, "cost");
+  report.Add("es.best_cost", es->best.cost, "cost");
+  report.Add("es.visited_states", static_cast<double>(es->visited_states),
+             "states");
+  report.Add("es.improvement", es->improvement_pct(), "percent");
+  report.Add("hs.best_cost", hs->best.cost, "cost");
+  report.Add("hs.visited_states", static_cast<double>(hs->visited_states),
+             "states");
+  report.Add("hs.improvement", hs->improvement_pct(), "percent");
+  report.Add("hsg.best_cost", hsg->best.cost, "cost");
+  report.Add("hsg.visited_states", static_cast<double>(hsg->visited_states),
+             "states");
+  report.Add("hsg.improvement", hsg->improvement_pct(), "percent");
+  report.Add("hs_matches_es_optimum", hs->best.cost == es->best.cost ? 1 : 0,
+             "bool");
+  report.Add("output_identical", *same ? 1 : 0, "bool");
+  report.Write();
   return 0;
 }
 

@@ -18,6 +18,7 @@
 #include "common/macros.h"
 #include "cost/state_cost.h"
 #include "optimizer/transitions.h"
+#include "suite_runner.h"
 #include "workload/scenarios.h"
 
 namespace {
@@ -54,6 +55,10 @@ int Run() {
   auto case3 = ApplyFactorize(case2w, s->union_node, s->sk1, s->sk2);
   ETLOPT_CHECK_OK(case3.status());
 
+  bench::JsonReport report("fig4_costmodel");
+  report.Add("paper.c1", 2 * NLogN(n) + n, "cost");
+  report.Add("paper.c2", 2 * (n + NLogN(n / 2)), "cost");
+  report.Add("paper.c3", 2 * n + NLogN(n / 2), "cost");
   for (double setup : {0.0, 16.0}) {
     LinearLogCostModelOptions options;
     options.surrogate_key_setup = setup;
@@ -72,7 +77,12 @@ int Run() {
                                            : "unexpected")
                     : (c3 < c2 && c2 < c1 ? "c1 > c2 > c3 as in the paper"
                                           : "unexpected"));
+    const char* prefix = setup == 0.0 ? "exact.setup0" : "exact.setup16";
+    report.Add(std::string(prefix) + ".c1", c1, "cost");
+    report.Add(std::string(prefix) + ".c2", c2, "cost");
+    report.Add(std::string(prefix) + ".c3", c3, "cost");
   }
+  report.Write();
   return 0;
 }
 

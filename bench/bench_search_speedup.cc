@@ -1,0 +1,172 @@
+// Search-layer speedup: wall-clock of HeuristicSearch with the fast paths
+// (hashed signatures + delta recosting) at 1/2/4/8 worker threads against
+// the pre-optimization baseline (string signatures, full recost of every
+// state, serial frontier), on a generated scenario. The headline check is
+// >= 3x at 8 threads vs. the baseline on a large (~70-activity, §4.2)
+// workflow; every run also re-verifies that best cost, best signature and
+// visited-state count are byte-identical across all configurations.
+//
+// The speedup check hard-fails only where it is physically meaningful: on
+// machines with >= 8 hardware threads (CI perf runners). Elsewhere the
+// numbers are measured, printed and emitted, but informational.
+// ETLOPT_BENCH_CATEGORY=small|medium|large picks the scenario size
+// (default large); ETLOPT_BENCH_QUICK=1 shrinks budgets for smoke runs.
+//
+// Emits BENCH_search_speedup.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "optimizer/search.h"
+#include "suite_runner.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+using namespace etlopt::bench;
+
+double MillisOf(const std::function<void()>& fn, int repeats) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+WorkloadCategory CategoryFromEnv() {
+  const char* c = std::getenv("ETLOPT_BENCH_CATEGORY");
+  if (c != nullptr) {
+    if (std::strcmp(c, "small") == 0) return WorkloadCategory::kSmall;
+    if (std::strcmp(c, "medium") == 0) return WorkloadCategory::kMedium;
+  }
+  return WorkloadCategory::kLarge;
+}
+
+int Run() {
+  const bool quick = []() {
+    const char* q = std::getenv("ETLOPT_BENCH_QUICK");
+    return q != nullptr && q[0] == '1';
+  }();
+
+  GeneratorOptions gen;
+  gen.category = CategoryFromEnv();
+  gen.seed = 7;
+  auto g = GenerateWorkflow(gen);
+  ETLOPT_CHECK_OK(g.status());
+  LinearLogCostModel model;
+
+  SearchOptions base_options;
+  base_options.max_states = quick ? 20000 : 200000;
+  base_options.max_millis = 120000;
+
+  std::printf("search speedup: %s scenario, %zu activities\n",
+              std::string(WorkloadCategoryToString(gen.category)).c_str(),
+              g->activity_count);
+
+  const int repeats = quick ? 1 : 2;
+
+  // The pre-optimization baseline: serial frontier, every state fully
+  // recosted and its string signature materialized.
+  SearchOptions baseline = base_options;
+  baseline.num_threads = 1;
+  baseline.disable_fast_paths = true;
+  StatusOr<SearchResult> ref = SearchResult{};
+  double baseline_ms = MillisOf(
+      [&] { ref = HeuristicSearch(g->workflow, model, baseline); }, repeats);
+  ETLOPT_CHECK_OK(ref.status());
+  std::printf("  %-22s %9.1f ms  %9.0f states/s  cost %.0f (%zu states)\n",
+              "baseline (serial,full)", baseline_ms,
+              1000.0 * static_cast<double>(ref->visited_states) / baseline_ms,
+              ref->best.cost, ref->visited_states);
+
+  JsonReport report("search_speedup");
+  report.Add("activities", static_cast<double>(g->activity_count),
+             "activities");
+  report.Add("baseline.millis", baseline_ms, "ms");
+  report.Add("baseline.states_per_sec",
+             1000.0 * static_cast<double>(ref->visited_states) / baseline_ms,
+             "states/s");
+  report.Add("baseline.best_cost", ref->best.cost, "cost");
+  report.Add("baseline.visited_states",
+             static_cast<double>(ref->visited_states), "states");
+
+  double t1_ms = 0, t8_ms = 0;
+  SearchPerf perf1;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    SearchOptions fast = base_options;
+    fast.num_threads = threads;
+    StatusOr<SearchResult> r = SearchResult{};
+    double ms = MillisOf(
+        [&] { r = HeuristicSearch(g->workflow, model, fast); }, repeats);
+    ETLOPT_CHECK_OK(r.status());
+    // The fast paths must not change the search: identical optimum,
+    // identical signature, identical state accounting, at every thread
+    // count.
+    if (r->best.cost != ref->best.cost ||
+        r->best.signature != ref->best.signature ||
+        r->visited_states != ref->visited_states) {
+      std::fprintf(stderr,
+                   "FAIL: fast(%zu threads) diverged from the baseline "
+                   "(cost %.17g vs %.17g, visited %zu vs %zu)\n",
+                   threads, r->best.cost, ref->best.cost, r->visited_states,
+                   ref->visited_states);
+      return 1;
+    }
+    if (threads == 1) {
+      t1_ms = ms;
+      perf1 = r->perf;
+    }
+    if (threads == 8) t8_ms = ms;
+    char key[64];
+    std::snprintf(key, sizeof(key), "fast.t%zu.millis", threads);
+    report.Add(key, ms, "ms");
+    std::snprintf(key, sizeof(key), "fast.t%zu.states_per_sec", threads);
+    report.Add(key,
+               1000.0 * static_cast<double>(r->visited_states) / ms,
+               "states/s");
+    std::printf("  fast %zu thread%s        %9.1f ms  %9.0f states/s  "
+                "(%.2fx vs baseline)\n",
+                threads, threads == 1 ? " " : "s", ms,
+                1000.0 * static_cast<double>(r->visited_states) / ms,
+                baseline_ms / ms);
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const double speedup1 = baseline_ms / t1_ms;
+  const double speedup8 = baseline_ms / t8_ms;
+  report.Add("hardware_threads", static_cast<double>(hw), "threads");
+  report.Add("speedup.fast1_vs_baseline", speedup1, "x");
+  report.Add("speedup.fast8_vs_baseline", speedup8, "x");
+  report.Add("fast1.delta_recost_share", perf1.delta_share(), "ratio");
+  report.Add("fast1.node_cache_hit_rate", perf1.node_cache_hit_rate(),
+             "ratio");
+  report.Write();
+
+  std::printf("serial fast paths alone: %.2fx; 8 threads vs baseline: %.2fx "
+              "(target >= 3x on >= 8 cores; this machine has %u)\n",
+              speedup1, speedup8, hw);
+  std::printf("fast paths: %.0f%% of states delta-recosted, %.0f%% node "
+              "cache hits\n",
+              100.0 * perf1.delta_share(),
+              100.0 * perf1.node_cache_hit_rate());
+  if (!quick && hw >= 8 && speedup8 < 3.0) {
+    std::fprintf(stderr, "FAIL: 8-thread speedup %.2fx < 3x\n", speedup8);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

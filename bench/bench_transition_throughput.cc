@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "suite_runner.h"
 #include "common/macros.h"
 #include "cost/state_cost.h"
 #include "optimizer/search.h"
@@ -64,6 +65,16 @@ void BM_Signature(benchmark::State& state) {
 }
 BENCHMARK(BM_Signature);
 
+// Hashed state identity (what the search sets actually key on): no string
+// materialization. Compare with BM_Signature.
+void BM_SignatureHash(benchmark::State& state) {
+  Workflow w = MediumWorkflow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.SignatureHash());
+  }
+}
+BENCHMARK(BM_SignatureHash);
+
 void BM_ApplySwap(benchmark::State& state) {
   Workflow w = MediumWorkflow();
   auto [a, b] = SwappablePair(w);
@@ -108,8 +119,9 @@ void BM_StateCostFull(benchmark::State& state) {
 }
 BENCHMARK(BM_StateCostFull);
 
-// Semi-incremental costing (§4.1): re-cost a swapped state reusing the
-// base breakdown. Compare with BM_StateCostFull.
+// Delta recosting (§4.1): re-cost a swapped state reusing the base
+// breakdown, with the swap's dirty marks seeding the reuse decision.
+// Compare with BM_StateCostFull.
 void BM_StateCostIncremental(benchmark::State& state) {
   Workflow w = MediumWorkflow();
   LinearLogCostModel model;
@@ -119,7 +131,7 @@ void BM_StateCostIncremental(benchmark::State& state) {
   auto swapped = ApplySwap(w, a, b);
   ETLOPT_CHECK_OK(swapped.status());
   for (auto _ : state) {
-    auto c = IncrementalCostBreakdown(*swapped, *base, w, model);
+    auto c = IncrementalCostBreakdown(*swapped, *base, model);
     ETLOPT_CHECK_OK(c.status());
     benchmark::DoNotOptimize(c->total);
   }
@@ -150,6 +162,34 @@ void BM_EnumerateSuccessors(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerateSuccessors);
 
+// Mirrors every finished run into a BENCH_transition_throughput.json so
+// CI tooling can diff the micros without scraping console output.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      double ns = run.iterations > 0
+                      ? run.real_accumulated_time /
+                            static_cast<double>(run.iterations) * 1e9
+                      : 0.0;
+      json_.Add(run.benchmark_name(), ns, "ns/iter");
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  bool WriteJson() const { return json_.Write(); }
+
+ private:
+  etlopt::bench::JsonReport json_{"transition_throughput"};
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson();
+  return 0;
+}

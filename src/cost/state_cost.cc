@@ -1,5 +1,8 @@
 #include "cost/state_cost.h"
 
+#include <algorithm>
+#include <set>
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -45,6 +48,7 @@ StatusOr<CostBreakdown> ComputeCostBreakdown(const Workflow& workflow,
       CostChain(workflow.chain(id), inputs, model, &cost, &out);
       bd.node_cost[id] = cost;
       bd.node_output_cardinality[id] = out;
+      bd.node_input_cardinality[id] = std::move(inputs);
       bd.total += cost;
     }
   }
@@ -59,54 +63,63 @@ StatusOr<double> StateCost(const Workflow& workflow, const CostModel& model) {
 
 StatusOr<CostBreakdown> IncrementalCostBreakdown(const Workflow& next,
                                                  const CostBreakdown& base,
-                                                 const Workflow& base_workflow,
-                                                 const CostModel& model) {
+                                                 const CostModel& model,
+                                                 CostReuseStats* stats) {
   if (!next.fresh()) {
     return Status::FailedPrecondition("cost: workflow must be fresh");
   }
+  const std::set<NodeId> dirty(next.dirty_nodes().begin(),
+                               next.dirty_nodes().end());
+  // One edge pass builds the port-ordered provider index; per-node
+  // Providers() rescans are O(E) each and dominate the delta path.
+  std::map<NodeId, std::vector<std::pair<int, NodeId>>> providers_of;
+  for (const auto& e : next.edges()) {
+    providers_of[e.to].push_back({e.port, e.from});
+  }
+  for (auto& [id, ps] : providers_of) std::sort(ps.begin(), ps.end());
+
   CostBreakdown bd;
   for (NodeId id : next.TopoOrder()) {
-    std::vector<NodeId> providers = next.Providers(id);
     std::vector<double> inputs;
-    inputs.reserve(providers.size());
-    for (NodeId p : providers) {
-      inputs.push_back(bd.node_output_cardinality.at(p));
-    }
-    if (next.IsRecordSet(id)) {
-      double card = providers.empty() ? next.recordset(id).cardinality
-                                      : inputs[0];
-      bd.node_output_cardinality[id] = card;
-      continue;
-    }
-    // Reuse the base figures when this node is untouched: same node id,
-    // same semantics, same providers, and identical input cardinalities.
-    bool reusable = base_workflow.Exists(id) && base_workflow.IsActivity(id) &&
-                    base.node_cost.count(id) > 0;
-    if (reusable) {
-      std::vector<NodeId> base_providers = base_workflow.Providers(id);
-      reusable = base_providers == providers &&
-                 base_workflow.chain(id).semantics_hash() ==
-                     next.chain(id).semantics_hash();
-      if (reusable) {
-        for (size_t i = 0; i < providers.size() && reusable; ++i) {
-          auto it = base.node_output_cardinality.find(providers[i]);
-          reusable =
-              it != base.node_output_cardinality.end() && it->second == inputs[i];
-        }
+    if (auto it = providers_of.find(id); it != providers_of.end()) {
+      inputs.reserve(it->second.size());
+      for (const auto& [port, from] : it->second) {
+        inputs.push_back(bd.node_output_cardinality.at(from));
       }
     }
-    if (reusable) {
-      bd.node_cost[id] = base.node_cost.at(id);
+    if (next.IsRecordSet(id)) {
       bd.node_output_cardinality[id] =
-          base.node_output_cardinality.at(id);
-    } else {
+          inputs.empty() ? next.recordset(id).cardinality : inputs[0];
+      continue;
+    }
+    // Reuse iff the chain is untouched (not dirty), cached in the base,
+    // and fed the exact same input cardinalities. The propagated inputs
+    // of an untouched prefix are bit-identical to the base's, so exact
+    // double comparison is the right test.
+    bool reusable = dirty.count(id) == 0;
+    if (reusable) {
+      auto ci = base.node_cost.find(id);
+      auto ii = base.node_input_cardinality.find(id);
+      reusable = ci != base.node_cost.end() &&
+                 ii != base.node_input_cardinality.end() &&
+                 ii->second == inputs;
+      if (reusable) {
+        bd.node_cost[id] = ci->second;
+        bd.node_output_cardinality[id] = base.node_output_cardinality.at(id);
+      }
+    }
+    if (!reusable) {
       double cost = 0.0;
       double out = 0.0;
       CostChain(next.chain(id), inputs, model, &cost, &out);
       bd.node_cost[id] = cost;
       bd.node_output_cardinality[id] = out;
     }
+    if (stats != nullptr) {
+      ++(reusable ? stats->reused_nodes : stats->recosted_nodes);
+    }
     bd.total += bd.node_cost[id];
+    bd.node_input_cardinality[id] = std::move(inputs);
   }
   return bd;
 }

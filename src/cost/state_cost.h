@@ -5,19 +5,26 @@
 #define ETLOPT_COST_STATE_COST_H_
 
 #include <map>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "graph/workflow.h"
 
 namespace etlopt {
 
-/// Full costing of one state.
+/// Full costing of one state. The per-node figures double as the search
+/// layer's cost cache: IncrementalCostBreakdown reuses them for every
+/// node a transition provably did not touch.
 struct CostBreakdown {
   double total = 0.0;
   /// Cost charged to each activity node (chain members summed).
   std::map<NodeId, double> node_cost;
   /// Estimated rows leaving each node.
   std::map<NodeId, double> node_output_cardinality;
+  /// Port-ordered input cardinalities of each activity node — recorded so
+  /// delta recosting can decide reuse ("same chain, same inputs => same
+  /// cost") without consulting the base workflow's edge list.
+  std::map<NodeId, std::vector<double>> node_input_cardinality;
 };
 
 /// Computes the breakdown for a fresh workflow. Source cardinalities come
@@ -28,15 +35,26 @@ StatusOr<CostBreakdown> ComputeCostBreakdown(const Workflow& workflow,
 /// Just the total (convenience).
 StatusOr<double> StateCost(const Workflow& workflow, const CostModel& model);
 
-/// Semi-incremental costing (paper §4.1): computes the cost of `next` by
-/// reusing `base`'s breakdown for every node whose inputs are untouched,
-/// re-costing only nodes downstream of a changed region. Falls back to a
-/// full recomputation when reuse is impossible. Results are identical to
-/// ComputeCostBreakdown(next, model).
+/// Cache behavior of one IncrementalCostBreakdown call.
+struct CostReuseStats {
+  size_t reused_nodes = 0;
+  size_t recosted_nodes = 0;
+};
+
+/// Delta recosting (paper §4.1): computes the cost of `next` — a workflow
+/// derived from the state `base` describes by applying transitions —
+/// reusing `base`'s figures for every untouched node. A node is reused
+/// when it is not in `next`'s dirty set (its chain is unchanged since the
+/// base, see Workflow::dirty_nodes()), it has cached figures in `base`,
+/// and its freshly propagated input cardinalities equal the cached ones;
+/// cost models are deterministic functions of (activity, input rows), so
+/// reuse is exact. Results are bit-identical to
+/// ComputeCostBreakdown(next, model) — asserted in debug builds by the
+/// search layer on every transition.
 StatusOr<CostBreakdown> IncrementalCostBreakdown(const Workflow& next,
                                                  const CostBreakdown& base,
-                                                 const Workflow& base_workflow,
-                                                 const CostModel& model);
+                                                 const CostModel& model,
+                                                 CostReuseStats* stats = nullptr);
 
 }  // namespace etlopt
 

@@ -74,10 +74,22 @@ Status ThreadPool::ParallelFor(
     }
   };
 
+  // Enqueue all driver tasks under one lock and wake every worker at
+  // once; per-driver Submit would take the lock and notify once per
+  // driver, which shows up when ParallelFor runs in a tight loop (the
+  // search frontier issues one small batch per expanded state).
   size_t drivers = std::min(n, num_threads());
   std::vector<std::future<void>> futures;
   futures.reserve(drivers);
-  for (size_t d = 0; d < drivers; ++d) futures.push_back(Submit(drive));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t d = 0; d < drivers; ++d) {
+      std::packaged_task<void(size_t)> task(drive);
+      futures.push_back(task.get_future());
+      queue_.push_back(std::move(task));
+    }
+  }
+  cv_.notify_all();
   for (auto& f : futures) f.wait();
   return error;
 }

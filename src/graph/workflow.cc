@@ -98,6 +98,7 @@ const ActivityChain& Workflow::chain(NodeId id) const {
 ActivityChain* Workflow::mutable_chain(NodeId id) {
   Node& n = GetNodeMutable(id);
   ETLOPT_CHECK(n.is_activity);
+  MarkDirty(id);
   Invalidate();
   return &*n.chain;
 }
@@ -354,6 +355,75 @@ std::string Workflow::Signature() const {
   return Join(targets, ";") + "#" + std::to_string(ActivityCount());
 }
 
+namespace {
+
+// FNV-1a mixing helpers for SignatureHash.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvByte(uint64_t h, unsigned char b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+inline uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) h = FnvByte(h, p[i]);
+  return h;
+}
+
+}  // namespace
+
+uint64_t Workflow::SignatureHash() const {
+  // Hashes the same plabel tree Signature() renders, without building the
+  // strings and without the per-node O(E) Providers() scans: the
+  // port-ordered provider index is built in one edge pass, unfold hashes
+  // are memoized per node (the graph is a DAG), and per-target hashes are
+  // sorted numerically — the canonicalization Signature() gets from
+  // sorting the target strings.
+  std::map<NodeId, std::vector<std::pair<int, NodeId>>> providers_of;
+  std::set<NodeId> has_consumer;
+  for (const auto& e : edges_) {
+    providers_of[e.to].push_back({e.port, e.from});
+    has_consumer.insert(e.from);
+  }
+  for (auto& [id, ps] : providers_of) std::sort(ps.begin(), ps.end());
+
+  std::map<NodeId, uint64_t> memo;
+  std::function<uint64_t(NodeId)> unfold = [&](NodeId id) -> uint64_t {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    uint64_t h = kFnvOffset;
+    const std::string plabel = PriorityLabelOf(id);
+    h = FnvBytes(h, plabel.data(), plabel.size());
+    auto pit = providers_of.find(id);
+    if (pit != providers_of.end()) {
+      h = FnvByte(h, '(');
+      for (const auto& [port, from] : pit->second) {
+        uint64_t child = unfold(from);
+        h = FnvBytes(h, &child, sizeof(child));
+        h = FnvByte(h, ',');
+      }
+      h = FnvByte(h, ')');
+    }
+    memo.emplace(id, h);
+    return h;
+  };
+
+  std::vector<uint64_t> targets;
+  for (const auto& [id, n] : nodes_) {
+    if (!n.is_activity && has_consumer.count(id) == 0) {
+      targets.push_back(unfold(id));
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  uint64_t h = kFnvOffset;
+  for (uint64_t t : targets) h = FnvBytes(h, &t, sizeof(t));
+  uint64_t count = ActivityCount();
+  h = FnvByte(h, '#');
+  h = FnvBytes(h, &count, sizeof(count));
+  return h;
+}
+
 std::string Workflow::PrettySignature() const {
   // Recursive render: a node is its providers' rendering followed by its
   // own priority label; multiple providers bracket as (a//b).
@@ -448,6 +518,8 @@ Status Workflow::SwapAdjacent(NodeId upstream, NodeId downstream) {
   kept.push_back({downstream, upstream, 0});
   kept.push_back({upstream, consumer, consumer_port});
   edges_ = std::move(kept);
+  MarkDirty(upstream);
+  MarkDirty(downstream);
   Invalidate();
   return Status::OK();
 }
@@ -495,6 +567,7 @@ StatusOr<NodeId> Workflow::InsertOnEdge(ActivityChain chain, NodeId from,
   nodes_.emplace(id, std::move(n));
   edges_.push_back({from, id, 0});
   edges_.push_back({id, to, port});
+  MarkDirty(id);
   Invalidate();
   return id;
 }
@@ -527,6 +600,7 @@ Status Workflow::MergeInto(NodeId first, NodeId second) {
   }
   edges_ = std::move(kept);
   nodes_.erase(second);
+  MarkDirty(first);
   Invalidate();
   return Status::OK();
 }
@@ -547,6 +621,8 @@ StatusOr<NodeId> Workflow::SplitNode(NodeId id, size_t at) {
   }
   edges_.push_back({id, tail_id, 0});
   GetNodeMutable(id).chain = std::move(parts.first);
+  MarkDirty(id);
+  MarkDirty(tail_id);
   Invalidate();
   return tail_id;
 }

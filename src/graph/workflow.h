@@ -15,6 +15,7 @@
 #ifndef ETLOPT_GRAPH_WORKFLOW_H_
 #define ETLOPT_GRAPH_WORKFLOW_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -129,6 +130,14 @@ class Workflow {
   /// the activity count. Equal signatures identify equal states.
   std::string Signature() const;
 
+  /// 64-bit hash of the canonical signature structure, computed without
+  /// materializing the string (the search hot path keys its visited and
+  /// queued sets on this; the string form stays for reporting/DOT). Equal
+  /// Signature() strings always hash equally; distinct signatures collide
+  /// with probability ~2^-64 and the optimizer's SignatureInterner
+  /// cross-checks hash/string consistency in debug builds.
+  uint64_t SignatureHash() const;
+
   /// The paper's display form of the signature: linear runs joined with
   /// '.', converging branches bracketed with '//' — Fig. 1 renders as
   /// "((1.3)//(2.4.5.6)).7.8.9".
@@ -162,6 +171,20 @@ class Workflow {
   /// after the head. Returns the tail's id.
   StatusOr<NodeId> SplitNode(NodeId id, size_t at);
 
+  // --- Dirty-node tracking (delta-recost hook) ---
+  //
+  // Surgery records every node whose chain content or direct inputs it
+  // touched. The cost layer seeds delta recosting from this set: a node
+  // absent from it (and present in the base state with identical input
+  // cardinalities) is guaranteed to cost the same as in the base, so its
+  // cached figures can be reused. Copies inherit the set, so a sequence
+  // of transitions derived from one base state accumulates all touched
+  // nodes; the search layer clears it each time a state is (re)costed.
+
+  /// Nodes touched by surgery since the last ClearDirtyNodes().
+  const std::vector<NodeId>& dirty_nodes() const { return dirty_nodes_; }
+  void ClearDirtyNodes() { dirty_nodes_.clear(); }
+
  private:
   struct Node {
     bool is_activity = false;
@@ -171,6 +194,7 @@ class Workflow {
   };
 
   NodeId NewId() { return next_id_++; }
+  void MarkDirty(NodeId id) { dirty_nodes_.push_back(id); }
   const Node& GetNode(NodeId id) const;
   Node& GetNodeMutable(NodeId id);
   Status CheckStructure() const;
@@ -182,6 +206,7 @@ class Workflow {
   std::vector<WorkflowEdge> edges_;
   NodeId next_id_ = 1;
   bool finalized_ = false;
+  std::vector<NodeId> dirty_nodes_;
 
   // Computed by Refresh().
   bool fresh_ = false;

@@ -1,18 +1,17 @@
 #include "optimizer/annealing.h"
 
-#include <chrono>
 #include <cmath>
 
 #include "common/macros.h"
 #include "common/random.h"
 #include "graph/analysis.h"
+#include "optimizer/budget.h"
+#include "optimizer/state_eval.h"
 #include "optimizer/transitions.h"
 
 namespace etlopt {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 // A proposable move; operands are looked up lazily because node ids churn
 // as transitions apply.
@@ -62,19 +61,20 @@ StatusOr<Workflow> ApplyMove(const Workflow& w, const Move& move) {
 StatusOr<SearchResult> SimulatedAnnealingSearch(
     const Workflow& initial, const CostModel& model,
     const SearchOptions& options, const AnnealingOptions& annealing) {
-  auto start = Clock::now();
-  auto deadline = start + std::chrono::milliseconds(options.max_millis);
+  ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
+  Budget budget(options);
+  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths);
   Rng rng(annealing.seed);
 
   Workflow w0 = initial;
   if (!w0.fresh()) {
     ETLOPT_RETURN_NOT_OK(w0.Refresh());
   }
-  ETLOPT_ASSIGN_OR_RETURN(State current, MakeState(std::move(w0), model));
+  ETLOPT_ASSIGN_OR_RETURN(State current, eval.Eval(std::move(w0)));
   SearchResult result;
   result.initial_cost = current.cost;
   State best = current;
-  size_t evaluated = 1;
+  ++budget.visited;
 
   double temperature =
       annealing.initial_temperature_fraction * result.initial_cost;
@@ -84,7 +84,7 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
 
   while (temperature > floor_temperature) {
     for (size_t step = 0; step < annealing.steps_per_temperature; ++step) {
-      if (evaluated >= options.max_states || Clock::now() >= deadline) {
+      if (budget.Exhausted()) {
         budget_hit = true;
         break;
       }
@@ -93,9 +93,11 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
       const Move& move = moves[rng.UniformIndex(moves.size())];
       auto next = ApplyMove(current.workflow, move);
       if (!next.ok()) continue;  // structurally plausible, semantically not
+      // Each proposal is one transition away from `current`, so the
+      // candidate delta-recosts against it.
       ETLOPT_ASSIGN_OR_RETURN(State candidate,
-                              MakeState(std::move(next).value(), model));
-      ++evaluated;
+                              eval.EvalFrom(std::move(next).value(), current));
+      ++budget.visited;
       double delta = candidate.cost - current.cost;
       bool accept = delta <= 0.0 ||
                     rng.UniformDouble() < std::exp(-delta / temperature);
@@ -109,12 +111,13 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
   }
 
   result.best = std::move(best);
-  result.visited_states = evaluated;
-  result.elapsed_millis =
-      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
-                                                            start)
-          .count();
+  if (result.best.signature.empty()) {
+    result.best.signature = result.best.workflow.Signature();
+  }
+  result.visited_states = budget.visited;
+  result.elapsed_millis = budget.ElapsedMillis();
   result.exhausted = !budget_hit;
+  result.perf = eval.perf();
   return result;
 }
 

@@ -1,0 +1,55 @@
+// Shared budget accounting for one search-algorithm run (ES, HS,
+// HS-Greedy, simulated annealing).
+
+#ifndef ETLOPT_OPTIMIZER_BUDGET_H_
+#define ETLOPT_OPTIMIZER_BUDGET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "optimizer/search.h"
+
+namespace etlopt {
+
+struct Budget {
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point start = Clock::now();
+  Clock::time_point deadline;
+  size_t max_states = 0;
+  size_t visited = 0;
+
+  /// Clock::now() is a syscall and Exhausted() runs once per candidate
+  /// state on the hottest loop, so the wall-clock deadline is only
+  /// consulted every this-many newly visited states. The max_states
+  /// accounting stays exact.
+  static constexpr size_t kDeadlineCheckInterval = 64;
+
+  explicit Budget(const SearchOptions& options)
+      : deadline(start + std::chrono::milliseconds(options.max_millis)),
+        max_states(options.max_states) {}
+
+  bool Exhausted() {
+    if (visited >= max_states || timed_out_) return true;
+    if (visited - last_deadline_check_ >= kDeadlineCheckInterval) {
+      last_deadline_check_ = visited;
+      timed_out_ = Clock::now() >= deadline;
+    }
+    return timed_out_;
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start)
+        .count();
+  }
+
+ private:
+  size_t last_deadline_check_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPTIMIZER_BUDGET_H_

@@ -57,6 +57,18 @@ StatusOr<std::string> OptimizationReport(const Workflow& initial,
       result.visited_states,
       static_cast<long long>(result.elapsed_millis),
       result.exhausted ? "" : " (budget hit)");
+  if (result.perf.full_recosts + result.perf.delta_recosts > 0) {
+    out += StrFormat(
+        "search perf: %zu threads, %.0f states/s, %.0f%% delta recosts, "
+        "%.0f%% node cache hits\n",
+        result.perf.threads,
+        result.elapsed_millis > 0
+            ? 1000.0 * static_cast<double>(result.visited_states) /
+                  static_cast<double>(result.elapsed_millis)
+            : static_cast<double>(result.visited_states),
+        100.0 * result.perf.delta_share(),
+        100.0 * result.perf.node_cache_hit_rate());
+  }
   if (!result.best_path.empty()) {
     out += "rewrite path:\n";
     for (const auto& rec : result.best_path) {

@@ -1,46 +1,115 @@
 #include "optimizer/search.h"
 
 #include <algorithm>
-#include <chrono>
 #include <deque>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "engine/thread_pool.h"
 #include "graph/analysis.h"
+#include "optimizer/budget.h"
+#include "optimizer/state_eval.h"
 #include "optimizer/transitions.h"
 
 namespace etlopt {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-// Shared budget accounting across one algorithm run.
-struct Budget {
-  Clock::time_point start = Clock::now();
-  Clock::time_point deadline;
-  size_t max_states = 0;
-  size_t visited = 0;
-
-  explicit Budget(const SearchOptions& options)
-      : deadline(start + std::chrono::milliseconds(options.max_millis)),
-        max_states(options.max_states) {}
-
-  bool Exhausted() const {
-    return visited >= max_states || Clock::now() >= deadline;
-  }
-
-  int64_t ElapsedMillis() const {
-    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
-                                                                 start)
-        .count();
-  }
-};
-
 bool IsUnaryActivityNode(const Workflow& w, NodeId id) {
   return w.IsActivity(id) && w.chain(id).is_unary();
+}
+
+// One not-yet-applied transition: a thunk producing the derived workflow
+// (or a rejection status) plus its trace record. The thunk captures the
+// base workflow by reference, so candidates must be evaluated while it is
+// alive.
+struct Candidate {
+  std::function<StatusOr<Workflow>()> apply;
+  TransitionRecord rec;
+};
+
+// Evaluates all candidate transitions of `base`, fanning out over `pool`
+// when one is given, and returns the surviving successors *in candidate
+// order* — workers fill index-slotted results and the sequential compaction
+// preserves ordering, so the outcome is byte-identical to a serial loop.
+// A candidate whose transition is rejected is pruned; an evaluation error
+// propagates (the pool reports the smallest failing index, matching what a
+// serial loop would return).
+StatusOr<std::vector<std::pair<State, TransitionRecord>>> EvalCandidates(
+    const State& base, const std::vector<Candidate>& candidates,
+    const StateEvaluator& eval, ThreadPool* pool) {
+  std::vector<std::optional<std::pair<State, TransitionRecord>>> slots(
+      candidates.size());
+  auto eval_one = [&](size_t i) -> Status {
+    auto trial = candidates[i].apply();
+    if (!trial.ok()) return Status::OK();  // illegal transition: prune
+    ETLOPT_ASSIGN_OR_RETURN(State st,
+                            eval.EvalFrom(std::move(trial).value(), base));
+    slots[i] = std::make_pair(std::move(st), candidates[i].rec);
+    return Status::OK();
+  };
+  if (pool != nullptr && candidates.size() > 1) {
+    ETLOPT_RETURN_NOT_OK(pool->ParallelFor(
+        candidates.size(), [&](size_t i, size_t) { return eval_one(i); }));
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      ETLOPT_RETURN_NOT_OK(eval_one(i));
+    }
+  }
+  std::vector<std::pair<State, TransitionRecord>> out;
+  out.reserve(candidates.size());
+  for (auto& slot : slots) {
+    if (slot.has_value()) out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+// The candidate successors of `w` under SWA, FAC, DIS, in the canonical
+// enumeration order (ascending node ids; analysis order for pairs).
+std::vector<Candidate> CollectSuccessorCandidates(const Workflow& w) {
+  std::vector<Candidate> out;
+
+  // SWA over every adjacent unary pair.
+  for (NodeId u : w.ActivityNodeIds()) {
+    if (!IsUnaryActivityNode(w, u)) continue;
+    std::vector<NodeId> consumers = w.Consumers(u);
+    if (consumers.size() != 1 || !IsUnaryActivityNode(w, consumers[0]))
+      continue;
+    NodeId d = consumers[0];
+    out.push_back(
+        {[&w, u, d] { return ApplySwap(w, u, d); },
+         TransitionRecord{TransitionRecord::Kind::kSwap,
+                          StrFormat("SWA(%s,%s)",
+                                    w.PriorityLabelOf(u).c_str(),
+                                    w.PriorityLabelOf(d).c_str())}});
+  }
+
+  // FAC over homologous pairs adjacent to their binary.
+  for (const auto& h : FindHomologousPairs(w)) {
+    out.push_back(
+        {[&w, h] { return ApplyFactorize(w, h.binary, h.a1, h.a2); },
+         TransitionRecord{TransitionRecord::Kind::kFactorize,
+                          StrFormat("FAC(%s,%s,%s)",
+                                    w.PriorityLabelOf(h.binary).c_str(),
+                                    w.PriorityLabelOf(h.a1).c_str(),
+                                    w.PriorityLabelOf(h.a2).c_str())}});
+  }
+
+  // DIS of direct consumers of binary activities.
+  for (const auto& d : FindDistributable(w)) {
+    out.push_back(
+        {[&w, d] { return ApplyDistribute(w, d.binary, d.node); },
+         TransitionRecord{TransitionRecord::Kind::kDistribute,
+                          StrFormat("DIS(%s,%s)",
+                                    w.PriorityLabelOf(d.binary).c_str(),
+                                    w.PriorityLabelOf(d.node).c_str())}});
+  }
+  return out;
 }
 
 // Moves `a` downstream via swaps until its consumer is `stop`.
@@ -89,15 +158,32 @@ std::vector<std::pair<NodeId, NodeId>> AdjacentPairsInGroup(
   return out;
 }
 
+// The in-group swap transitions of `w` as candidates (records unused —
+// group sweeps do not trace lineage).
+std::vector<Candidate> SwapCandidatesInGroup(const Workflow& w,
+                                             const std::set<NodeId>& group) {
+  std::vector<Candidate> out;
+  for (const auto& [u, d] : AdjacentPairsInGroup(w, group)) {
+    NodeId uu = u, dd = d;
+    out.push_back({[&w, uu, dd] { return ApplySwap(w, uu, dd); },
+                   TransitionRecord{}});
+  }
+  return out;
+}
+
 // Phase I / IV inner loop: optimizes the order of one local group's
 // activities by swaps only.
 //
 // HS explores every reachable ordering of the group (bounded BFS,
 // Heuristic 4's divide-and-conquer); HS-Greedy hill-climbs, accepting only
-// cost-improving swaps (§4.2's greedy variant).
+// cost-improving swaps (§4.2's greedy variant). Candidate swaps of each
+// step are evaluated in parallel; acceptance runs sequentially in
+// candidate order, so the sweep is deterministic across thread counts.
 StatusOr<State> OptimizeGroupSwaps(const State& start,
                                    const std::vector<NodeId>& group_nodes,
-                                   const CostModel& model, bool greedy,
+                                   const StateEvaluator& eval,
+                                   ThreadPool* pool,
+                                   SignatureInterner* interner, bool greedy,
                                    const SearchOptions& options,
                                    Budget* budget) {
   std::set<NodeId> group(group_nodes.begin(), group_nodes.end());
@@ -107,11 +193,11 @@ StatusOr<State> OptimizeGroupSwaps(const State& start,
     while (improved && !budget->Exhausted()) {
       improved = false;
       State best = current;
-      for (const auto& [u, d] : AdjacentPairsInGroup(current.workflow, group)) {
-        auto trial = ApplySwap(current.workflow, u, d);
-        if (!trial.ok()) continue;
-        ETLOPT_ASSIGN_OR_RETURN(State st,
-                                MakeState(std::move(trial).value(), model));
+      std::vector<Candidate> candidates =
+          SwapCandidatesInGroup(current.workflow, group);
+      ETLOPT_ASSIGN_OR_RETURN(auto evaluated,
+                              EvalCandidates(current, candidates, eval, pool));
+      for (auto& [st, rec] : evaluated) {
         ++budget->visited;
         if (st.cost < best.cost) {
           best = std::move(st);
@@ -129,17 +215,17 @@ StatusOr<State> OptimizeGroupSwaps(const State& start,
   std::deque<State> queue;
   queue.push_back(best);
   queue.push_back(start);
-  std::set<std::string> seen{best.signature, start.signature};
+  std::set<uint64_t> seen{interner->Intern(best), interner->Intern(start)};
   while (!queue.empty() && seen.size() < options.max_states_per_group &&
          !budget->Exhausted()) {
     State cur = std::move(queue.front());
     queue.pop_front();
-    for (const auto& [u, d] : AdjacentPairsInGroup(cur.workflow, group)) {
-      auto trial = ApplySwap(cur.workflow, u, d);
-      if (!trial.ok()) continue;
-      ETLOPT_ASSIGN_OR_RETURN(State st,
-                              MakeState(std::move(trial).value(), model));
-      if (!seen.insert(st.signature).second) continue;
+    std::vector<Candidate> candidates =
+        SwapCandidatesInGroup(cur.workflow, group);
+    ETLOPT_ASSIGN_OR_RETURN(auto evaluated,
+                            EvalCandidates(cur, candidates, eval, pool));
+    for (auto& [st, rec] : evaluated) {
+      if (!seen.insert(interner->Intern(st)).second) continue;
       ++budget->visited;
       if (st.cost < best.cost) best = st;
       queue.push_back(std::move(st));
@@ -188,11 +274,27 @@ StatusOr<NodeId> FindNodeByActivityLabel(const Workflow& w,
   return found;
 }
 
+// Resolves num_threads (0 = hardware default) and builds a pool when the
+// run is actually parallel.
+std::unique_ptr<ThreadPool> MakePool(const SearchOptions& options,
+                                     size_t* threads_out) {
+  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads;
+  *threads_out = threads;
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
 StatusOr<SearchResult> RunHeuristic(
     const Workflow& initial, const CostModel& model,
     const SearchOptions& options,
     const std::vector<MergeConstraint>& merge_constraints, bool greedy) {
+  ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
+  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths);
+  SignatureInterner interner;
+  size_t threads = 1;
+  std::unique_ptr<ThreadPool> pool = MakePool(options, &threads);
   Workflow w0 = initial;
   if (!w0.fresh()) {
     ETLOPT_RETURN_NOT_OK(w0.Refresh());
@@ -205,7 +307,7 @@ StatusOr<SearchResult> RunHeuristic(
                             FindNodeByActivityLabel(w0, mc.second_label));
     ETLOPT_ASSIGN_OR_RETURN(w0, ApplyMerge(w0, a1, a2));
   }
-  ETLOPT_ASSIGN_OR_RETURN(State s0, MakeState(std::move(w0), model));
+  ETLOPT_ASSIGN_OR_RETURN(State s0, eval.Eval(std::move(w0)));
   ++budget.visited;
   SearchResult result;
   result.initial_cost = s0.cost;
@@ -222,22 +324,25 @@ StatusOr<SearchResult> RunHeuristic(
   if (options.enable_phase1_sweep) {
     for (const auto& g : groups) {
       if (budget.Exhausted()) break;
-      ETLOPT_ASSIGN_OR_RETURN(cur, OptimizeGroupSwaps(cur, g.nodes, model,
-                                                      greedy, options,
-                                                      &budget));
+      ETLOPT_ASSIGN_OR_RETURN(
+          cur, OptimizeGroupSwaps(cur, g.nodes, eval, pool.get(), &interner,
+                                  greedy, options, &budget));
     }
   }
   if (cur.cost < smin.cost) smin = cur;
 
-  // `visited` list of distinct promising states (ln 14).
-  std::map<std::string, State> visited;
-  visited.emplace(smin.signature, smin);
+  // `visited` list of distinct promising states (ln 14), keyed by
+  // signature hash.
+  std::map<uint64_t, State> visited;
+  visited.emplace(interner.Intern(smin), smin);
 
   // Phase II (ln 15-20): factorize homologous pairs that can be shifted
   // forward to their binary. A successful factorization can expose a new
   // homologous pair one level up a union tree (the shared clone and its
   // counterpart on the sibling flow), so each seed pair cascades to a
-  // fixpoint.
+  // fixpoint. The shift/factorize chains are data-dependent, so this phase
+  // stays sequential; each chain delta-recosts against the state it was
+  // derived from.
   for (const auto& h : homologous) {
     if (!options.enable_factorize) break;
     if (budget.Exhausted()) break;
@@ -253,7 +358,7 @@ StatusOr<SearchResult> RunHeuristic(
         ApplyFactorize(std::move(shifted2).value(), h.binary, h.a1, h.a2);
     if (!factored.ok()) continue;
     ETLOPT_ASSIGN_OR_RETURN(State st,
-                            MakeState(std::move(factored).value(), model));
+                            eval.EvalFrom(std::move(factored).value(), smin));
     ++budget.visited;
     // Cascade: keep factorizing pairs with the same semantics.
     bool changed = true;
@@ -268,14 +373,14 @@ StatusOr<SearchResult> RunHeuristic(
         auto next = ApplyFactorize(std::move(s2).value(), hc.binary, hc.a1,
                                    hc.a2);
         if (!next.ok()) continue;
-        ETLOPT_ASSIGN_OR_RETURN(st, MakeState(std::move(next).value(), model));
+        ETLOPT_ASSIGN_OR_RETURN(st, eval.EvalFrom(std::move(next).value(), st));
         ++budget.visited;
         changed = true;
         break;
       }
     }
     if (st.cost < smin.cost) smin = st;
-    visited.emplace(st.signature, std::move(st));
+    visited.emplace(interner.Intern(st), std::move(st));
   }
 
   // Phase III (ln 21-28): distribute the initial state's distributable
@@ -283,9 +388,9 @@ StatusOr<SearchResult> RunHeuristic(
   // Phase II have fresh node ids, so they are naturally excluded). The
   // worklist includes states Phase III itself produces, so distributions
   // of *different* activities compose (e.g. two post-union filters both
-  // pushed into the flows).
+  // pushed into the flows). Sequential for the same reason as Phase II.
   std::deque<State> worklist;
-  std::set<std::string> queued;
+  std::set<uint64_t> queued;
   for (const auto& [sig, st] : visited) {
     worklist.push_back(st);
     queued.insert(sig);
@@ -314,7 +419,7 @@ StatusOr<SearchResult> RunHeuristic(
               ApplyDistribute(std::move(shifted).value(), dc.binary, dc.node);
           if (!dist.ok()) continue;
           ETLOPT_ASSIGN_OR_RETURN(st,
-                                  MakeState(std::move(dist).value(), model));
+                                  eval.EvalFrom(std::move(dist).value(), st));
           ++budget.visited;
           changed = true;
           any = true;
@@ -323,9 +428,9 @@ StatusOr<SearchResult> RunHeuristic(
           if (st.cost < smin.cost) smin = st;
           // Bound the composition frontier: past the cap, keep improving
           // states only and stop re-enqueueing.
-          if (queued.insert(st.signature).second &&
+          if (queued.insert(interner.Intern(st)).second &&
               visited.size() < options.max_phase3_states) {
-            visited.emplace(st.signature, st);
+            visited.emplace(st.signature_hash, st);
             worklist.push_back(st);
           }
           break;
@@ -339,12 +444,16 @@ StatusOr<SearchResult> RunHeuristic(
   // (local groups changed after FAC/DIS). Visited states are processed in
   // ascending cost order and the sweep is limited to the most promising
   // ones — the tail of the list rarely overtakes a full sweep of the
-  // leaders and re-sweeping everything dominates the runtime.
+  // leaders and re-sweeping everything dominates the runtime. Ties break
+  // on signature hash so the order is deterministic.
   std::vector<State> snapshot;
   snapshot.reserve(visited.size());
   for (const auto& [sig, st] : visited) snapshot.push_back(st);
   std::sort(snapshot.begin(), snapshot.end(),
-            [](const State& a, const State& b) { return a.cost < b.cost; });
+            [](const State& a, const State& b) {
+              return a.cost != b.cost ? a.cost < b.cost
+                                      : a.signature_hash < b.signature_hash;
+            });
   if (snapshot.size() > options.max_phase4_states) {
     snapshot.resize(options.max_phase4_states);
   }
@@ -355,82 +464,74 @@ StatusOr<SearchResult> RunHeuristic(
     for (const auto& g : FindLocalGroups(c.workflow)) {
       if (budget.Exhausted()) break;
       ETLOPT_ASSIGN_OR_RETURN(
-          c, OptimizeGroupSwaps(c, g.nodes, model, greedy, options, &budget));
+          c, OptimizeGroupSwaps(c, g.nodes, eval, pool.get(), &interner,
+                                greedy, options, &budget));
     }
     if (c.cost < smin.cost) smin = c;
   }
 
   // Post-processing (ln 36): split anything still merged.
   ETLOPT_ASSIGN_OR_RETURN(Workflow split, SplitAllMergedNodes(smin.workflow));
-  ETLOPT_ASSIGN_OR_RETURN(smin, MakeState(std::move(split), model));
+  ETLOPT_ASSIGN_OR_RETURN(smin, eval.EvalFrom(std::move(split), smin));
 
   result.best = std::move(smin);
+  if (result.best.signature.empty()) {
+    result.best.signature = result.best.workflow.Signature();
+  }
   result.visited_states = budget.visited;
   result.elapsed_millis = budget.ElapsedMillis();
   result.exhausted = !budget.Exhausted();
+  result.perf = eval.perf();
+  result.perf.threads = threads;
   return result;
 }
 
 }  // namespace
 
+Status ValidateSearchOptions(const SearchOptions& options) {
+  if (options.max_states == 0) {
+    return Status::InvalidArgument(
+        "search options: max_states must be positive");
+  }
+  if (options.max_millis <= 0) {
+    return Status::InvalidArgument(
+        "search options: max_millis must be positive");
+  }
+  if (options.max_phase4_states == 0) {
+    return Status::InvalidArgument(
+        "search options: max_phase4_states must be positive");
+  }
+  return Status::OK();
+}
+
 StatusOr<State> MakeState(Workflow workflow, const CostModel& model) {
   if (!workflow.fresh()) {
     ETLOPT_RETURN_NOT_OK(workflow.Refresh());
   }
+  ETLOPT_ASSIGN_OR_RETURN(CostBreakdown bd,
+                          ComputeCostBreakdown(workflow, model));
   State s;
-  ETLOPT_ASSIGN_OR_RETURN(s.cost, StateCost(workflow, model));
+  s.cost = bd.total;
+  s.signature_hash = workflow.SignatureHash();
   s.signature = workflow.Signature();
+  s.breakdown = std::make_shared<const CostBreakdown>(std::move(bd));
+  workflow.ClearDirtyNodes();
   s.workflow = std::move(workflow);
   return s;
 }
 
 StatusOr<std::vector<std::pair<State, TransitionRecord>>> EnumerateSuccessors(
     const State& state, const CostModel& model) {
-  const Workflow& w = state.workflow;
+  std::vector<Candidate> candidates =
+      CollectSuccessorCandidates(state.workflow);
   std::vector<std::pair<State, TransitionRecord>> out;
-
-  // SWA over every adjacent unary pair.
-  for (NodeId u : w.ActivityNodeIds()) {
-    if (!IsUnaryActivityNode(w, u)) continue;
-    std::vector<NodeId> consumers = w.Consumers(u);
-    if (consumers.size() != 1 || !IsUnaryActivityNode(w, consumers[0]))
-      continue;
-    NodeId d = consumers[0];
-    auto trial = ApplySwap(w, u, d);
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    auto trial = c.apply();
     if (!trial.ok()) continue;
-    ETLOPT_ASSIGN_OR_RETURN(State st, MakeState(std::move(trial).value(), model));
-    out.emplace_back(std::move(st),
-                     TransitionRecord{TransitionRecord::Kind::kSwap,
-                                      StrFormat("SWA(%s,%s)",
-                                                w.PriorityLabelOf(u).c_str(),
-                                                w.PriorityLabelOf(d).c_str())});
-  }
-
-  // FAC over homologous pairs adjacent to their binary.
-  for (const auto& h : FindHomologousPairs(w)) {
-    auto trial = ApplyFactorize(w, h.binary, h.a1, h.a2);
-    if (!trial.ok()) continue;
-    ETLOPT_ASSIGN_OR_RETURN(State st, MakeState(std::move(trial).value(), model));
-    out.emplace_back(
-        std::move(st),
-        TransitionRecord{TransitionRecord::Kind::kFactorize,
-                         StrFormat("FAC(%s,%s,%s)",
-                                   w.PriorityLabelOf(h.binary).c_str(),
-                                   w.PriorityLabelOf(h.a1).c_str(),
-                                   w.PriorityLabelOf(h.a2).c_str())});
-  }
-
-  // DIS of direct consumers of binary activities.
-  for (const auto& d : FindDistributable(w)) {
-    auto trial = ApplyDistribute(w, d.binary, d.node);
-    if (!trial.ok()) continue;
-    ETLOPT_ASSIGN_OR_RETURN(State st, MakeState(std::move(trial).value(), model));
-    out.emplace_back(
-        std::move(st),
-        TransitionRecord{TransitionRecord::Kind::kDistribute,
-                         StrFormat("DIS(%s,%s)",
-                                   w.PriorityLabelOf(d.binary).c_str(),
-                                   w.PriorityLabelOf(d.node).c_str())});
+    ETLOPT_ASSIGN_OR_RETURN(State st,
+                            MakeState(std::move(trial).value(), model));
+    out.emplace_back(std::move(st), c.rec);
   }
   return out;
 }
@@ -438,21 +539,26 @@ StatusOr<std::vector<std::pair<State, TransitionRecord>>> EnumerateSuccessors(
 StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
                                         const CostModel& model,
                                         const SearchOptions& options) {
+  ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
+  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths);
+  SignatureInterner interner;
+  size_t threads = 1;
+  std::unique_ptr<ThreadPool> pool = MakePool(options, &threads);
   Workflow w0 = initial;
   if (!w0.fresh()) {
     ETLOPT_RETURN_NOT_OK(w0.Refresh());
   }
-  ETLOPT_ASSIGN_OR_RETURN(State s0, MakeState(std::move(w0), model));
+  ETLOPT_ASSIGN_OR_RETURN(State s0, eval.Eval(std::move(w0)));
   SearchResult result;
   result.initial_cost = s0.cost;
   State best = s0;
 
-  // Lineage: signature -> (parent signature, producing transition), for
+  // Lineage: state hash -> (parent hash, producing transition), for
   // reconstructing the rewrite path of the optimum.
-  std::map<std::string, std::pair<std::string, TransitionRecord>> parent;
-  std::set<std::string> visited{s0.signature};
-  std::string initial_signature = s0.signature;
+  std::map<uint64_t, std::pair<uint64_t, TransitionRecord>> parent;
+  const uint64_t initial_hash = interner.Intern(s0);
+  std::set<uint64_t> visited{initial_hash};
   std::deque<State> queue;
   queue.push_back(std::move(s0));
   ++budget.visited;
@@ -464,11 +570,16 @@ StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
     }
     State cur = std::move(queue.front());
     queue.pop_front();
+    // The whole frontier of `cur` is evaluated (in parallel when a pool is
+    // set); dedup against `visited` and winner selection stay sequential
+    // in candidate order, matching the serial algorithm state for state.
+    std::vector<Candidate> candidates = CollectSuccessorCandidates(cur.workflow);
     ETLOPT_ASSIGN_OR_RETURN(auto successors,
-                            EnumerateSuccessors(cur, model));
+                            EvalCandidates(cur, candidates, eval, pool.get()));
     for (auto& [st, rec] : successors) {
-      if (!visited.insert(st.signature).second) continue;
-      parent.emplace(st.signature, std::make_pair(cur.signature, rec));
+      if (!visited.insert(interner.Intern(st)).second) continue;
+      parent.emplace(st.signature_hash,
+                     std::make_pair(cur.signature_hash, rec));
       ++budget.visited;
       if (st.cost < best.cost) best = st;
       queue.push_back(std::move(st));
@@ -479,8 +590,8 @@ StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
     }
   }
   // Walk the lineage back from the optimum to the initial state.
-  std::string sig = best.signature;
-  while (sig != initial_signature) {
+  uint64_t sig = best.signature_hash;
+  while (sig != initial_hash) {
     auto it = parent.find(sig);
     ETLOPT_CHECK(it != parent.end());
     result.best_path.push_back(it->second.second);
@@ -488,9 +599,14 @@ StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
   }
   std::reverse(result.best_path.begin(), result.best_path.end());
   result.best = std::move(best);
+  if (result.best.signature.empty()) {
+    result.best.signature = result.best.workflow.Signature();
+  }
   result.visited_states = budget.visited;
   result.elapsed_millis = budget.ElapsedMillis();
   result.exhausted = complete;
+  result.perf = eval.perf();
+  result.perf.threads = threads;
   return result;
 }
 

@@ -10,17 +10,13 @@
 
 #include "cost/state_cost.h"
 #include "graph/workflow.h"
+#include "optimizer/state_eval.h"
 
 namespace etlopt {
 
-/// A state of the search space: a workflow plus its cost and signature.
-struct State {
-  Workflow workflow;
-  double cost = 0.0;
-  std::string signature;
-};
-
-/// Costs and signs a workflow (refreshing it if needed).
+/// Costs and signs a workflow (refreshing it if needed). Always fills the
+/// string signature; the search algorithms' internal fast paths use
+/// StateEvaluator instead.
 StatusOr<State> MakeState(Workflow workflow, const CostModel& model);
 
 /// A description of one applied transition, for tracing.
@@ -51,6 +47,18 @@ struct SearchOptions {
   /// HS: Phase IV re-sweeps only the this-many cheapest visited states.
   size_t max_phase4_states = 16;
 
+  /// Worker threads for frontier expansion (candidate successors of one
+  /// state are evaluated concurrently; winner selection stays sequential,
+  /// so results are byte-identical to a serial run). 1 = serial,
+  /// 0 = ThreadPool::DefaultThreads().
+  size_t num_threads = 1;
+
+  /// Benchmark baseline knob: disables delta recosting and signature
+  /// hashing's string-elision (every state is fully recosted and its
+  /// string signature materialized). Search behavior and results are
+  /// identical either way; only the cost profile changes.
+  bool disable_fast_paths = false;
+
   /// HS/HS-Greedy ablation toggles; all true reproduces the paper's
   /// algorithm. Used by the heuristic-ablation bench to measure each
   /// phase's contribution.
@@ -59,6 +67,11 @@ struct SearchOptions {
   bool enable_distribute = true;     // Fig. 7 Phase III
   bool enable_phase4_resweep = true; // Fig. 7 Phase IV
 };
+
+/// Rejects nonsensical budgets (max_states == 0, max_millis <= 0,
+/// max_phase4_states == 0) with InvalidArgument. Every search entry point
+/// calls this before doing any work.
+Status ValidateSearchOptions(const SearchOptions& options);
 
 /// User-supplied merge constraints for HS pre-processing: activities are
 /// named by label; each pair is packaged before the search and split
@@ -79,6 +92,9 @@ struct SearchResult {
   /// into `best` (empty when best == initial). The heuristics do not
   /// track lineage; their vector stays empty.
   std::vector<TransitionRecord> best_path;
+  /// How the run spent its costing work (delta vs full recosts, node
+  /// cache hits, thread count).
+  SearchPerf perf;
 
   /// The paper's Table 2 metric: cost improvement over the initial state.
   double improvement_pct() const {

@@ -1,0 +1,91 @@
+#include "optimizer/state_eval.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace etlopt {
+
+namespace {
+
+State FinishState(Workflow workflow, CostBreakdown bd, bool materialize_sig) {
+  State s;
+  s.cost = bd.total;
+  s.signature_hash = workflow.SignatureHash();
+  if (materialize_sig) s.signature = workflow.Signature();
+  s.breakdown = std::make_shared<const CostBreakdown>(std::move(bd));
+  // The stored state is the new base: its figures are current, so the
+  // dirty set restarts empty for the transitions derived from it.
+  workflow.ClearDirtyNodes();
+  s.workflow = std::move(workflow);
+  return s;
+}
+
+}  // namespace
+
+StatusOr<State> StateEvaluator::Eval(Workflow workflow) const {
+  if (!workflow.fresh()) {
+    ETLOPT_RETURN_NOT_OK(workflow.Refresh());
+  }
+  ETLOPT_ASSIGN_OR_RETURN(CostBreakdown bd,
+                          ComputeCostBreakdown(workflow, model_));
+  full_recosts_.fetch_add(1, std::memory_order_relaxed);
+  return FinishState(std::move(workflow), std::move(bd),
+                     /*materialize_sig=*/!fast_paths_);
+}
+
+StatusOr<State> StateEvaluator::EvalFrom(Workflow workflow,
+                                         const State& base) const {
+  if (!fast_paths_ || base.breakdown == nullptr) {
+    return Eval(std::move(workflow));
+  }
+  if (!workflow.fresh()) {
+    ETLOPT_RETURN_NOT_OK(workflow.Refresh());
+  }
+  CostReuseStats stats;
+  ETLOPT_ASSIGN_OR_RETURN(
+      CostBreakdown bd,
+      IncrementalCostBreakdown(workflow, *base.breakdown, model_, &stats));
+#ifdef ETLOPT_PARANOID_CHECKS
+  {
+    auto full = ComputeCostBreakdown(workflow, model_);
+    ETLOPT_CHECK_OK(full.status());
+    ETLOPT_CHECK(bd.total == full.value().total);
+    ETLOPT_CHECK(bd.node_cost == full.value().node_cost);
+    ETLOPT_CHECK(bd.node_output_cardinality ==
+                 full.value().node_output_cardinality);
+    ETLOPT_CHECK(bd.node_input_cardinality ==
+                 full.value().node_input_cardinality);
+  }
+#endif
+  delta_recosts_.fetch_add(1, std::memory_order_relaxed);
+  reused_nodes_.fetch_add(stats.reused_nodes, std::memory_order_relaxed);
+  recosted_nodes_.fetch_add(stats.recosted_nodes, std::memory_order_relaxed);
+  return FinishState(std::move(workflow), std::move(bd),
+                     /*materialize_sig=*/false);
+}
+
+SearchPerf StateEvaluator::perf() const {
+  SearchPerf p;
+  p.full_recosts = full_recosts_.load(std::memory_order_relaxed);
+  p.delta_recosts = delta_recosts_.load(std::memory_order_relaxed);
+  p.reused_nodes = reused_nodes_.load(std::memory_order_relaxed);
+  p.recosted_nodes = recosted_nodes_.load(std::memory_order_relaxed);
+  return p;
+}
+
+uint64_t SignatureInterner::Intern(const State& state) {
+#ifdef ETLOPT_PARANOID_CHECKS
+  std::string sig =
+      state.signature.empty() ? state.workflow.Signature() : state.signature;
+  auto [it, inserted] = table_.emplace(state.signature_hash, std::move(sig));
+  if (!inserted) {
+    ETLOPT_CHECK(it->second == (state.signature.empty()
+                                    ? state.workflow.Signature()
+                                    : state.signature));
+  }
+#endif
+  return state.signature_hash;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,126 @@
+// State evaluation for the search algorithms: costing, signing, and the
+// perf machinery behind the fast search paths — delta recosting against a
+// base state's cached CostBreakdown and hashed signatures that avoid
+// materializing the canonical string on the hot path.
+
+#ifndef ETLOPT_OPTIMIZER_STATE_EVAL_H_
+#define ETLOPT_OPTIMIZER_STATE_EVAL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cost/state_cost.h"
+#include "graph/workflow.h"
+
+// Exactness cross-checks (delta recost == full recost, hash/string
+// signature consistency) run in debug builds, or anywhere when
+// ETLOPT_PARANOID is defined (the CI sanitizer job sets it so optimized
+// NDEBUG builds still exercise them).
+#if !defined(NDEBUG) || defined(ETLOPT_PARANOID)
+#define ETLOPT_PARANOID_CHECKS 1
+#endif
+
+namespace etlopt {
+
+/// A state of the search space: a workflow plus its cost and identity.
+struct State {
+  Workflow workflow;
+  double cost = 0.0;
+
+  /// Workflow::SignatureHash() of the workflow — the identity the search
+  /// algorithms key their visited/queued sets on.
+  uint64_t signature_hash = 0;
+
+  /// Canonical string signature. The fast search paths leave this empty
+  /// for interior states and materialize it only for the states they
+  /// return; MakeState and EnumerateSuccessors always fill it.
+  std::string signature;
+
+  /// Per-node cost figures, shared so derived states can delta-recost
+  /// against this state without copying the maps.
+  std::shared_ptr<const CostBreakdown> breakdown;
+};
+
+/// Counters describing how a search run spent its costing work.
+struct SearchPerf {
+  /// States costed from scratch (ComputeCostBreakdown).
+  size_t full_recosts = 0;
+  /// States costed by delta against their base (IncrementalCostBreakdown).
+  size_t delta_recosts = 0;
+  /// Node-level cache behavior across all delta recosts.
+  size_t reused_nodes = 0;
+  size_t recosted_nodes = 0;
+  /// Worker threads the run fanned out over (1 = serial).
+  size_t threads = 1;
+
+  /// Share of states costed by delta rather than from scratch.
+  double delta_share() const {
+    size_t n = full_recosts + delta_recosts;
+    return n == 0 ? 0.0 : static_cast<double>(delta_recosts) / n;
+  }
+  /// Share of per-node costings answered from the base state's cache.
+  double node_cache_hit_rate() const {
+    size_t n = reused_nodes + recosted_nodes;
+    return n == 0 ? 0.0 : static_cast<double>(reused_nodes) / n;
+  }
+};
+
+/// Costs and signs workflows on behalf of one search run. Thread-safe:
+/// worker threads evaluate candidates concurrently; the counters are
+/// relaxed atomics read once at the end of the run.
+///
+/// With fast_paths (the default), Eval/EvalFrom hash signatures instead of
+/// materializing strings and EvalFrom recosts only the delta a transition
+/// touched. With fast_paths off (SearchOptions::disable_fast_paths — the
+/// benchmark baseline), every state is fully recosted and its string
+/// signature materialized, reproducing the pre-optimization cost profile
+/// while keeping identical search behavior.
+class StateEvaluator {
+ public:
+  StateEvaluator(const CostModel& model, bool fast_paths)
+      : model_(model), fast_paths_(fast_paths) {}
+
+  /// Costs and signs a workflow from scratch (refreshing if needed).
+  StatusOr<State> Eval(Workflow workflow) const;
+
+  /// Costs and signs a workflow derived from `base` by transitions,
+  /// reusing the base's per-node figures for everything the transitions
+  /// did not touch (see IncrementalCostBreakdown). Exact: debug builds
+  /// assert the delta recost equals a full recost bit for bit.
+  StatusOr<State> EvalFrom(Workflow workflow, const State& base) const;
+
+  /// Snapshot of the counters (threads is left at its default; the
+  /// search run fills it in).
+  SearchPerf perf() const;
+
+ private:
+  const CostModel& model_;
+  const bool fast_paths_;
+  mutable std::atomic<size_t> full_recosts_{0};
+  mutable std::atomic<size_t> delta_recosts_{0};
+  mutable std::atomic<size_t> reused_nodes_{0};
+  mutable std::atomic<size_t> recosted_nodes_{0};
+};
+
+/// Guards the "equal hashes mean equal states" assumption the search sets
+/// rely on. In release builds Intern() is a pass-through; with paranoid
+/// checks it records every hash's string signature and aborts on a
+/// collision (two distinct signatures, one hash) or an inconsistency.
+/// Not thread-safe — call only from the sequential merge points.
+class SignatureInterner {
+ public:
+  uint64_t Intern(const State& state);
+
+ private:
+#ifdef ETLOPT_PARANOID_CHECKS
+  std::map<uint64_t, std::string> table_;
+#endif
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_OPTIMIZER_STATE_EVAL_H_

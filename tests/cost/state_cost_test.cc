@@ -65,11 +65,12 @@ TEST_F(StateCostTest, IncrementalMatchesFullAfterSwap) {
   auto swapped = ApplySwap(s->workflow, s->a2e_date, s->aggregate);
   ASSERT_TRUE(swapped.ok());
   auto full = ComputeCostBreakdown(*swapped, model_);
-  auto incr = IncrementalCostBreakdown(*swapped, *base, s->workflow, model_);
+  auto incr = IncrementalCostBreakdown(*swapped, *base, model_);
   ASSERT_TRUE(full.ok() && incr.ok());
   EXPECT_DOUBLE_EQ(full->total, incr->total);
   EXPECT_EQ(full->node_cost, incr->node_cost);
   EXPECT_EQ(full->node_output_cardinality, incr->node_output_cardinality);
+  EXPECT_EQ(full->node_input_cardinality, incr->node_input_cardinality);
 }
 
 TEST_F(StateCostTest, IncrementalMatchesFullAfterDistribute) {
@@ -80,7 +81,7 @@ TEST_F(StateCostTest, IncrementalMatchesFullAfterDistribute) {
   auto dist = ApplyDistribute(s->workflow, s->union_node, s->threshold);
   ASSERT_TRUE(dist.ok()) << dist.status().ToString();
   auto full = ComputeCostBreakdown(*dist, model_);
-  auto incr = IncrementalCostBreakdown(*dist, *base, s->workflow, model_);
+  auto incr = IncrementalCostBreakdown(*dist, *base, model_);
   ASSERT_TRUE(full.ok() && incr.ok());
   EXPECT_DOUBLE_EQ(full->total, incr->total);
 }
@@ -94,10 +95,70 @@ TEST_F(StateCostTest, IncrementalReusesUntouchedBranch) {
   ASSERT_TRUE(base.ok());
   auto swapped = ApplySwap(s->workflow, s->a2e_date, s->aggregate);
   ASSERT_TRUE(swapped.ok());
-  auto incr = IncrementalCostBreakdown(*swapped, *base, s->workflow, model_);
+  CostReuseStats stats;
+  auto incr = IncrementalCostBreakdown(*swapped, *base, model_, &stats);
   ASSERT_TRUE(incr.ok());
   EXPECT_DOUBLE_EQ(incr->node_cost.at(s->not_null),
                    base->node_cost.at(s->not_null));
+  // Flow 1 is untouched: at least NotNull comes from the cache, and only
+  // the swapped pair plus its downstream dependents get recosted.
+  EXPECT_GE(stats.reused_nodes, 1u);
+  EXPECT_GE(stats.recosted_nodes, 2u);
+}
+
+TEST_F(StateCostTest, IncrementalExactAcrossTransitionChain) {
+  // Bit-exact equality with the full recompute must survive a chain of
+  // transitions whose dirty marks accumulate: swap, then distribute, each
+  // delta-recosted against the breakdown of the state before it.
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto bd = ComputeCostBreakdown(s->workflow, model_);
+  ASSERT_TRUE(bd.ok());
+
+  auto swapped = ApplySwap(s->workflow, s->a2e_date, s->aggregate);
+  ASSERT_TRUE(swapped.ok());
+  auto bd1 = IncrementalCostBreakdown(*swapped, *bd, model_);
+  ASSERT_TRUE(bd1.ok());
+  auto full1 = ComputeCostBreakdown(*swapped, model_);
+  ASSERT_TRUE(full1.ok());
+  EXPECT_TRUE(bd1->total == full1->total);  // exact, not approximate
+  EXPECT_EQ(bd1->node_cost, full1->node_cost);
+
+  // Derive the next state from the swapped one; its dirty set restarts
+  // from the swapped workflow's accumulated marks.
+  Workflow w1 = *swapped;
+  w1.ClearDirtyNodes();
+  auto dist = ApplyDistribute(w1, s->union_node, s->threshold);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  auto bd2 = IncrementalCostBreakdown(*dist, *bd1, model_);
+  ASSERT_TRUE(bd2.ok());
+  auto full2 = ComputeCostBreakdown(*dist, model_);
+  ASSERT_TRUE(full2.ok());
+  EXPECT_TRUE(bd2->total == full2->total);
+  EXPECT_EQ(bd2->node_cost, full2->node_cost);
+  EXPECT_EQ(bd2->node_output_cardinality, full2->node_output_cardinality);
+  EXPECT_EQ(bd2->node_input_cardinality, full2->node_input_cardinality);
+}
+
+TEST_F(StateCostTest, IncrementalWithoutDirtyMarksStillExact) {
+  // Even when the caller never clears dirty marks (every node looks
+  // touched), the delta path must degrade to a full recompute, not to a
+  // wrong answer.
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  auto base = ComputeCostBreakdown(s->workflow, model_);
+  ASSERT_TRUE(base.ok());
+  auto swapped = ApplySwap(s->workflow, s->a2e_date, s->aggregate);
+  ASSERT_TRUE(swapped.ok());
+  auto swapped_back = ApplySwap(*swapped, s->aggregate, s->a2e_date);
+  ASSERT_TRUE(swapped_back.ok());
+  CostReuseStats stats;
+  auto incr = IncrementalCostBreakdown(*swapped_back, *base, model_, &stats);
+  ASSERT_TRUE(incr.ok());
+  auto full = ComputeCostBreakdown(*swapped_back, model_);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(incr->node_cost, full->node_cost);
+  EXPECT_DOUBLE_EQ(incr->total, full->total);
 }
 
 }  // namespace

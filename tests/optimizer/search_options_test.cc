@@ -98,6 +98,55 @@ TEST_F(SearchOptionsTest, Phase3CapBoundsVisitedStates) {
   EXPECT_LE(big->best.cost, small->best.cost + 1e-9);
 }
 
+TEST_F(SearchOptionsTest, RejectsZeroMaxStates) {
+  SearchOptions options;
+  options.max_states = 0;
+  EXPECT_TRUE(ValidateSearchOptions(options).IsInvalidArgument());
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(
+      HeuristicSearch(s->workflow, model_, options).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ExhaustiveSearch(s->workflow, model_, options).status().IsInvalidArgument());
+  EXPECT_TRUE(HeuristicSearchGreedy(s->workflow, model_, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SearchOptionsTest, RejectsNonPositiveMaxMillis) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  for (int64_t millis : {int64_t{0}, int64_t{-5}}) {
+    SearchOptions options;
+    options.max_millis = millis;
+    EXPECT_TRUE(ValidateSearchOptions(options).IsInvalidArgument());
+    auto r = HeuristicSearch(s->workflow, model_, options);
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+  }
+}
+
+TEST_F(SearchOptionsTest, RejectsZeroPhase4Cap) {
+  SearchOptions options;
+  options.max_phase4_states = 0;
+  EXPECT_TRUE(ValidateSearchOptions(options).IsInvalidArgument());
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(HeuristicSearch(s->workflow, model_, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SearchOptionsTest, ValidationErrorNamesTheKnob) {
+  SearchOptions options;
+  options.max_states = 0;
+  Status st = ValidateSearchOptions(options);
+  EXPECT_NE(st.message().find("max_states"), std::string::npos);
+}
+
+TEST_F(SearchOptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(ValidateSearchOptions(SearchOptions{}).ok());
+}
+
 TEST_F(SearchOptionsTest, Fig1HeuristicStillOptimalWithDefaults) {
   auto s = BuildFig1Scenario();
   ASSERT_TRUE(s.ok());
