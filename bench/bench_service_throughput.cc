@@ -1,0 +1,271 @@
+// Optimizer-as-a-service throughput: closed-loop multi-client load against
+// OptimizerService, per scenario size (small / medium / large). Each client
+// thread draws workflows from a Zipf-distributed working set (a few hot
+// workflows dominate, as in a real warehouse where the same ETL flows are
+// re-optimized on every run), submits, and blocks on the answer before
+// issuing the next request.
+//
+// Measured per category: cold-miss latency vs. warm-hit latency (the
+// headline gate: >= 10x reduction on medium scenarios), closed-loop
+// throughput in req/sec, and the cache hit rate of the Zipf mix. Every
+// category also cross-checks that a served cached answer is byte-identical
+// to a from-scratch search of the same request.
+//
+// ETLOPT_BENCH_QUICK=1 shrinks the working set and request counts.
+// Emits BENCH_service_throughput.json.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "io/plan_format.h"
+#include "service/optimizer_service.h"
+#include "suite_runner.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+using namespace etlopt::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct BenchConfig {
+  size_t distinct_workflows = 10;  // the working set per category
+  size_t clients = 4;
+  size_t requests_per_client = 60;
+  double zipf_exponent = 1.0;
+  SearchOptions search;
+};
+
+// Inverse-CDF Zipf sampler over [0, n).
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double exponent) : cdf_(n) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Pick(Rng& rng) const {
+    double u = rng.UniformDouble();
+    for (size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+OptimizeRequest RequestFor(const GeneratedWorkflow& generated,
+                           const SearchOptions& options) {
+  OptimizeRequest request;
+  request.workflow = generated.workflow;
+  request.options = options;
+  return request;
+}
+
+struct CategoryFigures {
+  double cold_avg_ms = 0;
+  double warm_avg_ms = 0;
+  double throughput_rps = 0;
+  double hit_rate_pct = 0;
+  uint64_t coalesced = 0;
+  uint64_t searches_run = 0;
+};
+
+CategoryFigures RunCategoryBench(WorkloadCategory category,
+                                 const BenchConfig& config,
+                                 const CostModel& model) {
+  const std::string name(WorkloadCategoryToString(category));
+  auto suite = GenerateSuite(category, config.distinct_workflows,
+                             9000 + static_cast<uint64_t>(category) * 100);
+  ETLOPT_CHECK_OK(suite.status());
+
+  ServiceOptions service_options;
+  service_options.num_threads = config.clients;
+  service_options.max_queue = config.clients * 4;
+  OptimizerService service(model, service_options);
+
+  CategoryFigures figures;
+
+  // Cold pass: every distinct workflow once, all misses.
+  for (const GeneratedWorkflow& generated : *suite) {
+    auto response = service.Optimize(RequestFor(generated, config.search));
+    ETLOPT_CHECK_OK(response.status());
+    if (response->cache_hit) {
+      std::fprintf(stderr, "FAIL(%s): cold request hit the cache\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    figures.cold_avg_ms += response->latency_millis;
+  }
+  figures.cold_avg_ms /= static_cast<double>(suite->size());
+
+  // Warm pass: same requests, all hits now.
+  for (const GeneratedWorkflow& generated : *suite) {
+    auto response = service.Optimize(RequestFor(generated, config.search));
+    ETLOPT_CHECK_OK(response.status());
+    if (!response->cache_hit) {
+      std::fprintf(stderr, "FAIL(%s): warm request missed the cache\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    figures.warm_avg_ms += response->latency_millis;
+  }
+  figures.warm_avg_ms /= static_cast<double>(suite->size());
+
+  // Cross-check: the served (cached) answer for workflow 0 is
+  // byte-identical to a from-scratch search.
+  {
+    auto served = service.Optimize(RequestFor((*suite)[0], config.search));
+    ETLOPT_CHECK_OK(served.status());
+    auto fresh =
+        HeuristicSearch((*suite)[0].workflow, model, config.search);
+    ETLOPT_CHECK_OK(fresh.status());
+    const SearchResult& cached = served->plan->result;
+    if (cached.best.cost != fresh->best.cost ||
+        cached.best.signature_hash != fresh->best.signature_hash ||
+        cached.visited_states != fresh->visited_states) {
+      std::fprintf(stderr,
+                   "FAIL(%s): cached answer differs from fresh search "
+                   "(cost %.17g vs %.17g)\n",
+                   name.c_str(), cached.best.cost, fresh->best.cost);
+      std::exit(1);
+    }
+  }
+
+  // Closed-loop Zipf load: stats deltas isolate this phase.
+  ServiceStats before = service.Stats();
+  ZipfPicker picker(suite->size(), config.zipf_exponent);
+  std::atomic<uint64_t> completed{0};
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  for (size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(77 + c);
+      for (size_t i = 0; i < config.requests_per_client; ++i) {
+        const GeneratedWorkflow& generated = (*suite)[picker.Pick(rng)];
+        auto response =
+            service.Submit(RequestFor(generated, config.search)).get();
+        // Backpressure rejections are part of closed-loop life; retry
+        // after a beat rather than dying.
+        while (!response.ok() && response.status().IsResourceExhausted()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          response =
+              service.Submit(RequestFor(generated, config.search)).get();
+        }
+        ETLOPT_CHECK_OK(response.status());
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed_ms = MillisSince(start);
+  ServiceStats after = service.Stats();
+
+  figures.throughput_rps =
+      static_cast<double>(completed.load()) / (elapsed_ms / 1000.0);
+  uint64_t hits = after.cache.hits - before.cache.hits;
+  uint64_t misses = after.cache.misses - before.cache.misses;
+  figures.hit_rate_pct =
+      hits + misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses);
+  figures.coalesced = after.cache.coalesced - before.cache.coalesced;
+  figures.searches_run = after.searches_run;
+
+  std::printf(
+      "%-6s cold=%8.2fms warm=%8.4fms speedup=%7.0fx  load: %6.0f req/s "
+      "hit=%5.1f%% coalesced=%llu searches=%llu\n",
+      name.c_str(), figures.cold_avg_ms, figures.warm_avg_ms,
+      figures.cold_avg_ms / figures.warm_avg_ms, figures.throughput_rps,
+      figures.hit_rate_pct,
+      static_cast<unsigned long long>(figures.coalesced),
+      static_cast<unsigned long long>(figures.searches_run));
+  std::fputs(service.StatsReport().c_str(), stderr);
+  return figures;
+}
+
+int Run() {
+  const bool quick = []() {
+    const char* q = std::getenv("ETLOPT_BENCH_QUICK");
+    return q != nullptr && q[0] == '1';
+  }();
+
+  BenchConfig config;
+  config.search.max_states = quick ? 5000 : 50000;
+  config.search.max_millis = 60000;
+  if (quick) {
+    config.distinct_workflows = 4;
+    config.clients = 2;
+    config.requests_per_client = 10;
+  }
+
+  LinearLogCostModel model;
+  JsonReport report("service_throughput");
+  report.Add("config.distinct_workflows",
+             static_cast<double>(config.distinct_workflows), "workflows");
+  report.Add("config.clients", static_cast<double>(config.clients),
+             "threads");
+  report.Add("config.requests_per_client",
+             static_cast<double>(config.requests_per_client), "requests");
+  report.Add("config.zipf_exponent", config.zipf_exponent, "exponent");
+
+  double medium_speedup = 0;
+  for (WorkloadCategory category :
+       {WorkloadCategory::kSmall, WorkloadCategory::kMedium,
+        WorkloadCategory::kLarge}) {
+    CategoryFigures figures = RunCategoryBench(category, config, model);
+    const std::string prefix(WorkloadCategoryToString(category));
+    double speedup = figures.warm_avg_ms > 0
+                         ? figures.cold_avg_ms / figures.warm_avg_ms
+                         : 0.0;
+    if (category == WorkloadCategory::kMedium) medium_speedup = speedup;
+    report.Add(prefix + ".cold_avg_ms", figures.cold_avg_ms, "ms");
+    report.Add(prefix + ".warm_avg_ms", figures.warm_avg_ms, "ms");
+    report.Add(prefix + ".warm_speedup", speedup, "x");
+    report.Add(prefix + ".throughput_rps", figures.throughput_rps, "req/s");
+    report.Add(prefix + ".hit_rate", figures.hit_rate_pct, "percent");
+    report.Add(prefix + ".coalesced",
+               static_cast<double>(figures.coalesced), "requests");
+    report.Add(prefix + ".searches_run",
+               static_cast<double>(figures.searches_run), "searches");
+  }
+
+  report.Write();
+
+  // The acceptance gate: caching must turn a medium-scenario optimization
+  // into a lookup — at least 10x latency reduction cold -> warm.
+  if (medium_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: medium cold->warm speedup %.1fx < 10x gate\n",
+                 medium_speedup);
+    return 1;
+  }
+  std::printf("medium cold->warm speedup: %.0fx (gate: >= 10x)\n",
+              medium_speedup);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

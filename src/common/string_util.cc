@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cmath>
 
 namespace etlopt {
@@ -56,8 +57,17 @@ std::string DoubleToString(double v) {
     std::snprintf(buf, sizeof(buf), "%.0f", v);
     return buf;
   }
+  // Shortest representation that parses back to the exact same double, so
+  // serialized workflows and plans round-trip without cost drift. Most
+  // values (hand-written selectivities, generated two-decimal thresholds)
+  // stay at 6 significant digits; only values that genuinely need more
+  // precision get it.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  for (int precision : {6, 9, 12, 15, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    char* end = nullptr;
+    if (std::strtod(buf, &end) == v && end != buf) break;
+  }
   return buf;
 }
 

@@ -21,8 +21,10 @@ std::string_view Trim(std::string_view s);
 bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);
 
-/// Formats a double compactly: integral values lose the fraction
-/// ("3" not "3.000000"), others keep up to 6 significant decimals.
+/// Formats a double compactly and exactly: integral values lose the
+/// fraction ("3" not "3.000000"), others use the fewest significant
+/// decimals (starting at 6) that strtod back to the same double — so
+/// serialized values round-trip bit for bit.
 std::string DoubleToString(double v);
 
 /// printf-style formatting into a std::string.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/string_util.h"
 
 namespace etlopt {
 
@@ -61,6 +62,11 @@ double LinearLogCostModel::OutputCardinality(
       return a.selectivity() * n;
   }
   return n;
+}
+
+std::string LinearLogCostModel::Fingerprint() const {
+  return "linlog(sk_setup=" + DoubleToString(options_.surrogate_key_setup) +
+         ",agg_setup=" + DoubleToString(options_.aggregation_setup) + ")";
 }
 
 }  // namespace etlopt

@@ -11,6 +11,7 @@
 #ifndef ETLOPT_COST_COST_MODEL_H_
 #define ETLOPT_COST_COST_MODEL_H_
 
+#include <string>
 #include <vector>
 
 #include "activity/activity.h"
@@ -30,6 +31,13 @@ class CostModel {
   /// Estimated rows `a` emits, given inputs of the given sizes.
   virtual double OutputCardinality(
       const Activity& a, const std::vector<double>& input_cards) const = 0;
+
+  /// Canonical description of the model and every parameter that affects
+  /// its estimates — "linlog(sk_setup=0,agg_setup=0)". Two models with
+  /// equal fingerprints must cost every state identically: the serving
+  /// layer keys its plan cache on (workflow signature x fingerprint) and
+  /// persisted plans are only replayed against a matching model.
+  virtual std::string Fingerprint() const = 0;
 };
 
 /// Options for LinearLogCostModel.
@@ -67,6 +75,8 @@ class LinearLogCostModel final : public CostModel {
   double OutputCardinality(
       const Activity& a,
       const std::vector<double>& input_cards) const override;
+
+  std::string Fingerprint() const override;
 
  private:
   LinearLogCostModelOptions options_;

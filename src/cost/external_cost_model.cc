@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/string_util.h"
 
 namespace etlopt {
 
@@ -51,6 +52,12 @@ double ExternalSortCostModel::OutputCardinality(
   // selectivity-based estimates of the logical model.
   static const LinearLogCostModel kLogical;
   return kLogical.OutputCardinality(a, input_cards);
+}
+
+std::string ExternalSortCostModel::Fingerprint() const {
+  return "extsort(memory_rows=" + DoubleToString(options_.memory_rows) +
+         ",merge_fanin=" + DoubleToString(options_.merge_fanin) +
+         ",sk_setup=" + DoubleToString(options_.surrogate_key_setup) + ")";
 }
 
 }  // namespace etlopt

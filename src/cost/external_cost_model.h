@@ -48,6 +48,8 @@ class ExternalSortCostModel final : public CostModel {
       const Activity& a,
       const std::vector<double>& input_cards) const override;
 
+  std::string Fingerprint() const override;
+
  private:
   double SortCost(double n) const;
 

@@ -114,6 +114,59 @@ std::string Workflow::PriorityLabelOf(NodeId id) const {
   return n.is_activity ? n.chain->PriorityLabel() : n.plabel;
 }
 
+Status Workflow::SetPriorityLabel(NodeId id, const std::string& plabel) {
+  if (!Exists(id)) {
+    return Status::NotFound("SetPriorityLabel: no node " +
+                            std::to_string(id));
+  }
+  if (plabel.empty() || plabel.find('+') != std::string::npos) {
+    return Status::InvalidArgument("SetPriorityLabel: bad label '" + plabel +
+                                   "'");
+  }
+  Node& n = GetNodeMutable(id);
+  if (n.is_activity) {
+    if (n.chain->size() != 1) {
+      return Status::FailedPrecondition(
+          "SetPriorityLabel: cannot relabel a merged chain");
+    }
+    n.chain->set_plabel(0, plabel);
+    MarkDirty(id);
+    Invalidate();
+  } else {
+    n.plabel = plabel;
+  }
+  return Status::OK();
+}
+
+size_t Workflow::ApproxMemoryBytes() const {
+  // std::map node bookkeeping (three pointers + color + padding).
+  constexpr size_t kMapNode = 48;
+  size_t bytes = sizeof(Workflow) + edges_.capacity() * sizeof(WorkflowEdge);
+  auto schema_bytes = [](const Schema& s) {
+    size_t b = sizeof(Schema);
+    for (const auto& a : s.attributes()) b += sizeof(Attribute) + a.name.size();
+    return b;
+  };
+  for (const auto& [id, n] : nodes_) {
+    bytes += kMapNode + sizeof(Node) + n.plabel.size();
+    if (n.is_activity) {
+      for (const auto& m : n.chain->members()) {
+        bytes += sizeof(m) + m.plabel.size() + m.activity.label().size() +
+                 m.activity.SemanticsString().size();
+      }
+    } else {
+      bytes += n.recordset->name.size() + schema_bytes(n.recordset->schema);
+    }
+  }
+  bytes += topo_.capacity() * sizeof(NodeId);
+  for (const auto& [id, s] : out_schema_) bytes += kMapNode + schema_bytes(s);
+  for (const auto& [id, v] : in_schemas_) {
+    bytes += kMapNode + sizeof(v);
+    for (const auto& s : v) bytes += schema_bytes(s);
+  }
+  return bytes;
+}
+
 std::vector<NodeId> Workflow::NodeIds() const {
   std::vector<NodeId> out;
   out.reserve(nodes_.size());

@@ -88,6 +88,18 @@ class Workflow {
   /// joined member labels.
   std::string PriorityLabelOf(NodeId id) const;
 
+  /// Overrides a node's priority label (single-member chains and
+  /// recordsets only). Finalize() derives labels from the *initial*
+  /// topology and transitions carry them unchanged, so a deserialized
+  /// mid-optimization workflow must restore its recorded labels rather
+  /// than re-derive them; this is that hook. Invalidates freshness for
+  /// activity nodes — callers Refresh() afterwards.
+  Status SetPriorityLabel(NodeId id, const std::string& plabel);
+
+  /// Rough in-memory footprint in bytes (nodes, chains, schemas, edges),
+  /// for cache byte budgeting. Deterministic for equal workflows.
+  size_t ApproxMemoryBytes() const;
+
   /// All node ids, ascending.
   std::vector<NodeId> NodeIds() const;
   /// Activity node ids, ascending.

@@ -340,6 +340,12 @@ StatusOr<ExprPtr> ParsePredicate(const std::string& text) {
 StatusOr<Workflow> ParseWorkflowText(const std::string& text) {
   Workflow w;
   std::map<std::string, NodeId> by_name;
+  std::vector<std::pair<NodeId, std::string>> plabel_overrides;
+  auto record_node = [&](const Line& line, NodeId id) {
+    by_name[line.name] = id;
+    auto it = line.fields.find("plabel");
+    if (it != line.fields.end()) plabel_overrides.emplace_back(id, it->second);
+  };
   int number = 0;
   for (const auto& raw_line : Split(text, '\n')) {
     ++number;
@@ -360,7 +366,7 @@ StatusOr<Workflow> ParseWorkflowText(const std::string& text) {
       ETLOPT_ASSIGN_OR_RETURN(Schema schema, ParseSchemaSpec(spec));
       ETLOPT_ASSIGN_OR_RETURN(double card,
                               ParseDoubleField(line, "card", 0.0));
-      by_name[line.name] = w.AddRecordSet({line.name, schema, card});
+      record_node(line, w.AddRecordSet({line.name, schema, card}));
       continue;
     }
 
@@ -385,7 +391,7 @@ StatusOr<Workflow> ParseWorkflowText(const std::string& text) {
       }
       NodeId id = w.AddRecordSet({line.name, schema, 0});
       ETLOPT_RETURN_NOT_OK(w.Connect(providers[0], id));
-      by_name[line.name] = id;
+      record_node(line, id);
       continue;
     }
 
@@ -463,18 +469,33 @@ StatusOr<Workflow> ParseWorkflowText(const std::string& text) {
     ETLOPT_ASSIGN_OR_RETURN(NodeId id,
                             w.AddActivity(std::move(activity).value(),
                                           providers));
-    by_name[line.name] = id;
+    record_node(line, id);
   }
   ETLOPT_RETURN_NOT_OK(w.Finalize());
+  // Carried priority labels win over the freshly derived ones (see the
+  // header: deserialized mid-optimization states).
+  if (!plabel_overrides.empty()) {
+    for (const auto& [id, plabel] : plabel_overrides) {
+      ETLOPT_RETURN_NOT_OK(w.SetPriorityLabel(id, plabel));
+    }
+    ETLOPT_RETURN_NOT_OK(w.Refresh());
+    w.ClearDirtyNodes();
+  }
   return w;
 }
 
-StatusOr<std::string> PrintWorkflowText(const Workflow& workflow) {
+StatusOr<std::string> PrintWorkflowText(const Workflow& workflow,
+                                        const TextFormatOptions& options) {
   std::string out = "# etlopt workflow\n";
   Workflow copy = workflow;
   if (!copy.fresh()) {
     ETLOPT_RETURN_NOT_OK(copy.Refresh());
   }
+  // Splices " plabel=N" in front of the line's trailing newline.
+  auto append_plabel = [&](NodeId id) {
+    if (!options.emit_plabels) return;
+    out.insert(out.size() - 1, " plabel=" + copy.PriorityLabelOf(id));
+  };
   // Node names: recordset names / activity labels (must be unique).
   std::map<NodeId, std::string> names;
   std::map<std::string, int> name_counts;
@@ -498,6 +519,7 @@ StatusOr<std::string> PrintWorkflowText(const Workflow& workflow) {
                          names[copy.Providers(id)[0]].c_str(),
                          PrintSchemaSpec(def.schema).c_str());
       }
+      append_plabel(id);
       continue;
     }
     const ActivityChain& chain = copy.chain(id);
@@ -593,6 +615,7 @@ StatusOr<std::string> PrintWorkflowText(const Workflow& workflow) {
                          sel.c_str());
         break;
     }
+    append_plabel(id);
   }
   return out;
 }

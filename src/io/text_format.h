@@ -33,12 +33,25 @@
 
 namespace etlopt {
 
-/// Parses the DSL into a finalized workflow.
+/// Parses the DSL into a finalized workflow. Every directive accepts an
+/// optional `plabel=` field overriding the execution-priority label that
+/// Finalize() would derive — this is how serialized mid-optimization
+/// workflows (whose labels were assigned by the *initial* topology and
+/// carried through transitions) keep their exact state signature across a
+/// round trip.
 StatusOr<Workflow> ParseWorkflowText(const std::string& text);
+
+struct TextFormatOptions {
+  /// Emit a `plabel=` field on every node. Off by default: a design-time
+  /// workflow re-derives identical labels in Finalize(), so plain output
+  /// stays clean. The plan format always turns this on.
+  bool emit_plabels = false;
+};
 
 /// Prints a workflow in the DSL. Fails on merged (multi-member) chains —
 /// the format describes design-time workflows, not mid-search states.
-StatusOr<std::string> PrintWorkflowText(const Workflow& workflow);
+StatusOr<std::string> PrintWorkflowText(const Workflow& workflow,
+                                        const TextFormatOptions& options = {});
 
 /// Parses a canonical predicate string ("(V1 >= 300)", "((A > 1) AND
 /// (B IS NOT NULL))", ...). Exposed for tests and tools.

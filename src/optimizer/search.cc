@@ -504,6 +504,49 @@ Status ValidateSearchOptions(const SearchOptions& options) {
   return Status::OK();
 }
 
+std::string ResultFingerprint(const SearchOptions& options) {
+  return StrFormat(
+      "max_states=%zu,max_millis=%lld,per_group=%zu,phase3=%zu,phase4=%zu,"
+      "phases=%d%d%d%d",
+      options.max_states, static_cast<long long>(options.max_millis),
+      options.max_states_per_group, options.max_phase3_states,
+      options.max_phase4_states, options.enable_phase1_sweep ? 1 : 0,
+      options.enable_factorize ? 1 : 0, options.enable_distribute ? 1 : 0,
+      options.enable_phase4_resweep ? 1 : 0);
+}
+
+std::string_view SearchAlgorithmToString(SearchAlgorithm algorithm) {
+  switch (algorithm) {
+    case SearchAlgorithm::kExhaustive: return "es";
+    case SearchAlgorithm::kHeuristic: return "hs";
+    case SearchAlgorithm::kHeuristicGreedy: return "hsg";
+  }
+  return "hs";
+}
+
+StatusOr<SearchAlgorithm> SearchAlgorithmFromString(std::string_view name) {
+  if (name == "es") return SearchAlgorithm::kExhaustive;
+  if (name == "hs") return SearchAlgorithm::kHeuristic;
+  if (name == "hsg") return SearchAlgorithm::kHeuristicGreedy;
+  return Status::InvalidArgument("unknown search algorithm: " +
+                                 std::string(name));
+}
+
+StatusOr<SearchResult> RunSearch(
+    SearchAlgorithm algorithm, const Workflow& initial, const CostModel& model,
+    const SearchOptions& options,
+    const std::vector<MergeConstraint>& merge_constraints) {
+  switch (algorithm) {
+    case SearchAlgorithm::kExhaustive:
+      return ExhaustiveSearch(initial, model, options);
+    case SearchAlgorithm::kHeuristic:
+      return HeuristicSearch(initial, model, options, merge_constraints);
+    case SearchAlgorithm::kHeuristicGreedy:
+      return HeuristicSearchGreedy(initial, model, options, merge_constraints);
+  }
+  return Status::InvalidArgument("unknown search algorithm");
+}
+
 StatusOr<State> MakeState(Workflow workflow, const CostModel& model) {
   if (!workflow.fresh()) {
     ETLOPT_RETURN_NOT_OK(workflow.Refresh());

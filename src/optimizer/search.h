@@ -6,6 +6,7 @@
 #define ETLOPT_OPTIMIZER_SEARCH_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cost/state_cost.h"
@@ -73,6 +74,16 @@ struct SearchOptions {
 /// calls this before doing any work.
 Status ValidateSearchOptions(const SearchOptions& options);
 
+/// Canonical string of exactly the options that can change a search's
+/// *result* (budgets, per-phase caps, ablation toggles). num_threads and
+/// disable_fast_paths are deliberately excluded: results are byte-identical
+/// across them by construction, so the serving layer's plan cache must not
+/// split entries on them. Note max_millis *is* included — a wall-clock
+/// budget that actually fires makes results timing-dependent, so cached
+/// serving assumes deadlines generous enough that the state budget binds
+/// first.
+std::string ResultFingerprint(const SearchOptions& options);
+
 /// User-supplied merge constraints for HS pre-processing: activities are
 /// named by label; each pair is packaged before the search and split
 /// afterwards (paper §2.2 Merge/Split and Heuristic 3).
@@ -120,6 +131,21 @@ StatusOr<SearchResult> HeuristicSearch(
 /// hill-climbing that only accepts cost-improving swaps.
 StatusOr<SearchResult> HeuristicSearchGreedy(
     const Workflow& initial, const CostModel& model,
+    const SearchOptions& options = {},
+    const std::vector<MergeConstraint>& merge_constraints = {});
+
+/// Which search algorithm to run — the request-level selector used by the
+/// optimizer service and tools that dispatch on configuration.
+enum class SearchAlgorithm { kExhaustive, kHeuristic, kHeuristicGreedy };
+
+/// "es" / "hs" / "hsg".
+std::string_view SearchAlgorithmToString(SearchAlgorithm algorithm);
+StatusOr<SearchAlgorithm> SearchAlgorithmFromString(std::string_view name);
+
+/// Dispatches to ExhaustiveSearch / HeuristicSearch / HeuristicSearchGreedy
+/// (ES ignores merge constraints, as before).
+StatusOr<SearchResult> RunSearch(
+    SearchAlgorithm algorithm, const Workflow& initial, const CostModel& model,
     const SearchOptions& options = {},
     const std::vector<MergeConstraint>& merge_constraints = {});
 

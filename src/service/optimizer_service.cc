@@ -1,0 +1,194 @@
+#include "service/optimizer_service.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "io/plan_format.h"
+
+namespace etlopt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// The cache charge of one entry: its serialized form plus the live
+// workflow that gets handed back to requesters.
+size_t EntryBytes(const CachedPlan& entry) {
+  size_t bytes = sizeof(CachedPlan);
+  bytes += entry.plan.initial_text.size() + entry.plan.optimized_text.size();
+  bytes += entry.plan.algorithm.size() + entry.plan.cost_model.size() +
+           entry.plan.options.size() + entry.plan.merges.size();
+  for (const TransitionRecord& record : entry.plan.path) {
+    bytes += sizeof(TransitionRecord) + record.description.size();
+  }
+  for (const TransitionRecord& record : entry.result.best_path) {
+    bytes += sizeof(TransitionRecord) + record.description.size();
+  }
+  bytes += entry.result.best.workflow.ApproxMemoryBytes();
+  bytes += entry.result.best.signature.size();
+  return bytes;
+}
+
+}  // namespace
+
+OptimizerService::OptimizerService(const CostModel& model,
+                                   ServiceOptions options)
+    : model_(model),
+      options_(options),
+      cache_(options.cache),
+      pool_(options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                     : options.num_threads) {
+  if (options_.max_queue == 0) options_.max_queue = 1;
+}
+
+std::future<StatusOr<OptimizeResponse>> OptimizerService::Submit(
+    OptimizeRequest request) {
+  if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_queue) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<StatusOr<OptimizeResponse>> rejected;
+    rejected.set_value(Status::ResourceExhausted(
+        "optimizer service queue is full (max_queue=" +
+        std::to_string(options_.max_queue) + ")"));
+    return rejected.get_future();
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto promise =
+      std::make_shared<std::promise<StatusOr<OptimizeResponse>>>();
+  std::future<StatusOr<OptimizeResponse>> future = promise->get_future();
+  auto shared_request = std::make_shared<OptimizeRequest>(std::move(request));
+  pool_.Submit([this, shared_request, promise](size_t) {
+    promise->set_value(Handle(*shared_request));
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  return future;
+}
+
+StatusOr<OptimizeResponse> OptimizerService::Optimize(
+    OptimizeRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return Handle(request);
+}
+
+StatusOr<OptimizeResponse> OptimizerService::Handle(OptimizeRequest& request) {
+  Clock::time_point start = Clock::now();
+  if (!request.workflow.fresh()) {
+    ETLOPT_RETURN_NOT_OK(request.workflow.Refresh());
+  }
+  ETLOPT_ASSIGN_OR_RETURN(
+      PlanCacheKey key,
+      MakePlanCacheKey(request.workflow, request.algorithm, model_,
+                       request.options, request.merge_constraints));
+  OptimizeResponse response;
+  ETLOPT_ASSIGN_OR_RETURN(
+      response.plan,
+      cache_.GetOrCompute(
+          key, [this, &request] { return ComputePlan(request); },
+          &response.cache_hit, &response.coalesced));
+  response.latency_millis = MillisSince(start);
+  return response;
+}
+
+StatusOr<std::shared_ptr<const CachedPlan>> OptimizerService::ComputePlan(
+    const OptimizeRequest& request) {
+  searches_run_.fetch_add(1, std::memory_order_relaxed);
+  Clock::time_point start = Clock::now();
+  StatusOr<SearchResult> result =
+      RunSearch(request.algorithm, request.workflow, model_, request.options,
+                request.merge_constraints);
+  search_micros_.fetch_add(
+      static_cast<uint64_t>(MillisSince(start) * 1000.0),
+      std::memory_order_relaxed);
+  if (!result.ok()) {
+    failed_searches_.fetch_add(1, std::memory_order_relaxed);
+    return result.status();
+  }
+  auto entry = std::make_shared<CachedPlan>();
+  entry->result = std::move(result).value();
+  StatusOr<OptimizedPlan> plan =
+      MakePlan(request.workflow, entry->result, request.algorithm, model_,
+               request.options, request.merge_constraints);
+  if (plan.ok()) {
+    entry->plan = std::move(plan).value();
+  } else {
+    // A workflow with merged chains cannot be printed: the answer is
+    // still served and cached in memory, just never persisted.
+    entry->persistable = false;
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry->bytes = EntryBytes(*entry);
+  return std::shared_ptr<const CachedPlan>(std::move(entry));
+}
+
+ServiceStats OptimizerService::Stats() const {
+  ServiceStats stats;
+  stats.cache = cache_.Stats();
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  stats.searches_run = searches_run_.load(std::memory_order_relaxed);
+  stats.failed_searches = failed_searches_.load(std::memory_order_relaxed);
+  stats.search_millis =
+      static_cast<double>(search_micros_.load(std::memory_order_relaxed)) /
+      1000.0;
+  stats.in_flight = in_flight_.load(std::memory_order_acquire);
+  stats.max_queue = options_.max_queue;
+  stats.worker_threads = pool_.num_threads();
+  return stats;
+}
+
+Status OptimizerService::SavePlans(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot create file: " + path);
+  for (const std::shared_ptr<const CachedPlan>& entry : cache_.Snapshot()) {
+    if (!entry->persistable) continue;
+    out << PrintPlanText(entry->plan);
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<size_t> OptimizerService::LoadPlans(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  ETLOPT_ASSIGN_OR_RETURN(std::vector<OptimizedPlan> plans,
+                          ParsePlansText(buffer.str()));
+  std::string fingerprint = model_.Fingerprint();
+  size_t loaded = 0;
+  for (OptimizedPlan& plan : plans) {
+    if (plan.cost_model != fingerprint) continue;
+    // Re-derive and verify the recorded answer before admitting it.
+    ETLOPT_ASSIGN_OR_RETURN(State best, ApplyPlan(plan, model_));
+    ETLOPT_ASSIGN_OR_RETURN(Workflow initial, PlanInitialWorkflow(plan));
+    PlanCacheKey key;
+    key.workflow_hash = initial.SignatureHash();
+    key.context_hash = HashRequestContext(plan.algorithm, plan.cost_model,
+                                          plan.options, plan.merges);
+    auto entry = std::make_shared<CachedPlan>();
+    entry->result.best = std::move(best);
+    entry->result.initial_cost = plan.initial_cost;
+    entry->result.visited_states = plan.visited_states;
+    entry->result.exhausted = plan.exhausted;
+    entry->result.best_path = plan.path;
+    entry->plan = std::move(plan);
+    entry->bytes = EntryBytes(*entry);
+    cache_.Insert(key, std::shared_ptr<const CachedPlan>(std::move(entry)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,107 @@
+// OptimizerService: optimizer-as-a-service. Wraps the state-space search
+// behind a concurrent request interface: requests queue onto a ThreadPool,
+// answers come from the PlanCache when possible (cached responses are
+// byte-identical to fresh searches — same cost bits, signature, and
+// printed workflow), and the cache survives restarts via Save/LoadPlans.
+//
+// Backpressure is explicit: when queued + running requests reach
+// max_queue, Submit answers ResourceExhausted immediately instead of
+// letting the queue grow without bound.
+
+#ifndef ETLOPT_SERVICE_OPTIMIZER_SERVICE_H_
+#define ETLOPT_SERVICE_OPTIMIZER_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "service/plan_cache.h"
+#include "service/service_stats.h"
+
+namespace etlopt {
+
+struct ServiceOptions {
+  /// Worker threads serving requests; 0 = ThreadPool::DefaultThreads().
+  size_t num_threads = 0;
+  /// Cap on queued + running requests; past it Submit rejects with
+  /// ResourceExhausted.
+  size_t max_queue = 256;
+  PlanCacheOptions cache;
+};
+
+struct OptimizeRequest {
+  Workflow workflow;
+  SearchAlgorithm algorithm = SearchAlgorithm::kHeuristic;
+  SearchOptions options;
+  std::vector<MergeConstraint> merge_constraints;
+};
+
+struct OptimizeResponse {
+  /// The answer; shared with the cache (and with coalesced requests).
+  std::shared_ptr<const CachedPlan> plan;
+  bool cache_hit = false;
+  bool coalesced = false;
+  /// This request's wall-clock latency, queueing excluded.
+  double latency_millis = 0.0;
+};
+
+class OptimizerService {
+ public:
+  /// `model` must outlive the service.
+  explicit OptimizerService(const CostModel& model,
+                            ServiceOptions options = {});
+
+  /// Drains queued requests, then joins the workers.
+  ~OptimizerService() = default;
+
+  OptimizerService(const OptimizerService&) = delete;
+  OptimizerService& operator=(const OptimizerService&) = delete;
+
+  /// Queues a request. The returned future is immediately ready with
+  /// ResourceExhausted when the service is at max_queue.
+  std::future<StatusOr<OptimizeResponse>> Submit(OptimizeRequest request);
+
+  /// Serves a request on the calling thread — same cache/coalescing path
+  /// as Submit, no queue slot consumed.
+  StatusOr<OptimizeResponse> Optimize(OptimizeRequest request);
+
+  ServiceStats Stats() const;
+  std::string StatsReport() const { return ServiceStatsReport(Stats()); }
+
+  /// Persists every persistable cached plan as concatenated plan text.
+  Status SavePlans(const std::string& path) const;
+
+  /// Warm-loads plans persisted by SavePlans. Every plan is re-applied
+  /// and verified (cost bits + signature hash) before it is admitted;
+  /// plans recorded under a different cost-model fingerprint are skipped.
+  /// Returns the number of plans admitted to the cache.
+  StatusOr<size_t> LoadPlans(const std::string& path);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  StatusOr<OptimizeResponse> Handle(OptimizeRequest& request);
+  StatusOr<std::shared_ptr<const CachedPlan>> ComputePlan(
+      const OptimizeRequest& request);
+
+  const CostModel& model_;
+  ServiceOptions options_;
+  PlanCache cache_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> uncacheable_{0};
+  std::atomic<uint64_t> searches_run_{0};
+  std::atomic<uint64_t> failed_searches_{0};
+  std::atomic<uint64_t> search_micros_{0};
+  // Last member: its destructor drains pending tasks, which still touch
+  // the cache and counters above.
+  ThreadPool pool_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_SERVICE_OPTIMIZER_SERVICE_H_

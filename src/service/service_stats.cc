@@ -1,0 +1,43 @@
+#include "service/service_stats.h"
+
+#include "common/string_util.h"
+
+namespace etlopt {
+
+std::string ServiceStatsReport(const ServiceStats& stats) {
+  std::string out = "optimizer service\n";
+  auto row = [&out](const char* name, const std::string& value) {
+    out += StrFormat("  %-22s %s\n", name, value.c_str());
+  };
+  row("requests", StrFormat("%llu (%llu rejected, %llu uncacheable)",
+                            static_cast<unsigned long long>(stats.requests),
+                            static_cast<unsigned long long>(stats.rejected),
+                            static_cast<unsigned long long>(
+                                stats.uncacheable)));
+  row("searches run",
+      StrFormat("%llu (%llu failed, %.1f ms total)",
+                static_cast<unsigned long long>(stats.searches_run),
+                static_cast<unsigned long long>(stats.failed_searches),
+                stats.search_millis));
+  row("queue", StrFormat("%zu in flight / %zu max, %zu workers",
+                         stats.in_flight, stats.max_queue,
+                         stats.worker_threads));
+  const PlanCacheStats& c = stats.cache;
+  row("cache hit rate",
+      StrFormat("%.1f%% (%llu hits, %llu misses, %llu coalesced)",
+                100.0 * c.hit_rate(),
+                static_cast<unsigned long long>(c.hits),
+                static_cast<unsigned long long>(c.misses),
+                static_cast<unsigned long long>(c.coalesced)));
+  row("cache size",
+      StrFormat("%zu plans, %zu / %zu bytes over %zu shards", c.entries,
+                c.bytes, c.byte_budget, c.shards));
+  row("cache churn",
+      StrFormat("%llu insertions, %llu evictions, %llu oversized",
+                static_cast<unsigned long long>(c.insertions),
+                static_cast<unsigned long long>(c.evictions),
+                static_cast<unsigned long long>(c.oversized)));
+  return out;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,53 @@
+// Observability snapshot of the optimizer service: cache behavior, queue
+// pressure, and search work, with the same human-readable report styling
+// as the optimizer's report layer.
+
+#ifndef ETLOPT_SERVICE_SERVICE_STATS_H_
+#define ETLOPT_SERVICE_SERVICE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace etlopt {
+
+/// Point-in-time counters of a PlanCache. All monotonic except the
+/// entries/bytes gauges.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;       // includes coalesced waits (they missed too)
+  uint64_t coalesced = 0;    // misses served by another request's search
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;    // entries dropped by the LRU byte budget
+  uint64_t oversized = 0;    // results too large to cache at all
+  size_t entries = 0;
+  size_t bytes = 0;
+  size_t byte_budget = 0;
+  size_t shards = 0;
+
+  double hit_rate() const {
+    uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Point-in-time counters of the whole service (cache included).
+struct ServiceStats {
+  PlanCacheStats cache;
+  uint64_t requests = 0;          // accepted (queued or run inline)
+  uint64_t rejected = 0;          // ResourceExhausted: queue full
+  uint64_t uncacheable = 0;       // answered, but result not cacheable
+  uint64_t searches_run = 0;      // actual optimizer invocations
+  uint64_t failed_searches = 0;
+  double search_millis = 0;       // wall-clock spent inside searches
+  size_t in_flight = 0;           // gauge: queued + running right now
+  size_t max_queue = 0;
+  size_t worker_threads = 0;
+};
+
+/// Renders the snapshot as an aligned table (report-layer style).
+std::string ServiceStatsReport(const ServiceStats& stats);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,193 @@
+#include "io/plan_format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+#include "cost/external_cost_model.h"
+#include "io/text_format.h"
+#include "workload/generator.h"
+
+namespace etlopt {
+namespace {
+
+StatusOr<OptimizedPlan> PlanForScenario(WorkloadCategory category,
+                                        uint64_t seed,
+                                        SearchAlgorithm algorithm,
+                                        const CostModel& model,
+                                        const SearchOptions& options) {
+  GeneratorOptions gen;
+  gen.category = category;
+  gen.seed = seed;
+  ETLOPT_ASSIGN_OR_RETURN(GeneratedWorkflow generated, GenerateWorkflow(gen));
+  ETLOPT_ASSIGN_OR_RETURN(
+      SearchResult result,
+      RunSearch(algorithm, generated.workflow, model, options));
+  return MakePlan(generated.workflow, result, algorithm, model, options);
+}
+
+SearchOptions SmallBudget() {
+  SearchOptions options;
+  options.max_states = 2000;
+  return options;
+}
+
+// The headline property: serialize -> parse -> re-serialize is
+// byte-identical, for both text and binary forms, across scenario sizes,
+// seeds, and algorithms.
+TEST(PlanFormatTest, RoundTripByteIdenticalAcrossScenarios) {
+  LinearLogCostModel model;
+  const SearchOptions options = SmallBudget();
+  for (WorkloadCategory category :
+       {WorkloadCategory::kSmall, WorkloadCategory::kMedium}) {
+    for (uint64_t seed : {1ull, 7ull, 42ull}) {
+      for (SearchAlgorithm algorithm :
+           {SearchAlgorithm::kHeuristic, SearchAlgorithm::kHeuristicGreedy}) {
+        SCOPED_TRACE(StrFormat("category=%d seed=%llu algo=%s",
+                               static_cast<int>(category),
+                               static_cast<unsigned long long>(seed),
+                               SearchAlgorithmToString(algorithm).data()));
+        auto plan = PlanForScenario(category, seed, algorithm, model, options);
+        ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+        std::string text = PrintPlanText(*plan);
+        auto parsed = ParsePlanText(text);
+        ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+        EXPECT_EQ(PrintPlanText(*parsed), text);
+
+        std::string binary = SerializePlanBinary(*plan);
+        auto from_binary = ParsePlanBinary(binary);
+        ASSERT_TRUE(from_binary.ok()) << from_binary.status().ToString();
+        EXPECT_EQ(SerializePlanBinary(*from_binary), binary);
+        // The two forms describe the same plan.
+        EXPECT_EQ(PrintPlanText(*from_binary), text);
+      }
+    }
+  }
+}
+
+// A reloaded plan re-applies to the exact recorded answer: same final
+// signature hash and bit-identical cost.
+TEST(PlanFormatTest, ReloadedPlanReappliesExactly) {
+  LinearLogCostModel model;
+  const SearchOptions options = SmallBudget();
+  for (uint64_t seed : {3ull, 11ull}) {
+    auto plan = PlanForScenario(WorkloadCategory::kSmall, seed,
+                                SearchAlgorithm::kHeuristic, model, options);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto reloaded = ParsePlanText(PrintPlanText(*plan));
+    ASSERT_TRUE(reloaded.ok());
+    auto state = ApplyPlan(*reloaded, model);
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    EXPECT_EQ(state->signature_hash, plan->signature_hash);
+    EXPECT_EQ(state->cost, plan->best_cost);  // bit-exact, not approximate
+  }
+}
+
+TEST(PlanFormatTest, EsPlanCarriesTransitionPath) {
+  GeneratorOptions gen;
+  gen.category = WorkloadCategory::kSmall;
+  gen.seed = 5;
+  auto generated = GenerateWorkflow(gen);
+  ASSERT_TRUE(generated.ok());
+  LinearLogCostModel model;
+  SearchOptions options;
+  options.max_states = 500;
+  auto result = ExhaustiveSearch(generated->workflow, model, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto plan = MakePlan(generated->workflow, *result,
+                       SearchAlgorithm::kExhaustive, model, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->path.size(), result->best_path.size());
+  auto reparsed = ParsePlanText(PrintPlanText(*plan));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->path.size(), plan->path.size());
+  for (size_t i = 0; i < plan->path.size(); ++i) {
+    EXPECT_EQ(reparsed->path[i].kind, plan->path[i].kind);
+    EXPECT_EQ(reparsed->path[i].description, plan->path[i].description);
+  }
+}
+
+TEST(PlanFormatTest, MergeConstraintsSurviveTheTrip) {
+  GeneratorOptions gen;
+  auto generated = GenerateWorkflow(gen);
+  ASSERT_TRUE(generated.ok());
+  LinearLogCostModel model;
+  auto result = HeuristicSearch(generated->workflow, model, SmallBudget());
+  ASSERT_TRUE(result.ok());
+  std::vector<MergeConstraint> merges = {{"a1", "a2"}, {"b1", "b2"}};
+  auto plan = MakePlan(generated->workflow, *result,
+                       SearchAlgorithm::kHeuristic, model, SmallBudget(),
+                       merges);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->merges, "a1+a2;b1+b2");
+  auto reparsed = ParsePlanText(PrintPlanText(*plan));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->merges, plan->merges);
+  auto from_binary = ParsePlanBinary(SerializePlanBinary(*plan));
+  ASSERT_TRUE(from_binary.ok());
+  EXPECT_EQ(from_binary->merges, plan->merges);
+}
+
+TEST(PlanFormatTest, ParsePlansTextSplitsConcatenation) {
+  LinearLogCostModel model;
+  auto a = PlanForScenario(WorkloadCategory::kSmall, 1,
+                           SearchAlgorithm::kHeuristic, model, SmallBudget());
+  auto b = PlanForScenario(WorkloadCategory::kSmall, 2,
+                           SearchAlgorithm::kHeuristicGreedy, model,
+                           SmallBudget());
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::string file = PrintPlanText(*a) + "\n" + PrintPlanText(*b);
+  auto plans = ParsePlansText(file);
+  ASSERT_TRUE(plans.ok()) << plans.status().ToString();
+  ASSERT_EQ(plans->size(), 2u);
+  EXPECT_EQ(PrintPlanText((*plans)[0]), PrintPlanText(*a));
+  EXPECT_EQ(PrintPlanText((*plans)[1]), PrintPlanText(*b));
+}
+
+TEST(PlanFormatTest, ApplyRejectsWrongCostModel) {
+  LinearLogCostModel linlog;
+  auto plan = PlanForScenario(WorkloadCategory::kSmall, 1,
+                              SearchAlgorithm::kHeuristic, linlog,
+                              SmallBudget());
+  ASSERT_TRUE(plan.ok());
+  ExternalSortCostModel other;
+  EXPECT_TRUE(ApplyPlan(*plan, other).status().IsFailedPrecondition());
+}
+
+TEST(PlanFormatTest, ApplyRejectsTamperedPlan) {
+  LinearLogCostModel model;
+  auto plan = PlanForScenario(WorkloadCategory::kSmall, 1,
+                              SearchAlgorithm::kHeuristic, model,
+                              SmallBudget());
+  ASSERT_TRUE(plan.ok());
+  OptimizedPlan tampered = *plan;
+  tampered.best_cost *= 1.5;
+  EXPECT_TRUE(ApplyPlan(tampered, model).status().IsInternal());
+  tampered = *plan;
+  tampered.signature_hash ^= 1;
+  EXPECT_TRUE(ApplyPlan(tampered, model).status().IsInternal());
+}
+
+TEST(PlanFormatTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParsePlanText("plan v2\n").ok());
+  EXPECT_FALSE(ParsePlanText("plan v1\nalgorithm bogus\n").ok());
+  EXPECT_FALSE(ParsePlanText("").ok());
+  EXPECT_FALSE(ParsePlanBinary("NOTAPLAN").ok());
+  EXPECT_FALSE(ParsePlanBinary("ETLPLAN1\x01").ok());  // truncated
+
+  LinearLogCostModel model;
+  auto plan = PlanForScenario(WorkloadCategory::kSmall, 1,
+                              SearchAlgorithm::kHeuristic, model,
+                              SmallBudget());
+  ASSERT_TRUE(plan.ok());
+  std::string text = PrintPlanText(*plan);
+  EXPECT_FALSE(ParsePlanText(text + "trailing\n").ok());
+  std::string binary = SerializePlanBinary(*plan);
+  EXPECT_FALSE(ParsePlanBinary(binary.substr(0, binary.size() - 1)).ok());
+  EXPECT_FALSE(ParsePlanBinary(binary + "x").ok());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+#include "optimizer/search.h"
 #include "workload/generator.h"
 #include "workload/scenarios.h"
 
@@ -148,6 +151,83 @@ TEST(TextFormatTest, CommentsAndBlankLinesIgnored) {
   auto w = ParseWorkflowText(text);
   ASSERT_TRUE(w.ok()) << w.status().ToString();
   EXPECT_EQ(w->ActivityCount(), 1u);
+}
+
+TEST(TextFormatPlabelTest, DefaultPrintOmitsPlabels) {
+  auto w = ParseWorkflowText(kFig1Text);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  auto text = PrintWorkflowText(*w);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("plabel="), std::string::npos);
+}
+
+TEST(TextFormatPlabelTest, EmitPlabelsOnEveryDirective) {
+  auto w = ParseWorkflowText(kFig1Text);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  TextFormatOptions options;
+  options.emit_plabels = true;
+  auto text = PrintWorkflowText(*w, options);
+  ASSERT_TRUE(text.ok());
+  for (const std::string& line : Split(*text, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(" plabel="), std::string::npos) << line;
+  }
+}
+
+TEST(TextFormatPlabelTest, PlabelRoundTripPreservesSignature) {
+  // Optimize so plabels no longer match a fresh Finalize() assignment:
+  // swaps move activities but their labels travel with them.
+  auto generated = GenerateWorkflow({});
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  LinearLogCostModel model;
+  auto result = HeuristicSearch(generated->workflow, model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Workflow& best = result->best.workflow;
+  if (!best.fresh()) {
+    ASSERT_TRUE(best.Refresh().ok());
+  }
+
+  TextFormatOptions options;
+  options.emit_plabels = true;
+  auto text = PrintWorkflowText(best, options);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto reparsed = ParseWorkflowText(*text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->Signature(), best.Signature());
+  EXPECT_EQ(reparsed->SignatureHash(), best.SignatureHash());
+
+  // Without plabel emission the reparse re-labels in topo order, which in
+  // general CHANGES the signature of an optimized workflow — the reason
+  // the plan format insists on plabels.
+  auto bare = PrintWorkflowText(best);
+  ASSERT_TRUE(bare.ok());
+  auto bare_reparsed = ParseWorkflowText(*bare);
+  ASSERT_TRUE(bare_reparsed.ok());
+  // (Equality may still hold for lucky scenarios; only the plabel form is
+  // guaranteed. Assert the guaranteed direction.)
+  EXPECT_EQ(reparsed->Signature(), best.Signature());
+}
+
+TEST(TextFormatPlabelTest, RoundTripIsByteStable) {
+  auto w = ParseWorkflowText(kFig1Text);
+  ASSERT_TRUE(w.ok());
+  TextFormatOptions options;
+  options.emit_plabels = true;
+  auto once = PrintWorkflowText(*w, options);
+  ASSERT_TRUE(once.ok());
+  auto reparsed = ParseWorkflowText(*once);
+  ASSERT_TRUE(reparsed.ok());
+  auto twice = PrintWorkflowText(*reparsed, options);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*once, *twice);
+}
+
+TEST(TextFormatPlabelTest, RejectsMalformedPlabel) {
+  std::string text =
+      "source A card=10 plabel=bad+label schema=V:double\n"
+      "notnull nn in=A attr=V sel=0.9\n"
+      "target T in=nn schema=V:double\n";
+  EXPECT_FALSE(ParseWorkflowText(text).ok());
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+#include "service/optimizer_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/external_cost_model.h"
+#include "io/plan_format.h"
+#include "io/text_format.h"
+#include "workload/generator.h"
+
+namespace etlopt {
+namespace {
+
+SearchOptions SmallBudget() {
+  SearchOptions options;
+  options.max_states = 2000;
+  return options;
+}
+
+OptimizeRequest RequestFor(uint64_t seed,
+                           WorkloadCategory category = WorkloadCategory::kSmall) {
+  GeneratorOptions gen;
+  gen.category = category;
+  gen.seed = seed;
+  auto generated = GenerateWorkflow(gen);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  OptimizeRequest request;
+  request.workflow = std::move(generated->workflow);
+  request.options = SmallBudget();
+  return request;
+}
+
+// "Byte-identical" for a served answer: cost bits, signature, visited
+// states, and the printed optimized workflow.
+void ExpectSameAnswer(const CachedPlan& a, const CachedPlan& b) {
+  EXPECT_EQ(a.result.best.cost, b.result.best.cost);
+  EXPECT_EQ(a.result.best.signature_hash, b.result.best.signature_hash);
+  EXPECT_EQ(a.result.visited_states, b.result.visited_states);
+  EXPECT_EQ(a.result.initial_cost, b.result.initial_cost);
+  EXPECT_EQ(PrintPlanText(a.plan), PrintPlanText(b.plan));
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(OptimizerServiceTest, CachedResponseIsByteIdenticalToFresh) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.num_threads = 2;
+  OptimizerService service(model, options);
+
+  auto cold = service.Optimize(RequestFor(1));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cache_hit);
+
+  auto warm = service.Optimize(RequestFor(1));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  ExpectSameAnswer(*cold->plan, *warm->plan);
+  // The warm answer IS the cold answer (shared, not recomputed).
+  EXPECT_EQ(warm->plan, cold->plan);
+
+  // A fresh service (empty cache) reproduces the same answer bits.
+  OptimizerService fresh(model, options);
+  auto recomputed = fresh.Optimize(RequestFor(1));
+  ASSERT_TRUE(recomputed.ok());
+  ExpectSameAnswer(*cold->plan, *recomputed->plan);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.searches_run, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+}
+
+TEST(OptimizerServiceTest, ConcurrentIdenticalRequestsRunOneSearch) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.num_threads = 8;
+  OptimizerService service(model, options);
+
+  constexpr int kRequests = 8;
+  std::vector<std::future<StatusOr<OptimizeResponse>>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.Submit(RequestFor(2)));
+  }
+  std::vector<OptimizeResponse> responses;
+  for (auto& future : futures) {
+    auto response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    responses.push_back(std::move(response).value());
+  }
+  // Single-flight: exactly one search ran; every response shares its plan.
+  EXPECT_EQ(service.Stats().searches_run, 1u);
+  for (const OptimizeResponse& response : responses) {
+    EXPECT_EQ(response.plan, responses[0].plan);
+  }
+}
+
+TEST(OptimizerServiceTest, ResultsIdenticalAcrossServiceThreadCounts) {
+  LinearLogCostModel model;
+  std::vector<std::shared_ptr<const CachedPlan>> answers;
+  for (size_t threads : {1u, 2u, 8u}) {
+    ServiceOptions options;
+    options.num_threads = threads;
+    OptimizerService service(model, options);
+    std::vector<std::future<StatusOr<OptimizeResponse>>> futures;
+    for (uint64_t seed : {1ull, 2ull, 3ull, 1ull, 2ull, 3ull}) {
+      futures.push_back(service.Submit(RequestFor(seed)));
+    }
+    std::shared_ptr<const CachedPlan> first;
+    for (auto& future : futures) {
+      auto response = future.get();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      if (first == nullptr) first = response.value().plan;
+    }
+    answers.push_back(std::move(first));
+  }
+  ExpectSameAnswer(*answers[0], *answers[1]);
+  ExpectSameAnswer(*answers[0], *answers[2]);
+}
+
+TEST(OptimizerServiceTest, RejectsWhenQueueFull) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue = 2;
+  OptimizerService service(model, options);
+
+  // Flood with distinct medium requests so the single worker backs up.
+  std::vector<std::future<StatusOr<OptimizeResponse>>> futures;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    futures.push_back(
+        service.Submit(RequestFor(seed, WorkloadCategory::kMedium)));
+  }
+  size_t rejected = 0;
+  for (auto& future : futures) {
+    auto response = future.get();
+    if (!response.ok()) {
+      EXPECT_TRUE(response.status().IsResourceExhausted())
+          << response.status().ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(service.Stats().rejected, rejected);
+  // The queue drains: a later request is accepted again.
+  auto after = service.Submit(RequestFor(100)).get();
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(OptimizerServiceTest, DistinctOptionsGetDistinctEntries) {
+  LinearLogCostModel model;
+  OptimizerService service(model, {});
+  OptimizeRequest a = RequestFor(3);
+  OptimizeRequest b = RequestFor(3);
+  b.options.max_states = a.options.max_states / 2;
+  OptimizeRequest c = RequestFor(3);
+  c.algorithm = SearchAlgorithm::kHeuristicGreedy;
+  ASSERT_TRUE(service.Optimize(std::move(a)).ok());
+  ASSERT_TRUE(service.Optimize(std::move(b)).ok());
+  ASSERT_TRUE(service.Optimize(std::move(c)).ok());
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.searches_run, 3u);
+  EXPECT_EQ(stats.cache.entries, 3u);
+}
+
+TEST(OptimizerServiceTest, ThreadKnobVariantsShareOneEntry) {
+  LinearLogCostModel model;
+  OptimizerService service(model, {});
+  OptimizeRequest a = RequestFor(4);
+  OptimizeRequest b = RequestFor(4);
+  b.options.num_threads = 4;
+  b.options.disable_fast_paths = true;
+  ASSERT_TRUE(service.Optimize(std::move(a)).ok());
+  auto second = service.Optimize(std::move(b));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(service.Stats().searches_run, 1u);
+}
+
+TEST(OptimizerServiceTest, PlansSurviveRestart) {
+  LinearLogCostModel model;
+  std::string path = TempPath("optimizer_service_plans.etlplan");
+  std::shared_ptr<const CachedPlan> original;
+  {
+    OptimizerService service(model, {});
+    auto cold = service.Optimize(RequestFor(5));
+    ASSERT_TRUE(cold.ok());
+    original = cold->plan;
+    ASSERT_TRUE(service.Optimize(RequestFor(6)).ok());
+    ASSERT_TRUE(service.SavePlans(path).ok());
+  }
+  OptimizerService restarted(model, {});
+  auto loaded = restarted.LoadPlans(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  // The reloaded cache serves without searching, with the same bits.
+  auto warm = restarted.Optimize(RequestFor(5));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(restarted.Stats().searches_run, 0u);
+  ExpectSameAnswer(*original, *warm->plan);
+  std::remove(path.c_str());
+}
+
+TEST(OptimizerServiceTest, LoadSkipsForeignCostModel) {
+  std::string path = TempPath("optimizer_service_foreign.etlplan");
+  LinearLogCostModel linlog;
+  {
+    OptimizerService service(linlog, {});
+    ASSERT_TRUE(service.Optimize(RequestFor(7)).ok());
+    ASSERT_TRUE(service.SavePlans(path).ok());
+  }
+  ExternalSortCostModel other;
+  OptimizerService restarted(other, {});
+  auto loaded = restarted.LoadPlans(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 0u);  // fingerprint mismatch: skipped, not served
+  std::remove(path.c_str());
+}
+
+TEST(OptimizerServiceTest, StatsReportMentionsKeyFigures) {
+  LinearLogCostModel model;
+  OptimizerService service(model, {});
+  ASSERT_TRUE(service.Optimize(RequestFor(8)).ok());
+  ASSERT_TRUE(service.Optimize(RequestFor(8)).ok());
+  std::string report = service.StatsReport();
+  EXPECT_NE(report.find("optimizer service"), std::string::npos);
+  EXPECT_NE(report.find("cache hit rate"), std::string::npos);
+  EXPECT_NE(report.find("50.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace etlopt
