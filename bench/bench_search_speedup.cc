@@ -151,6 +151,25 @@ int Run() {
   report.Add("fast1.delta_recost_share", perf1.delta_share(), "ratio");
   report.Add("fast1.node_cache_hit_rate", perf1.node_cache_hit_rate(),
              "ratio");
+
+  // Zero-copy neighbor generation: the baseline pays one full Workflow
+  // copy per generated candidate; the fast path copies only enqueued
+  // states (plus per-round scratch refreshes) and rolls everything else
+  // back in place. The reduction is deterministic — gate it hard.
+  const double copy_reduction =
+      perf1.workflow_copies > 0
+          ? static_cast<double>(ref->perf.workflow_copies) /
+                static_cast<double>(perf1.workflow_copies)
+          : static_cast<double>(ref->perf.workflow_copies);
+  report.Add("baseline.workflow_copies",
+             static_cast<double>(ref->perf.workflow_copies), "copies");
+  report.Add("fast1.workflow_copies",
+             static_cast<double>(perf1.workflow_copies), "copies");
+  report.Add("fast1.undo_applies", static_cast<double>(perf1.undo_applies),
+             "undos");
+  report.Add("fast1.peak_state_bytes",
+             static_cast<double>(perf1.peak_state_bytes), "bytes");
+  report.Add("copy_reduction", copy_reduction, "x");
   report.Write();
 
   std::printf("serial fast paths alone: %.2fx; 8 threads vs baseline: %.2fx "
@@ -160,6 +179,22 @@ int Run() {
               "cache hits\n",
               100.0 * perf1.delta_share(),
               100.0 * perf1.node_cache_hit_rate());
+  std::printf("workflow copies: %zu baseline -> %zu zero-copy (%.1fx fewer), "
+              "%zu undo applies, peak state %.1f KiB\n",
+              ref->perf.workflow_copies, perf1.workflow_copies,
+              copy_reduction, perf1.undo_applies,
+              static_cast<double>(perf1.peak_state_bytes) / 1024.0);
+  if (copy_reduction < 5.0) {
+    std::fprintf(stderr, "FAIL: workflow copy reduction %.2fx < 5x\n",
+                 copy_reduction);
+    return 1;
+  }
+  if (!quick && speedup1 < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: serial fast paths slower than baseline (%.2fx)\n",
+                 speedup1);
+    return 1;
+  }
   if (!quick && hw >= 8 && speedup8 < 3.0) {
     std::fprintf(stderr, "FAIL: 8-thread speedup %.2fx < 3x\n", speedup8);
     return 1;

@@ -1,0 +1,181 @@
+// State-memory bench: workflow copy traffic and state footprint of the
+// search algorithms, with and without zero-copy neighbor generation.
+//
+// Runs HeuristicSearch, HS-Greedy, ExhaustiveSearch and simulated
+// annealing on a generated scenario twice — disable_fast_paths (the
+// copy-per-candidate baseline) vs. the default zero-copy path — and
+// reports, per algorithm: full Workflow copies, surgery undo applies,
+// peak state bytes, wall clock. Results must be byte-identical across
+// the two configurations (cost, signature, visited states).
+//
+// Copy gates: HS and HS-Greedy must make >= 5x fewer copies than the
+// baseline — their candidate fan-out is much wider than their survivor
+// set, so evaluate-in-place pays off heavily. ES and SA have structural
+// floors well under 5x and gate at >= 1.1x instead: ES enqueues nearly
+// every candidate it evaluates (each enqueued state owns its workflow, a
+// copy both configurations must pay), and SA accepts the large majority
+// of its proposals (each accepted state is materialized; only rejections
+// are free on the zero-copy path).
+//
+// ETLOPT_BENCH_CATEGORY=small|medium|large picks the scenario (default
+// large, ~70 activities); ETLOPT_BENCH_QUICK=1 shrinks budgets.
+// Emits BENCH_state_memory.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "optimizer/annealing.h"
+#include "optimizer/search.h"
+#include "suite_runner.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+using namespace etlopt::bench;
+
+WorkloadCategory CategoryFromEnv() {
+  const char* c = std::getenv("ETLOPT_BENCH_CATEGORY");
+  if (c != nullptr) {
+    if (std::strcmp(c, "small") == 0) return WorkloadCategory::kSmall;
+    if (std::strcmp(c, "medium") == 0) return WorkloadCategory::kMedium;
+  }
+  return WorkloadCategory::kLarge;
+}
+
+struct RunOutcome {
+  SearchResult result;
+  double millis = 0;
+};
+
+RunOutcome Timed(const std::function<StatusOr<SearchResult>()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = fn();
+  auto t1 = std::chrono::steady_clock::now();
+  ETLOPT_CHECK_OK(r.status());
+  RunOutcome out;
+  out.result = std::move(r).value();
+  out.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+int Run() {
+  const bool quick = []() {
+    const char* q = std::getenv("ETLOPT_BENCH_QUICK");
+    return q != nullptr && q[0] == '1';
+  }();
+
+  GeneratorOptions gen;
+  gen.category = CategoryFromEnv();
+  gen.seed = 7;
+  auto g = GenerateWorkflow(gen);
+  ETLOPT_CHECK_OK(g.status());
+  LinearLogCostModel model;
+
+  SearchOptions options;
+  options.max_states = quick ? 5000 : 50000;
+  options.max_millis = 120000;
+  options.num_threads = 1;  // copy accounting, not parallel speedup
+  SearchOptions es_options = options;
+  es_options.max_states = quick ? 1000 : 4000;
+  AnnealingOptions annealing;
+  annealing.seed = 13;
+
+  std::printf("state memory: %s scenario, %zu activities\n",
+              std::string(WorkloadCategoryToString(gen.category)).c_str(),
+              g->activity_count);
+  std::printf("  %-10s %-9s %12s %12s %14s %10s\n", "algo", "mode", "copies",
+              "undos", "peak KiB", "ms");
+
+  JsonReport report("state_memory");
+  report.Add("activities", static_cast<double>(g->activity_count),
+             "activities");
+
+  struct Algo {
+    const char* name;
+    std::function<StatusOr<SearchResult>(const SearchOptions&)> run;
+  };
+  const Workflow& w = g->workflow;
+  const Algo algos[] = {
+      {"hs", [&](const SearchOptions& o) { return HeuristicSearch(w, model, o); }},
+      {"hsg",
+       [&](const SearchOptions& o) { return HeuristicSearchGreedy(w, model, o); }},
+      {"es", [&](const SearchOptions& o) { return ExhaustiveSearch(w, model, o); }},
+      {"sa",
+       [&](const SearchOptions& o) {
+         return SimulatedAnnealingSearch(w, model, o, annealing);
+       }},
+  };
+
+  bool ok = true;
+  for (const Algo& algo : algos) {
+    const SearchOptions& base =
+        std::strcmp(algo.name, "es") == 0 ? es_options : options;
+    SearchOptions slow = base;
+    slow.disable_fast_paths = true;
+    RunOutcome baseline = Timed([&] { return algo.run(slow); });
+    RunOutcome fast = Timed([&] { return algo.run(base); });
+
+    // The zero-copy path is an implementation detail: identical optimum,
+    // signature and state accounting are part of the contract.
+    if (fast.result.best.cost != baseline.result.best.cost ||
+        fast.result.best.signature != baseline.result.best.signature ||
+        fast.result.visited_states != baseline.result.visited_states) {
+      std::fprintf(stderr, "FAIL: %s zero-copy diverged from baseline\n",
+                   algo.name);
+      ok = false;
+      continue;
+    }
+
+    const SearchPerf& bp = baseline.result.perf;
+    const SearchPerf& fp = fast.result.perf;
+    auto emit = [&](const char* mode, const RunOutcome& run,
+                    const SearchPerf& perf) {
+      std::printf("  %-10s %-9s %12zu %12zu %14.1f %10.1f\n", algo.name, mode,
+                  perf.workflow_copies, perf.undo_applies,
+                  static_cast<double>(perf.peak_state_bytes) / 1024.0,
+                  run.millis);
+      const std::string p = std::string(algo.name) + "." + mode;
+      report.Add(p + ".workflow_copies",
+                 static_cast<double>(perf.workflow_copies), "copies");
+      report.Add(p + ".undo_applies", static_cast<double>(perf.undo_applies),
+                 "undos");
+      report.Add(p + ".peak_state_bytes",
+                 static_cast<double>(perf.peak_state_bytes), "bytes");
+      report.Add(p + ".millis", run.millis, "ms");
+    };
+    emit("baseline", baseline, bp);
+    emit("zerocopy", fast, fp);
+    const double reduction =
+        fp.workflow_copies > 0 ? static_cast<double>(bp.workflow_copies) /
+                                     static_cast<double>(fp.workflow_copies)
+                               : static_cast<double>(bp.workflow_copies);
+    report.Add(std::string(algo.name) + ".copy_reduction", reduction, "x");
+    std::printf("  %-10s copy reduction %.1fx, undo applies %zu\n", algo.name,
+                reduction, fp.undo_applies);
+    const bool survivor_bound = std::strcmp(algo.name, "es") == 0 ||
+                                std::strcmp(algo.name, "sa") == 0;
+    const double floor = survivor_bound ? 1.1 : 5.0;
+    if (reduction < floor) {
+      std::fprintf(stderr, "FAIL: %s copy reduction %.2fx < %.1fx\n",
+                   algo.name, reduction, floor);
+      ok = false;
+    }
+    if (fp.undo_applies == 0) {
+      std::fprintf(stderr, "FAIL: %s made no in-place undo applies\n",
+                   algo.name);
+      ok = false;
+    }
+  }
+
+  report.Write();
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,19 +1,154 @@
 #include "graph/workflow.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "schema/schema_interner.h"
 
 namespace etlopt {
 
+namespace {
+
+// Process-wide copy/undo counters (see Workflow::TotalCopies). Relaxed:
+// they are statistics, never synchronization.
+std::atomic<size_t> g_workflow_copies{0};
+std::atomic<size_t> g_workflow_undos{0};
+
+}  // namespace
+
+Workflow::Workflow(const Workflow& other)
+    : nodes_(other.nodes_),
+      edges_(other.edges_),
+      next_id_(other.next_id_),
+      finalized_(other.finalized_),
+      dirty_nodes_(other.dirty_nodes_),
+      fresh_(other.fresh_),
+      topo_(other.topo_),
+      out_schema_(other.out_schema_) {
+  g_workflow_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+Workflow& Workflow::operator=(const Workflow& other) {
+  ETLOPT_CHECK(active_undo_ == nullptr);
+  if (this != &other) {
+    nodes_ = other.nodes_;
+    edges_ = other.edges_;
+    next_id_ = other.next_id_;
+    finalized_ = other.finalized_;
+    dirty_nodes_ = other.dirty_nodes_;
+    fresh_ = other.fresh_;
+    topo_ = other.topo_;
+    out_schema_ = other.out_schema_;
+    g_workflow_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+size_t Workflow::TotalCopies() {
+  return g_workflow_copies.load(std::memory_order_relaxed);
+}
+
+size_t Workflow::TotalUndos() {
+  return g_workflow_undos.load(std::memory_order_relaxed);
+}
+
+NodeId Workflow::NewId() {
+  NodeId id = next_id_++;
+  nodes_.emplace_back();
+  return id;
+}
+
+void Workflow::TouchNode(NodeId id) {
+  UndoLog* log = nested_undo_ != nullptr ? nested_undo_ : active_undo_;
+  if (log == nullptr || id >= log->next_id_) return;
+  for (const auto& [saved_id, node] : log->saved_nodes_) {
+    if (saved_id == id) return;  // first touch already recorded
+  }
+  log->saved_nodes_.emplace_back(id, nodes_[id]);
+}
+
+void Workflow::EraseNode(NodeId id) {
+  TouchNode(id);
+  Node& n = nodes_[id];
+  n.present = false;
+  n.is_activity = false;
+  n.chain.reset();
+  n.recordset.reset();
+  n.plabel.clear();
+}
+
+void Workflow::BeginSurgery(UndoLog* log) {
+  ETLOPT_CHECK(log != nullptr);
+  // At most one nesting level: an inner session may open under an outer
+  // one, but not a third.
+  ETLOPT_CHECK(nested_undo_ == nullptr);
+  ETLOPT_CHECK(!log->active_);
+  ETLOPT_CHECK(log != active_undo_);
+  log->edges_ = edges_;
+  log->topo_ = topo_;
+  log->out_schema_ = out_schema_;
+  log->dirty_nodes_ = dirty_nodes_;
+  log->saved_nodes_.clear();
+  log->next_id_ = next_id_;
+  log->finalized_ = finalized_;
+  log->fresh_ = fresh_;
+  log->active_ = true;
+  if (active_undo_ == nullptr) {
+    active_undo_ = log;
+  } else {
+    nested_undo_ = log;
+  }
+}
+
+void Workflow::RollbackSurgery() {
+  ETLOPT_CHECK(active_undo_ != nullptr);
+  UndoLog* log;
+  if (nested_undo_ != nullptr) {
+    log = nested_undo_;
+    nested_undo_ = nullptr;
+  } else {
+    log = active_undo_;
+    active_undo_ = nullptr;
+  }
+  // Nodes added during the session occupy the tail slots; drop them.
+  nodes_.resize(static_cast<size_t>(log->next_id_));
+  for (auto& [id, node] : log->saved_nodes_) {
+    nodes_[id] = std::move(node);
+  }
+  // Swap (not copy) the flat snapshots back: the mutated contents left in
+  // the log are garbage that the next BeginSurgery overwrites, and the
+  // swapped-in buffers let log reuse amortize allocations to zero.
+  edges_.swap(log->edges_);
+  topo_.swap(log->topo_);
+  out_schema_.swap(log->out_schema_);
+  dirty_nodes_.swap(log->dirty_nodes_);
+  next_id_ = log->next_id_;
+  finalized_ = log->finalized_;
+  fresh_ = log->fresh_;
+  log->saved_nodes_.clear();
+  log->active_ = false;
+  g_workflow_undos.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Workflow::CommitSurgery() {
+  ETLOPT_CHECK(active_undo_ != nullptr);
+  // Committing an inner session is forbidden (see the header): the outer
+  // log could no longer restore what the inner session touched.
+  ETLOPT_CHECK(nested_undo_ == nullptr);
+  active_undo_->saved_nodes_.clear();
+  active_undo_->active_ = false;
+  active_undo_ = nullptr;
+}
+
 NodeId Workflow::AddRecordSet(RecordSetDef def) {
   NodeId id = NewId();
-  Node n;
+  Node& n = nodes_[id];
+  n.present = true;
   n.is_activity = false;
   n.recordset = std::move(def);
-  nodes_.emplace(id, std::move(n));
   Invalidate();
   return id;
 }
@@ -31,10 +166,10 @@ StatusOr<NodeId> Workflow::AddActivity(Activity activity,
     }
   }
   NodeId id = NewId();
-  Node n;
+  Node& n = nodes_[id];
+  n.present = true;
   n.is_activity = true;
   n.chain = ActivityChain(std::move(activity));
-  nodes_.emplace(id, std::move(n));
   for (size_t i = 0; i < providers.size(); ++i) {
     edges_.push_back({providers[i], id, static_cast<int>(i)});
   }
@@ -79,14 +214,12 @@ Status Workflow::Finalize() {
   return Status::OK();
 }
 
-bool Workflow::Exists(NodeId id) const { return nodes_.count(id) > 0; }
-
 bool Workflow::IsActivity(NodeId id) const {
-  return Exists(id) && GetNode(id).is_activity;
+  return Exists(id) && nodes_[id].is_activity;
 }
 
 bool Workflow::IsRecordSet(NodeId id) const {
-  return Exists(id) && !GetNode(id).is_activity;
+  return Exists(id) && !nodes_[id].is_activity;
 }
 
 const ActivityChain& Workflow::chain(NodeId id) const {
@@ -139,53 +272,57 @@ Status Workflow::SetPriorityLabel(NodeId id, const std::string& plabel) {
 }
 
 size_t Workflow::ApproxMemoryBytes() const {
-  // std::map node bookkeeping (three pointers + color + padding).
-  constexpr size_t kMapNode = 48;
-  size_t bytes = sizeof(Workflow) + edges_.capacity() * sizeof(WorkflowEdge);
+  // Logical sizes, not capacities: equal workflows must report equal
+  // footprints regardless of how their vectors grew (rollback swaps
+  // snapshot storage back, which changes capacity but not state).
+  size_t bytes = sizeof(Workflow) + edges_.size() * sizeof(WorkflowEdge);
   auto schema_bytes = [](const Schema& s) {
     size_t b = sizeof(Schema);
     for (const auto& a : s.attributes()) b += sizeof(Attribute) + a.name.size();
     return b;
   };
-  for (const auto& [id, n] : nodes_) {
-    bytes += kMapNode + sizeof(Node) + n.plabel.size();
+  bytes += nodes_.size() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    if (!n.present) continue;
+    bytes += n.plabel.size();
     if (n.is_activity) {
       for (const auto& m : n.chain->members()) {
         bytes += sizeof(m) + m.plabel.size() + m.activity.label().size() +
                  m.activity.SemanticsString().size();
       }
     } else {
+      // Declared schemata are owned by the node; computed schemata below
+      // are interned (shared) and charged at pointer size.
       bytes += n.recordset->name.size() + schema_bytes(n.recordset->schema);
     }
   }
-  bytes += topo_.capacity() * sizeof(NodeId);
-  for (const auto& [id, s] : out_schema_) bytes += kMapNode + schema_bytes(s);
-  for (const auto& [id, v] : in_schemas_) {
-    bytes += kMapNode + sizeof(v);
-    for (const auto& s : v) bytes += schema_bytes(s);
-  }
+  bytes += topo_.size() * sizeof(NodeId);
+  bytes += out_schema_.size() * sizeof(const Schema*);
+  bytes += dirty_nodes_.size() * sizeof(NodeId);
   return bytes;
 }
 
 std::vector<NodeId> Workflow::NodeIds() const {
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
-  for (const auto& [id, n] : nodes_) out.push_back(id);
+  for (NodeId id = 1; id < next_id_; ++id) {
+    if (nodes_[id].present) out.push_back(id);
+  }
   return out;
 }
 
 std::vector<NodeId> Workflow::ActivityNodeIds() const {
   std::vector<NodeId> out;
-  for (const auto& [id, n] : nodes_) {
-    if (n.is_activity) out.push_back(id);
+  for (NodeId id = 1; id < next_id_; ++id) {
+    if (nodes_[id].present && nodes_[id].is_activity) out.push_back(id);
   }
   return out;
 }
 
 size_t Workflow::ActivityCount() const {
   size_t count = 0;
-  for (const auto& [id, n] : nodes_) {
-    if (n.is_activity) count += n.chain->size();
+  for (const Node& n : nodes_) {
+    if (n.present && n.is_activity) count += n.chain->size();
   }
   return count;
 }
@@ -216,26 +353,29 @@ std::vector<NodeId> Workflow::Consumers(NodeId id) const {
 
 std::vector<NodeId> Workflow::SourceRecordSets() const {
   std::vector<NodeId> out;
-  for (const auto& [id, n] : nodes_) {
-    if (!n.is_activity && Providers(id).empty()) out.push_back(id);
+  for (NodeId id = 1; id < next_id_; ++id) {
+    const Node& n = nodes_[id];
+    if (n.present && !n.is_activity && Providers(id).empty()) out.push_back(id);
   }
   return out;
 }
 
 std::vector<NodeId> Workflow::TargetRecordSets() const {
   std::vector<NodeId> out;
-  for (const auto& [id, n] : nodes_) {
-    if (!n.is_activity && Consumers(id).empty()) out.push_back(id);
+  for (NodeId id = 1; id < next_id_; ++id) {
+    const Node& n = nodes_[id];
+    if (n.present && !n.is_activity && Consumers(id).empty()) out.push_back(id);
   }
   return out;
 }
 
 Status Workflow::CheckStructure() const {
-  if (nodes_.empty()) return Status::FailedPrecondition("empty workflow");
   // One pass over the edges builds the degree/port index; per-node O(E)
-  // rescans made Refresh() a search-loop bottleneck.
-  std::map<NodeId, std::vector<int>> in_ports;
-  std::map<NodeId, int> out_degree;
+  // rescans made Refresh() a search-loop bottleneck. All indices are
+  // dense NodeId-indexed vectors.
+  const size_t n_slots = nodes_.size();
+  std::vector<std::vector<int>> in_ports(n_slots);
+  std::vector<int> out_degree(n_slots, 0);
   for (const auto& e : edges_) {
     if (!Exists(e.from) || !Exists(e.to)) {
       return Status::Internal("edge references missing node");
@@ -244,13 +384,13 @@ Status Workflow::CheckStructure() const {
     in_ports[e.to].push_back(e.port);
     ++out_degree[e.from];
   }
-  for (const auto& [id, n] : nodes_) {
-    auto in_it = in_ports.find(id);
-    size_t n_providers = in_it == in_ports.end() ? 0 : in_it->second.size();
-    auto out_it = out_degree.find(id);
-    size_t n_consumers = out_it == out_degree.end()
-                             ? 0
-                             : static_cast<size_t>(out_it->second);
+  bool any_node = false;
+  for (NodeId id = 1; id < next_id_; ++id) {
+    const Node& n = nodes_[id];
+    if (!n.present) continue;
+    any_node = true;
+    size_t n_providers = in_ports[id].size();
+    size_t n_consumers = static_cast<size_t>(out_degree[id]);
     if (n.is_activity) {
       int arity = n.chain->input_arity();
       if (static_cast<int>(n_providers) != arity) {
@@ -259,7 +399,7 @@ Status Workflow::CheckStructure() const {
             n.chain->label().c_str(), n_providers, arity));
       }
       // Port set must be exactly {0..arity-1}.
-      std::vector<int>& ports = in_it->second;
+      std::vector<int>& ports = in_ports[id];
       std::sort(ports.begin(), ports.end());
       for (int i = 0; i < arity; ++i) {
         if (ports[i] != i) {
@@ -286,36 +426,39 @@ Status Workflow::CheckStructure() const {
       }
     }
   }
+  if (!any_node) return Status::FailedPrecondition("empty workflow");
   return Status::OK();
 }
 
 StatusOr<std::vector<NodeId>> Workflow::ComputeTopoOrder() const {
   // Kahn's algorithm; ready nodes processed in ascending id order for
   // determinism. Adjacency is indexed once up front.
-  std::map<NodeId, int> indegree;
-  std::map<NodeId, std::vector<NodeId>> successors;
-  for (const auto& [id, n] : nodes_) indegree[id] = 0;
+  const size_t n_slots = nodes_.size();
+  std::vector<int> indegree(n_slots, 0);
+  std::vector<std::vector<NodeId>> successors(n_slots);
+  size_t n_present = 0;
+  for (NodeId id = 1; id < next_id_; ++id) {
+    if (nodes_[id].present) ++n_present;
+  }
   for (const auto& e : edges_) {
     ++indegree[e.to];
     successors[e.from].push_back(e.to);
   }
   std::set<NodeId> ready;
-  for (const auto& [id, deg] : indegree) {
-    if (deg == 0) ready.insert(id);
+  for (NodeId id = 1; id < next_id_; ++id) {
+    if (nodes_[id].present && indegree[id] == 0) ready.insert(id);
   }
   std::vector<NodeId> order;
-  order.reserve(nodes_.size());
+  order.reserve(n_present);
   while (!ready.empty()) {
     NodeId id = *ready.begin();
     ready.erase(ready.begin());
     order.push_back(id);
-    auto it = successors.find(id);
-    if (it == successors.end()) continue;
-    for (NodeId next : it->second) {
+    for (NodeId next : successors[id]) {
       if (--indegree[next] == 0) ready.insert(next);
     }
   }
-  if (order.size() != nodes_.size()) {
+  if (order.size() != n_present) {
     return Status::FailedPrecondition("workflow graph contains a cycle");
   }
   return order;
@@ -325,45 +468,43 @@ Status Workflow::Refresh() {
   fresh_ = false;
   ETLOPT_RETURN_NOT_OK(CheckStructure());
   ETLOPT_ASSIGN_OR_RETURN(topo_, ComputeTopoOrder());
-  out_schema_.clear();
-  in_schemas_.clear();
+  out_schema_.assign(nodes_.size(), nullptr);
   // Port-ordered provider index built in one pass.
-  std::map<NodeId, std::vector<std::pair<int, NodeId>>> providers_of;
+  std::vector<std::vector<std::pair<int, NodeId>>> providers_of(nodes_.size());
   for (const auto& e : edges_) {
     providers_of[e.to].push_back({e.port, e.from});
   }
-  for (auto& [id, ps] : providers_of) std::sort(ps.begin(), ps.end());
+  for (auto& ps : providers_of) std::sort(ps.begin(), ps.end());
+  SchemaInterner& interner = SchemaInterner::Global();
   for (NodeId id : topo_) {
     const Node& n = GetNode(id);
-    std::vector<NodeId> providers;
-    if (auto it = providers_of.find(id); it != providers_of.end()) {
-      providers.reserve(it->second.size());
-      for (const auto& [port, from] : it->second) providers.push_back(from);
-    }
-    std::vector<Schema> inputs;
-    inputs.reserve(providers.size());
-    for (NodeId p : providers) inputs.push_back(out_schema_.at(p));
+    const auto& providers = providers_of[id];
     if (n.is_activity) {
+      std::vector<Schema> inputs;
+      inputs.reserve(providers.size());
+      for (const auto& [port, from] : providers) {
+        inputs.push_back(*out_schema_[from]);
+      }
       auto out = n.chain->ComputeOutputSchema(inputs);
       if (!out.ok()) {
         return out.status().WithContext(
             StrFormat("schema propagation at node %d ('%s')", id,
                       n.chain->label().c_str()));
       }
-      out_schema_.emplace(id, std::move(out).value());
+      out_schema_[id] = interner.Intern(out.value());
     } else {
       if (!providers.empty()) {
-        if (!inputs[0].EquivalentTo(n.recordset->schema)) {
+        const Schema& received = *out_schema_[providers[0].second];
+        if (!received.EquivalentTo(n.recordset->schema)) {
           return Status::FailedPrecondition(StrFormat(
               "recordset '%s' declared %s but receives %s",
               n.recordset->name.c_str(),
               n.recordset->schema.ToString().c_str(),
-              inputs[0].ToString().c_str()));
+              received.ToString().c_str()));
         }
       }
-      out_schema_.emplace(id, n.recordset->schema);
+      out_schema_[id] = interner.Intern(n.recordset->schema);
     }
-    in_schemas_.emplace(id, std::move(inputs));
   }
   fresh_ = true;
   return Status::OK();
@@ -371,12 +512,19 @@ Status Workflow::Refresh() {
 
 const Schema& Workflow::OutputSchema(NodeId id) const {
   ETLOPT_CHECK(fresh_);
-  return out_schema_.at(id);
+  ETLOPT_CHECK(id > 0 && static_cast<size_t>(id) < out_schema_.size());
+  const Schema* s = out_schema_[id];
+  ETLOPT_CHECK(s != nullptr);
+  return *s;
 }
 
-const std::vector<Schema>& Workflow::InputSchemas(NodeId id) const {
+std::vector<Schema> Workflow::InputSchemas(NodeId id) const {
   ETLOPT_CHECK(fresh_);
-  return in_schemas_.at(id);
+  std::vector<NodeId> providers = Providers(id);
+  std::vector<Schema> inputs;
+  inputs.reserve(providers.size());
+  for (NodeId p : providers) inputs.push_back(OutputSchema(p));
+  return inputs;
 }
 
 const std::vector<NodeId>& Workflow::TopoOrder() const {
@@ -429,42 +577,44 @@ inline uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
 uint64_t Workflow::SignatureHash() const {
   // Hashes the same plabel tree Signature() renders, without building the
   // strings and without the per-node O(E) Providers() scans: the
-  // port-ordered provider index is built in one edge pass, unfold hashes
-  // are memoized per node (the graph is a DAG), and per-target hashes are
-  // sorted numerically — the canonicalization Signature() gets from
-  // sorting the target strings.
-  std::map<NodeId, std::vector<std::pair<int, NodeId>>> providers_of;
-  std::set<NodeId> has_consumer;
+  // port-ordered provider index is built in one edge pass into dense
+  // vectors, unfold hashes are memoized per node (the graph is a DAG),
+  // and per-target hashes are sorted numerically — the canonicalization
+  // Signature() gets from sorting the target strings.
+  const size_t n_slots = nodes_.size();
+  std::vector<std::vector<std::pair<int, NodeId>>> providers_of(n_slots);
+  std::vector<char> has_consumer(n_slots, 0);
   for (const auto& e : edges_) {
     providers_of[e.to].push_back({e.port, e.from});
-    has_consumer.insert(e.from);
+    has_consumer[e.from] = 1;
   }
-  for (auto& [id, ps] : providers_of) std::sort(ps.begin(), ps.end());
+  for (auto& ps : providers_of) std::sort(ps.begin(), ps.end());
 
-  std::map<NodeId, uint64_t> memo;
+  std::vector<uint64_t> memo(n_slots, 0);
+  std::vector<char> done(n_slots, 0);
   std::function<uint64_t(NodeId)> unfold = [&](NodeId id) -> uint64_t {
-    auto it = memo.find(id);
-    if (it != memo.end()) return it->second;
+    if (done[id]) return memo[id];
     uint64_t h = kFnvOffset;
     const std::string plabel = PriorityLabelOf(id);
     h = FnvBytes(h, plabel.data(), plabel.size());
-    auto pit = providers_of.find(id);
-    if (pit != providers_of.end()) {
+    if (!providers_of[id].empty()) {
       h = FnvByte(h, '(');
-      for (const auto& [port, from] : pit->second) {
+      for (const auto& [port, from] : providers_of[id]) {
         uint64_t child = unfold(from);
         h = FnvBytes(h, &child, sizeof(child));
         h = FnvByte(h, ',');
       }
       h = FnvByte(h, ')');
     }
-    memo.emplace(id, h);
+    memo[id] = h;
+    done[id] = 1;
     return h;
   };
 
   std::vector<uint64_t> targets;
-  for (const auto& [id, n] : nodes_) {
-    if (!n.is_activity && has_consumer.count(id) == 0) {
+  for (NodeId id = 1; id < next_id_; ++id) {
+    const Node& n = nodes_[id];
+    if (n.present && !n.is_activity && !has_consumer[id]) {
       targets.push_back(unfold(id));
     }
   }
@@ -506,7 +656,8 @@ std::string Workflow::PrettySignature() const {
 
 std::set<std::string> Workflow::PostConditionSet() const {
   std::set<std::string> out;
-  for (const auto& [id, n] : nodes_) {
+  for (const Node& n : nodes_) {
+    if (!n.present) continue;
     if (n.is_activity) {
       for (const auto& p : n.chain->PredicateStrings()) out.insert(p);
     } else {
@@ -533,6 +684,39 @@ bool Workflow::EquivalentTo(const Workflow& other) const {
   }
   // (b) Equivalent post-conditions.
   return PostConditionSet() == other.PostConditionSet();
+}
+
+bool Workflow::DebugEquals(const Workflow& other) const {
+  if (next_id_ != other.next_id_ || finalized_ != other.finalized_ ||
+      fresh_ != other.fresh_ || !(edges_ == other.edges_) ||
+      topo_ != other.topo_ || out_schema_ != other.out_schema_ ||
+      dirty_nodes_ != other.dirty_nodes_ ||
+      nodes_.size() != other.nodes_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& a = nodes_[i];
+    const Node& b = other.nodes_[i];
+    if (a.present != b.present) return false;
+    if (!a.present) continue;
+    if (a.is_activity != b.is_activity || a.plabel != b.plabel) return false;
+    if (a.is_activity) {
+      if (a.chain->size() != b.chain->size() ||
+          a.chain->label() != b.chain->label() ||
+          a.chain->PriorityLabel() != b.chain->PriorityLabel() ||
+          a.chain->SemanticsString() != b.chain->SemanticsString() ||
+          a.chain->selectivity() != b.chain->selectivity()) {
+        return false;
+      }
+    } else {
+      if (a.recordset->name != b.recordset->name ||
+          a.recordset->cardinality != b.recordset->cardinality ||
+          !(a.recordset->schema == b.recordset->schema)) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 Status Workflow::SwapAdjacent(NodeId upstream, NodeId downstream) {
@@ -593,7 +777,7 @@ Status Workflow::RemoveChainNode(NodeId id) {
     }
   }
   edges_ = std::move(kept);
-  nodes_.erase(id);
+  EraseNode(id);
   Invalidate();
   return Status::OK();
 }
@@ -614,10 +798,10 @@ StatusOr<NodeId> Workflow::InsertOnEdge(ActivityChain chain, NodeId from,
   int port = it->port;
   edges_.erase(it);
   NodeId id = NewId();
-  Node n;
+  Node& n = nodes_[id];
+  n.present = true;
   n.is_activity = true;
   n.chain = std::move(chain);
-  nodes_.emplace(id, std::move(n));
   edges_.push_back({from, id, 0});
   edges_.push_back({id, to, port});
   MarkDirty(id);
@@ -652,7 +836,7 @@ Status Workflow::MergeInto(NodeId first, NodeId second) {
     }
   }
   edges_ = std::move(kept);
-  nodes_.erase(second);
+  EraseNode(second);
   MarkDirty(first);
   Invalidate();
   return Status::OK();
@@ -664,10 +848,10 @@ StatusOr<NodeId> Workflow::SplitNode(NodeId id, size_t at) {
   }
   ETLOPT_ASSIGN_OR_RETURN(auto parts, chain(id).SplitAt(at));
   NodeId tail_id = NewId();
-  Node tail;
+  Node& tail = nodes_[tail_id];
+  tail.present = true;
   tail.is_activity = true;
   tail.chain = std::move(parts.second);
-  nodes_.emplace(tail_id, std::move(tail));
   // Tail takes over id's outgoing edges.
   for (auto& e : edges_) {
     if (e.from == id) e.from = tail_id;
@@ -681,15 +865,14 @@ StatusOr<NodeId> Workflow::SplitNode(NodeId id, size_t at) {
 }
 
 const Workflow::Node& Workflow::GetNode(NodeId id) const {
-  auto it = nodes_.find(id);
-  ETLOPT_CHECK(it != nodes_.end());
-  return it->second;
+  ETLOPT_CHECK(Exists(id));
+  return nodes_[id];
 }
 
 Workflow::Node& Workflow::GetNodeMutable(NodeId id) {
-  auto it = nodes_.find(id);
-  ETLOPT_CHECK(it != nodes_.end());
-  return it->second;
+  ETLOPT_CHECK(Exists(id));
+  TouchNode(id);
+  return nodes_[id];
 }
 
 }  // namespace etlopt

@@ -1,7 +1,17 @@
 // Workflow: a directed acyclic graph of activities and recordsets
 // (paper §2.1). States of the optimizer's search space *are* workflows,
-// so Workflow is a value type: transitions copy it, rewire the copy, and
-// revalidate via Refresh().
+// so Workflow is a value type: transitions either copy it and rewire the
+// copy, or — on the search hot path — rewire it *in place* under an
+// UndoLog and roll the surgery back once the neighbor has been hashed and
+// costed (see BeginSurgery below). Either way the result is revalidated
+// via Refresh().
+//
+// Representation notes: nodes and the computed-schema table are dense
+// NodeId-indexed vectors (ids are small and monotonically assigned), and
+// computed schemata are interned via SchemaInterner — the per-node entry
+// is a pointer into process-wide shared storage. Copying a Workflow is
+// therefore a handful of flat vector copies, and snapshotting it into an
+// UndoLog is cheaper still.
 //
 // Invariants enforced by Refresh():
 //  * the graph is acyclic;
@@ -20,6 +30,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/activity_chain.h"
@@ -52,8 +63,54 @@ struct WorkflowEdge {
 };
 
 class Workflow {
+ private:
+  struct Node {
+    bool present = false;
+    bool is_activity = false;
+    std::optional<ActivityChain> chain;     // engaged iff activity
+    std::optional<RecordSetDef> recordset;  // engaged iff recordset
+    std::string plabel;                     // recordsets only
+  };
+
  public:
+  /// Captures everything one surgery session (BeginSurgery ..
+  /// RollbackSurgery) needs to restore the workflow byte-identically:
+  /// flat snapshots of the cheap tables (edges, topo order, interned
+  /// schema pointers, dirty set, scalars) plus first-touch copies of the
+  /// few nodes the surgery modifies or removes. Reusable across sessions
+  /// — Begin clears and refills it, so one log serves a whole search
+  /// without reallocating.
+  class UndoLog {
+   public:
+    UndoLog() = default;
+    UndoLog(const UndoLog&) = delete;
+    UndoLog& operator=(const UndoLog&) = delete;
+
+    /// True between BeginSurgery and Rollback/CommitSurgery.
+    bool active() const { return active_; }
+
+   private:
+    friend class Workflow;
+    bool active_ = false;
+    std::vector<WorkflowEdge> edges_;
+    std::vector<NodeId> topo_;
+    std::vector<const Schema*> out_schema_;
+    std::vector<NodeId> dirty_nodes_;
+    std::vector<std::pair<NodeId, Node>> saved_nodes_;
+    NodeId next_id_ = 0;
+    bool finalized_ = false;
+    bool fresh_ = false;
+  };
+
   Workflow() = default;
+
+  /// Copies are counted (TotalCopies) so the search layer can prove its
+  /// zero-copy neighbor generation actually avoids them. The copy never
+  /// inherits an active surgery session.
+  Workflow(const Workflow& other);
+  Workflow& operator=(const Workflow& other);
+  Workflow(Workflow&&) = default;
+  Workflow& operator=(Workflow&&) = default;
 
   // --- Construction ---
 
@@ -76,7 +133,10 @@ class Workflow {
 
   // --- Node access ---
 
-  bool Exists(NodeId id) const;
+  bool Exists(NodeId id) const {
+    return id > 0 && static_cast<size_t>(id) < nodes_.size() &&
+           nodes_[id].present;
+  }
   bool IsActivity(NodeId id) const;
   bool IsRecordSet(NodeId id) const;
 
@@ -96,8 +156,12 @@ class Workflow {
   /// activity nodes — callers Refresh() afterwards.
   Status SetPriorityLabel(NodeId id, const std::string& plabel);
 
-  /// Rough in-memory footprint in bytes (nodes, chains, schemas, edges),
-  /// for cache byte budgeting. Deterministic for equal workflows.
+  /// Rough in-memory footprint in bytes (nodes, chains, declared schemas,
+  /// edges, dense tables), for cache byte budgeting. Computed schemata are
+  /// interned in process-wide shared storage, so they are charged at
+  /// pointer size here — the shared payload lives in SchemaInterner, once
+  /// per distinct schema, not per state. Deterministic for equal
+  /// workflows.
   size_t ApproxMemoryBytes() const;
 
   /// All node ids, ascending.
@@ -119,19 +183,23 @@ class Workflow {
 
   // --- Validation and schema propagation ---
 
-  /// Revalidates the graph and recomputes every node's input/output
-  /// schemata (the automatic schema regeneration of §3.2). Must be called
-  /// after any surgery before reading schemas; transitions use its failure
-  /// as the rejection signal for illegal states (conditions 3-4 of §3.3).
+  /// Revalidates the graph and recomputes every node's output schema (the
+  /// automatic schema regeneration of §3.2), interning each into the
+  /// process-wide SchemaInterner. Must be called after any surgery before
+  /// reading schemas; transitions use its failure as the rejection signal
+  /// for illegal states (conditions 3-4 of §3.3).
   Status Refresh();
 
   /// True if Refresh() succeeded since the last mutation.
   bool fresh() const { return fresh_; }
 
-  /// Computed output schema (requires fresh()).
+  /// Computed output schema (requires fresh()). The reference points into
+  /// interned shared storage and stays valid for the process lifetime.
   const Schema& OutputSchema(NodeId id) const;
-  /// Computed input schemata, port-ordered (requires fresh()).
-  const std::vector<Schema>& InputSchemas(NodeId id) const;
+  /// Computed input schemata, port-ordered (requires fresh()). Assembled
+  /// on demand from the providers' output schemata — input schema i *is*
+  /// provider i's output schema, so no separate table is stored.
+  std::vector<Schema> InputSchemas(NodeId id) const;
   /// Topological order (requires fresh()).
   const std::vector<NodeId>& TopoOrder() const;
 
@@ -183,6 +251,58 @@ class Workflow {
   /// after the head. Returns the tail's id.
   StatusOr<NodeId> SplitNode(NodeId id, size_t at);
 
+  // --- In-place surgery sessions (the zero-copy transition path) ---
+  //
+  // The search layer's neighbor generation mutates ONE scratch workflow
+  // per worker instead of copying the parent for every candidate:
+  //
+  //   Workflow::UndoLog log;
+  //   scratch.BeginSurgery(&log);
+  //   ... surgery + Refresh() ...          // hash and cost the neighbor
+  //   scratch.RollbackSurgery();           // parent restored byte-identically
+  //
+  // A real copy is taken (plain copy construction, while the session is
+  // still open) only for neighbors that survive the visited-set and
+  // pruning checks. Rollback restores every observable and internal field
+  // — node payloads, edges, topo order, interned schema pointers, dirty
+  // set, id counter, freshness — exactly; debug/ETLOPT_PARANOID builds
+  // assert this around every undo (see DebugEquals).
+
+  /// Arms `log` and snapshots the state needed to roll back. Sessions
+  /// nest at most one level deep: while an outer session is open, one
+  /// inner session may begin (the search layer replays a transition path
+  /// under an outer session, then probes candidate transitions in inner
+  /// sessions), but the inner session can only be rolled back — never
+  /// committed — so the outer snapshot stays sufficient. Copies never
+  /// inherit a session.
+  void BeginSurgery(UndoLog* log);
+
+  /// Restores the workflow to the matching BeginSurgery state and disarms
+  /// that log (the inner session first, when one is open).
+  void RollbackSurgery();
+
+  /// Disarms the log, keeping the mutations (used by the copy-based
+  /// Apply* wrappers). Forbidden while an inner session is open: the
+  /// outer log has no first-touch records for nodes the inner session
+  /// modified, so committing it would leave the outer rollback unable to
+  /// restore them.
+  void CommitSurgery();
+
+  bool surgery_active() const { return active_undo_ != nullptr; }
+
+  /// Exact logical-state comparison (nodes, chains, labels, declared
+  /// schemas, edges, topo order, interned schema identities, dirty set,
+  /// id counter, flags). Used by the paranoid apply→undo cross-checks and
+  /// the undo property tests; too strict and too slow for search-space
+  /// identity — that is Signature()'s job.
+  bool DebugEquals(const Workflow& other) const;
+
+  /// Process-wide counters: full Workflow copies made / surgery sessions
+  /// rolled back. The search layer snapshots deltas into SearchPerf so
+  /// benches can gate the copy reduction. Monotonic, relaxed atomics.
+  static size_t TotalCopies();
+  static size_t TotalUndos();
+
   // --- Dirty-node tracking (delta-recost hook) ---
   //
   // Surgery records every node whose chain content or direct inputs it
@@ -198,15 +318,13 @@ class Workflow {
   void ClearDirtyNodes() { dirty_nodes_.clear(); }
 
  private:
-  struct Node {
-    bool is_activity = false;
-    std::optional<ActivityChain> chain;     // engaged iff activity
-    std::optional<RecordSetDef> recordset;  // engaged iff recordset
-    std::string plabel;                     // recordsets only
-  };
-
-  NodeId NewId() { return next_id_++; }
+  NodeId NewId();
   void MarkDirty(NodeId id) { dirty_nodes_.push_back(id); }
+  /// First-touch hook: saves `id`'s node into the active undo log (if
+  /// any) before it is modified or removed. Nodes added during the
+  /// session need no record — rollback truncates them away.
+  void TouchNode(NodeId id);
+  void EraseNode(NodeId id);
   const Node& GetNode(NodeId id) const;
   Node& GetNodeMutable(NodeId id);
   Status CheckStructure() const;
@@ -214,17 +332,24 @@ class Workflow {
   std::string Unfold(NodeId id, std::map<NodeId, std::string>* memo) const;
   void Invalidate() { fresh_ = false; }
 
-  std::map<NodeId, Node> nodes_;
+  /// Dense node table indexed by NodeId; slot 0 is unused, absent slots
+  /// are tombstones of removed nodes. Invariant: nodes_.size() ==
+  /// max(1, next_id_).
+  std::vector<Node> nodes_ = std::vector<Node>(1);
   std::vector<WorkflowEdge> edges_;
   NodeId next_id_ = 1;
   bool finalized_ = false;
   std::vector<NodeId> dirty_nodes_;
+  /// Outer and (optional) nested inner surgery session; TouchNode records
+  /// into the innermost one.
+  UndoLog* active_undo_ = nullptr;
+  UndoLog* nested_undo_ = nullptr;
 
   // Computed by Refresh().
   bool fresh_ = false;
   std::vector<NodeId> topo_;
-  std::map<NodeId, Schema> out_schema_;
-  std::map<NodeId, std::vector<Schema>> in_schemas_;
+  /// NodeId-indexed interned output schemas (nullptr = no node).
+  std::vector<const Schema*> out_schema_;
 };
 
 }  // namespace etlopt

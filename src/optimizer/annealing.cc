@@ -1,6 +1,8 @@
 #include "optimizer/annealing.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/random.h"
@@ -56,6 +58,19 @@ StatusOr<Workflow> ApplyMove(const Workflow& w, const Move& move) {
   return Status::Internal("bad move kind");
 }
 
+Status ApplyMoveInPlace(Workflow& w, const Move& move,
+                        Workflow::UndoLog& log) {
+  switch (move.kind) {
+    case Move::Kind::kSwap:
+      return ApplySwapInPlace(w, move.a, move.b, log);
+    case Move::Kind::kFactorize:
+      return ApplyFactorizeInPlace(w, move.binary, move.a, move.b, log);
+    case Move::Kind::kDistribute:
+      return ApplyDistributeInPlace(w, move.binary, move.a, log);
+  }
+  return Status::Internal("bad move kind");
+}
+
 }  // namespace
 
 StatusOr<SearchResult> SimulatedAnnealingSearch(
@@ -65,16 +80,30 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
   Budget budget(options);
   StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths);
   Rng rng(annealing.seed);
+  const size_t copies0 = Workflow::TotalCopies();
+  const size_t undos0 = Workflow::TotalUndos();
+  const bool zero_copy = eval.fast_paths();
 
   Workflow w0 = initial;
   if (!w0.fresh()) {
     ETLOPT_RETURN_NOT_OK(w0.Refresh());
   }
-  ETLOPT_ASSIGN_OR_RETURN(State current, eval.Eval(std::move(w0)));
+  ETLOPT_ASSIGN_OR_RETURN(State s0, eval.Eval(std::move(w0)));
+  auto current = std::make_shared<const State>(std::move(s0));
   SearchResult result;
-  result.initial_cost = current.cost;
-  State best = current;
+  result.initial_cost = current->cost;
+  // `best` aliases `current` — tracking the incumbent never copies a
+  // workflow.
+  auto best = current;
   ++budget.visited;
+
+  // Zero-copy proposal loop: one scratch workflow mirrors `current` (same
+  // bytes, same cleared dirty set); every proposal mutates it in place and
+  // either commits (accepted move — the scratch simply becomes the new
+  // current's twin) or rolls back. The only per-move copy left is the
+  // materialization of an *accepted* candidate.
+  Workflow scratch = current->workflow;
+  Workflow::UndoLog log;
 
   double temperature =
       annealing.initial_temperature_fraction * result.initial_cost;
@@ -88,29 +117,58 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
         budget_hit = true;
         break;
       }
-      std::vector<Move> moves = CollectMoves(current.workflow);
+      std::vector<Move> moves = CollectMoves(current->workflow);
       if (moves.empty()) break;
       const Move& move = moves[rng.UniformIndex(moves.size())];
-      auto next = ApplyMove(current.workflow, move);
+      ++budget.generated;
+      if (zero_copy) {
+        Status applied = ApplyMoveInPlace(scratch, move, log);
+        if (!applied.ok()) continue;  // semantically illegal: rolled back
+        // Each proposal is one transition away from `current`, so it
+        // delta-recosts against it.
+        auto ne = eval.EvalNeighbor(scratch, *current);
+        if (!ne.ok()) {
+          scratch.RollbackSurgery();
+          return ne.status();
+        }
+        ++budget.visited;
+        double delta = ne.value().cost - current->cost;
+        bool accept = delta <= 0.0 ||
+                      rng.UniformDouble() < std::exp(-delta / temperature);
+        if (accept) {
+          State candidate = eval.MaterializeState(scratch, ne.value());
+          scratch.CommitSurgery();
+          // Keep the scratch the new current's twin: the materialized
+          // state restarted its dirty set, so the scratch must too.
+          scratch.ClearDirtyNodes();
+          current = std::make_shared<const State>(std::move(candidate));
+          if (current->cost < best->cost) best = current;
+        } else {
+          scratch.RollbackSurgery();
+          eval.ParanoidCheckRestore(scratch, *current);
+        }
+        continue;
+      }
+      auto next = ApplyMove(current->workflow, move);
       if (!next.ok()) continue;  // structurally plausible, semantically not
       // Each proposal is one transition away from `current`, so the
       // candidate delta-recosts against it.
       ETLOPT_ASSIGN_OR_RETURN(State candidate,
-                              eval.EvalFrom(std::move(next).value(), current));
+                              eval.EvalFrom(std::move(next).value(), *current));
       ++budget.visited;
-      double delta = candidate.cost - current.cost;
+      double delta = candidate.cost - current->cost;
       bool accept = delta <= 0.0 ||
                     rng.UniformDouble() < std::exp(-delta / temperature);
       if (accept) {
-        current = std::move(candidate);
-        if (current.cost < best.cost) best = current;
+        current = std::make_shared<const State>(std::move(candidate));
+        if (current->cost < best->cost) best = current;
       }
     }
     if (budget_hit) break;
     temperature *= annealing.cooling;
   }
 
-  result.best = std::move(best);
+  result.best = *best;
   if (result.best.signature.empty()) {
     result.best.signature = result.best.workflow.Signature();
   }
@@ -118,6 +176,8 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
   result.elapsed_millis = budget.ElapsedMillis();
   result.exhausted = !budget_hit;
   result.perf = eval.perf();
+  result.perf.workflow_copies = Workflow::TotalCopies() - copies0;
+  result.perf.undo_applies = Workflow::TotalUndos() - undos0;
   return result;
 }
 

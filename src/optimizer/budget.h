@@ -19,11 +19,18 @@ struct Budget {
   Clock::time_point deadline;
   size_t max_states = 0;
   size_t visited = 0;
+  /// Candidate neighbors generated, including ones rejected by transition
+  /// pruning or visited-set hits before ever becoming states. Only the
+  /// wall-clock check interval counts these: a search grinding through
+  /// mostly-rejected candidates makes no `visited` progress for long
+  /// stretches, and the deadline used to go unconsulted for all of it.
+  /// max_states still budgets visited states only.
+  size_t generated = 0;
 
   /// Clock::now() is a syscall and Exhausted() runs once per candidate
   /// state on the hottest loop, so the wall-clock deadline is only
-  /// consulted every this-many newly visited states. The max_states
-  /// accounting stays exact.
+  /// consulted every this-many units of progress (visited + generated).
+  /// The max_states accounting stays exact.
   static constexpr size_t kDeadlineCheckInterval = 64;
 
   explicit Budget(const SearchOptions& options)
@@ -32,8 +39,9 @@ struct Budget {
 
   bool Exhausted() {
     if (visited >= max_states || timed_out_) return true;
-    if (visited - last_deadline_check_ >= kDeadlineCheckInterval) {
-      last_deadline_check_ = visited;
+    const size_t progress = visited + generated;
+    if (progress - last_deadline_check_ >= kDeadlineCheckInterval) {
+      last_deadline_check_ = progress;
       timed_out_ = Clock::now() >= deadline;
     }
     return timed_out_;

@@ -68,6 +68,11 @@ StatusOr<std::string> OptimizationReport(const Workflow& initial,
             : static_cast<double>(result.visited_states),
         100.0 * result.perf.delta_share(),
         100.0 * result.perf.node_cache_hit_rate());
+    out += StrFormat(
+        "state memory: %zu workflow copies, %zu undo applies, "
+        "%.1f KiB peak state\n",
+        result.perf.workflow_copies, result.perf.undo_applies,
+        static_cast<double>(result.perf.peak_state_bytes) / 1024.0);
   }
   if (!result.best_path.empty()) {
     out += "rewrite path:\n";

@@ -30,6 +30,7 @@ StatusOr<State> StateEvaluator::Eval(Workflow workflow) const {
   ETLOPT_ASSIGN_OR_RETURN(CostBreakdown bd,
                           ComputeCostBreakdown(workflow, model_));
   full_recosts_.fetch_add(1, std::memory_order_relaxed);
+  TrackPeakStateBytes(workflow.ApproxMemoryBytes());
   return FinishState(std::move(workflow), std::move(bd),
                      /*materialize_sig=*/!fast_paths_);
 }
@@ -65,12 +66,108 @@ StatusOr<State> StateEvaluator::EvalFrom(Workflow workflow,
                      /*materialize_sig=*/false);
 }
 
+StatusOr<NeighborEval> StateEvaluator::EvalNeighbor(const Workflow& applied,
+                                                    const State& base) const {
+  ETLOPT_CHECK(applied.fresh());
+  NeighborEval ne;
+  if (fast_paths_ && base.breakdown != nullptr) {
+    CostReuseStats stats;
+    ETLOPT_ASSIGN_OR_RETURN(
+        CostBreakdown bd,
+        IncrementalCostBreakdown(applied, *base.breakdown, model_, &stats));
+#ifdef ETLOPT_PARANOID_CHECKS
+    {
+      auto full = ComputeCostBreakdown(applied, model_);
+      ETLOPT_CHECK_OK(full.status());
+      ETLOPT_CHECK(bd.total == full.value().total);
+      ETLOPT_CHECK(bd.node_cost == full.value().node_cost);
+      ETLOPT_CHECK(bd.node_output_cardinality ==
+                   full.value().node_output_cardinality);
+      ETLOPT_CHECK(bd.node_input_cardinality ==
+                   full.value().node_input_cardinality);
+    }
+#endif
+    delta_recosts_.fetch_add(1, std::memory_order_relaxed);
+    reused_nodes_.fetch_add(stats.reused_nodes, std::memory_order_relaxed);
+    recosted_nodes_.fetch_add(stats.recosted_nodes, std::memory_order_relaxed);
+    ne.cost = bd.total;
+    ne.breakdown = std::make_shared<const CostBreakdown>(std::move(bd));
+  } else {
+    ETLOPT_ASSIGN_OR_RETURN(CostBreakdown bd,
+                            ComputeCostBreakdown(applied, model_));
+    full_recosts_.fetch_add(1, std::memory_order_relaxed);
+    ne.cost = bd.total;
+    ne.breakdown = std::make_shared<const CostBreakdown>(std::move(bd));
+  }
+  ne.signature_hash = applied.SignatureHash();
+#ifdef ETLOPT_PARANOID_CHECKS
+  ne.signature = applied.Signature();
+#endif
+  return ne;
+}
+
+State StateEvaluator::MaterializeState(const Workflow& applied,
+                                       const NeighborEval& ne) const {
+  State s;
+  s.workflow = applied;  // the single counted copy of a surviving neighbor
+  s.workflow.ClearDirtyNodes();
+  s.cost = ne.cost;
+  s.signature_hash = ne.signature_hash;
+  s.breakdown = ne.breakdown;
+  TrackPeakStateBytes(s.workflow.ApproxMemoryBytes());
+  return s;
+}
+
+State StateEvaluator::MaterializeState(Workflow&& applied,
+                                       const NeighborEval& ne) const {
+  State s;
+  s.workflow = std::move(applied);
+  s.workflow.ClearDirtyNodes();
+  s.cost = ne.cost;
+  s.signature_hash = ne.signature_hash;
+  s.breakdown = ne.breakdown;
+  TrackPeakStateBytes(s.workflow.ApproxMemoryBytes());
+  return s;
+}
+
+void StateEvaluator::ParanoidCheckRestore(const Workflow& restored,
+                                          const State& base) const {
+  ParanoidCheckRestore(restored, base.workflow, base.signature_hash,
+                       base.cost);
+}
+
+void StateEvaluator::ParanoidCheckRestore(const Workflow& restored,
+                                          const Workflow& base_wf,
+                                          uint64_t base_hash,
+                                          double base_cost) const {
+#ifdef ETLOPT_PARANOID_CHECKS
+  ETLOPT_CHECK(restored.DebugEquals(base_wf));
+  ETLOPT_CHECK(restored.SignatureHash() == base_hash);
+  auto full = ComputeCostBreakdown(restored, model_);
+  ETLOPT_CHECK_OK(full.status());
+  ETLOPT_CHECK(full.value().total == base_cost);
+#else
+  (void)restored;
+  (void)base_wf;
+  (void)base_hash;
+  (void)base_cost;
+#endif
+}
+
+void StateEvaluator::TrackPeakStateBytes(size_t bytes) const {
+  size_t prev = peak_state_bytes_.load(std::memory_order_relaxed);
+  while (bytes > prev && !peak_state_bytes_.compare_exchange_weak(
+                             prev, bytes, std::memory_order_relaxed)) {
+  }
+}
+
 SearchPerf StateEvaluator::perf() const {
   SearchPerf p;
   p.full_recosts = full_recosts_.load(std::memory_order_relaxed);
   p.delta_recosts = delta_recosts_.load(std::memory_order_relaxed);
   p.reused_nodes = reused_nodes_.load(std::memory_order_relaxed);
   p.recosted_nodes = recosted_nodes_.load(std::memory_order_relaxed);
+  p.peak_state_bytes = peak_state_bytes_.load(std::memory_order_relaxed);
   return p;
 }
 
@@ -86,6 +183,19 @@ uint64_t SignatureInterner::Intern(const State& state) {
   }
 #endif
   return state.signature_hash;
+}
+
+uint64_t SignatureInterner::Intern(uint64_t hash,
+                                   const std::string& signature) {
+#ifdef ETLOPT_PARANOID_CHECKS
+  auto [it, inserted] = table_.emplace(hash, signature);
+  if (!inserted) {
+    ETLOPT_CHECK(it->second == signature);
+  }
+#else
+  (void)signature;
+#endif
+  return hash;
 }
 
 }  // namespace etlopt

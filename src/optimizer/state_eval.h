@@ -45,6 +45,22 @@ struct State {
   std::shared_ptr<const CostBreakdown> breakdown;
 };
 
+/// The light evaluation of a neighbor produced by in-place transition
+/// surgery: everything the search needs to decide the neighbor's fate
+/// (visited-set identity, cost comparison) without materializing a State.
+/// Only a neighbor that survives is promoted via MaterializeState — that
+/// is the single full Workflow copy on the zero-copy path.
+struct NeighborEval {
+  uint64_t signature_hash = 0;
+  double cost = 0.0;
+  /// Per-node figures of the neighbor, reused verbatim by MaterializeState
+  /// so promotion never recosts.
+  std::shared_ptr<const CostBreakdown> breakdown;
+  /// Canonical string signature; filled only when paranoid checks are on
+  /// (the SignatureInterner cross-check needs it), empty otherwise.
+  std::string signature;
+};
+
 /// Counters describing how a search run spent its costing work.
 struct SearchPerf {
   /// States costed from scratch (ComputeCostBreakdown).
@@ -56,6 +72,20 @@ struct SearchPerf {
   size_t recosted_nodes = 0;
   /// Worker threads the run fanned out over (1 = serial).
   size_t threads = 1;
+  /// Full Workflow copies made during the run (delta of the process-wide
+  /// Workflow::TotalCopies() counter — approximate when other searches run
+  /// concurrently in the same process). The zero-copy neighbor path keeps
+  /// this near the number of *enqueued* states; the baseline pays one per
+  /// generated candidate.
+  size_t workflow_copies = 0;
+  /// Surgery sessions rolled back (Workflow::TotalUndos() delta) — the
+  /// neighbors that were evaluated in place instead of being copied.
+  size_t undo_applies = 0;
+  /// Largest ApproxMemoryBytes() over the states this run materialized
+  /// (from-scratch evals and promoted neighbors; the baseline path's
+  /// interior candidates are deliberately not measured — sizing them would
+  /// add per-candidate work to the path being benchmarked against).
+  size_t peak_state_bytes = 0;
 
   /// Share of states costed by delta rather than from scratch.
   double delta_share() const {
@@ -93,17 +123,56 @@ class StateEvaluator {
   /// assert the delta recost equals a full recost bit for bit.
   StatusOr<State> EvalFrom(Workflow workflow, const State& base) const;
 
-  /// Snapshot of the counters (threads is left at its default; the
-  /// search run fills it in).
+  /// Light evaluation of a neighbor mutated in place from `base`'s
+  /// workflow (the surgery session is still open): hashes its signature
+  /// and delta-costs it against the base without copying the workflow or
+  /// building a State. Counter behavior matches EvalFrom exactly — one
+  /// delta (or full) recost per call — so A/B perf lines stay comparable.
+  StatusOr<NeighborEval> EvalNeighbor(const Workflow& applied,
+                                      const State& base) const;
+
+  /// Promotes a surviving neighbor to a State: takes THE copy of the
+  /// still-mutated scratch workflow and attaches the figures already
+  /// computed by EvalNeighbor (no recosting). The caller rolls the
+  /// scratch back afterwards.
+  State MaterializeState(const Workflow& applied,
+                         const NeighborEval& ne) const;
+
+  /// Move form: steals an already-committed scratch workflow outright (no
+  /// copy at all). The caller must CommitSurgery() first and treat the
+  /// scratch slot as consumed afterwards.
+  State MaterializeState(Workflow&& applied, const NeighborEval& ne) const;
+
+  /// Paranoid-build assertion that an apply→undo round trip restored the
+  /// parent exactly: DebugEquals, signature hash, and cost bits (full
+  /// recost of the restored workflow == base.cost). No-op in release
+  /// builds without ETLOPT_PARANOID.
+  void ParanoidCheckRestore(const Workflow& restored, const State& base) const;
+
+  /// Same assertion against a bare base workflow plus its figures, for
+  /// callers whose base is a light state (no materialized workflow).
+  void ParanoidCheckRestore(const Workflow& restored, const Workflow& base_wf,
+                            uint64_t base_hash, double base_cost) const;
+
+  /// True when the fast paths (delta recosting, hashed signatures, and
+  /// zero-copy neighbor generation) are enabled for this run.
+  bool fast_paths() const { return fast_paths_; }
+
+  /// Snapshot of the counters (threads, workflow_copies and undo_applies
+  /// are left at their defaults; the search run fills them in from the
+  /// process-wide Workflow counters).
   SearchPerf perf() const;
 
  private:
+  void TrackPeakStateBytes(size_t bytes) const;
+
   const CostModel& model_;
   const bool fast_paths_;
   mutable std::atomic<size_t> full_recosts_{0};
   mutable std::atomic<size_t> delta_recosts_{0};
   mutable std::atomic<size_t> reused_nodes_{0};
   mutable std::atomic<size_t> recosted_nodes_{0};
+  mutable std::atomic<size_t> peak_state_bytes_{0};
 };
 
 /// Guards the "equal hashes mean equal states" assumption the search sets
@@ -114,6 +183,11 @@ class StateEvaluator {
 class SignatureInterner {
  public:
   uint64_t Intern(const State& state);
+
+  /// Hash-first form for the zero-copy path, where no State exists yet.
+  /// `signature` is consulted only under paranoid checks (NeighborEval
+  /// fills it there; it may stay empty in release builds).
+  uint64_t Intern(uint64_t hash, const std::string& signature);
 
  private:
 #ifdef ETLOPT_PARANOID_CHECKS

@@ -62,21 +62,119 @@ Status CheckBinaryActivityNode(const Workflow& w, NodeId id, const char* role) {
   return Status::OK();
 }
 
-}  // namespace
+// Both the copy-based and the in-place path of each transition run the
+// same precheck (on the unmodified workflow) and the same surgery body
+// (on the copy / under the undo log), so they accept and reject
+// identically — the byte-identical A/B guarantee hangs on this split.
 
-StatusOr<Workflow> ApplySwap(const Workflow& w, NodeId a1, NodeId a2) {
+Status CheckSwapPre(const Workflow& w, NodeId a1, NodeId a2) {
   ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a1, "swap"));
   ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a2, "swap"));
   std::vector<NodeId> consumers = w.Consumers(a1);
   if (consumers.size() != 1 || consumers[0] != a2) {
     return Status::FailedPrecondition("swap: activities are not adjacent");
   }
-  ETLOPT_RETURN_NOT_OK(CheckSwapSemantics(w.chain(a1), w.chain(a2)));
-  Workflow next = w;
-  ETLOPT_RETURN_NOT_OK(next.SwapAdjacent(a1, a2));
+  return CheckSwapSemantics(w.chain(a1), w.chain(a2));
+}
+
+Status SwapSurgery(Workflow& w, NodeId a1, NodeId a2) {
+  ETLOPT_RETURN_NOT_OK(w.SwapAdjacent(a1, a2));
   // Schema regeneration is the final arbiter (conditions 3-4).
-  ETLOPT_RETURN_NOT_OK(next.Refresh().WithContext("swap rejected"));
+  return w.Refresh().WithContext("swap rejected");
+}
+
+Status CheckFactorizePre(const Workflow& w, NodeId ab, NodeId a1, NodeId a2) {
+  ETLOPT_RETURN_NOT_OK(CheckBinaryActivityNode(w, ab, "factorize"));
+  ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a1, "factorize"));
+  ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a2, "factorize"));
+  if (a1 == a2) {
+    return Status::InvalidArgument("factorize: a1 and a2 must differ");
+  }
+  // Condition 1: same operation in terms of algebraic expression.
+  if (w.chain(a1).SemanticsString() != w.chain(a2).SemanticsString()) {
+    return Status::FailedPrecondition(
+        "factorize: activities are not homologous");
+  }
+  // Condition 2: common consumer ab, through different ports.
+  if (w.Consumers(a1) != std::vector<NodeId>{ab} ||
+      w.Consumers(a2) != std::vector<NodeId>{ab}) {
+    return Status::FailedPrecondition(
+        "factorize: both activities must directly feed the binary");
+  }
+  return CheckDistributesOverBinary(w.chain(a1), w.chain(ab));
+}
+
+Status FactorizeSurgery(Workflow& w, NodeId ab, NodeId a1, NodeId a2) {
+  NodeId ab_consumer = w.Consumers(ab)[0];
+  // Keep a1's chain (the paper reuses one of the removed activities'
+  // identities for the new node; we keep the smaller priority label).
+  ActivityChain clone =
+      w.PriorityLabelOf(a1) <= w.PriorityLabelOf(a2) ? w.chain(a1)
+                                                     : w.chain(a2);
+  ETLOPT_RETURN_NOT_OK(w.RemoveChainNode(a1));
+  ETLOPT_RETURN_NOT_OK(w.RemoveChainNode(a2));
+  ETLOPT_RETURN_NOT_OK(
+      w.InsertOnEdge(std::move(clone), ab, ab_consumer).status());
+  return w.Refresh().WithContext("factorize rejected");
+}
+
+Status CheckDistributePre(const Workflow& w, NodeId ab, NodeId a) {
+  ETLOPT_RETURN_NOT_OK(CheckBinaryActivityNode(w, ab, "distribute"));
+  ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a, "distribute"));
+  // Condition 1: the binary is the provider of a.
+  if (w.Providers(a) != std::vector<NodeId>{ab}) {
+    return Status::FailedPrecondition(
+        "distribute: activity must directly consume the binary");
+  }
+  return CheckDistributesOverBinary(w.chain(a), w.chain(ab));
+}
+
+Status DistributeSurgery(Workflow& w, NodeId ab, NodeId a) {
+  ActivityChain clone = w.chain(a);
+  std::vector<NodeId> flows = w.Providers(ab);
+  ETLOPT_RETURN_NOT_OK(w.RemoveChainNode(a));
+  for (NodeId flow : flows) {
+    ETLOPT_RETURN_NOT_OK(w.InsertOnEdge(clone, flow, ab).status());
+  }
+  return w.Refresh().WithContext("distribute rejected");
+}
+
+Status MergeSurgery(Workflow& w, NodeId a1, NodeId a2) {
+  ETLOPT_RETURN_NOT_OK(w.MergeInto(a1, a2));
+  return w.Refresh().WithContext("merge rejected");
+}
+
+Status SplitSurgery(Workflow& w, NodeId a, size_t at) {
+  ETLOPT_RETURN_NOT_OK(w.SplitNode(a, at).status());
+  return w.Refresh().WithContext("split rejected");
+}
+
+// Shared tail of the in-place variants: run the surgery under the already
+// armed log; on rejection restore the scratch before reporting.
+Status SurgeryOrRollback(Workflow& w, Status surgery_result) {
+  if (!surgery_result.ok()) w.RollbackSurgery();
+  return surgery_result;
+}
+
+}  // namespace
+
+StatusOr<Workflow> ApplySwap(const Workflow& w, NodeId a1, NodeId a2) {
+  ETLOPT_RETURN_NOT_OK(CheckSwapPre(w, a1, a2));
+  Workflow next = w;
+  ETLOPT_RETURN_NOT_OK(SwapSurgery(next, a1, a2));
   return next;
+}
+
+Status ApplySwapInPlace(Workflow& w, NodeId a1, NodeId a2,
+                        Workflow::UndoLog& log) {
+  ETLOPT_RETURN_NOT_OK(CheckSwapPre(w, a1, a2));
+  w.BeginSurgery(&log);
+  return SurgeryOrRollback(w, SwapSurgery(w, a1, a2));
+}
+
+Status ApplySwapDirect(Workflow& w, NodeId a1, NodeId a2) {
+  ETLOPT_RETURN_NOT_OK(CheckSwapPre(w, a1, a2));
+  return SwapSurgery(w, a1, a2);
 }
 
 bool CanSwap(const Workflow& w, NodeId a1, NodeId a2) {
@@ -155,73 +253,65 @@ Status CheckDistributesOverBinary(const ActivityChain& chain,
 
 StatusOr<Workflow> ApplyFactorize(const Workflow& w, NodeId ab, NodeId a1,
                                   NodeId a2) {
-  ETLOPT_RETURN_NOT_OK(CheckBinaryActivityNode(w, ab, "factorize"));
-  ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a1, "factorize"));
-  ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a2, "factorize"));
-  if (a1 == a2) {
-    return Status::InvalidArgument("factorize: a1 and a2 must differ");
-  }
-  // Condition 1: same operation in terms of algebraic expression.
-  if (w.chain(a1).SemanticsString() != w.chain(a2).SemanticsString()) {
-    return Status::FailedPrecondition(
-        "factorize: activities are not homologous");
-  }
-  // Condition 2: common consumer ab, through different ports.
-  if (w.Consumers(a1) != std::vector<NodeId>{ab} ||
-      w.Consumers(a2) != std::vector<NodeId>{ab}) {
-    return Status::FailedPrecondition(
-        "factorize: both activities must directly feed the binary");
-  }
-  ETLOPT_RETURN_NOT_OK(CheckDistributesOverBinary(w.chain(a1), w.chain(ab)));
-
+  ETLOPT_RETURN_NOT_OK(CheckFactorizePre(w, ab, a1, a2));
   Workflow next = w;
-  NodeId ab_consumer = next.Consumers(ab)[0];
-  // Keep a1's chain (the paper reuses one of the removed activities'
-  // identities for the new node; we keep the smaller priority label).
-  ActivityChain clone =
-      w.PriorityLabelOf(a1) <= w.PriorityLabelOf(a2) ? w.chain(a1)
-                                                     : w.chain(a2);
-  ETLOPT_RETURN_NOT_OK(next.RemoveChainNode(a1));
-  ETLOPT_RETURN_NOT_OK(next.RemoveChainNode(a2));
-  ETLOPT_RETURN_NOT_OK(
-      next.InsertOnEdge(std::move(clone), ab, ab_consumer).status());
-  ETLOPT_RETURN_NOT_OK(next.Refresh().WithContext("factorize rejected"));
+  ETLOPT_RETURN_NOT_OK(FactorizeSurgery(next, ab, a1, a2));
   return next;
 }
 
-StatusOr<Workflow> ApplyDistribute(const Workflow& w, NodeId ab, NodeId a) {
-  ETLOPT_RETURN_NOT_OK(CheckBinaryActivityNode(w, ab, "distribute"));
-  ETLOPT_RETURN_NOT_OK(CheckUnaryActivityNode(w, a, "distribute"));
-  // Condition 1: the binary is the provider of a.
-  if (w.Providers(a) != std::vector<NodeId>{ab}) {
-    return Status::FailedPrecondition(
-        "distribute: activity must directly consume the binary");
-  }
-  ETLOPT_RETURN_NOT_OK(CheckDistributesOverBinary(w.chain(a), w.chain(ab)));
+Status ApplyFactorizeInPlace(Workflow& w, NodeId ab, NodeId a1, NodeId a2,
+                             Workflow::UndoLog& log) {
+  ETLOPT_RETURN_NOT_OK(CheckFactorizePre(w, ab, a1, a2));
+  w.BeginSurgery(&log);
+  return SurgeryOrRollback(w, FactorizeSurgery(w, ab, a1, a2));
+}
 
+Status ApplyFactorizeDirect(Workflow& w, NodeId ab, NodeId a1, NodeId a2) {
+  ETLOPT_RETURN_NOT_OK(CheckFactorizePre(w, ab, a1, a2));
+  return FactorizeSurgery(w, ab, a1, a2);
+}
+
+StatusOr<Workflow> ApplyDistribute(const Workflow& w, NodeId ab, NodeId a) {
+  ETLOPT_RETURN_NOT_OK(CheckDistributePre(w, ab, a));
   Workflow next = w;
-  ActivityChain clone = w.chain(a);
-  std::vector<NodeId> flows = next.Providers(ab);
-  ETLOPT_RETURN_NOT_OK(next.RemoveChainNode(a));
-  for (NodeId flow : flows) {
-    ETLOPT_RETURN_NOT_OK(next.InsertOnEdge(clone, flow, ab).status());
-  }
-  ETLOPT_RETURN_NOT_OK(next.Refresh().WithContext("distribute rejected"));
+  ETLOPT_RETURN_NOT_OK(DistributeSurgery(next, ab, a));
   return next;
+}
+
+Status ApplyDistributeInPlace(Workflow& w, NodeId ab, NodeId a,
+                              Workflow::UndoLog& log) {
+  ETLOPT_RETURN_NOT_OK(CheckDistributePre(w, ab, a));
+  w.BeginSurgery(&log);
+  return SurgeryOrRollback(w, DistributeSurgery(w, ab, a));
+}
+
+Status ApplyDistributeDirect(Workflow& w, NodeId ab, NodeId a) {
+  ETLOPT_RETURN_NOT_OK(CheckDistributePre(w, ab, a));
+  return DistributeSurgery(w, ab, a);
 }
 
 StatusOr<Workflow> ApplyMerge(const Workflow& w, NodeId a1, NodeId a2) {
   Workflow next = w;
-  ETLOPT_RETURN_NOT_OK(next.MergeInto(a1, a2));
-  ETLOPT_RETURN_NOT_OK(next.Refresh().WithContext("merge rejected"));
+  ETLOPT_RETURN_NOT_OK(MergeSurgery(next, a1, a2));
   return next;
+}
+
+Status ApplyMergeInPlace(Workflow& w, NodeId a1, NodeId a2,
+                         Workflow::UndoLog& log) {
+  w.BeginSurgery(&log);
+  return SurgeryOrRollback(w, MergeSurgery(w, a1, a2));
 }
 
 StatusOr<Workflow> ApplySplit(const Workflow& w, NodeId a, size_t at) {
   Workflow next = w;
-  ETLOPT_RETURN_NOT_OK(next.SplitNode(a, at).status());
-  ETLOPT_RETURN_NOT_OK(next.Refresh().WithContext("split rejected"));
+  ETLOPT_RETURN_NOT_OK(SplitSurgery(next, a, at));
   return next;
+}
+
+Status ApplySplitInPlace(Workflow& w, NodeId a, size_t at,
+                         Workflow::UndoLog& log) {
+  w.BeginSurgery(&log);
+  return SurgeryOrRollback(w, SplitSurgery(w, a, at));
 }
 
 }  // namespace etlopt

@@ -7,6 +7,16 @@
 // applicable here" — the search layers treat that as pruning, not as an
 // error.
 //
+// Each transition also has an Apply*InPlace variant that mutates a scratch
+// workflow under a Workflow::UndoLog instead of copying — the zero-copy
+// neighbor-generation path. On success the surgery session is left OPEN:
+// the caller inspects the mutated neighbor (hash it, delta-cost it, copy
+// it if it survives pruning) and then MUST call RollbackSurgery() to
+// restore the scratch byte-identically (or CommitSurgery() to keep the
+// mutation). On failure the variant rolls back internally and the scratch
+// is already restored. Both paths run the same precondition checks and the
+// same Refresh() validation, so they accept/reject identically.
+//
 // Correctness (the paper's Theorems 1-2) is enforced in two layers:
 //  1. structural/semantic preconditions checked up front (conditions 1-4
 //     of §3.3, plus the distributivity rules for FAC/DIS);
@@ -48,6 +58,31 @@ StatusOr<Workflow> ApplyMerge(const Workflow& w, NodeId a1, NodeId a2);
 
 /// SPL(a1+2, a1, a2): unpackage a merged node at member position `at`.
 StatusOr<Workflow> ApplySplit(const Workflow& w, NodeId a, size_t at);
+
+// --- In-place variants (see file comment for the session contract) ---
+
+Status ApplySwapInPlace(Workflow& w, NodeId a1, NodeId a2,
+                        Workflow::UndoLog& log);
+Status ApplyFactorizeInPlace(Workflow& w, NodeId ab, NodeId a1, NodeId a2,
+                             Workflow::UndoLog& log);
+Status ApplyDistributeInPlace(Workflow& w, NodeId ab, NodeId a,
+                              Workflow::UndoLog& log);
+Status ApplyMergeInPlace(Workflow& w, NodeId a1, NodeId a2,
+                         Workflow::UndoLog& log);
+Status ApplySplitInPlace(Workflow& w, NodeId a, size_t at,
+                         Workflow::UndoLog& log);
+
+// --- Destructive chain variants ---
+//
+// Mutate `w` directly with no undo log — for transition *chains* on a
+// locally owned workflow (the heuristic's shift-then-factorize and
+// shift-then-distribute sequences), where a mid-chain rejection discards
+// the whole workflow anyway. On failure `w` may be left partially rewired
+// and must not be used further.
+
+Status ApplySwapDirect(Workflow& w, NodeId a1, NodeId a2);
+Status ApplyFactorizeDirect(Workflow& w, NodeId ab, NodeId a1, NodeId a2);
+Status ApplyDistributeDirect(Workflow& w, NodeId ab, NodeId a);
 
 /// The shared FAC/DIS legality rule: can `chain` be moved across binary
 /// activity `binary` (in either direction) without changing semantics?

@@ -1,0 +1,75 @@
+#include "schema/schema_interner.h"
+
+namespace etlopt {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+size_t SchemaPayloadBytes(const Schema& s) {
+  size_t b = sizeof(Schema);
+  for (const auto& a : s.attributes()) b += sizeof(Attribute) + a.name.size();
+  return b;
+}
+
+}  // namespace
+
+SchemaInterner& SchemaInterner::Global() {
+  static SchemaInterner* interner = new SchemaInterner();
+  return *interner;
+}
+
+uint64_t SchemaInterner::HashSchema(const Schema& schema) {
+  uint64_t h = kFnvOffset;
+  for (const auto& a : schema.attributes()) {
+    h = FnvBytes(h, a.name.data(), a.name.size());
+    const auto type = static_cast<uint32_t>(a.type);
+    h = FnvBytes(h, &type, sizeof(type));
+    h = (h ^ ';') * kFnvPrime;
+  }
+  return h;
+}
+
+const Schema* SchemaInterner::Intern(const Schema& schema) {
+  const uint64_t hash = HashSchema(schema);
+  Shard& shard = shards_[hash % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [lo, hi] = shard.by_hash.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (*it->second == schema) return it->second;
+  }
+  shard.store.push_back(schema);
+  const Schema* canonical = &shard.store.back();
+  shard.by_hash.emplace(hash, canonical);
+  shard.payload_bytes += SchemaPayloadBytes(schema);
+  return canonical;
+}
+
+size_t SchemaInterner::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.store.size();
+  }
+  return n;
+}
+
+size_t SchemaInterner::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes += shard.payload_bytes +
+             shard.by_hash.size() * (sizeof(uint64_t) + sizeof(const Schema*) +
+                                     2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,67 @@
+// SchemaInterner: process-wide shared storage for schemata.
+//
+// The optimizer's search states regenerate the same handful of schemata
+// millions of times (every candidate state re-propagates schemas through
+// an almost-identical graph). Interning collapses all of those copies
+// into one canonical, immutable Schema per distinct attribute list, so a
+// Workflow's computed-schema table is a vector of pointers instead of a
+// map of owned Schema values — cheap to copy, cheap to snapshot into an
+// undo log, and shared across every state of every search.
+//
+// Lifetime rules: interned schemata are immutable and are never evicted;
+// a `const Schema*` returned by Intern() stays valid for the rest of the
+// process. Memory is bounded by the number of *distinct* schemata the
+// process ever sees (workloads reuse a few dozen), not by the number of
+// states. The interner is safe to call from any thread.
+
+#ifndef ETLOPT_SCHEMA_SCHEMA_INTERNER_H_
+#define ETLOPT_SCHEMA_SCHEMA_INTERNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "schema/schema.h"
+
+namespace etlopt {
+
+class SchemaInterner {
+ public:
+  /// The process-wide interner (function-local static; never destroyed
+  /// before its users).
+  static SchemaInterner& Global();
+
+  /// Returns the canonical shared copy of `schema` (exact equality: same
+  /// names, types and order). The pointer is stable for the process
+  /// lifetime.
+  const Schema* Intern(const Schema& schema);
+
+  /// Number of distinct schemata interned so far.
+  size_t size() const;
+
+  /// Approximate bytes held by the interner (canonical schemata plus
+  /// index overhead) — diagnostic, for memory accounting reports.
+  size_t ApproxBytes() const;
+
+ private:
+  // Sharded to keep concurrent Refresh() calls (parallel frontier
+  // expansion) off one lock. Shard storage is a deque so canonical
+  // Schema addresses never move.
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_multimap<uint64_t, const Schema*> by_hash;
+    std::deque<Schema> store;
+    size_t payload_bytes = 0;
+  };
+
+  static uint64_t HashSchema(const Schema& schema);
+
+  Shard shards_[kShards];
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_SCHEMA_SCHEMA_INTERNER_H_

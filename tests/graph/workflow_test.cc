@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <utility>
+
 #include "activity/templates.h"
 #include "common/macros.h"
 #include "workload/scenarios.h"
@@ -282,6 +286,70 @@ TEST(Fig1Test, ThresholdChangesEquivalence) {
   auto b = BuildFig1Scenario(200.0);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_FALSE(a->workflow.EquivalentTo(b->workflow));
+}
+
+TEST(WorkflowMemoryTest, ApproxMemoryBytesMatchesHandComputedEstimate) {
+  LinearFlow f = MakeLinear();
+  const Workflow& w = f.w;
+  // Independent hand-computed model of the dense representation: a
+  // NodeId-indexed slot table (slot 0 unused), flat edge / topo /
+  // schema-pointer vectors, plus per-node string and declared-schema
+  // payloads. Computed schemata are interned process-wide, so they count
+  // at pointer size only. The real figure may differ by vector growth
+  // slack and padding, but never by more than 2x either way.
+  const size_t node_struct = 2 * sizeof(bool) +
+                             sizeof(std::optional<ActivityChain>) +
+                             sizeof(std::optional<RecordSetDef>) +
+                             sizeof(std::string);
+  const size_t slots = static_cast<size_t>(w.NodeIds().back()) + 1;
+  size_t estimate = sizeof(Workflow) + slots * node_struct +
+                    w.edges().size() * sizeof(WorkflowEdge) +
+                    w.TopoOrder().size() * sizeof(NodeId) +
+                    slots * sizeof(const Schema*);
+  for (NodeId id : w.NodeIds()) {
+    estimate += w.PriorityLabelOf(id).size();
+    if (w.IsActivity(id)) {
+      for (const auto& m : w.chain(id).members()) {
+        estimate += sizeof(m) + m.plabel.size() + m.activity.label().size() +
+                    m.activity.SemanticsString().size();
+      }
+    } else {
+      const RecordSetDef& rs = w.recordset(id);
+      estimate += rs.name.size() + sizeof(Schema);
+      for (const auto& a : rs.schema.attributes()) {
+        estimate += sizeof(Attribute) + a.name.size();
+      }
+    }
+  }
+  const size_t actual = w.ApproxMemoryBytes();
+  EXPECT_GE(actual, estimate / 2) << "estimate " << estimate;
+  EXPECT_LE(actual, estimate * 2) << "estimate " << estimate;
+  // Equal workflows report equal footprints (the bench deltas rely on
+  // determinism).
+  Workflow copy = w;
+  EXPECT_EQ(copy.ApproxMemoryBytes(), actual);
+}
+
+TEST(WorkflowMemoryTest, CopiesShareInternedComputedSchemas) {
+  LinearFlow f = MakeLinear();
+  Workflow copy = f.w;
+  // The computed-schema table holds interned pointers, so a copy points
+  // at the same canonical Schema objects — no per-state schema payload.
+  EXPECT_EQ(&f.w.OutputSchema(f.nn), &copy.OutputSchema(f.nn));
+  EXPECT_EQ(&f.w.OutputSchema(f.sel), &copy.OutputSchema(f.sel));
+}
+
+TEST(WorkflowMemoryTest, CopyCounterCountsCopiesNotMoves) {
+  LinearFlow f = MakeLinear();
+  const size_t c0 = Workflow::TotalCopies();
+  Workflow copy = f.w;
+  EXPECT_EQ(Workflow::TotalCopies(), c0 + 1);
+  Workflow moved = std::move(copy);
+  Workflow assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(Workflow::TotalCopies(), c0 + 1);
+  assigned = f.w;
+  EXPECT_EQ(Workflow::TotalCopies(), c0 + 2);
 }
 
 }  // namespace

@@ -35,6 +35,32 @@ TEST_F(SearchOptionsTest, TimeBudgetRespected) {
   EXPECT_LT(r->elapsed_millis, 2000);
 }
 
+TEST_F(SearchOptionsTest, TightTimeBudgetTerminatesOnLargeScenario) {
+  // The deadline check interval counts generated candidates, not just
+  // visited states: a large scenario's sweeps can grind through hundreds
+  // of mostly-rejected or deduplicated candidates without any `visited`
+  // progress, and the wall clock must still be consulted throughout.
+  // Regression guard for the budget's progress accounting — a tiny budget
+  // on a ~70-activity workflow has to come back promptly in every
+  // algorithm and in both fast-path configurations.
+  GeneratorOptions gen;
+  gen.category = WorkloadCategory::kLarge;
+  gen.seed = 7;
+  auto g = GenerateWorkflow(gen);
+  ASSERT_TRUE(g.ok());
+  for (bool disable_fast : {false, true}) {
+    SearchOptions options;
+    options.max_millis = 40;
+    options.disable_fast_paths = disable_fast;
+    auto hs = HeuristicSearch(g->workflow, model_, options);
+    ASSERT_TRUE(hs.ok());
+    EXPECT_LT(hs->elapsed_millis, 4000) << "fast=" << !disable_fast;
+    auto es = ExhaustiveSearch(g->workflow, model_, options);
+    ASSERT_TRUE(es.ok());
+    EXPECT_LT(es->elapsed_millis, 4000) << "fast=" << !disable_fast;
+  }
+}
+
 TEST_F(SearchOptionsTest, StateBudgetRespected) {
   GeneratedWorkflow g = Medium(3);
   SearchOptions options;

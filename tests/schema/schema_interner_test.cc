@@ -1,0 +1,112 @@
+// SchemaInterner: canonicalization, pointer stability, thread safety, and
+// the sharing contract the dense Workflow representation relies on (equal
+// schemata -> one shared canonical copy, distinct schemata -> distinct
+// storage).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "schema/schema.h"
+#include "schema/schema_interner.h"
+
+namespace etlopt {
+namespace {
+
+Schema Make(const std::string& tag, int cols) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < cols; ++i) {
+    attrs.push_back({tag + std::to_string(i), DataType::kDouble});
+  }
+  auto s = Schema::Make(std::move(attrs));
+  ETLOPT_CHECK_OK(s.status());
+  return std::move(s).value();
+}
+
+TEST(SchemaInternerTest, EqualSchemataShareOneCanonicalCopy) {
+  SchemaInterner& interner = SchemaInterner::Global();
+  Schema a = Make("share", 3);
+  Schema b = Make("share", 3);  // equal value, distinct object
+  const Schema* pa = interner.Intern(a);
+  const Schema* pb = interner.Intern(b);
+  EXPECT_EQ(pa, pb);
+  EXPECT_TRUE(*pa == a);
+}
+
+TEST(SchemaInternerTest, DistinctSchemataGetDistinctPointers) {
+  SchemaInterner& interner = SchemaInterner::Global();
+  const Schema* p3 = interner.Intern(Make("distinct", 3));
+  const Schema* p4 = interner.Intern(Make("distinct", 4));
+  // Same names, different type: must not be conflated.
+  Schema typed = Schema::MakeOrDie({{"distinct0", DataType::kString},
+                                    {"distinct1", DataType::kDouble},
+                                    {"distinct2", DataType::kDouble}});
+  const Schema* pt = interner.Intern(typed);
+  EXPECT_NE(p3, p4);
+  EXPECT_NE(p3, pt);
+  // Attribute order is part of the identity (schemas are ordered).
+  Schema reversed = Schema::MakeOrDie({{"distinct2", DataType::kDouble},
+                                       {"distinct1", DataType::kDouble},
+                                       {"distinct0", DataType::kDouble}});
+  EXPECT_NE(p3, interner.Intern(reversed));
+}
+
+TEST(SchemaInternerTest, PointersSurviveManyInsertions) {
+  // Deque-backed storage: canonical addresses must not move as the
+  // interner grows.
+  SchemaInterner& interner = SchemaInterner::Global();
+  const Schema* first = interner.Intern(Make("stable", 2));
+  const Schema copy = *first;
+  for (int i = 0; i < 500; ++i) {
+    interner.Intern(Make("stable_filler" + std::to_string(i), 1 + i % 5));
+  }
+  EXPECT_EQ(first, interner.Intern(copy));
+  EXPECT_TRUE(*first == copy);
+}
+
+TEST(SchemaInternerTest, SizeAndBytesGrowOnlyForDistinctSchemata) {
+  SchemaInterner& interner = SchemaInterner::Global();
+  Schema fresh = Make("growth_probe", 6);
+  const size_t size0 = interner.size();
+  const size_t bytes0 = interner.ApproxBytes();
+  interner.Intern(fresh);
+  EXPECT_EQ(interner.size(), size0 + 1);
+  EXPECT_GT(interner.ApproxBytes(), bytes0);
+  const size_t size1 = interner.size();
+  const size_t bytes1 = interner.ApproxBytes();
+  for (int i = 0; i < 10; ++i) interner.Intern(fresh);  // re-interning is free
+  EXPECT_EQ(interner.size(), size1);
+  EXPECT_EQ(interner.ApproxBytes(), bytes1);
+}
+
+TEST(SchemaInternerTest, ConcurrentInterningAgreesOnCanonicalPointers) {
+  SchemaInterner& interner = SchemaInterner::Global();
+  constexpr int kThreads = 8;
+  constexpr int kSchemas = 64;
+  std::vector<std::vector<const Schema*>> results(
+      kThreads, std::vector<const Schema*>(kSchemas, nullptr));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&results, t]() {
+      for (int s = 0; s < kSchemas; ++s) {
+        results[t][s] = SchemaInterner::Global().Intern(
+            Make("conc" + std::to_string(s), 1 + s % 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int s = 0; s < kSchemas; ++s) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(results[0][s], results[t][s]) << "schema " << s;
+    }
+  }
+  (void)interner;
+}
+
+}  // namespace
+}  // namespace etlopt
