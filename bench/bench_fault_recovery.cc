@@ -1,0 +1,254 @@
+// Fault-injection and recovery cost on a large (§4.2) generated
+// scenario. Two headline gates (hard failures on full runs):
+//
+//   1. Injector overhead while disarmed <= 2% of plain execution. The
+//      binary cannot compare compiled-out vs compiled-in directly, so
+//      the bound is measured as (disarmed hook cost in ns) x (hook
+//      executions per run, counted by arming an empty schedule) divided
+//      by the plain runtime.
+//   2. Resuming after a late crash from checkpoints >= 2x faster than a
+//      full restart of the same recoverable run.
+//
+// Every timed recovery run is also checked byte-identical to the plain
+// engine's output. ETLOPT_BENCH_QUICK=1 shrinks the input and demotes
+// the gates to informational. Emits BENCH_fault_recovery.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+
+#include "engine/executor.h"
+#include "engine/recovery.h"
+#include "fault/fault_injector.h"
+#include "suite_runner.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+using namespace etlopt::bench;
+namespace fs = std::filesystem;
+
+double MillisOf(const std::function<void()>& fn, int repeats) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool SameResult(const ExecutionResult& a, const ExecutionResult& b) {
+  return a.target_data == b.target_data && a.rows_out == b.rows_out;
+}
+
+// The disarmed fast path of one hook: a relaxed load and a predictable
+// branch. Measured in isolation; `sink` keeps the loop observable.
+double DisarmedHookNanos(uint64_t iterations) {
+  FaultInjector& injector = FaultInjector::Global();
+  uint64_t sink = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    if (injector.armed()) ++sink;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  if (sink != 0) std::printf("(unreachable %llu)\n",
+                             static_cast<unsigned long long>(sink));
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(iterations);
+}
+
+int Run() {
+  const bool quick = []() {
+    const char* q = std::getenv("ETLOPT_BENCH_QUICK");
+    return q != nullptr && q[0] == '1';
+  }();
+  const int repeats = quick ? 1 : 3;
+
+  GeneratorOptions gen;
+  gen.category = WorkloadCategory::kLarge;
+  gen.seed = 7;
+  auto g = GenerateWorkflow(gen);
+  ETLOPT_CHECK_OK(g.status());
+
+  InputGenOptions igen;
+  igen.rows_per_source = quick ? 1000 : 40000;
+  igen.key_domain = quick ? 200 : 5000;
+  ExecutionInput input = GenerateInputFor(g->workflow, 42, igen);
+  size_t total_rows = 0;
+  for (const auto& [name, rows] : input.source_data) total_rows += rows.size();
+  std::printf("fault recovery: %zu activities, %zu sources, %zu rows\n",
+              g->activity_count, input.source_data.size(), total_rows);
+
+  JsonReport report("fault_recovery");
+  report.Add("activities", static_cast<double>(g->activity_count),
+             "activities");
+  report.Add("source_rows", static_cast<double>(total_rows), "rows");
+
+  // --- Plain engine baseline (reference output + runtime). -------------
+  StatusOr<ExecutionResult> plain = ExecutionResult{};
+  double plain_ms = MillisOf(
+      [&] { plain = ExecuteWorkflow(g->workflow, input); }, repeats);
+  ETLOPT_CHECK_OK(plain.status());
+  report.Add("plain.millis", plain_ms, "ms");
+  std::printf("  %-24s %9.1f ms\n", "plain execute", plain_ms);
+
+  // --- Gate 1: disarmed injector overhead. -----------------------------
+  // Hook executions of one plain run, counted by pure hit counting.
+  uint64_t hooks_per_run = 0;
+  {
+    FaultInjector::Global().Arm(FaultSchedule{});
+    auto counted = ExecuteWorkflow(g->workflow, input);
+    ETLOPT_CHECK_OK(counted.status());
+    hooks_per_run = FaultInjector::Global().Stats().total_hits();
+    FaultInjector::Global().Disarm();
+  }
+  double hook_ns = DisarmedHookNanos(quick ? (1u << 22) : (1u << 25));
+  double overhead_pct =
+      hooks_per_run == 0
+          ? 0.0
+          : 100.0 * (hook_ns * static_cast<double>(hooks_per_run)) /
+                (plain_ms * 1e6);
+  report.Add("hooks.per_run", static_cast<double>(hooks_per_run), "hits");
+  report.Add("hooks.disarmed_ns", hook_ns, "ns");
+  report.Add("injector.disabled_overhead_pct", overhead_pct, "percent");
+  std::printf(
+      "  disarmed hooks: %llu per run x %.2f ns = %.4f%% of runtime "
+      "(target <= 2%%)\n",
+      static_cast<unsigned long long>(hooks_per_run), hook_ns, overhead_pct);
+
+  // --- Gate 2: resume from checkpoints vs full restart. ----------------
+  const fs::path dir =
+      fs::temp_directory_path() / "etlopt_bench_fault_recovery";
+  RecoveryOptions recovery;
+  recovery.checkpoint_dir = dir.string();
+  recovery.checkpoint_policy = CheckpointPolicy::kAllNodes;
+  recovery.remove_checkpoints_on_success = false;
+  RecoverableExecutor exec(recovery);
+
+  // A full recoverable run from scratch (this is what "restart from the
+  // beginning" costs; checkpoint writes included).
+  StatusOr<ExecutionResult> recovered = ExecutionResult{};
+  double full_ms = MillisOf(
+      [&] {
+        fs::remove_all(dir);
+        recovered = exec.Execute(g->workflow, input);
+      },
+      repeats);
+  ETLOPT_CHECK_OK(recovered.status());
+  if (!SameResult(*plain, *recovered)) {
+    std::fprintf(stderr,
+                 "FAIL: recoverable output differs from the plain engine\n");
+    return 1;
+  }
+  report.Add("full_restart.millis", full_ms, "ms");
+  report.Add("checkpoint.overhead_pct", 100.0 * (full_ms - plain_ms) /
+                                            plain_ms,
+             "percent");
+  std::printf("  %-24s %9.1f ms  (checkpointing overhead %.1f%%)\n",
+              "recoverable full run", full_ms,
+              100.0 * (full_ms - plain_ms) / plain_ms);
+
+  // How many activity executions one recoverable run performs, so the
+  // crash can be placed on the last one.
+  uint64_t activity_hits = 0;
+  {
+    fs::remove_all(dir);
+    FaultInjector::Global().Arm(FaultSchedule{});
+    auto counted = exec.Execute(g->workflow, input);
+    ETLOPT_CHECK_OK(counted.status());
+    activity_hits = FaultInjector::Global()
+                        .Stats()
+                        .hits[static_cast<int>(FaultSite::kActivityExecute)];
+    FaultInjector::Global().Disarm();
+  }
+  if (activity_hits == 0) {
+    std::printf(
+        "fault hooks compiled out (ETLOPT_NO_FAULT_INJECTION); recovery "
+        "speedup not measurable, skipping\n");
+    report.Write();
+    fs::remove_all(dir);
+    return 0;
+  }
+
+  // Crash on the last activity, resume from the surviving checkpoints.
+  // The crashed run recreates the checkpoint state each repeat; only the
+  // resume itself is timed.
+  RecoveryStats resume_stats;
+  double resume_ms = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    fs::remove_all(dir);
+    {
+      FaultSchedule schedule;
+      FaultSpec spec;
+      spec.site = FaultSite::kActivityExecute;
+      spec.hit = activity_hits - 1;
+      spec.kind = FaultKind::kCrash;
+      schedule.faults.push_back(spec);
+      ScopedFaultInjection arm(schedule);
+      auto crashed = exec.Execute(g->workflow, input);
+      if (crashed.ok()) {
+        std::fprintf(stderr, "FAIL: scheduled crash did not fire\n");
+        return 1;
+      }
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    recovered = exec.Execute(g->workflow, input, &resume_stats);
+    auto t1 = std::chrono::steady_clock::now();
+    ETLOPT_CHECK_OK(recovered.status());
+    resume_ms = std::min(
+        resume_ms,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  if (!SameResult(*plain, *recovered)) {
+    std::fprintf(stderr,
+                 "FAIL: resumed output differs from the plain engine\n");
+    return 1;
+  }
+  if (!resume_stats.resumed) {
+    std::fprintf(stderr, "FAIL: resume did not load any checkpoint\n");
+    return 1;
+  }
+  double speedup = full_ms / resume_ms;
+  report.Add("resume.millis", resume_ms, "ms");
+  report.Add("resume.checkpoints_loaded",
+             static_cast<double>(resume_stats.checkpoints_loaded), "files");
+  report.Add("resume.nodes_skipped",
+             static_cast<double>(resume_stats.nodes_skipped), "nodes");
+  report.Add("recovery.speedup_vs_restart", speedup, "x");
+  report.Write();
+  std::printf("  %-24s %9.1f ms  (%llu checkpoints, %llu nodes skipped)\n",
+              "resume after late crash", resume_ms,
+              static_cast<unsigned long long>(resume_stats.checkpoints_loaded),
+              static_cast<unsigned long long>(resume_stats.nodes_skipped));
+  std::printf("recovery speedup vs full restart: %.2fx (target >= 2x)\n",
+              speedup);
+  fs::remove_all(dir);
+
+  if (!quick) {
+    if (overhead_pct > 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: disarmed injector overhead %.3f%% > 2%%\n",
+                   overhead_pct);
+      return 1;
+    }
+    if (speedup < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: recovery speedup %.2fx < 2x vs full restart\n",
+                   speedup);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

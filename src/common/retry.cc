@@ -1,0 +1,74 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace etlopt {
+
+Status ValidateRetryPolicy(const RetryPolicy& policy) {
+  if (policy.max_attempts < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "retry: max_attempts must be >= 1, got %d", policy.max_attempts));
+  }
+  if (policy.initial_backoff_millis <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "retry: initial_backoff_millis must be positive, got %lld",
+        static_cast<long long>(policy.initial_backoff_millis)));
+  }
+  if (policy.backoff_multiplier < 1.0 ||
+      !std::isfinite(policy.backoff_multiplier)) {
+    return Status::InvalidArgument(StrFormat(
+        "retry: backoff_multiplier must be >= 1, got %g",
+        policy.backoff_multiplier));
+  }
+  if (policy.max_backoff_millis < policy.initial_backoff_millis) {
+    return Status::InvalidArgument(StrFormat(
+        "retry: max_backoff_millis (%lld) must be >= initial_backoff_millis "
+        "(%lld)",
+        static_cast<long long>(policy.max_backoff_millis),
+        static_cast<long long>(policy.initial_backoff_millis)));
+  }
+  if (policy.jitter < 0.0 || policy.jitter > 1.0 ||
+      !std::isfinite(policy.jitter)) {
+    return Status::InvalidArgument(
+        StrFormat("retry: jitter must be in [0, 1], got %g", policy.jitter));
+  }
+  return Status::OK();
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return status.IsUnavailable() || status.IsIOError();
+}
+
+int64_t BackoffMillis(const RetryPolicy& policy, int retry, Rng& rng) {
+  double base = static_cast<double>(policy.initial_backoff_millis) *
+                std::pow(policy.backoff_multiplier, retry);
+  base = std::min(base, static_cast<double>(policy.max_backoff_millis));
+  if (policy.jitter > 0.0) {
+    base *= 1.0 - policy.jitter * rng.UniformDouble();
+  }
+  return std::max<int64_t>(1, static_cast<int64_t>(base));
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, Rng& rng, const char* what,
+                        const std::function<Status()>& attempt,
+                        uint64_t* retries) {
+  Status status;
+  for (int i = 0; i < policy.max_attempts; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMillis(policy, i - 1, rng)));
+      if (retries != nullptr) ++*retries;
+    }
+    status = attempt();
+    if (status.ok() || !IsRetryableStatus(status)) return status;
+  }
+  return status.WithContext(
+      StrFormat("%s failed after %d attempts", what, policy.max_attempts));
+}
+
+}  // namespace etlopt

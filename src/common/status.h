@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kInternal = 7,
   kResourceExhausted = 8,
   kIOError = 9,
+  kUnavailable = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a stable, human-readable name for a StatusCode ("Ok",
@@ -78,6 +80,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -98,6 +106,10 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "Ok" or "<Code>: <message>".
   std::string ToString() const;

@@ -87,4 +87,13 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace etlopt

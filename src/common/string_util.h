@@ -3,11 +3,20 @@
 #ifndef ETLOPT_COMMON_STRING_UTIL_H_
 #define ETLOPT_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace etlopt {
+
+/// FNV-1a offset basis, the conventional `seed` for Fnv1a64.
+inline constexpr uint64_t kFnv1aBasis = 14695981039346656037ull;
+
+/// Incremental FNV-1a over `bytes`, continuing from `seed` — the shared
+/// checksum/fingerprint primitive of the persistence formats (plan cache
+/// files, recovery checkpoints) and request-context hashing.
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = kFnv1aBasis);
 
 /// Joins `parts` with `sep` ("a", "b" -> "a,b").
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);

@@ -2,15 +2,13 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "fault/fault_injector.h"
 
 namespace etlopt {
 
-namespace {
-
-// Reorders `rows` (laid out by `from`) into `to`'s attribute order.
-StatusOr<std::vector<Record>> RealignRows(const std::vector<Record>& rows,
-                                          const Schema& from,
-                                          const Schema& to) {
+StatusOr<std::vector<Record>> RealignRecords(const std::vector<Record>& rows,
+                                             const Schema& from,
+                                             const Schema& to) {
   if (from == to) return rows;
   std::vector<size_t> mapping;
   mapping.reserve(to.size());
@@ -30,8 +28,6 @@ StatusOr<std::vector<Record>> RealignRows(const std::vector<Record>& rows,
   }
   return out;
 }
-
-}  // namespace
 
 StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
                                           const ExecutionInput& input) {
@@ -63,13 +59,14 @@ StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
         // Staging or target recordset: realign to the declared schema.
         ETLOPT_ASSIGN_OR_RETURN(
             flows[id],
-            RealignRows(flows.at(providers[0]),
-                        workflow.OutputSchema(providers[0]), def.schema));
+            RealignRecords(flows.at(providers[0]),
+                           workflow.OutputSchema(providers[0]), def.schema));
       }
       if (workflow.Consumers(id).empty()) {
         result.target_data.emplace(def.name, flows[id]);
       }
     } else {
+      ETLOPT_FAULT_HIT(FaultSite::kActivityExecute);
       std::vector<std::vector<Record>> inputs;
       inputs.reserve(providers.size());
       for (NodeId p : providers) inputs.push_back(flows.at(p));

@@ -50,6 +50,13 @@ Status ExecuteWorkflowInto(
 StatusOr<bool> ProduceSameOutput(const Workflow& a, const Workflow& b,
                                  const ExecutionInput& input);
 
+/// Reorders `rows` (laid out by `from`) into `to`'s attribute order —
+/// the staging/target realignment step, shared with the recoverable
+/// executor.
+StatusOr<std::vector<Record>> RealignRecords(const std::vector<Record>& rows,
+                                             const Schema& from,
+                                             const Schema& to);
+
 }  // namespace etlopt
 
 #endif  // ETLOPT_ENGINE_EXECUTOR_H_

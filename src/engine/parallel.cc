@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "engine/partition.h"
 #include "engine/thread_pool.h"
+#include "fault/fault_injector.h"
 
 namespace etlopt {
 
@@ -500,6 +501,7 @@ StatusOr<ExecutionResult> ExecuteParallel(const Workflow& workflow,
 
     // Activity node: run the chain member by member; the first member may
     // be binary, later members are unary by the chain invariant.
+    ETLOPT_FAULT_HIT(FaultSite::kActivityExecute);
     std::vector<std::vector<Record>> inputs;
     inputs.reserve(providers.size());
     for (NodeId p : providers) inputs.push_back(take_input(p));

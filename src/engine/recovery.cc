@@ -1,0 +1,577 @@
+#include "engine/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "fault/fault_injector.h"
+
+namespace etlopt {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+const char kCheckpointMagic[8] = {'E', 'T', 'L', 'C', 'K', 'P', 'T', '1'};
+
+// ---- binary primitives (little-endian, length-prefixed) ----
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+// Tag + payload per cell; doubles as bit patterns so the round trip is
+// exact. Shared by the checkpoint encoding and the input fingerprint.
+void PutValue(std::string& out, const Value& v) {
+  out.push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      out.push_back(v.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case DataType::kDouble: {
+      const double d = v.double_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case DataType::kString:
+      PutU32(out, static_cast<uint32_t>(v.string_value().size()));
+      out += v.string_value();
+      break;
+  }
+}
+
+void PutRecord(std::string& out, const Record& record) {
+  PutU32(out, static_cast<uint32_t>(record.size()));
+  for (size_t i = 0; i < record.size(); ++i) PutValue(out, record.value(i));
+}
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  StatusOr<uint8_t> U8() {
+    ETLOPT_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  StatusOr<uint32_t> U32() {
+    ETLOPT_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  StatusOr<uint64_t> U64() {
+    ETLOPT_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  StatusOr<std::string> String() {
+    ETLOPT_ASSIGN_OR_RETURN(uint32_t n, U32());
+    ETLOPT_RETURN_NOT_OK(Need(n));
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (n > bytes_.size() - pos_) {
+      return Status::InvalidArgument("checkpoint: truncated input");
+    }
+    return Status::OK();
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+StatusOr<Value> ReadValue(BinaryReader& reader) {
+  ETLOPT_ASSIGN_OR_RETURN(uint8_t tag, reader.U8());
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      ETLOPT_ASSIGN_OR_RETURN(uint8_t b, reader.U8());
+      if (b > 1) return Status::InvalidArgument("checkpoint: bad bool cell");
+      return Value::Bool(b == 1);
+    }
+    case DataType::kInt64: {
+      ETLOPT_ASSIGN_OR_RETURN(uint64_t bits, reader.U64());
+      return Value::Int(static_cast<int64_t>(bits));
+    }
+    case DataType::kDouble: {
+      ETLOPT_ASSIGN_OR_RETURN(uint64_t bits, reader.U64());
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
+    }
+    case DataType::kString: {
+      ETLOPT_ASSIGN_OR_RETURN(std::string s, reader.String());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("checkpoint: bad value tag %u", tag));
+}
+
+// Whether `id` is a recovery-point node under `policy`.
+bool IsCheckpointNode(const Workflow& workflow, NodeId id,
+                      CheckpointPolicy policy) {
+  switch (policy) {
+    case CheckpointPolicy::kNone:
+      return false;
+    case CheckpointPolicy::kBoundaries:
+      return workflow.IsRecordSet(id) && !workflow.Providers(id).empty();
+    case CheckpointPolicy::kAllNodes:
+      return !workflow.IsRecordSet(id) ||
+             !workflow.Providers(id).empty();
+  }
+  return false;
+}
+
+std::string CheckpointPath(const std::string& run_dir, NodeId id) {
+  return run_dir + "/node_" + std::to_string(static_cast<long long>(id)) +
+         ".ckpt";
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot create file: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return Status::IOError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename failed: " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateRecoveryOptions(const RecoveryOptions& options) {
+  ETLOPT_RETURN_NOT_OK(ValidateRetryPolicy(options.retry));
+  if (options.deadline_millis < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "recovery: deadline_millis must be >= 0 (0 = unlimited), got %lld",
+        static_cast<long long>(options.deadline_millis)));
+  }
+  return Status::OK();
+}
+
+uint64_t ExecutionInputFingerprint(const ExecutionInput& input) {
+  uint64_t h = kFnv1aBasis;
+  std::string buf;
+  auto mix = [&h, &buf]() {
+    h = Fnv1a64(buf, h);
+    buf.clear();
+  };
+  for (const auto& [name, rows] : input.source_data) {
+    PutU32(buf, static_cast<uint32_t>(name.size()));
+    buf += name;
+    PutU64(buf, rows.size());
+    mix();
+    for (const Record& r : rows) {
+      PutRecord(buf, r);
+      mix();
+    }
+  }
+  for (const auto& [name, table] : input.context.lookups) {
+    PutU32(buf, static_cast<uint32_t>(name.size()));
+    buf += name;
+    PutU64(buf, table.size());
+    mix();
+    for (const auto& [key, value] : table) {
+      PutU32(buf, static_cast<uint32_t>(key.size()));
+      for (const Value& v : key) PutValue(buf, v);
+      PutValue(buf, value);
+      mix();
+    }
+  }
+  return h;
+}
+
+std::string SerializeCheckpoint(const Checkpoint& checkpoint) {
+  std::string payload;
+  PutU64(payload, checkpoint.workflow_hash);
+  PutU64(payload, checkpoint.input_hash);
+  PutU32(payload, static_cast<uint32_t>(checkpoint.node));
+  PutU32(payload, static_cast<uint32_t>(checkpoint.rows_out.size()));
+  for (const auto& [node, count] : checkpoint.rows_out) {
+    PutU32(payload, static_cast<uint32_t>(node));
+    PutU64(payload, count);
+  }
+  PutU64(payload, checkpoint.rows.size());
+  for (const Record& r : checkpoint.rows) PutRecord(payload, r);
+
+  std::string out(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutU64(out, payload.size());
+  out += payload;
+  PutU64(out, Fnv1a64(payload));
+  return out;
+}
+
+StatusOr<Checkpoint> ParseCheckpoint(std::string_view bytes) {
+  if (bytes.size() < sizeof(kCheckpointMagic) + 16 ||
+      std::memcmp(bytes.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::InvalidArgument("checkpoint: bad magic or truncated file");
+  }
+  BinaryReader header(bytes.substr(sizeof(kCheckpointMagic)));
+  ETLOPT_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());
+  if (payload_size != header.remaining() - 8 || header.remaining() < 8) {
+    return Status::InvalidArgument("checkpoint: length mismatch (truncated)");
+  }
+  std::string_view payload =
+      bytes.substr(sizeof(kCheckpointMagic) + 8, payload_size);
+  BinaryReader checksum_reader(
+      bytes.substr(sizeof(kCheckpointMagic) + 8 + payload_size));
+  ETLOPT_ASSIGN_OR_RETURN(uint64_t recorded_checksum, checksum_reader.U64());
+  if (Fnv1a64(payload) != recorded_checksum) {
+    return Status::InvalidArgument("checkpoint: checksum mismatch");
+  }
+
+  BinaryReader reader(payload);
+  Checkpoint checkpoint;
+  ETLOPT_ASSIGN_OR_RETURN(checkpoint.workflow_hash, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(checkpoint.input_hash, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(uint32_t node, reader.U32());
+  checkpoint.node = static_cast<NodeId>(node);
+  ETLOPT_ASSIGN_OR_RETURN(uint32_t rows_out_size, reader.U32());
+  for (uint32_t i = 0; i < rows_out_size; ++i) {
+    ETLOPT_ASSIGN_OR_RETURN(uint32_t out_node, reader.U32());
+    ETLOPT_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+    checkpoint.rows_out[static_cast<NodeId>(out_node)] =
+        static_cast<size_t>(count);
+  }
+  ETLOPT_ASSIGN_OR_RETURN(uint64_t row_count, reader.U64());
+  // Bound the reserve by what the payload could possibly hold (each row
+  // costs at least 4 bytes), so a corrupt count cannot force a huge
+  // allocation before the per-row bounds checks fire.
+  checkpoint.rows.reserve(static_cast<size_t>(
+      std::min<uint64_t>(row_count, reader.remaining() / 4)));
+  for (uint64_t i = 0; i < row_count; ++i) {
+    ETLOPT_ASSIGN_OR_RETURN(uint32_t arity, reader.U32());
+    Record record;
+    for (uint32_t c = 0; c < arity; ++c) {
+      ETLOPT_ASSIGN_OR_RETURN(Value v, ReadValue(reader));
+      record.Append(std::move(v));
+    }
+    checkpoint.rows.push_back(std::move(record));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("checkpoint: trailing content");
+  }
+  return checkpoint;
+}
+
+RecoverableExecutor::RecoverableExecutor(RecoveryOptions options)
+    : options_(std::move(options)) {}
+
+std::string RecoverableExecutor::RunDir(uint64_t workflow_hash,
+                                        uint64_t input_hash) const {
+  return options_.checkpoint_dir +
+         StrFormat("/run_%016llx_%016llx",
+                   static_cast<unsigned long long>(workflow_hash),
+                   static_cast<unsigned long long>(input_hash));
+}
+
+StatusOr<ExecutionResult> RecoverableExecutor::Execute(
+    const Workflow& workflow, const ExecutionInput& input,
+    RecoveryStats* stats_out) {
+  ETLOPT_RETURN_NOT_OK(ValidateRecoveryOptions(options_));
+  if (!workflow.fresh()) {
+    return Status::FailedPrecondition(
+        "workflow must pass Refresh() before execution");
+  }
+  RecoveryStats stats;
+  if (stats_out != nullptr) *stats_out = stats;
+  const Clock::time_point start = Clock::now();
+  auto over_deadline = [&]() {
+    if (options_.deadline_millis == 0) return false;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - start)
+               .count() >= options_.deadline_millis;
+  };
+  Rng rng(options_.retry_seed);
+  const bool checkpointing =
+      !options_.checkpoint_dir.empty() &&
+      options_.checkpoint_policy != CheckpointPolicy::kNone;
+  const uint64_t workflow_hash = workflow.SignatureHash();
+  const uint64_t input_hash = ExecutionInputFingerprint(input);
+  const std::string run_dir = RunDir(workflow_hash, input_hash);
+
+  const std::vector<NodeId>& topo = workflow.TopoOrder();
+
+  // Phases 1+2: decide which nodes must be produced and lazily load the
+  // recovery points that decision rests on. Targets are always needed; a
+  // needed node without a recovery point needs all its providers. Only
+  // *needed* checkpoint files are read and parsed — a resume that can
+  // serve from a shallow frontier must not pay for deserializing every
+  // file a crashed run left behind. A needed checkpoint that fails to
+  // read or validate is rejected (its node gets recomputed), which can
+  // widen the needed set, so the two steps iterate until stable; each
+  // round either finishes or permanently rejects a file, so the loop
+  // terminates.
+  std::unordered_map<NodeId, Checkpoint> loaded;
+  std::unordered_set<NodeId> on_disk;
+  std::unordered_set<NodeId> need;
+  if (checkpointing) {
+    for (NodeId id : topo) {
+      if (!IsCheckpointNode(workflow, id, options_.checkpoint_policy)) {
+        continue;
+      }
+      std::error_code ec;
+      if (fs::exists(CheckpointPath(run_dir, id), ec) && !ec) {
+        on_disk.insert(id);
+      }
+    }
+  }
+  for (bool stable = false; !stable;) {
+    stable = true;
+    need.clear();
+    for (NodeId id : topo) {
+      if (workflow.Consumers(id).empty()) need.insert(id);
+    }
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      NodeId id = *it;
+      if (need.count(id) == 0 || on_disk.count(id) != 0) continue;
+      for (NodeId p : workflow.Providers(id)) need.insert(p);
+    }
+    for (NodeId id : topo) {
+      if (on_disk.count(id) == 0 || need.count(id) == 0 ||
+          loaded.count(id) != 0) {
+        continue;
+      }
+      auto reject = [&]() {
+        // Unreadable, truncated, bit-flipped, or from a different run:
+        // never resumed from. The node is recomputed and the file
+        // overwritten.
+        on_disk.erase(id);
+        ++stats.checkpoints_rejected;
+        stable = false;
+      };
+      Status hook;
+#ifndef ETLOPT_NO_FAULT_INJECTION
+      if (FaultInjector::Global().armed()) {
+        hook = FaultInjector::Global().Hit(FaultSite::kCheckpointRead);
+      }
+#endif
+      if (!hook.ok()) {
+        // A crash-point models the process dying here; a transient error
+        // just means this recovery point is unreadable — recompute.
+        if (IsInjectedCrash(hook)) return hook;
+        reject();
+        break;
+      }
+      std::ifstream in(CheckpointPath(run_dir, id), std::ios::binary);
+      std::ostringstream buffer;
+      if (in) buffer << in.rdbuf();
+      if (!in || in.bad()) {
+        reject();
+        break;
+      }
+      StatusOr<Checkpoint> checkpoint = ParseCheckpoint(buffer.str());
+      if (!checkpoint.ok() || checkpoint->workflow_hash != workflow_hash ||
+          checkpoint->input_hash != input_hash || checkpoint->node != id) {
+        reject();
+        break;
+      }
+      loaded.emplace(id, std::move(checkpoint).value());
+    }
+  }
+
+  // Phase 3: execute. Mirrors ExecuteWorkflow node for node; recovery
+  // points substitute for whole subgraphs.
+  ExecutionResult result;
+  std::map<NodeId, std::vector<Record>> flows;
+  for (NodeId id : topo) {
+    if (over_deadline()) {
+      return Status::DeadlineExceeded(StrFormat(
+          "recoverable execution exceeded its %lld ms deadline",
+          static_cast<long long>(options_.deadline_millis)));
+    }
+    const bool is_recordset = workflow.IsRecordSet(id);
+    auto loaded_it = loaded.find(id);
+    if (loaded_it != loaded.end()) {
+      if (need.count(id) != 0) {
+        flows[id] = std::move(loaded_it->second.rows);
+        stats.resumed = true;
+        ++stats.checkpoints_loaded;
+        if (!is_recordset) ++stats.nodes_skipped;
+        // Fold the recovery point's rows_out bookkeeping in now (nodes
+        // recomputed in this run win), so checkpoints written later in
+        // this run snapshot complete state — a second crash must not
+        // lose the counts of nodes this resume skipped.
+        for (const auto& [node, count] : loaded_it->second.rows_out) {
+          result.rows_out.emplace(node, count);
+        }
+      }
+    } else if (need.count(id) == 0) {
+      if (!is_recordset) ++stats.nodes_skipped;
+      continue;
+    } else {
+      std::vector<NodeId> providers = workflow.Providers(id);
+      std::vector<Record> rows;
+      auto attempt = [&]() -> Status {
+        rows.clear();
+        if (is_recordset) {
+          const RecordSetDef& def = workflow.recordset(id);
+          if (providers.empty()) {
+            auto it = input.source_data.find(def.name);
+            if (it == input.source_data.end()) {
+              return Status::NotFound(
+                  "no data bound for source recordset '" + def.name + "'");
+            }
+            for (const auto& r : it->second) {
+              if (r.size() != def.schema.size()) {
+                return Status::InvalidArgument(StrFormat(
+                    "source '%s': record arity %zu != schema arity %zu",
+                    def.name.c_str(), r.size(), def.schema.size()));
+              }
+            }
+            rows = it->second;
+            return Status::OK();
+          }
+          ETLOPT_ASSIGN_OR_RETURN(
+              rows,
+              RealignRecords(flows.at(providers[0]),
+                             workflow.OutputSchema(providers[0]), def.schema));
+          return Status::OK();
+        }
+        ETLOPT_FAULT_HIT(FaultSite::kActivityExecute);
+        std::vector<std::vector<Record>> inputs;
+        inputs.reserve(providers.size());
+        for (NodeId p : providers) inputs.push_back(flows.at(p));
+        auto produced = workflow.chain(id).Execute(workflow.InputSchemas(id),
+                                                   inputs, input.context);
+        if (!produced.ok()) {
+          return produced.status().WithContext(
+              StrFormat("executing node %d ('%s')", id,
+                        workflow.chain(id).label().c_str()));
+        }
+        rows = std::move(produced).value();
+        return Status::OK();
+      };
+      Status status =
+          RetryWithBackoff(options_.retry, rng,
+                           StrFormat("node %d", id).c_str(), attempt,
+                           &stats.retries);
+      if (!status.ok()) {
+        if (stats_out != nullptr) *stats_out = stats;
+        return status;
+      }
+      if (!is_recordset) {
+        result.rows_out[id] = rows.size();
+        ++stats.nodes_executed;
+      }
+      flows[id] = std::move(rows);
+
+      if (checkpointing &&
+          IsCheckpointNode(workflow, id, options_.checkpoint_policy)) {
+        Checkpoint checkpoint;
+        checkpoint.workflow_hash = workflow_hash;
+        checkpoint.input_hash = input_hash;
+        checkpoint.node = id;
+        checkpoint.rows = flows[id];
+        checkpoint.rows_out = result.rows_out;
+        auto write_attempt = [&]() -> Status {
+          ETLOPT_FAULT_HIT(FaultSite::kCheckpointWrite);
+          std::error_code ec;
+          fs::create_directories(run_dir, ec);
+          if (ec) {
+            return Status::IOError("cannot create checkpoint dir: " +
+                                   run_dir + ": " + ec.message());
+          }
+          return WriteFileAtomic(CheckpointPath(run_dir, id),
+                                 SerializeCheckpoint(checkpoint));
+        };
+        Status write_status =
+            RetryWithBackoff(options_.retry, rng, "checkpoint write",
+                             write_attempt, &stats.retries);
+        if (IsInjectedCrash(write_status)) {
+          if (stats_out != nullptr) *stats_out = stats;
+          return write_status;
+        }
+        if (write_status.ok()) {
+          ++stats.checkpoints_written;
+        } else {
+          // Checkpointing is best-effort: a run that cannot persist a
+          // recovery point still completes, it just resumes from an
+          // earlier point if it later crashes.
+          ++stats.checkpoint_write_failures;
+        }
+      }
+    }
+
+    if (workflow.IsRecordSet(id) && workflow.Consumers(id).empty() &&
+        need.count(id) != 0) {
+      result.target_data.emplace(workflow.recordset(id).name, flows[id]);
+    }
+  }
+
+  if (checkpointing && options_.remove_checkpoints_on_success) {
+    std::error_code ec;
+    fs::remove_all(run_dir, ec);  // best-effort cleanup
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+Status RecoverableExecutor::ClearCheckpoints(const Workflow& workflow,
+                                             const ExecutionInput& input)
+    const {
+  if (options_.checkpoint_dir.empty()) return Status::OK();
+  if (!workflow.fresh()) {
+    return Status::FailedPrecondition(
+        "workflow must pass Refresh() before checkpoint lookup");
+  }
+  const std::string run_dir =
+      RunDir(workflow.SignatureHash(), ExecutionInputFingerprint(input));
+  std::error_code ec;
+  fs::remove_all(run_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot remove checkpoints: " + run_dir + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,135 @@
+// RecoverableExecutor: fault-tolerant workflow execution.
+//
+// The nightly ETL window makes a mid-run failure that forces a full
+// restart the single most expensive event in production. This layer
+// wraps the engines with the failure story:
+//
+//  * per-activity retry with exponential, jittered backoff absorbs
+//    transient failures (Unavailable / IOError — what flaky storage and
+//    the fault injector produce);
+//  * recovery points: at materialization boundaries (staging/target
+//    recordsets — optionally every node) the data flow is checkpointed
+//    to disk in a checksummed binary format, written atomically
+//    (temp file + rename). A crashed run re-executed over the same
+//    workflow and input resumes from the persisted checkpoints instead
+//    of re-extracting;
+//  * a wall-clock deadline for the whole run.
+//
+// The headline property (enforced by tests/engine/recovery_property_test
+// and the nightly fault sweep): under ANY injected fault schedule, a
+// RecoverableExecutor run either returns output byte-identical to the
+// fault-free ExecuteWorkflow run, or a clean non-OK Status — never
+// corrupt or partial output. Checkpoints are keyed by (workflow
+// signature hash, input fingerprint) and verified by checksum on read;
+// anything stale, truncated or bit-flipped is rejected and recomputed.
+
+#ifndef ETLOPT_ENGINE_RECOVERY_H_
+#define ETLOPT_ENGINE_RECOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/retry.h"
+#include "engine/executor.h"
+
+namespace etlopt {
+
+/// Where recovery points are taken.
+enum class CheckpointPolicy : int {
+  /// No checkpoints (retry + deadline only).
+  kNone = 0,
+  /// Staging and target recordset nodes — the paper's materialization
+  /// boundaries.
+  kBoundaries = 1,
+  /// Every node's output (the materializing engine materializes every
+  /// edge anyway); maximizes resumability at the cost of checkpoint I/O.
+  kAllNodes = 2,
+};
+
+struct RecoveryOptions {
+  /// Directory for recovery points. Empty disables checkpointing; it is
+  /// created if missing.
+  std::string checkpoint_dir;
+  CheckpointPolicy checkpoint_policy = CheckpointPolicy::kBoundaries;
+  /// Per-node retry of transient failures.
+  RetryPolicy retry;
+  /// Wall-clock budget for one Execute() call, retries and backoff
+  /// included. 0 = unlimited; negative is rejected.
+  int64_t deadline_millis = 0;
+  /// Seed for backoff jitter (reproducible retry timing).
+  uint64_t retry_seed = 42;
+  /// Remove this run's checkpoints after a successful Execute().
+  bool remove_checkpoints_on_success = true;
+};
+
+/// Rejects nonsensical configurations — zero/negative backoff,
+/// max-attempts or deadline values — with InvalidArgument (mirrors
+/// ValidateSearchOptions; Execute() calls this before any work).
+Status ValidateRecoveryOptions(const RecoveryOptions& options);
+
+/// What one Execute() did, for observability and tests.
+struct RecoveryStats {
+  uint64_t retries = 0;               // node re-attempts after transient errors
+  size_t checkpoints_written = 0;
+  size_t checkpoints_loaded = 0;      // valid recovery points consumed
+  size_t checkpoints_rejected = 0;    // present but stale/corrupt/unreadable
+  size_t checkpoint_write_failures = 0;  // best-effort writes that failed
+  size_t nodes_executed = 0;
+  size_t nodes_skipped = 0;           // served from recovery points
+  bool resumed = false;               // at least one checkpoint consumed
+};
+
+/// One persisted recovery point: the data flow at `node`, plus the
+/// rows_out bookkeeping of everything executed before it (so a resumed
+/// run reports the identical ExecutionResult). Exposed for the format
+/// tests; production code goes through RecoverableExecutor.
+struct Checkpoint {
+  uint64_t workflow_hash = 0;  // Workflow::SignatureHash() of the run
+  uint64_t input_hash = 0;     // ExecutionInputFingerprint of the run
+  NodeId node = kInvalidNode;
+  std::vector<Record> rows;
+  std::map<NodeId, size_t> rows_out;
+};
+
+/// Fingerprint of an execution input (source data + lookup tables):
+/// equal inputs yield equal fingerprints, so checkpoints from a run over
+/// different data are never resumed from.
+uint64_t ExecutionInputFingerprint(const ExecutionInput& input);
+
+/// Checksummed binary encoding ("ETLCKPT1" magic, length-prefixed rows,
+/// doubles as bit patterns, trailing FNV-64 over the payload). The round
+/// trip is exact; any truncation or bit flip fails ParseCheckpoint with
+/// a clean Status.
+std::string SerializeCheckpoint(const Checkpoint& checkpoint);
+StatusOr<Checkpoint> ParseCheckpoint(std::string_view bytes);
+
+class RecoverableExecutor {
+ public:
+  explicit RecoverableExecutor(RecoveryOptions options = {});
+
+  /// Runs `workflow` (must be fresh) over `input` with retry, deadline
+  /// and recovery points. On success the result is byte-identical to
+  /// ExecuteWorkflow(workflow, input) — including when the run resumed
+  /// from checkpoints of a previously crashed attempt.
+  StatusOr<ExecutionResult> Execute(const Workflow& workflow,
+                                    const ExecutionInput& input,
+                                    RecoveryStats* stats = nullptr);
+
+  /// Removes the recovery points of (workflow, input), if any.
+  Status ClearCheckpoints(const Workflow& workflow,
+                          const ExecutionInput& input) const;
+
+  const RecoveryOptions& options() const { return options_; }
+
+ private:
+  std::string RunDir(uint64_t workflow_hash, uint64_t input_hash) const;
+
+  RecoveryOptions options_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ENGINE_RECOVERY_H_

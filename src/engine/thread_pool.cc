@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+
+#include "fault/fault_injector.h"
 
 namespace etlopt {
 
@@ -60,7 +63,24 @@ Status ThreadPool::ParallelFor(
     while (true) {
       size_t item = next.fetch_add(1, std::memory_order_relaxed);
       if (item >= n || failed.load(std::memory_order_relaxed)) return;
-      Status s = fn(item, worker);
+      Status s;
+#ifndef ETLOPT_NO_FAULT_INJECTION
+      if (FaultInjector::Global().armed()) {
+        s = FaultInjector::Global().Hit(FaultSite::kThreadPoolTask);
+      }
+#endif
+      if (s.ok()) {
+        // A task that throws must neither wedge the pool nor silently
+        // drop its item: the exception becomes a non-OK status, so
+        // ParallelFor reports the failure and the worker survives.
+        try {
+          s = fn(item, worker);
+        } catch (const std::exception& e) {
+          s = Status::Internal(std::string("task threw: ") + e.what());
+        } catch (...) {
+          s = Status::Internal("task threw a non-exception object");
+        }
+      }
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
         // Keep the error from the smallest item index so concurrent

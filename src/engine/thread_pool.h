@@ -35,7 +35,9 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues one task; the future resolves when it has run. The task
-  /// receives the index of the worker that executes it.
+  /// receives the index of the worker that executes it. A task that
+  /// throws does not harm the pool: the exception is captured into the
+  /// returned future (rethrown by .get()) and the worker keeps serving.
   std::future<void> Submit(std::function<void(size_t worker)> fn);
 
   /// Runs `fn(item, worker)` for every item in [0, n), distributing items
@@ -43,7 +45,9 @@ class ThreadPool {
   /// items finish. If any invocation returns a non-OK status, no further
   /// items are claimed and the error with the *smallest* item index is
   /// returned — callers see a deterministic error regardless of thread
-  /// interleaving. The calling thread only waits; all work happens on the
+  /// interleaving. An invocation that throws is converted to an Internal
+  /// status and reported the same way — never a wedged pool or a silently
+  /// dropped item. The calling thread only waits; all work happens on the
   /// pool, so nesting ParallelFor inside a task would deadlock (the
   /// engine never does).
   Status ParallelFor(size_t n,

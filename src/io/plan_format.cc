@@ -1,5 +1,6 @@
 #include "io/plan_format.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -12,6 +13,7 @@ namespace etlopt {
 namespace {
 
 const char kBinaryMagic[8] = {'E', 'T', 'L', 'P', 'L', 'A', 'N', '1'};
+const char kCacheFileMagic[8] = {'E', 'T', 'L', 'P', 'L', 'N', 'S', '1'};
 
 std::string_view KindToWord(TransitionRecord::Kind kind) {
   switch (kind) {
@@ -245,10 +247,18 @@ class BinaryReader {
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  StatusOr<std::string_view> Bytes(size_t n) {
+    ETLOPT_RETURN_NOT_OK(Need(n));
+    std::string_view v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
 
  private:
   Status Need(size_t n) {
-    if (pos_ + n > bytes_.size()) {
+    if (n > bytes_.size() - pos_) {
       return Status::InvalidArgument("plan: truncated binary input");
     }
     return Status::OK();
@@ -401,7 +411,10 @@ StatusOr<OptimizedPlan> ParsePlanBinary(std::string_view bytes) {
   }
   plan.exhausted = exhausted == 1;
   ETLOPT_ASSIGN_OR_RETURN(uint32_t path_size, reader.U32());
-  plan.path.reserve(path_size);
+  // Bound the reserve by what the input could possibly hold (a record is
+  // at least 5 bytes), so a corrupt count cannot force a huge allocation
+  // before the per-record bounds checks fire.
+  plan.path.reserve(std::min<size_t>(path_size, reader.remaining() / 5));
   for (uint32_t i = 0; i < path_size; ++i) {
     ETLOPT_ASSIGN_OR_RETURN(uint8_t kind, reader.U8());
     if (kind > static_cast<uint8_t>(TransitionRecord::Kind::kSplit)) {
@@ -418,6 +431,60 @@ StatusOr<OptimizedPlan> ParsePlanBinary(std::string_view bytes) {
     return Status::InvalidArgument("plan: trailing binary content");
   }
   return plan;
+}
+
+std::string SerializePlansBinary(const std::vector<OptimizedPlan>& plans) {
+  std::string payload;
+  PutU32(payload, static_cast<uint32_t>(plans.size()));
+  for (const OptimizedPlan& plan : plans) {
+    std::string bytes = SerializePlanBinary(plan);
+    PutU64(payload, bytes.size());
+    payload += bytes;
+  }
+  std::string out(kCacheFileMagic, sizeof(kCacheFileMagic));
+  PutU64(out, payload.size());
+  out += payload;
+  PutU64(out, Fnv1a64(payload));
+  return out;
+}
+
+StatusOr<std::vector<OptimizedPlan>> ParsePlansBinary(std::string_view bytes) {
+  if (bytes.size() < sizeof(kCacheFileMagic) + 16 ||
+      std::memcmp(bytes.data(), kCacheFileMagic,
+                  sizeof(kCacheFileMagic)) != 0) {
+    return Status::InvalidArgument(
+        "plan cache: bad magic or truncated file");
+  }
+  BinaryReader header(bytes.substr(sizeof(kCacheFileMagic)));
+  ETLOPT_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());
+  if (header.remaining() < 8 || payload_size != header.remaining() - 8) {
+    return Status::InvalidArgument(
+        "plan cache: length mismatch (truncated)");
+  }
+  // Whole-file checksum first: a flip anywhere — even inside a length
+  // prefix or at a plan boundary — is caught before any plan is parsed.
+  ETLOPT_ASSIGN_OR_RETURN(std::string_view payload,
+                          header.Bytes(payload_size));
+  ETLOPT_ASSIGN_OR_RETURN(uint64_t recorded_checksum, header.U64());
+  if (Fnv1a64(payload) != recorded_checksum) {
+    return Status::InvalidArgument("plan cache: checksum mismatch");
+  }
+  BinaryReader reader(payload);
+  ETLOPT_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  std::vector<OptimizedPlan> plans;
+  plans.reserve(std::min<size_t>(count, reader.remaining() / 8));
+  for (uint32_t i = 0; i < count; ++i) {
+    ETLOPT_ASSIGN_OR_RETURN(uint64_t plan_size, reader.U64());
+    ETLOPT_ASSIGN_OR_RETURN(std::string_view plan_bytes,
+                            reader.Bytes(plan_size));
+    ETLOPT_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                            ParsePlanBinary(plan_bytes));
+    plans.push_back(std::move(plan));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("plan cache: trailing content");
+  }
+  return plans;
 }
 
 StatusOr<State> ApplyPlan(const OptimizedPlan& plan, const CostModel& model) {

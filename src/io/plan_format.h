@@ -82,6 +82,15 @@ StatusOr<std::vector<OptimizedPlan>> ParsePlansText(const std::string& text);
 std::string SerializePlanBinary(const OptimizedPlan& plan);
 StatusOr<OptimizedPlan> ParsePlanBinary(std::string_view bytes);
 
+/// A whole persisted plan-cache file in binary form: "ETLPLNS1" magic,
+/// payload length, length-prefixed SerializePlanBinary entries, trailing
+/// FNV-64 over the payload. The checksum is verified before any plan is
+/// parsed, so any truncation or bit flip — including one that lands
+/// exactly on a plan boundary — fails with a clean InvalidArgument.
+inline constexpr std::string_view kPlanCacheBinaryMagic = "ETLPLNS1";
+std::string SerializePlansBinary(const std::vector<OptimizedPlan>& plans);
+StatusOr<std::vector<OptimizedPlan>> ParsePlansBinary(std::string_view bytes);
+
 /// Reconstructs the optimized state from a (possibly reloaded) plan:
 /// verifies the model fingerprint matches, parses optimized_text, costs
 /// it under `model`, and checks cost bits and signature hash against the

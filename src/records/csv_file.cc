@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "fault/fault_injector.h"
 
 namespace etlopt {
 
@@ -163,6 +164,7 @@ CsvFile::~CsvFile() {
 }
 
 StatusOr<std::vector<Record>> CsvFile::ScanAll() const {
+  ETLOPT_FAULT_HIT(FaultSite::kRecordSetScan);
   std::ifstream in(path_);
   if (!in) return Status::IOError("cannot open file: " + path_);
   std::string line;
@@ -188,6 +190,7 @@ StatusOr<std::vector<Record>> CsvFile::ScanAll() const {
 }
 
 Status CsvFile::Append(Record record) {
+  ETLOPT_FAULT_HIT(FaultSite::kRecordSetAppend);
   ETLOPT_RETURN_NOT_OK(CheckArity(record));
   pending_.push_back(std::move(record));
   if (pending_.size() >= 1024) return Flush();

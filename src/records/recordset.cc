@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "fault/fault_injector.h"
 
 namespace etlopt {
 
@@ -14,7 +15,13 @@ Status RecordSet::CheckArity(const Record& record) const {
   return Status::OK();
 }
 
+StatusOr<std::vector<Record>> MemoryTable::ScanAll() const {
+  ETLOPT_FAULT_HIT(FaultSite::kRecordSetScan);
+  return rows_;
+}
+
 Status MemoryTable::Append(Record record) {
+  ETLOPT_FAULT_HIT(FaultSite::kRecordSetAppend);
   ETLOPT_RETURN_NOT_OK(CheckArity(record));
   rows_.push_back(std::move(record));
   return Status::OK();

@@ -58,7 +58,7 @@ class MemoryTable final : public RecordSet {
   MemoryTable(std::string name, Schema schema)
       : RecordSet(std::move(name), std::move(schema)) {}
 
-  StatusOr<std::vector<Record>> ScanAll() const override { return rows_; }
+  StatusOr<std::vector<Record>> ScanAll() const override;
 
   Status Append(Record record) override;
 

@@ -1,0 +1,99 @@
+#include "service/circuit_breaker.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace etlopt {
+
+Status ValidateCircuitBreakerOptions(const CircuitBreakerOptions& options) {
+  if (options.open_millis < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "breaker: open_millis must be >= 0, got %lld",
+        static_cast<long long>(options.open_millis)));
+  }
+  if (options.failure_threshold > 0 && options.half_open_probes < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "breaker: half_open_probes must be >= 1, got %d",
+        options.half_open_probes));
+  }
+  return Status::OK();
+}
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(std::move(options)) {}
+
+int64_t CircuitBreaker::Now() const {
+  if (options_.now_millis) return options_.now_millis();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool CircuitBreaker::Allow() {
+  if (options_.failure_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen) {
+    if (Now() - opened_at_millis_ >= options_.open_millis) {
+      state_ = BreakerState::kHalfOpen;
+      half_open_successes_ = 0;
+    } else {
+      ++rejections_;
+      return false;
+    }
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_successes_ >= options_.half_open_probes) {
+      state_ = BreakerState::kClosed;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen ||
+      (state_ == BreakerState::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    state_ = BreakerState::kOpen;
+    opened_at_millis_ = Now();
+    ++trips_;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreakerStats CircuitBreaker::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CircuitBreakerStats stats;
+  stats.state = state_;
+  stats.trips = trips_;
+  stats.rejections = rejections_;
+  stats.consecutive_failures = consecutive_failures_;
+  return stats;
+}
+
+}  // namespace etlopt

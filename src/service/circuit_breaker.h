@@ -1,0 +1,91 @@
+// CircuitBreaker: stops hammering a failing dependency.
+//
+// The optimizer service wraps every state-space search in one. Repeated
+// search failures trip the breaker open; while open, compute attempts are
+// rejected instantly (cache hits still serve — reads don't touch the
+// guarded path) and the service degrades gracefully instead of queueing
+// doomed work. After a cool-down the breaker goes half-open and lets a
+// limited number of probe requests through: success closes it, failure
+// re-opens it.
+//
+// State machine:
+//
+//   closed --(failure_threshold consecutive failures)--> open
+//   open --(open_millis elapsed)--> half-open
+//   half-open --(half_open_probes consecutive successes)--> closed
+//   half-open --(any failure)--> open
+//
+// Thread-safe; all transitions happen under one mutex (the guarded
+// operation — a multi-millisecond search — dwarfs the lock).
+
+#ifndef ETLOPT_SERVICE_CIRCUIT_BREAKER_H_
+#define ETLOPT_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace etlopt {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open. <= 0 disables the
+  /// breaker entirely (Allow() always true).
+  int failure_threshold = 5;
+  /// Cool-down before an open breaker admits half-open probes.
+  int64_t open_millis = 250;
+  /// Consecutive probe successes needed to close again.
+  int half_open_probes = 1;
+  /// Test seam: returns a monotonic time in milliseconds. Defaults to
+  /// std::chrono::steady_clock.
+  std::function<int64_t()> now_millis;
+};
+
+/// Rejects nonsensical configurations (negative cool-down, zero probes)
+/// with InvalidArgument.
+Status ValidateCircuitBreakerOptions(const CircuitBreakerOptions& options);
+
+enum class BreakerState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+std::string_view BreakerStateName(BreakerState state);
+
+struct CircuitBreakerStats {
+  BreakerState state = BreakerState::kClosed;
+  uint64_t trips = 0;      // closed/half-open -> open transitions
+  uint64_t rejections = 0; // Allow() == false
+  int consecutive_failures = 0;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// Whether a guarded operation may proceed right now. Transitions
+  /// open -> half-open when the cool-down has elapsed.
+  bool Allow();
+
+  /// Report the outcome of a guarded operation that Allow()ed.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  CircuitBreakerStats Stats() const;
+
+ private:
+  int64_t Now() const;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int64_t opened_at_millis_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_SERVICE_CIRCUIT_BREAKER_H_

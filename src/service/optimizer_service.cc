@@ -6,6 +6,9 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "fault/fault_injector.h"
 #include "io/plan_format.h"
 
 namespace etlopt {
@@ -37,13 +40,41 @@ size_t EntryBytes(const CachedPlan& entry) {
   return bytes;
 }
 
+// Errors that degradation may absorb: infrastructure failures, not
+// client mistakes (an invalid request fails the greedy fallback too) and
+// not injected crash-points (those model the process dying).
+bool DegradableFailure(const Status& status) {
+  if (IsInjectedCrash(status)) return false;
+  return status.IsUnavailable() || status.IsIOError() ||
+         status.IsInternal() || status.IsResourceExhausted();
+}
+
 }  // namespace
+
+Status ValidateServiceOptions(const ServiceOptions& options) {
+  ETLOPT_RETURN_NOT_OK(ValidateRetryPolicy(options.retry));
+  ETLOPT_RETURN_NOT_OK(ValidateCircuitBreakerOptions(options.breaker));
+  if (options.default_deadline_millis < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "service: default_deadline_millis must be >= 0 (0 = unlimited), "
+        "got %lld",
+        static_cast<long long>(options.default_deadline_millis)));
+  }
+  if (options.degrade_on_failure &&
+      (options.degraded_max_states < 1 || options.degraded_max_millis < 1)) {
+    return Status::InvalidArgument(
+        "service: degraded-mode search needs a positive state and "
+        "wall-clock budget");
+  }
+  return Status::OK();
+}
 
 OptimizerService::OptimizerService(const CostModel& model,
                                    ServiceOptions options)
     : model_(model),
       options_(options),
       cache_(options.cache),
+      breaker_(options.breaker),
       pool_(options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                      : options.num_threads) {
   if (options_.max_queue == 0) options_.max_queue = 1;
@@ -81,6 +112,17 @@ StatusOr<OptimizeResponse> OptimizerService::Optimize(
 
 StatusOr<OptimizeResponse> OptimizerService::Handle(OptimizeRequest& request) {
   Clock::time_point start = Clock::now();
+  ETLOPT_FAULT_HIT(FaultSite::kServiceRequest);
+  ETLOPT_RETURN_NOT_OK(ValidateServiceOptions(options_));
+  if (request.deadline_millis < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "request: deadline_millis must be >= 0 (0 = service default), "
+        "got %lld",
+        static_cast<long long>(request.deadline_millis)));
+  }
+  const int64_t deadline_millis = request.deadline_millis != 0
+                                      ? request.deadline_millis
+                                      : options_.default_deadline_millis;
   if (!request.workflow.fresh()) {
     ETLOPT_RETURN_NOT_OK(request.workflow.Refresh());
   }
@@ -89,31 +131,38 @@ StatusOr<OptimizeResponse> OptimizerService::Handle(OptimizeRequest& request) {
       MakePlanCacheKey(request.workflow, request.algorithm, model_,
                        request.options, request.merge_constraints));
   OptimizeResponse response;
-  ETLOPT_ASSIGN_OR_RETURN(
-      response.plan,
-      cache_.GetOrCompute(
-          key, [this, &request] { return ComputePlan(request); },
-          &response.cache_hit, &response.coalesced));
-  response.latency_millis = MillisSince(start);
-  return response;
+  StatusOr<std::shared_ptr<const CachedPlan>> got = cache_.GetOrCompute(
+      key,
+      [this, &request, start, deadline_millis] {
+        return ComputePlan(request, start, deadline_millis);
+      },
+      &response.cache_hit, &response.coalesced);
+  if (got.ok()) {
+    response.plan = std::move(got).value();
+    response.latency_millis = MillisSince(start);
+    return response;
+  }
+  if (got.status().IsDeadlineExceeded()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return got.status();
+  }
+  if (options_.degrade_on_failure && DegradableFailure(got.status())) {
+    StatusOr<OptimizeResponse> degraded =
+        Degrade(request, std::move(response));
+    if (degraded.ok()) {
+      degraded->latency_millis = MillisSince(start);
+      return degraded;
+    }
+    // Fall through to the original failure: the fallback's own error is
+    // strictly less informative.
+  }
+  return got.status();
 }
 
-StatusOr<std::shared_ptr<const CachedPlan>> OptimizerService::ComputePlan(
-    const OptimizeRequest& request) {
-  searches_run_.fetch_add(1, std::memory_order_relaxed);
-  Clock::time_point start = Clock::now();
-  StatusOr<SearchResult> result =
-      RunSearch(request.algorithm, request.workflow, model_, request.options,
-                request.merge_constraints);
-  search_micros_.fetch_add(
-      static_cast<uint64_t>(MillisSince(start) * 1000.0),
-      std::memory_order_relaxed);
-  if (!result.ok()) {
-    failed_searches_.fetch_add(1, std::memory_order_relaxed);
-    return result.status();
-  }
+StatusOr<std::shared_ptr<const CachedPlan>> OptimizerService::MakeEntry(
+    const OptimizeRequest& request, SearchResult result, bool cacheable) {
   auto entry = std::make_shared<CachedPlan>();
-  entry->result = std::move(result).value();
+  entry->result = std::move(result);
   StatusOr<OptimizedPlan> plan =
       MakePlan(request.workflow, entry->result, request.algorithm, model_,
                request.options, request.merge_constraints);
@@ -121,12 +170,76 @@ StatusOr<std::shared_ptr<const CachedPlan>> OptimizerService::ComputePlan(
     entry->plan = std::move(plan).value();
   } else {
     // A workflow with merged chains cannot be printed: the answer is
-    // still served and cached in memory, just never persisted.
+    // still served (and, when cacheable, cached in memory), just never
+    // persisted.
     entry->persistable = false;
-    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    if (cacheable) uncacheable_.fetch_add(1, std::memory_order_relaxed);
   }
   entry->bytes = EntryBytes(*entry);
   return std::shared_ptr<const CachedPlan>(std::move(entry));
+}
+
+StatusOr<std::shared_ptr<const CachedPlan>> OptimizerService::ComputePlan(
+    const OptimizeRequest& request, Clock::time_point start,
+    int64_t deadline_millis) {
+  if (!breaker_.Allow()) {
+    return Status::Unavailable(
+        "circuit breaker open: recent searches failed");
+  }
+  StatusOr<SearchResult> result = Status::Internal("search never ran");
+  auto attempt = [&]() -> Status {
+    if (deadline_millis > 0 && MillisSince(start) >=
+                                   static_cast<double>(deadline_millis)) {
+      return Status::DeadlineExceeded(StrFormat(
+          "request exceeded its %lld ms deadline",
+          static_cast<long long>(deadline_millis)));
+    }
+    ETLOPT_FAULT_HIT(FaultSite::kSearchExecute);
+    searches_run_.fetch_add(1, std::memory_order_relaxed);
+    Clock::time_point search_start = Clock::now();
+    result = RunSearch(request.algorithm, request.workflow, model_,
+                       request.options, request.merge_constraints);
+    search_micros_.fetch_add(
+        static_cast<uint64_t>(MillisSince(search_start) * 1000.0),
+        std::memory_order_relaxed);
+    return result.status();
+  };
+  // Jitter is seeded per compute so concurrent requests stay independent
+  // yet a single-threaded run is reproducible.
+  Rng rng(options_.retry_seed ^
+          retry_nonce_.fetch_add(1, std::memory_order_relaxed));
+  uint64_t retries = 0;
+  Status status =
+      RetryWithBackoff(options_.retry, rng, "search", attempt, &retries);
+  search_retries_.fetch_add(retries, std::memory_order_relaxed);
+  if (!status.ok()) {
+    failed_searches_.fetch_add(1, std::memory_order_relaxed);
+    breaker_.RecordFailure();
+    return status;
+  }
+  breaker_.RecordSuccess();
+  return MakeEntry(request, std::move(result).value(), /*cacheable=*/true);
+}
+
+StatusOr<OptimizeResponse> OptimizerService::Degrade(
+    const OptimizeRequest& request, OptimizeResponse response) {
+  SearchOptions options = request.options;
+  options.max_states = options_.degraded_max_states;
+  options.max_millis = options_.degraded_max_millis;
+  StatusOr<SearchResult> result =
+      RunSearch(SearchAlgorithm::kHeuristicGreedy, request.workflow, model_,
+                options, request.merge_constraints);
+  ETLOPT_RETURN_NOT_OK(result.status());
+  OptimizeRequest degraded_request = request;
+  degraded_request.algorithm = SearchAlgorithm::kHeuristicGreedy;
+  degraded_request.options = options;
+  ETLOPT_ASSIGN_OR_RETURN(
+      response.plan,
+      MakeEntry(degraded_request, std::move(result).value(),
+                /*cacheable=*/false));
+  response.degraded = true;
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  return response;
 }
 
 ServiceStats OptimizerService::Stats() const {
@@ -140,18 +253,37 @@ ServiceStats OptimizerService::Stats() const {
   stats.search_millis =
       static_cast<double>(search_micros_.load(std::memory_order_relaxed)) /
       1000.0;
+  stats.search_retries = search_retries_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.breaker = breaker_.Stats();
   stats.in_flight = in_flight_.load(std::memory_order_acquire);
   stats.max_queue = options_.max_queue;
   stats.worker_threads = pool_.num_threads();
   return stats;
 }
 
-Status OptimizerService::SavePlans(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
+Status OptimizerService::SavePlans(const std::string& path,
+                                   PlanFileFormat format) const {
+  ETLOPT_FAULT_HIT(FaultSite::kPlanCacheSave);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot create file: " + path);
-  for (const std::shared_ptr<const CachedPlan>& entry : cache_.Snapshot()) {
-    if (!entry->persistable) continue;
-    out << PrintPlanText(entry->plan);
+  if (format == PlanFileFormat::kBinary) {
+    std::vector<OptimizedPlan> plans;
+    for (const std::shared_ptr<const CachedPlan>& entry :
+         cache_.Snapshot()) {
+      if (!entry->persistable) continue;
+      plans.push_back(entry->plan);
+    }
+    std::string bytes = SerializePlansBinary(plans);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  } else {
+    for (const std::shared_ptr<const CachedPlan>& entry :
+         cache_.Snapshot()) {
+      if (!entry->persistable) continue;
+      out << PrintPlanText(entry->plan);
+    }
   }
   out.flush();
   if (!out) return Status::IOError("write failed: " + path);
@@ -159,13 +291,19 @@ Status OptimizerService::SavePlans(const std::string& path) const {
 }
 
 StatusOr<size_t> OptimizerService::LoadPlans(const std::string& path) {
-  std::ifstream in(path);
+  ETLOPT_FAULT_HIT(FaultSite::kPlanCacheLoad);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IOError("read failed: " + path);
-  ETLOPT_ASSIGN_OR_RETURN(std::vector<OptimizedPlan> plans,
-                          ParsePlansText(buffer.str()));
+  const std::string content = buffer.str();
+  std::vector<OptimizedPlan> plans;
+  if (StartsWith(content, kPlanCacheBinaryMagic)) {
+    ETLOPT_ASSIGN_OR_RETURN(plans, ParsePlansBinary(content));
+  } else {
+    ETLOPT_ASSIGN_OR_RETURN(plans, ParsePlansText(content));
+  }
   std::string fingerprint = model_.Fingerprint();
   size_t loaded = 0;
   for (OptimizedPlan& plan : plans) {

@@ -15,10 +15,20 @@ std::string ServiceStatsReport(const ServiceStats& stats) {
                             static_cast<unsigned long long>(
                                 stats.uncacheable)));
   row("searches run",
-      StrFormat("%llu (%llu failed, %.1f ms total)",
+      StrFormat("%llu (%llu failed, %llu retries, %.1f ms total)",
                 static_cast<unsigned long long>(stats.searches_run),
                 static_cast<unsigned long long>(stats.failed_searches),
+                static_cast<unsigned long long>(stats.search_retries),
                 stats.search_millis));
+  row("resilience",
+      StrFormat("%llu degraded, %llu deadline-exceeded",
+                static_cast<unsigned long long>(stats.degraded),
+                static_cast<unsigned long long>(stats.deadline_exceeded)));
+  row("breaker",
+      StrFormat("%s (%llu trips, %llu rejections)",
+                std::string(BreakerStateName(stats.breaker.state)).c_str(),
+                static_cast<unsigned long long>(stats.breaker.trips),
+                static_cast<unsigned long long>(stats.breaker.rejections)));
   row("queue", StrFormat("%zu in flight / %zu max, %zu workers",
                          stats.in_flight, stats.max_queue,
                          stats.worker_threads));

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "service/circuit_breaker.h"
+
 namespace etlopt {
 
 /// Point-in-time counters of a PlanCache. All monotonic except the
@@ -38,8 +40,12 @@ struct ServiceStats {
   uint64_t rejected = 0;          // ResourceExhausted: queue full
   uint64_t uncacheable = 0;       // answered, but result not cacheable
   uint64_t searches_run = 0;      // actual optimizer invocations
-  uint64_t failed_searches = 0;
+  uint64_t failed_searches = 0;   // requests whose search failed for good
+  uint64_t search_retries = 0;    // transient failures absorbed by retry
+  uint64_t degraded = 0;          // answered by the greedy fallback
+  uint64_t deadline_exceeded = 0; // requests that ran out of budget
   double search_millis = 0;       // wall-clock spent inside searches
+  CircuitBreakerStats breaker;
   size_t in_flight = 0;           // gauge: queued + running right now
   size_t max_queue = 0;
   size_t worker_threads = 0;

@@ -1,0 +1,146 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+
+namespace etlopt {
+namespace {
+
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff_millis = 1;
+  policy.max_backoff_millis = 2;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(RetryPolicyTest, DefaultPolicyIsValid) {
+  EXPECT_TRUE(ValidateRetryPolicy(RetryPolicy{}).ok());
+}
+
+TEST(RetryPolicyTest, RejectsBadConfigurations) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_TRUE(ValidateRetryPolicy(policy).IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.initial_backoff_millis = 0;
+  EXPECT_TRUE(ValidateRetryPolicy(policy).IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.initial_backoff_millis = -5;
+  EXPECT_TRUE(ValidateRetryPolicy(policy).IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_TRUE(ValidateRetryPolicy(policy).IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.max_backoff_millis = 0;
+  EXPECT_TRUE(ValidateRetryPolicy(policy).IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.jitter = 1.5;
+  EXPECT_TRUE(ValidateRetryPolicy(policy).IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.jitter = -0.1;
+  EXPECT_TRUE(ValidateRetryPolicy(policy).IsInvalidArgument());
+}
+
+TEST(RetryTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("x")));
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Internal("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  Rng rng(1);
+  int calls = 0;
+  uint64_t retries = 0;
+  Status s = RetryWithBackoff(
+      FastPolicy(4), rng, "op",
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) return Status::Unavailable("flaky");
+        return Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttemptsWithContext) {
+  Rng rng(1);
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(3), rng, "flaky op", [&]() -> Status {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(s.message().find("flaky op"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("3 attempts"), std::string::npos) << s.ToString();
+}
+
+TEST(RetryTest, NonRetryableErrorSurfacesImmediately) {
+  Rng rng(1);
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(5), rng, "op", [&]() -> Status {
+    ++calls;
+    return Status::InvalidArgument("bad request");
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+}
+
+// The one injected error retry must never absorb: a crash-point models
+// the process dying, so it has to surface on the first occurrence.
+TEST(RetryTest, InjectedCrashIsNeverRetried) {
+  Rng rng(1);
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.site = FaultSite::kActivityExecute;
+  spec.hit = 0;
+  spec.kind = FaultKind::kCrash;
+  schedule.faults.push_back(spec);
+  ScopedFaultInjection arm(schedule);
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(5), rng, "op", [&]() -> Status {
+    ++calls;
+    return FaultInjector::Global().Hit(FaultSite::kActivityExecute);
+  });
+  EXPECT_TRUE(IsInjectedCrash(s)) << s.ToString();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffGrowsAndRespectsCeiling) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_millis = 35;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(BackoffMillis(policy, 0, rng), 10);
+  EXPECT_EQ(BackoffMillis(policy, 1, rng), 20);
+  EXPECT_EQ(BackoffMillis(policy, 2, rng), 35);  // clamped
+  EXPECT_EQ(BackoffMillis(policy, 10, rng), 35);
+}
+
+TEST(RetryTest, JitterStaysInRangeAndIsSeedDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 100;
+  policy.max_backoff_millis = 100;
+  policy.jitter = 0.5;
+  Rng a(9);
+  Rng b(9);
+  for (int i = 0; i < 32; ++i) {
+    int64_t millis = BackoffMillis(policy, 0, a);
+    EXPECT_GE(millis, 50);
+    EXPECT_LE(millis, 100);
+    EXPECT_EQ(millis, BackoffMillis(policy, 0, b));
+  }
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
+
+#include "fault/fault_injector.h"
 
 namespace etlopt {
 namespace {
@@ -117,6 +120,76 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
     }
   }  // destructor joins after the queue drains
   EXPECT_EQ(ran.load(), 64);
+}
+
+// Regression (ISSUE 5 / S1): a throwing task must neither wedge nor
+// kill the pool. The exception lands in the task's future; the worker
+// survives and keeps serving.
+TEST(ThreadPoolTest, ThrowingSubmittedTaskDoesNotKillPool) {
+  ThreadPool pool(2);
+  auto throwing = pool.Submit(
+      [](size_t) { throw std::runtime_error("task exploded"); });
+  EXPECT_THROW(throwing.get(), std::runtime_error);
+  // Every worker still serves tasks afterwards.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&](size_t) { ++ran; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ThrowingParallelForItemBecomesStatus) {
+  ThreadPool pool(4);
+  Status s = pool.ParallelFor(100, [](size_t i, size_t) -> Status {
+    if (i == 37) throw std::runtime_error("item 37 exploded");
+    return Status::OK();
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  EXPECT_NE(s.message().find("item 37 exploded"), std::string::npos)
+      << s.ToString();
+  // The pool is intact and reusable.
+  std::atomic<int> ran{0};
+  Status again = pool.ParallelFor(50, [&](size_t, size_t) {
+    ++ran;
+    return Status::OK();
+  });
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, NonExceptionThrowBecomesStatus) {
+  ThreadPool pool(2);
+  Status s = pool.ParallelFor(4, [](size_t i, size_t) -> Status {
+    if (i == 0) throw 42;  // not a std::exception
+    return Status::OK();
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+}
+
+TEST(ThreadPoolTest, InjectedTaskFaultSurfacesAndPoolSurvives) {
+  ThreadPool pool(4);
+  {
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.site = FaultSite::kThreadPoolTask;
+    spec.hit = 5;
+    spec.kind = FaultKind::kError;
+    schedule.faults.push_back(spec);
+    ScopedFaultInjection arm(schedule);
+    Status s = pool.ParallelFor(64, [](size_t, size_t) {
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  }
+  Status s = pool.ParallelFor(64, [](size_t, size_t) {
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+FaultSpec MakeSpec(FaultSite site, uint64_t hit, FaultKind kind) {
+  FaultSpec spec;
+  spec.site = site;
+  spec.hit = hit;
+  spec.kind = kind;
+  return spec;
+}
+
+TEST(FaultInjectorTest, DisarmedByDefault) {
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  EXPECT_TRUE(FaultInjector::Global().Hit(FaultSite::kActivityExecute).ok());
+}
+
+TEST(FaultInjectorTest, FiresExactlyAtScheduledHit) {
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kRecordSetScan, 2, FaultKind::kError));
+  ScopedFaultInjection arm(schedule);
+  auto& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.Hit(FaultSite::kRecordSetScan).ok());  // hit 0
+  EXPECT_TRUE(injector.Hit(FaultSite::kRecordSetScan).ok());  // hit 1
+  Status s = injector.Hit(FaultSite::kRecordSetScan);         // hit 2
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_FALSE(IsInjectedCrash(s));
+  EXPECT_TRUE(injector.Hit(FaultSite::kRecordSetScan).ok());  // hit 3
+
+  FaultStats stats = injector.Stats();
+  EXPECT_EQ(stats.hits[static_cast<int>(FaultSite::kRecordSetScan)], 4u);
+  EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kRecordSetScan)], 1u);
+  EXPECT_EQ(stats.total_fired(), 1u);
+}
+
+TEST(FaultInjectorTest, SitesCountIndependently) {
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kActivityExecute, 0, FaultKind::kError));
+  ScopedFaultInjection arm(schedule);
+  auto& injector = FaultInjector::Global();
+  // A different site's hit 0 does not fire.
+  EXPECT_TRUE(injector.Hit(FaultSite::kThreadPoolTask).ok());
+  EXPECT_FALSE(injector.Hit(FaultSite::kActivityExecute).ok());
+}
+
+TEST(FaultInjectorTest, CrashPointIsRecognizedAndNonRetryable) {
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kCheckpointWrite, 0, FaultKind::kCrash));
+  ScopedFaultInjection arm(schedule);
+  Status s = FaultInjector::Global().Hit(FaultSite::kCheckpointWrite);
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  EXPECT_TRUE(IsInjectedCrash(s));
+  // An ordinary Internal error is not a crash-point.
+  EXPECT_FALSE(IsInjectedCrash(Status::Internal("some bug")));
+  EXPECT_FALSE(IsInjectedCrash(Status::OK()));
+}
+
+TEST(FaultInjectorTest, DelayFaultSucceeds) {
+  FaultSchedule schedule;
+  FaultSpec spec =
+      MakeSpec(FaultSite::kServiceRequest, 0, FaultKind::kDelay);
+  spec.delay_micros = 1;
+  schedule.faults.push_back(spec);
+  ScopedFaultInjection arm(schedule);
+  EXPECT_TRUE(FaultInjector::Global().Hit(FaultSite::kServiceRequest).ok());
+  EXPECT_EQ(FaultInjector::Global().Stats().total_fired(), 1u);
+}
+
+TEST(FaultInjectorTest, ArmResetsCountersAndDisarmStops) {
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kActivityExecute, 0, FaultKind::kError));
+  {
+    ScopedFaultInjection arm(schedule);
+    EXPECT_FALSE(FaultInjector::Global().Hit(FaultSite::kActivityExecute).ok());
+  }
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  // Disarmed: nothing fires, nothing counts.
+  EXPECT_TRUE(FaultInjector::Global().Hit(FaultSite::kActivityExecute).ok());
+  {
+    ScopedFaultInjection rearm(schedule);
+    // Counters were zeroed by Arm, so hit 0 fires again.
+    EXPECT_FALSE(FaultInjector::Global().Hit(FaultSite::kActivityExecute).ok());
+  }
+}
+
+TEST(FaultInjectorTest, EmptyScheduleCountsWithoutFiring) {
+  ScopedFaultInjection arm(FaultSchedule{});
+  auto& injector = FaultInjector::Global();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.Hit(FaultSite::kActivityExecute).ok());
+  }
+  FaultStats stats = injector.Stats();
+  EXPECT_EQ(stats.total_hits(), 10u);
+  EXPECT_EQ(stats.total_fired(), 0u);
+}
+
+TEST(FaultInjectorTest, RandomSchedulesAreSeedDeterministic) {
+  FaultScheduleOptions options;
+  options.num_faults = 8;
+  FaultSchedule a = MakeRandomFaultSchedule(7, options);
+  FaultSchedule b = MakeRandomFaultSchedule(7, options);
+  ASSERT_EQ(a.faults.size(), 8u);
+  ASSERT_EQ(b.faults.size(), 8u);
+  for (size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].site, b.faults[i].site);
+    EXPECT_EQ(a.faults[i].hit, b.faults[i].hit);
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind);
+    EXPECT_LT(a.faults[i].hit, options.max_hit);
+  }
+  // A different seed gives a different schedule (overwhelmingly likely
+  // with 8 draws over 10 sites x 64 hits x 3 kinds).
+  FaultSchedule c = MakeRandomFaultSchedule(8, options);
+  bool any_different = false;
+  for (size_t i = 0; i < c.faults.size(); ++i) {
+    any_different = any_different || c.faults[i].site != a.faults[i].site ||
+                    c.faults[i].hit != a.faults[i].hit ||
+                    c.faults[i].kind != a.faults[i].kind;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FaultInjectorTest, SiteNamesAreStableAndDistinct) {
+  for (FaultSite site : AllFaultSites()) {
+    EXPECT_FALSE(FaultSiteName(site).empty());
+  }
+  EXPECT_EQ(FaultSiteName(FaultSite::kActivityExecute), "activity_execute");
+  EXPECT_EQ(FaultSiteName(FaultSite::kCheckpointRead), "checkpoint_read");
+}
+
+// An injected activity fault surfaces from ExecuteWorkflow as a clean
+// non-OK Status; disarming restores normal execution.
+TEST(FaultInjectorTest, InjectedActivityFaultFailsExecutionCleanly) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input = MakeFig1Input(3, 50);
+  {
+    FaultSchedule schedule;
+    schedule.faults.push_back(
+        MakeSpec(FaultSite::kActivityExecute, 0, FaultKind::kError));
+    ScopedFaultInjection arm(schedule);
+    auto r = ExecuteWorkflow(s->workflow, input);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  }
+  auto r = ExecuteWorkflow(s->workflow, input);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace etlopt

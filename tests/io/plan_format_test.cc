@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/macros.h"
+#include "common/random.h"
 #include "common/string_util.h"
 #include "cost/cost_model.h"
 #include "cost/external_cost_model.h"
@@ -187,6 +190,101 @@ TEST(PlanFormatTest, ParserRejectsMalformedInput) {
   std::string binary = SerializePlanBinary(*plan);
   EXPECT_FALSE(ParsePlanBinary(binary.substr(0, binary.size() - 1)).ok());
   EXPECT_FALSE(ParsePlanBinary(binary + "x").ok());
+}
+
+// A corrupted path count must fail with a clean bounds error, not
+// attempt a multi-gigabyte reserve (ISSUE 5 / S2 hardening).
+TEST(PlanFormatTest, HugePathCountIsRejectedWithoutAllocating) {
+  LinearLogCostModel model;
+  auto plan = PlanForScenario(WorkloadCategory::kSmall, 2,
+                              SearchAlgorithm::kExhaustive, model,
+                              SmallBudget());
+  ASSERT_TRUE(plan.ok());
+  std::string binary = SerializePlanBinary(*plan);
+  // Locate the path-count u32 structurally: in an empty-path encoding it
+  // is followed only by the two length-prefixed workflow texts.
+  OptimizedPlan no_path = *plan;
+  no_path.path.clear();
+  std::string no_path_binary = SerializePlanBinary(no_path);
+  size_t count_offset = no_path_binary.size() - 4 -
+                        (4 + no_path.initial_text.size()) -
+                        (4 + no_path.optimized_text.size());
+  std::string corrupt = binary;
+  for (size_t i = 0; i < 4; ++i) {
+    corrupt[count_offset + i] = static_cast<char>(0xff);
+  }
+  auto parsed = ParsePlanBinary(corrupt);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(PlanCacheFileTest, BinaryContainerRoundTrips) {
+  LinearLogCostModel model;
+  std::vector<OptimizedPlan> plans;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto plan = PlanForScenario(WorkloadCategory::kSmall, seed,
+                                SearchAlgorithm::kHeuristic, model,
+                                SmallBudget());
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plans.push_back(std::move(plan).value());
+  }
+  std::string bytes = SerializePlansBinary(plans);
+  ASSERT_TRUE(StartsWith(bytes, kPlanCacheBinaryMagic));
+  auto parsed = ParsePlansBinary(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ(SerializePlanBinary((*parsed)[i]),
+              SerializePlanBinary(plans[i]));
+  }
+  // Empty container round-trips too.
+  auto empty = ParsePlansBinary(SerializePlansBinary({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+// Fuzz-style sweep (ISSUE 5 / S2): every truncation length and a random
+// spread of single-bit flips must be rejected with a clean
+// InvalidArgument — including corruption landing exactly on a plan
+// boundary, which only a whole-file checksum catches.
+TEST(PlanCacheFileTest, TruncationAndBitFlipsAreAlwaysRejected) {
+  LinearLogCostModel model;
+  std::vector<OptimizedPlan> plans;
+  for (uint64_t seed : {4u, 5u}) {
+    auto plan = PlanForScenario(WorkloadCategory::kSmall, seed,
+                                SearchAlgorithm::kHeuristic, model,
+                                SmallBudget());
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plans.push_back(std::move(plan).value());
+  }
+  const std::string bytes = SerializePlansBinary(plans);
+
+  // Every truncation point (stride keeps the sweep fast on big plans,
+  // but always covers the framing region and the exact end).
+  const size_t stride = std::max<size_t>(1, bytes.size() / 512);
+  for (size_t len = 0; len < bytes.size();
+       len += (len < 64 ? 1 : stride)) {
+    auto parsed = ParsePlansBinary(std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(parsed.ok()) << "truncation at " << len << " accepted";
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << parsed.status().ToString();
+  }
+
+  // Random single-bit flips across the whole file.
+  Rng rng(2024);
+  for (int trial = 0; trial < 256; ++trial) {
+    std::string corrupt = bytes;
+    size_t offset = rng.UniformIndex(corrupt.size());
+    corrupt[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[offset]) ^
+        (1u << rng.UniformIndex(8)));
+    auto parsed = ParsePlansBinary(corrupt);
+    ASSERT_FALSE(parsed.ok())
+        << "bit flip at offset " << offset << " accepted";
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << parsed.status().ToString();
+  }
 }
 
 }  // namespace

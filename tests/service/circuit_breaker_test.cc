@@ -1,0 +1,112 @@
+#include "service/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace etlopt {
+namespace {
+
+// A manual clock so the open -> half-open transition is deterministic.
+struct FakeClock {
+  int64_t now = 0;
+};
+
+CircuitBreakerOptions FakeClockOptions(FakeClock* clock, int threshold = 3,
+                                       int64_t open_millis = 100,
+                                       int probes = 1) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = threshold;
+  options.open_millis = open_millis;
+  options.half_open_probes = probes;
+  options.now_millis = [clock] { return clock->now; };
+  return options;
+}
+
+TEST(CircuitBreakerOptionsTest, Validation) {
+  EXPECT_TRUE(ValidateCircuitBreakerOptions(CircuitBreakerOptions{}).ok());
+  CircuitBreakerOptions options;
+  options.open_millis = -1;
+  EXPECT_TRUE(ValidateCircuitBreakerOptions(options).IsInvalidArgument());
+  options = CircuitBreakerOptions{};
+  options.half_open_probes = 0;
+  EXPECT_TRUE(ValidateCircuitBreakerOptions(options).IsInvalidArgument());
+  // Threshold <= 0 disables the breaker; probes are then irrelevant.
+  options.failure_threshold = 0;
+  EXPECT_TRUE(ValidateCircuitBreakerOptions(options).ok());
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  FakeClock clock;
+  CircuitBreaker breaker(FakeClockOptions(&clock));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  FakeClock clock;
+  CircuitBreaker breaker(FakeClockOptions(&clock, /*threshold=*/3));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // A success resets the streak.
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.Stats().trips, 1u);
+  EXPECT_EQ(breaker.Stats().rejections, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAfterCoolDownThenCloses) {
+  FakeClock clock;
+  CircuitBreaker breaker(
+      FakeClockOptions(&clock, /*threshold=*/1, /*open_millis=*/100,
+                       /*probes=*/2));
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock.now = 99;
+  EXPECT_FALSE(breaker.Allow());
+  clock.now = 100;
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // 1 of 2 probes
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
+  FakeClock clock;
+  CircuitBreaker breaker(FakeClockOptions(&clock, /*threshold=*/1));
+  breaker.RecordFailure();
+  clock.now = 200;
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.Stats().trips, 2u);
+  // The cool-down restarts from the re-open.
+  clock.now = 250;
+  EXPECT_FALSE(breaker.Allow());
+  clock.now = 450;
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
+  FakeClock clock;
+  CircuitBreaker breaker(FakeClockOptions(&clock, /*threshold=*/0));
+  for (int i = 0; i < 100; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_EQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_EQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_EQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <future>
+#include <initializer_list>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cost/cost_model.h"
 #include "cost/external_cost_model.h"
+#include "fault/fault_injector.h"
 #include "io/plan_format.h"
 #include "io/text_format.h"
 #include "workload/generator.h"
@@ -235,6 +239,296 @@ TEST(OptimizerServiceTest, StatsReportMentionsKeyFigures) {
   EXPECT_NE(report.find("optimizer service"), std::string::npos);
   EXPECT_NE(report.find("cache hit rate"), std::string::npos);
   EXPECT_NE(report.find("50.0%"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Service hardening (ISSUE 5): deadlines, retry, circuit breaker,
+// degradation, and durable plan files that reject corruption.
+// ---------------------------------------------------------------------------
+
+FaultSchedule SearchFaults(std::initializer_list<uint64_t> hits,
+                           FaultKind kind = FaultKind::kError) {
+  FaultSchedule schedule;
+  for (uint64_t hit : hits) {
+    FaultSpec spec;
+    spec.site = FaultSite::kSearchExecute;
+    spec.hit = hit;
+    spec.kind = kind;
+    schedule.faults.push_back(spec);
+  }
+  return schedule;
+}
+
+TEST(OptimizerServiceHardeningTest, ValidatesOptionsUpFront) {
+  EXPECT_TRUE(ValidateServiceOptions(ServiceOptions{}).ok());
+  ServiceOptions bad;
+  bad.default_deadline_millis = -5;
+  EXPECT_TRUE(ValidateServiceOptions(bad).IsInvalidArgument());
+  bad = ServiceOptions{};
+  bad.retry.max_attempts = 0;
+  EXPECT_TRUE(ValidateServiceOptions(bad).IsInvalidArgument());
+  bad = ServiceOptions{};
+  bad.breaker.half_open_probes = 0;
+  EXPECT_TRUE(ValidateServiceOptions(bad).IsInvalidArgument());
+  bad = ServiceOptions{};
+  bad.degraded_max_states = 0;
+  EXPECT_TRUE(ValidateServiceOptions(bad).IsInvalidArgument());
+  // ... but a zero degraded budget is fine when degradation is off.
+  bad.degrade_on_failure = false;
+  EXPECT_TRUE(ValidateServiceOptions(bad).ok());
+
+  // A served request surfaces the misconfiguration as a clean error.
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.default_deadline_millis = -1;
+  OptimizerService service(model, options);
+  auto response = service.Optimize(RequestFor(20));
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument())
+      << response.status().ToString();
+}
+
+TEST(OptimizerServiceHardeningTest, RejectsNegativeRequestDeadline) {
+  LinearLogCostModel model;
+  OptimizerService service(model, {});
+  OptimizeRequest request = RequestFor(21);
+  request.deadline_millis = -1;
+  auto response = service.Optimize(std::move(request));
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument())
+      << response.status().ToString();
+}
+
+TEST(OptimizerServiceHardeningTest, TransientSearchFaultIsRetriedThenCached) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.retry.initial_backoff_millis = 1;
+  options.retry.max_backoff_millis = 2;
+  OptimizerService service(model, options);
+  {
+    ScopedFaultInjection arm(SearchFaults({0}));  // first attempt fails
+    auto response = service.Optimize(RequestFor(22));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->degraded);
+    EXPECT_FALSE(response->cache_hit);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.search_retries, 1u);
+  EXPECT_EQ(stats.failed_searches, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+  // The retried answer was cached like any clean one.
+  auto warm = service.Optimize(RequestFor(22));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+}
+
+TEST(OptimizerServiceHardeningTest, DegradesToGreedyWhenRetriesExhaust) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_millis = 1;
+  options.retry.max_backoff_millis = 2;
+  OptimizerService service(model, options);
+  {
+    ScopedFaultInjection arm(SearchFaults({0, 1}));  // both attempts fail
+    auto response = service.Optimize(RequestFor(23));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->degraded);
+    ASSERT_NE(response->plan, nullptr);
+    // The fallback is a real (if cheap) plan for this workflow.
+    EXPECT_GT(response->plan->result.best.cost, 0.0);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.failed_searches, 1u);
+  // Degraded answers are never cached: with the fault gone, the same
+  // request runs a fresh full search.
+  auto fresh = service.Optimize(RequestFor(23));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->cache_hit);
+  EXPECT_FALSE(fresh->degraded);
+}
+
+TEST(OptimizerServiceHardeningTest, BreakerOpensAndCacheStillServes) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.degrade_on_failure = false;
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_millis = 1000000;  // stays open for the whole test
+  OptimizerService service(model, options);
+
+  // Warm the cache before anything fails.
+  ASSERT_TRUE(service.Optimize(RequestFor(24)).ok());
+
+  {
+    ScopedFaultInjection arm(SearchFaults({0}));
+    auto failed = service.Optimize(RequestFor(25));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_TRUE(failed.status().IsUnavailable())
+        << failed.status().ToString();
+  }
+  EXPECT_EQ(service.Stats().breaker.state, BreakerState::kOpen);
+
+  // No fault armed, but the open breaker rejects fresh computes...
+  auto rejected = service.Optimize(RequestFor(26));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable());
+  EXPECT_NE(rejected.status().message().find("circuit breaker"),
+            std::string::npos)
+      << rejected.status().ToString();
+  // ... while cached answers keep serving.
+  auto warm = service.Optimize(RequestFor(24));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_GE(service.Stats().breaker.rejections, 1u);
+}
+
+TEST(OptimizerServiceHardeningTest, OpenBreakerDegradesWhenEnabled) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_millis = 1000000;
+  OptimizerService service(model, options);
+  {
+    ScopedFaultInjection arm(SearchFaults({0}));
+    auto first = service.Optimize(RequestFor(27));
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_TRUE(first->degraded);
+  }
+  ASSERT_EQ(service.Stats().breaker.state, BreakerState::kOpen);
+  // Breaker open, faults gone: the service still answers, degraded.
+  auto second = service.Optimize(RequestFor(28));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->degraded);
+  EXPECT_EQ(service.Stats().degraded, 2u);
+}
+
+TEST(OptimizerServiceHardeningTest, DeadlineExceededSurfacesCleanly) {
+  LinearLogCostModel model;
+  ServiceOptions options;
+  options.degrade_on_failure = true;  // deadline errors must NOT degrade
+  OptimizerService service(model, options);
+  OptimizeRequest request = RequestFor(29);
+  request.deadline_millis = 5;
+  // Burn the whole budget before the search starts: a 50 ms injected
+  // delay at the request entry point.
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.site = FaultSite::kServiceRequest;
+  spec.hit = 0;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 50000;
+  schedule.faults.push_back(spec);
+  ScopedFaultInjection arm(schedule);
+  auto response = service.Optimize(std::move(request));
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+  EXPECT_EQ(service.Stats().deadline_exceeded, 1u);
+}
+
+TEST(OptimizerServiceHardeningTest, InjectedRequestFaultFailsCleanly) {
+  LinearLogCostModel model;
+  OptimizerService service(model, {});
+  {
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.site = FaultSite::kServiceRequest;
+    spec.hit = 0;
+    spec.kind = FaultKind::kError;
+    schedule.faults.push_back(spec);
+    ScopedFaultInjection arm(schedule);
+    auto response = service.Optimize(RequestFor(30));
+    ASSERT_FALSE(response.ok());
+    EXPECT_TRUE(response.status().IsUnavailable())
+        << response.status().ToString();
+  }
+  // The service is fully functional afterwards.
+  auto response = service.Optimize(RequestFor(30));
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+}
+
+TEST(OptimizerServiceHardeningTest, BinaryPlanFileSurvivesRestart) {
+  LinearLogCostModel model;
+  std::string path = TempPath("optimizer_service_plans.etlplanb");
+  std::shared_ptr<const CachedPlan> original;
+  {
+    OptimizerService service(model, {});
+    auto cold = service.Optimize(RequestFor(31));
+    ASSERT_TRUE(cold.ok());
+    original = cold->plan;
+    ASSERT_TRUE(service.Optimize(RequestFor(32)).ok());
+    ASSERT_TRUE(
+        service.SavePlans(path, OptimizerService::PlanFileFormat::kBinary)
+            .ok());
+  }
+  OptimizerService restarted(model, {});
+  auto loaded = restarted.LoadPlans(path);  // format sniffed from magic
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  auto warm = restarted.Optimize(RequestFor(31));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(restarted.Stats().searches_run, 0u);
+  ExpectSameAnswer(*original, *warm->plan);
+  std::remove(path.c_str());
+}
+
+TEST(OptimizerServiceHardeningTest, CorruptPlanFileAdmitsNothing) {
+  LinearLogCostModel model;
+  std::string good_path = TempPath("optimizer_service_good.etlplanb");
+  {
+    OptimizerService service(model, {});
+    ASSERT_TRUE(service.Optimize(RequestFor(33)).ok());
+    ASSERT_TRUE(service.Optimize(RequestFor(34)).ok());
+    ASSERT_TRUE(
+        service.SavePlans(good_path,
+                          OptimizerService::PlanFileFormat::kBinary)
+            .ok());
+  }
+  std::string bytes;
+  {
+    std::ifstream in(good_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  std::string bad_path = TempPath("optimizer_service_bad.etlplanb");
+  auto attempt_load = [&](const std::string& corrupt) {
+    {
+      std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(),
+                static_cast<std::streamsize>(corrupt.size()));
+    }
+    OptimizerService victim(model, {});
+    auto loaded = victim.LoadPlans(bad_path);
+    EXPECT_FALSE(loaded.ok()) << "corruption was accepted";
+    if (!loaded.ok()) {
+      EXPECT_TRUE(loaded.status().IsInvalidArgument())
+          << loaded.status().ToString();
+    }
+    // All-or-nothing: a bad file admits zero plans.
+    EXPECT_EQ(victim.Stats().cache.entries, 0u);
+  };
+
+  // Truncations at several depths (past the magic, so the binary parser
+  // is the one rejecting).
+  for (size_t len : {bytes.size() - 1, bytes.size() / 2, size_t{24}}) {
+    attempt_load(bytes.substr(0, len));
+  }
+  // Single-bit flips sprinkled over the whole file.
+  for (size_t offset = 8; offset < bytes.size();
+       offset += bytes.size() / 16 + 1) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x10);
+    attempt_load(corrupt);
+  }
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
 }
 
 }  // namespace
