@@ -4,6 +4,7 @@
 #include <map>
 
 #include "activity/activity.h"
+#include "activity/agg_accumulator.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -38,42 +39,6 @@ StatusOr<Record> Realign(const Record& row, const Schema& from,
   }
   return out;
 }
-
-// One accumulator per (group, AggSpec).
-struct AggAcc {
-  double sum = 0.0;
-  int64_t non_null = 0;
-  Value min;
-  Value max;
-
-  void Add(const Value& v) {
-    if (v.is_null()) return;
-    ++non_null;
-    if (v.type() == DataType::kInt64 || v.type() == DataType::kDouble) {
-      sum += v.AsDouble();
-    }
-    if (min.is_null() || v < min) min = v;
-    if (max.is_null() || max < v) max = v;
-  }
-
-  Value Result(AggFn fn) const {
-    switch (fn) {
-      case AggFn::kCount:
-        return Value::Int(non_null);
-      case AggFn::kSum:
-        return non_null == 0 ? Value::Null() : Value::Double(sum);
-      case AggFn::kAvg:
-        return non_null == 0
-                   ? Value::Null()
-                   : Value::Double(sum / static_cast<double>(non_null));
-      case AggFn::kMin:
-        return min;
-      case AggFn::kMax:
-        return max;
-    }
-    return Value::Null();
-  }
-};
 
 }  // namespace
 

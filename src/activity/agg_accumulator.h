@@ -1,0 +1,55 @@
+// The aggregation accumulator shared by batch execution
+// (activity_exec.cc) and incremental streaming (src/stream/). One
+// accumulator per (group, AggSpec); feeding the same values in the same
+// order always yields bit-identical results, which is what lets the
+// stream executor's persistent per-group state reproduce the one-shot
+// batch output exactly.
+
+#ifndef ETLOPT_ACTIVITY_AGG_ACCUMULATOR_H_
+#define ETLOPT_ACTIVITY_AGG_ACCUMULATOR_H_
+
+#include <cstdint>
+
+#include "activity/activity.h"
+#include "schema/value.h"
+
+namespace etlopt {
+
+struct AggAcc {
+  double sum = 0.0;
+  int64_t non_null = 0;
+  Value min;
+  Value max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++non_null;
+    if (v.type() == DataType::kInt64 || v.type() == DataType::kDouble) {
+      sum += v.AsDouble();
+    }
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || max < v) max = v;
+  }
+
+  Value Result(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::Int(non_null);
+      case AggFn::kSum:
+        return non_null == 0 ? Value::Null() : Value::Double(sum);
+      case AggFn::kAvg:
+        return non_null == 0
+                   ? Value::Null()
+                   : Value::Double(sum / static_cast<double>(non_null));
+      case AggFn::kMin:
+        return min;
+      case AggFn::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_ACTIVITY_AGG_ACCUMULATOR_H_

@@ -1,0 +1,36 @@
+#include "common/file_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace etlopt {
+
+namespace fs = std::filesystem;
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot create file: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return Status::IOError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename failed: " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  if (in) buffer << in.rdbuf();
+  if (!in || in.bad()) return Status::IOError("cannot read file: " + path);
+  return buffer.str();
+}
+
+}  // namespace etlopt

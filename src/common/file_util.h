@@ -1,0 +1,23 @@
+// Small filesystem helpers shared by the checkpoint writers (recovery,
+// plan cache, stream state).
+
+#ifndef ETLOPT_COMMON_FILE_UTIL_H_
+#define ETLOPT_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/statusor.h"
+
+namespace etlopt {
+
+/// Writes `bytes` to `path` via a sibling temp file + rename, so readers
+/// never observe a half-written file.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// Reads the whole file into a byte string. IOError when the file cannot
+/// be opened or read.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COMMON_FILE_UTIL_H_

@@ -9,9 +9,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/file_util.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "fault/fault_injector.h"
+#include "records/record_io.h"
 
 namespace etlopt {
 
@@ -21,131 +23,6 @@ namespace fs = std::filesystem;
 using Clock = std::chrono::steady_clock;
 
 const char kCheckpointMagic[8] = {'E', 'T', 'L', 'C', 'K', 'P', 'T', '1'};
-
-// ---- binary primitives (little-endian, length-prefixed) ----
-
-void PutU32(std::string& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-// Tag + payload per cell; doubles as bit patterns so the round trip is
-// exact. Shared by the checkpoint encoding and the input fingerprint.
-void PutValue(std::string& out, const Value& v) {
-  out.push_back(static_cast<char>(v.type()));
-  switch (v.type()) {
-    case DataType::kNull:
-      break;
-    case DataType::kBool:
-      out.push_back(v.bool_value() ? 1 : 0);
-      break;
-    case DataType::kInt64:
-      PutU64(out, static_cast<uint64_t>(v.int_value()));
-      break;
-    case DataType::kDouble: {
-      const double d = v.double_value();
-      uint64_t bits;
-      std::memcpy(&bits, &d, sizeof(bits));
-      PutU64(out, bits);
-      break;
-    }
-    case DataType::kString:
-      PutU32(out, static_cast<uint32_t>(v.string_value().size()));
-      out += v.string_value();
-      break;
-  }
-}
-
-void PutRecord(std::string& out, const Record& record) {
-  PutU32(out, static_cast<uint32_t>(record.size()));
-  for (size_t i = 0; i < record.size(); ++i) PutValue(out, record.value(i));
-}
-
-class BinaryReader {
- public:
-  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
-
-  StatusOr<uint8_t> U8() {
-    ETLOPT_RETURN_NOT_OK(Need(1));
-    return static_cast<uint8_t>(bytes_[pos_++]);
-  }
-
-  StatusOr<uint32_t> U32() {
-    ETLOPT_RETURN_NOT_OK(Need(4));
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  StatusOr<uint64_t> U64() {
-    ETLOPT_RETURN_NOT_OK(Need(8));
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  StatusOr<std::string> String() {
-    ETLOPT_ASSIGN_OR_RETURN(uint32_t n, U32());
-    ETLOPT_RETURN_NOT_OK(Need(n));
-    std::string s(bytes_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-
-  size_t remaining() const { return bytes_.size() - pos_; }
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-
- private:
-  Status Need(size_t n) {
-    if (n > bytes_.size() - pos_) {
-      return Status::InvalidArgument("checkpoint: truncated input");
-    }
-    return Status::OK();
-  }
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
-
-StatusOr<Value> ReadValue(BinaryReader& reader) {
-  ETLOPT_ASSIGN_OR_RETURN(uint8_t tag, reader.U8());
-  switch (static_cast<DataType>(tag)) {
-    case DataType::kNull:
-      return Value::Null();
-    case DataType::kBool: {
-      ETLOPT_ASSIGN_OR_RETURN(uint8_t b, reader.U8());
-      if (b > 1) return Status::InvalidArgument("checkpoint: bad bool cell");
-      return Value::Bool(b == 1);
-    }
-    case DataType::kInt64: {
-      ETLOPT_ASSIGN_OR_RETURN(uint64_t bits, reader.U64());
-      return Value::Int(static_cast<int64_t>(bits));
-    }
-    case DataType::kDouble: {
-      ETLOPT_ASSIGN_OR_RETURN(uint64_t bits, reader.U64());
-      double d;
-      std::memcpy(&d, &bits, sizeof(d));
-      return Value::Double(d);
-    }
-    case DataType::kString: {
-      ETLOPT_ASSIGN_OR_RETURN(std::string s, reader.String());
-      return Value::String(std::move(s));
-    }
-  }
-  return Status::InvalidArgument(
-      StrFormat("checkpoint: bad value tag %u", tag));
-}
 
 // Whether `id` is a recovery-point node under `policy`.
 bool IsCheckpointNode(const Workflow& workflow, NodeId id,
@@ -165,23 +42,6 @@ bool IsCheckpointNode(const Workflow& workflow, NodeId id,
 std::string CheckpointPath(const std::string& run_dir, NodeId id) {
   return run_dir + "/node_" + std::to_string(static_cast<long long>(id)) +
          ".ckpt";
-}
-
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot create file: " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) return Status::IOError("write failed: " + tmp);
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    return Status::IOError("rename failed: " + path + ": " + ec.message());
-  }
-  return Status::OK();
 }
 
 }  // namespace

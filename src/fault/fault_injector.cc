@@ -28,6 +28,8 @@ std::string_view FaultSiteName(FaultSite site) {
     case FaultSite::kPlanCacheLoad: return "plan_cache_load";
     case FaultSite::kCheckpointWrite: return "checkpoint_write";
     case FaultSite::kCheckpointRead: return "checkpoint_read";
+    case FaultSite::kStreamSourceNext: return "stream.source_next";
+    case FaultSite::kStreamStateCheckpoint: return "stream.state_checkpoint";
   }
   return "unknown";
 }
@@ -39,6 +41,7 @@ const std::array<FaultSite, kNumFaultSites>& AllFaultSites() {
       FaultSite::kServiceRequest,  FaultSite::kSearchExecute,
       FaultSite::kPlanCacheSave,   FaultSite::kPlanCacheLoad,
       FaultSite::kCheckpointWrite, FaultSite::kCheckpointRead,
+      FaultSite::kStreamSourceNext, FaultSite::kStreamStateCheckpoint,
   };
   return sites;
 }

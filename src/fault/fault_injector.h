@@ -49,8 +49,10 @@ enum class FaultSite : int {
   kPlanCacheLoad = 7,    // warm-loading the plan cache
   kCheckpointWrite = 8,  // recovery checkpoint write
   kCheckpointRead = 9,   // recovery checkpoint read
+  kStreamSourceNext = 10,       // MicroBatchSource::Next batch delivery
+  kStreamStateCheckpoint = 11,  // stream-state checkpoint write/read
 };
-inline constexpr int kNumFaultSites = 10;
+inline constexpr int kNumFaultSites = 12;
 
 /// Stable lowercase name ("activity_execute", ...), for reports and
 /// schedule printing.

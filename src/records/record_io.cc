@@ -1,0 +1,129 @@
+#include "records/record_io.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutValue(std::string& out, const Value& v) {
+  out.push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      out.push_back(v.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case DataType::kDouble: {
+      const double d = v.double_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case DataType::kString:
+      PutU32(out, static_cast<uint32_t>(v.string_value().size()));
+      out += v.string_value();
+      break;
+  }
+}
+
+void PutRecord(std::string& out, const Record& record) {
+  PutU32(out, static_cast<uint32_t>(record.size()));
+  for (size_t i = 0; i < record.size(); ++i) PutValue(out, record.value(i));
+}
+
+StatusOr<uint8_t> BinaryReader::U8() {
+  ETLOPT_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+StatusOr<uint32_t> BinaryReader::U32() {
+  ETLOPT_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> BinaryReader::U64() {
+  ETLOPT_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::string> BinaryReader::String() {
+  ETLOPT_ASSIGN_OR_RETURN(uint32_t n, U32());
+  ETLOPT_RETURN_NOT_OK(Need(n));
+  std::string s(bytes_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+Status BinaryReader::Need(size_t n) {
+  if (n > bytes_.size() - pos_) {
+    return Status::InvalidArgument("checkpoint: truncated input");
+  }
+  return Status::OK();
+}
+
+StatusOr<Value> ReadValue(BinaryReader& reader) {
+  ETLOPT_ASSIGN_OR_RETURN(uint8_t tag, reader.U8());
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      ETLOPT_ASSIGN_OR_RETURN(uint8_t b, reader.U8());
+      if (b > 1) return Status::InvalidArgument("checkpoint: bad bool cell");
+      return Value::Bool(b == 1);
+    }
+    case DataType::kInt64: {
+      ETLOPT_ASSIGN_OR_RETURN(uint64_t bits, reader.U64());
+      return Value::Int(static_cast<int64_t>(bits));
+    }
+    case DataType::kDouble: {
+      ETLOPT_ASSIGN_OR_RETURN(uint64_t bits, reader.U64());
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
+    }
+    case DataType::kString: {
+      ETLOPT_ASSIGN_OR_RETURN(std::string s, reader.String());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("checkpoint: bad value tag %u", tag));
+}
+
+StatusOr<Record> ReadRecord(BinaryReader& reader) {
+  ETLOPT_ASSIGN_OR_RETURN(uint32_t arity, reader.U32());
+  Record record;
+  for (uint32_t c = 0; c < arity; ++c) {
+    ETLOPT_ASSIGN_OR_RETURN(Value v, ReadValue(reader));
+    record.Append(std::move(v));
+  }
+  return record;
+}
+
+}  // namespace etlopt

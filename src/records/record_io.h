@@ -1,0 +1,59 @@
+// Binary record codec: the little-endian, length-prefixed cell encoding
+// shared by the ETLCKPT1 recovery checkpoints, the ETLSTRM1 stream-state
+// checkpoints, and the execution-input fingerprint. Doubles are encoded
+// as bit patterns, so every round trip is exact; readers bounds-check
+// every access and fail with a clean Status on truncation or garbage.
+
+#ifndef ETLOPT_RECORDS_RECORD_IO_H_
+#define ETLOPT_RECORDS_RECORD_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "records/record.h"
+#include "schema/value.h"
+
+namespace etlopt {
+
+// ---- writers (append to a byte string) ----
+
+void PutU32(std::string& out, uint32_t v);
+void PutU64(std::string& out, uint64_t v);
+
+/// Tag + payload per cell; doubles as bit patterns.
+void PutValue(std::string& out, const Value& v);
+
+/// Arity-prefixed sequence of cells.
+void PutRecord(std::string& out, const Record& record);
+
+// ---- reader ----
+
+/// Cursor over a byte buffer; every accessor bounds-checks and returns
+/// InvalidArgument on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  StatusOr<uint8_t> U8();
+  StatusOr<uint32_t> U32();
+  StatusOr<uint64_t> U64();
+  StatusOr<std::string> String();
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+StatusOr<Value> ReadValue(BinaryReader& reader);
+StatusOr<Record> ReadRecord(BinaryReader& reader);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_RECORDS_RECORD_IO_H_

@@ -1,0 +1,49 @@
+#include "stream/stream_options.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+Status ValidateStreamOptions(const StreamOptions& options) {
+  if (options.num_batches < 1) {
+    return Status::InvalidArgument(
+        StrFormat("stream: num_batches must be >= 1, got %lld",
+                  static_cast<long long>(options.num_batches)));
+  }
+  if (options.batch_rows < 0) {
+    return Status::InvalidArgument(
+        StrFormat("stream: batch_rows must be >= 0 (0 = use num_batches), "
+                  "got %lld",
+                  static_cast<long long>(options.batch_rows)));
+  }
+  if (!options.event_time_column.empty() && options.window_millis <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("stream: window_millis must be > 0 in event-time mode, "
+                  "got %lld",
+                  static_cast<long long>(options.window_millis)));
+  }
+  if (!(options.rate_multiplier > 0.0) ||
+      !std::isfinite(options.rate_multiplier)) {
+    return Status::InvalidArgument(
+        StrFormat("stream: rate_multiplier must be positive and finite, "
+                  "got %g",
+                  options.rate_multiplier));
+  }
+  if (options.paced && options.event_time_column.empty()) {
+    return Status::InvalidArgument(
+        "stream: paced replay requires event_time_column (row slices "
+        "carry no clock)");
+  }
+  if (options.checkpoint_every_batches < 1) {
+    return Status::InvalidArgument(
+        StrFormat("stream: checkpoint_every_batches must be >= 1, got %lld",
+                  static_cast<long long>(options.checkpoint_every_batches)));
+  }
+  ETLOPT_RETURN_NOT_OK(ValidateRetryPolicy(options.retry));
+  return Status::OK();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,78 @@
+// Knobs for the streaming micro-batch subsystem (ISSUE 6).
+//
+// Validation mirrors ValidateSearchOptions / ValidateRetryPolicy: every
+// entry point that takes a StreamOptions validates it before doing any
+// work, and each rejection names the offending knob.
+
+#ifndef ETLOPT_STREAM_STREAM_OPTIONS_H_
+#define ETLOPT_STREAM_STREAM_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace etlopt {
+
+/// Which execution engine the stream driver runs per micro-batch.
+enum class StreamEngine {
+  /// One node at a time, in topological order.
+  kSerial,
+  /// Nodes of the same topological level run concurrently on a
+  /// ThreadPool (per-node state is private, so this is race-free).
+  kParallel,
+};
+
+struct StreamOptions {
+  // --- Batching ---
+  /// Row-slice mode: the capture is cut into this many contiguous,
+  /// near-equal row slices per source. Must be >= 1.
+  int64_t num_batches = 8;
+  /// When > 0, overrides num_batches: slices hold at most this many rows
+  /// of the largest source. Negative is rejected.
+  int64_t batch_rows = 0;
+  /// When non-empty, switches to event-time mode: every source schema
+  /// must carry an int64 attribute of this name, and batches are
+  /// fixed-width windows of that timestamp.
+  std::string event_time_column;
+  /// Window width (event-time units) in event-time mode. Must be > 0.
+  int64_t window_millis = 1000;
+
+  // --- Replay clock (DOD-ETL style capture replay) ---
+  /// Event time advances this many times faster than the wall clock when
+  /// pacing. Must be > 0 and finite.
+  double rate_multiplier = 1.0;
+  /// When true (event-time mode only), MicroBatchSource::Next sleeps so
+  /// batch deliveries reproduce the capture's event-time gaps scaled by
+  /// rate_multiplier.
+  bool paced = false;
+
+  // --- Engine ---
+  StreamEngine engine = StreamEngine::kSerial;
+  /// Worker count for kParallel; 0 = ThreadPool::DefaultThreads().
+  size_t num_threads = 0;
+
+  // --- Exactly-once checkpointing ---
+  /// Directory for stream-state checkpoints; empty disables them.
+  std::string checkpoint_dir;
+  /// A checkpoint is written after every Nth committed batch (and always
+  /// after the last). Must be >= 1.
+  int64_t checkpoint_every_batches = 1;
+  /// Remove the run's checkpoint once the stream completes.
+  bool remove_checkpoints_on_success = true;
+
+  // --- Retry ---
+  /// Per-batch retry policy for transient faults; crash-points are never
+  /// absorbed.
+  RetryPolicy retry;
+  uint64_t retry_seed = 42;
+};
+
+/// Rejects nonsensical option combinations with InvalidArgument naming
+/// the knob.
+Status ValidateStreamOptions(const StreamOptions& options);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_STREAM_STREAM_OPTIONS_H_

@@ -33,12 +33,16 @@ CategoryParams ParamsFor(WorkloadCategory c) {
   return {2, 3, 5, 2, 0.5};
 }
 
-Schema SourceSchema() {
-  return Schema::MakeOrDie({{"K", DataType::kInt64},
-                            {"SRC", DataType::kString},
-                            {"DATE", DataType::kString},
-                            {"V1", DataType::kDouble},
-                            {"V2", DataType::kDouble}});
+Schema SourceSchema(bool with_event_time) {
+  std::vector<Attribute> attrs = {{"K", DataType::kInt64},
+                                  {"SRC", DataType::kString},
+                                  {"DATE", DataType::kString},
+                                  {"V1", DataType::kDouble},
+                                  {"V2", DataType::kDouble}};
+  if (with_event_time) attrs.push_back({kEventTimeAttr, DataType::kInt64});
+  auto schema = Schema::Make(std::move(attrs));
+  ETLOPT_CHECK_OK(schema.status());
+  return *std::move(schema);
 }
 
 // The shared backbone of entity-changing stages every flow applies (in
@@ -106,8 +110,9 @@ StatusOr<FlowResult> BuildFlow(Workflow* w, size_t flow_idx,
                                const GeneratorOptions& options, Rng* rng) {
   double cardinality =
       rng->UniformDouble(options.min_cardinality, options.max_cardinality);
-  NodeId src = w->AddRecordSet(
-      {StrFormat("SRC%zu", flow_idx), SourceSchema(), cardinality});
+  NodeId src = w->AddRecordSet({StrFormat("SRC%zu", flow_idx),
+                                SourceSchema(options.with_event_time),
+                                cardinality});
 
   // Interleave the backbone stages (fixed relative order) with filters.
   // Filter positions are biased towards the end of the flow: real-world
@@ -126,7 +131,7 @@ StatusOr<FlowResult> BuildFlow(Workflow* w, size_t flow_idx,
   }
 
   FlowResult out;
-  out.schema = SourceSchema();
+  out.schema = SourceSchema(options.with_event_time);
   NodeId cur = src;
   size_t step_idx = 0;
   for (const auto& step : plan) {
@@ -293,10 +298,17 @@ ExecutionInput GenerateInputFor(const Workflow& workflow, uint64_t seed,
     const RecordSetDef& def = workflow.recordset(src);
     std::vector<Record> rows;
     rows.reserve(options.rows_per_source);
+    int64_t event_clock = options.event_time_start;
     for (size_t i = 0; i < options.rows_per_source; ++i) {
       Record r;
       for (const auto& attr : def.schema.attributes()) {
-        if (attr.type == DataType::kInt64) {
+        if (attr.type == DataType::kInt64 &&
+            attr.name == options.event_time_column) {
+          // Non-decreasing per source, so event-time windows preserve
+          // the capture's row order when sliced.
+          event_clock += rng.UniformInt(0, options.event_time_max_step);
+          r.Append(Value::Int(event_clock));
+        } else if (attr.type == DataType::kInt64) {
           r.Append(Value::Int(rng.UniformInt(1, options.key_domain)));
         } else if (attr.type == DataType::kDouble) {
           // A few NULLs keep the NotNull cleansing activities honest.

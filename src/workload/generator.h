@@ -35,7 +35,15 @@ struct GeneratorOptions {
   /// Source cardinalities are drawn uniformly from this range.
   double min_cardinality = 1000;
   double max_cardinality = 50000;
+  /// When true, every source schema carries an extra int64 event-time
+  /// column named `kEventTimeAttr`, so generated captures can be sliced
+  /// into event-time windows by the streaming subsystem.
+  bool with_event_time = false;
 };
+
+/// The event-time attribute name `with_event_time` adds to source
+/// schemas (and the default InputGenOptions::event_time_column).
+inline constexpr const char* kEventTimeAttr = "ETS";
 
 /// A generated scenario: the finalized workflow plus its nominal activity
 /// count (for reporting).
@@ -60,6 +68,15 @@ struct InputGenOptions {
   /// Source keys (and surrogate-key lookup coverage) range over
   /// [1, key_domain].
   int64_t key_domain = 50;
+  /// Int64 attributes with this name are filled with a per-source
+  /// non-decreasing event-time clock (milliseconds) instead of key
+  /// draws. Sources without such an attribute are unaffected, so the
+  /// default is harmless for historical workflows.
+  std::string event_time_column = kEventTimeAttr;
+  /// First timestamp of every source's clock.
+  int64_t event_time_start = 1000000;
+  /// Per-row clock advance is drawn uniformly from [0, this].
+  int64_t event_time_max_step = 20;
 };
 
 /// Deterministic source data + surrogate-key lookups for executing a

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string_view>
+
 #include "engine/executor.h"
 #include "workload/scenarios.h"
 
@@ -135,6 +139,43 @@ TEST(FaultInjectorTest, SiteNamesAreStableAndDistinct) {
   }
   EXPECT_EQ(FaultSiteName(FaultSite::kActivityExecute), "activity_execute");
   EXPECT_EQ(FaultSiteName(FaultSite::kCheckpointRead), "checkpoint_read");
+}
+
+TEST(FaultInjectorTest, StreamSitesAreRegistered) {
+  EXPECT_EQ(FaultSiteName(FaultSite::kStreamSourceNext),
+            "stream.source_next");
+  EXPECT_EQ(FaultSiteName(FaultSite::kStreamStateCheckpoint),
+            "stream.state_checkpoint");
+  const auto& all = AllFaultSites();
+  EXPECT_EQ(all.size(), static_cast<size_t>(kNumFaultSites));
+  EXPECT_NE(std::find(all.begin(), all.end(), FaultSite::kStreamSourceNext),
+            all.end());
+  EXPECT_NE(
+      std::find(all.begin(), all.end(), FaultSite::kStreamStateCheckpoint),
+      all.end());
+  std::set<std::string_view> names;
+  for (FaultSite site : all) names.insert(FaultSiteName(site));
+  EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(FaultInjectorTest, StreamSitesFireAndCountIndependently) {
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kStreamSourceNext, 1, FaultKind::kError));
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kStreamStateCheckpoint, 0, FaultKind::kCrash));
+  ScopedFaultInjection arm(schedule);
+  auto& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.Hit(FaultSite::kStreamSourceNext).ok());  // hit 0
+  Status checkpoint = injector.Hit(FaultSite::kStreamStateCheckpoint);
+  EXPECT_TRUE(IsInjectedCrash(checkpoint)) << checkpoint.ToString();
+  Status source = injector.Hit(FaultSite::kStreamSourceNext);  // hit 1
+  EXPECT_TRUE(source.IsUnavailable()) << source.ToString();
+  FaultStats stats = injector.Stats();
+  EXPECT_EQ(stats.hits[static_cast<int>(FaultSite::kStreamSourceNext)], 2u);
+  EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kStreamSourceNext)], 1u);
+  EXPECT_EQ(
+      stats.fired[static_cast<int>(FaultSite::kStreamStateCheckpoint)], 1u);
 }
 
 // An injected activity fault surfaces from ExecuteWorkflow as a clean

@@ -1,0 +1,399 @@
+// StreamExecutor unit tests: streamed == one-shot on hand-built
+// workflows exercising every incremental operator mode, the serial and
+// parallel engines, and checkpoint/resume (ISSUE 6 tentpole).
+
+#include "stream/stream_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "activity/templates.h"
+#include "engine/executor.h"
+#include "graph/workflow.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueDir(const char* tag) {
+  static int counter = 0;
+  std::string dir = (fs::temp_directory_path() /
+                     (std::string("etlopt_stream_") + tag + "_" +
+                      std::to_string(::getpid()) + "_" +
+                      std::to_string(counter++)))
+                        .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Exact equality: targets row for row, plus the rows_out bookkeeping.
+void ExpectExactResult(const ExecutionResult& want,
+                       const ExecutionResult& got) {
+  ASSERT_EQ(want.target_data.size(), got.target_data.size());
+  for (const auto& [name, rows] : want.target_data) {
+    auto it = got.target_data.find(name);
+    ASSERT_NE(it, got.target_data.end()) << "missing target " << name;
+    ASSERT_EQ(rows.size(), it->second.size()) << "target " << name;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(rows[i], it->second[i]) << "target " << name << " row " << i;
+    }
+  }
+  EXPECT_EQ(want.rows_out, got.rows_out);
+}
+
+// Multiset equality per target (the headline property: per-batch
+// interleaving may reorder union flows) plus exact rows_out.
+void ExpectSameMultiset(const ExecutionResult& want,
+                        const ExecutionResult& got) {
+  ASSERT_EQ(want.target_data.size(), got.target_data.size());
+  for (const auto& [name, rows] : want.target_data) {
+    auto it = got.target_data.find(name);
+    ASSERT_NE(it, got.target_data.end()) << "missing target " << name;
+    EXPECT_TRUE(SameRecordMultiset(rows, it->second)) << "target " << name;
+  }
+  EXPECT_EQ(want.rows_out, got.rows_out);
+}
+
+Record Row2(int64_t k, const char* s) {
+  Record r;
+  r.Append(Value::Int(k));
+  r.Append(Value::String(s));
+  return r;
+}
+
+// L(K, A) join R(K, B) on K -> T.
+struct JoinScenario {
+  Workflow workflow;
+  ExecutionInput input;
+};
+
+JoinScenario MakeJoinScenario() {
+  JoinScenario s;
+  Schema left = Schema::MakeOrDie(
+      {{"K", DataType::kInt64}, {"A", DataType::kString}});
+  Schema right = Schema::MakeOrDie(
+      {{"K", DataType::kInt64}, {"B", DataType::kString}});
+  Schema out = Schema::MakeOrDie({{"K", DataType::kInt64},
+                                  {"A", DataType::kString},
+                                  {"B", DataType::kString}});
+  NodeId l = s.workflow.AddRecordSet({"L", left, 32.0});
+  NodeId r = s.workflow.AddRecordSet({"R", right, 32.0});
+  auto join = MakeJoin("join", {"K"}, 0.5);
+  EXPECT_TRUE(join.ok());
+  auto act = s.workflow.AddActivity(*join, {l, r});
+  EXPECT_TRUE(act.ok());
+  NodeId t = s.workflow.AddRecordSet({"T", out, 32.0});
+  EXPECT_TRUE(s.workflow.Connect(*act, t).ok());
+  EXPECT_TRUE(s.workflow.Finalize().ok());
+
+  auto& lrows = s.input.source_data["L"];
+  auto& rrows = s.input.source_data["R"];
+  for (int64_t i = 0; i < 32; ++i) {
+    lrows.push_back(Row2(i % 7, "l"));
+    rrows.push_back(Row2(i % 5, "r"));
+  }
+  // NULL keys never join, on either side.
+  Record null_left;
+  null_left.Append(Value::Null());
+  null_left.Append(Value::String("ln"));
+  lrows.push_back(null_left);
+  Record null_right;
+  null_right.Append(Value::Null());
+  null_right.Append(Value::String("rn"));
+  rrows.push_back(null_right);
+  return s;
+}
+
+TEST(StreamExecutorTest, JoinStreamsIncrementally) {
+  JoinScenario s = MakeJoinScenario();
+  auto baseline = ExecuteWorkflow(s.workflow, s.input);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  StreamOptions options;
+  options.num_batches = 7;
+  StreamStats stats;
+  auto streamed = StreamExecutor(options).Run(s.workflow, s.input, &stats);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  ExpectSameMultiset(*baseline, *streamed);
+  EXPECT_EQ(stats.batches_run, 7u);
+  EXPECT_EQ(stats.delta_nodes, 1u);  // the join runs in delta mode
+  EXPECT_EQ(stats.refresh_nodes, 0u);
+  EXPECT_EQ(stats.batch_micros.size(), stats.batches_run);
+}
+
+TEST(StreamExecutorTest, PrimaryKeyDedupsAcrossBatchBoundaries) {
+  Workflow w;
+  Schema schema = Schema::MakeOrDie(
+      {{"K", DataType::kInt64}, {"A", DataType::kString}});
+  NodeId src = w.AddRecordSet({"S", schema, 24.0});
+  auto pk = MakePrimaryKeyCheck("pk", {"K"}, 0.5);
+  ASSERT_TRUE(pk.ok());
+  auto act = w.AddActivity(*pk, {src});
+  ASSERT_TRUE(act.ok());
+  NodeId t = w.AddRecordSet({"T", schema, 24.0});
+  ASSERT_TRUE(w.Connect(*act, t).ok());
+  ASSERT_TRUE(w.Finalize().ok());
+
+  ExecutionInput input;
+  for (int64_t i = 0; i < 24; ++i) {
+    // Key i%6 recurs in every batch; only the first survives.
+    input.source_data["S"].push_back(
+        Row2(i % 6, i < 6 ? "first" : "dup"));
+  }
+  auto baseline = ExecuteWorkflow(w, input);
+  ASSERT_TRUE(baseline.ok());
+  StreamOptions options;
+  options.num_batches = 4;
+  auto streamed = StreamExecutor(options).Run(w, input);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  // First occurrences arrive in capture order: exact, not just multiset.
+  ExpectExactResult(*baseline, *streamed);
+}
+
+TEST(StreamExecutorTest, AggregationRefreshMatchesBatch) {
+  Workflow w;
+  Schema schema = Schema::MakeOrDie(
+      {{"G", DataType::kInt64}, {"V", DataType::kDouble}});
+  NodeId src = w.AddRecordSet({"S", schema, 40.0});
+  auto agg = MakeAggregation("agg", {"G"},
+                             {{AggFn::kSum, "V", "SUM_V"},
+                              {AggFn::kCount, "V", "CNT_V"},
+                              {AggFn::kAvg, "V", "AVG_V"},
+                              {AggFn::kMin, "V", "MIN_V"},
+                              {AggFn::kMax, "V", "MAX_V"}},
+                             0.2);
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  auto act = w.AddActivity(*agg, {src});
+  ASSERT_TRUE(act.ok());
+  Schema out = Schema::MakeOrDie({{"G", DataType::kInt64},
+                                  {"SUM_V", DataType::kDouble},
+                                  {"CNT_V", DataType::kInt64},
+                                  {"AVG_V", DataType::kDouble},
+                                  {"MIN_V", DataType::kDouble},
+                                  {"MAX_V", DataType::kDouble}});
+  NodeId t = w.AddRecordSet({"T", out, 8.0});
+  ASSERT_TRUE(w.Connect(*act, t).ok());
+  ASSERT_TRUE(w.Finalize().ok());
+
+  ExecutionInput input;
+  for (int64_t i = 0; i < 40; ++i) {
+    Record r;
+    r.Append(Value::Int(i % 8));
+    r.Append(i % 11 == 0 ? Value::Null() : Value::Double(0.1 * i - 1.5));
+    input.source_data["S"].push_back(std::move(r));
+  }
+  auto baseline = ExecuteWorkflow(w, input);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t n : {1u, 3u, 40u}) {
+    StreamOptions options;
+    options.num_batches = static_cast<int64_t>(n);
+    StreamStats stats;
+    auto streamed = StreamExecutor(options).Run(w, input, &stats);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    // Refresh output: bit-exact including float sums (same per-group
+    // addition order as the batch run).
+    ExpectExactResult(*baseline, *streamed);
+    EXPECT_EQ(stats.refresh_nodes, 1u);
+  }
+}
+
+TEST(StreamExecutorTest, BagOperatorsRefreshCorrectly) {
+  for (bool intersection : {false, true}) {
+    Workflow w;
+    Schema schema = Schema::MakeOrDie(
+        {{"K", DataType::kInt64}, {"A", DataType::kString}});
+    NodeId l = w.AddRecordSet({"L", schema, 20.0});
+    NodeId r = w.AddRecordSet({"R", schema, 20.0});
+    auto op = intersection ? MakeIntersection("cap", 0.5)
+                           : MakeDifference("minus", 0.5);
+    ASSERT_TRUE(op.ok());
+    auto act = w.AddActivity(*op, {l, r});
+    ASSERT_TRUE(act.ok());
+    NodeId t = w.AddRecordSet({"T", schema, 20.0});
+    ASSERT_TRUE(w.Connect(*act, t).ok());
+    ASSERT_TRUE(w.Finalize().ok());
+
+    ExecutionInput input;
+    for (int64_t i = 0; i < 20; ++i) {
+      input.source_data["L"].push_back(Row2(i % 4, "x"));
+      input.source_data["R"].push_back(Row2(i % 6, "x"));
+    }
+    auto baseline = ExecuteWorkflow(w, input);
+    ASSERT_TRUE(baseline.ok());
+    StreamOptions options;
+    options.num_batches = 5;
+    auto streamed = StreamExecutor(options).Run(w, input);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ExpectSameMultiset(*baseline, *streamed);
+  }
+}
+
+TEST(StreamExecutorTest, Fig1StreamsAcrossBatchCounts) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ExecutionInput input = MakeFig1Input(/*seed=*/3, /*rows_per_source=*/120);
+  auto baseline = ExecuteWorkflow(s->workflow, input);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (int64_t n : {1, 2, 7, 64}) {
+    StreamOptions options;
+    options.num_batches = n;
+    auto streamed = StreamExecutor(options).Run(s->workflow, input);
+    ASSERT_TRUE(streamed.ok())
+        << "N=" << n << ": " << streamed.status().ToString();
+    ExpectSameMultiset(*baseline, *streamed);
+  }
+}
+
+TEST(StreamExecutorTest, ParallelEngineMatchesSerial) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input = MakeFig1Input(/*seed=*/5, /*rows_per_source=*/100);
+  StreamOptions serial;
+  serial.num_batches = 6;
+  auto serial_result = StreamExecutor(serial).Run(s->workflow, input);
+  ASSERT_TRUE(serial_result.ok()) << serial_result.status().ToString();
+  StreamOptions parallel = serial;
+  parallel.engine = StreamEngine::kParallel;
+  parallel.num_threads = 4;
+  auto parallel_result = StreamExecutor(parallel).Run(s->workflow, input);
+  ASSERT_TRUE(parallel_result.ok()) << parallel_result.status().ToString();
+  ExpectExactResult(*serial_result, *parallel_result);
+}
+
+TEST(StreamExecutorTest, RejectsInvalidOptionsUpFront) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input = MakeFig1Input(1, 10);
+  StreamOptions options;
+  options.num_batches = 0;
+  auto r = StreamExecutor(options).Run(s->workflow, input);
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+}
+
+TEST(StreamExecutorTest, CheckpointPersistsAndResumes) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input = MakeFig1Input(/*seed=*/7, /*rows_per_source=*/80);
+  auto baseline = ExecuteWorkflow(s->workflow, input);
+  ASSERT_TRUE(baseline.ok());
+  const std::string dir = UniqueDir("resume");
+  StreamOptions options;
+  options.num_batches = 6;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_batches = 2;
+  options.remove_checkpoints_on_success = false;
+  StreamExecutor exec(options);
+
+  StreamStats first;
+  auto run1 = exec.Run(s->workflow, input, &first);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+  ExpectSameMultiset(*baseline, *run1);
+  EXPECT_EQ(first.batches_run, 6u);
+  EXPECT_FALSE(first.resumed);
+  EXPECT_GT(first.checkpoints_written, 0u);
+  ASSERT_FALSE(fs::is_empty(dir));
+
+  // Second run over the surviving checkpoint: nothing left to do, same
+  // result restored from the frontier.
+  StreamStats second;
+  auto run2 = exec.Run(s->workflow, input, &second);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  ExpectSameMultiset(*baseline, *run2);
+  EXPECT_TRUE(second.resumed);
+  EXPECT_EQ(second.batches_run, 0u);
+  EXPECT_EQ(second.batches_skipped, 6u);
+
+  // ClearCheckpoints: the next run starts from scratch.
+  ASSERT_TRUE(exec.ClearCheckpoints(s->workflow, input).ok());
+  StreamStats third;
+  auto run3 = exec.Run(s->workflow, input, &third);
+  ASSERT_TRUE(run3.ok());
+  EXPECT_FALSE(third.resumed);
+  EXPECT_EQ(third.batches_run, 6u);
+  fs::remove_all(dir);
+}
+
+TEST(StreamExecutorTest, CorruptCheckpointIsRejectedNotTrusted) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input = MakeFig1Input(/*seed=*/9, /*rows_per_source=*/60);
+  auto baseline = ExecuteWorkflow(s->workflow, input);
+  ASSERT_TRUE(baseline.ok());
+  const std::string dir = UniqueDir("corrupt");
+  StreamOptions options;
+  options.num_batches = 4;
+  options.checkpoint_dir = dir;
+  options.remove_checkpoints_on_success = false;
+  StreamExecutor exec(options);
+  ASSERT_TRUE(exec.Run(s->workflow, input).ok());
+
+  // Flip bytes in every checkpoint file.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::in);
+    out.seekp(24);
+    out.write("XXXXXXXX", 8);
+  }
+  StreamStats stats;
+  auto rerun = exec.Run(s->workflow, input, &stats);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_FALSE(stats.resumed);
+  EXPECT_GE(stats.checkpoints_rejected, 1u);
+  EXPECT_EQ(stats.batches_run, 4u);
+  ExpectSameMultiset(*baseline, *rerun);
+  fs::remove_all(dir);
+}
+
+TEST(StreamExecutorTest, DifferentBatchingDoesNotCrossResume) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok());
+  ExecutionInput input = MakeFig1Input(/*seed=*/11, /*rows_per_source=*/50);
+  const std::string dir = UniqueDir("keyed");
+  StreamOptions options;
+  options.num_batches = 4;
+  options.checkpoint_dir = dir;
+  options.remove_checkpoints_on_success = false;
+  ASSERT_TRUE(StreamExecutor(options).Run(s->workflow, input).ok());
+
+  // A different slicing of the same capture has a different fingerprint
+  // and must not resume from the other's checkpoint.
+  StreamOptions other = options;
+  other.num_batches = 9;
+  StreamStats stats;
+  auto r = StreamExecutor(other).Run(s->workflow, input, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(stats.resumed);
+  EXPECT_EQ(stats.batches_run, 9u);
+  fs::remove_all(dir);
+}
+
+TEST(StreamExecutorTest, EventTimeModeStreamsGeneratedWorkflows) {
+  GeneratorOptions generator;
+  generator.seed = 21;
+  generator.with_event_time = true;
+  auto g = GenerateWorkflow(generator);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  InputGenOptions input_options;
+  input_options.rows_per_source = 90;
+  ExecutionInput input = GenerateInputFor(g->workflow, 6, input_options);
+  auto baseline = ExecuteWorkflow(g->workflow, input);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  StreamOptions options;
+  options.event_time_column = kEventTimeAttr;
+  options.window_millis = 200;
+  StreamStats stats;
+  auto streamed = StreamExecutor(options).Run(g->workflow, input, &stats);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  ExpectSameMultiset(*baseline, *streamed);
+  EXPECT_GT(stats.batches_run, 1u) << "windowing produced a single batch";
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,89 @@
+// ValidateStreamOptions: every entry point validates up front, and each
+// rejection names the offending knob (ISSUE 6 satellite).
+
+#include "stream/stream_options.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace etlopt {
+namespace {
+
+void ExpectRejected(const StreamOptions& options, const std::string& knob) {
+  Status s = ValidateStreamOptions(options);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find(knob), std::string::npos)
+      << "error does not name '" << knob << "': " << s.ToString();
+}
+
+TEST(StreamOptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(ValidateStreamOptions(StreamOptions{}).ok());
+}
+
+TEST(StreamOptionsTest, RejectsNonPositiveBatchCount) {
+  StreamOptions options;
+  options.num_batches = 0;
+  ExpectRejected(options, "num_batches");
+  options.num_batches = -3;
+  ExpectRejected(options, "num_batches");
+}
+
+TEST(StreamOptionsTest, RejectsNegativeBatchRows) {
+  StreamOptions options;
+  options.batch_rows = -1;
+  ExpectRejected(options, "batch_rows");
+  options.batch_rows = 0;  // 0 = "use num_batches", explicitly allowed
+  EXPECT_TRUE(ValidateStreamOptions(options).ok());
+}
+
+TEST(StreamOptionsTest, RejectsNonPositiveWindowInEventMode) {
+  StreamOptions options;
+  options.event_time_column = "ETS";
+  options.window_millis = 0;
+  ExpectRejected(options, "window_millis");
+  options.window_millis = -10;
+  ExpectRejected(options, "window_millis");
+  // Row-slice mode never reads window_millis, so it is not validated.
+  options.event_time_column.clear();
+  EXPECT_TRUE(ValidateStreamOptions(options).ok());
+}
+
+TEST(StreamOptionsTest, RejectsBadRateMultiplier) {
+  StreamOptions options;
+  options.rate_multiplier = 0.0;
+  ExpectRejected(options, "rate_multiplier");
+  options.rate_multiplier = -2.0;
+  ExpectRejected(options, "rate_multiplier");
+  options.rate_multiplier = std::numeric_limits<double>::infinity();
+  ExpectRejected(options, "rate_multiplier");
+  options.rate_multiplier = std::nan("");
+  ExpectRejected(options, "rate_multiplier");
+  options.rate_multiplier = 0.25;  // slower than real time is fine
+  EXPECT_TRUE(ValidateStreamOptions(options).ok());
+}
+
+TEST(StreamOptionsTest, RejectsPacingWithoutEventTime) {
+  StreamOptions options;
+  options.paced = true;
+  ExpectRejected(options, "event_time_column");
+  options.event_time_column = "ETS";
+  EXPECT_TRUE(ValidateStreamOptions(options).ok());
+}
+
+TEST(StreamOptionsTest, RejectsNonPositiveCheckpointCadence) {
+  StreamOptions options;
+  options.checkpoint_every_batches = 0;
+  ExpectRejected(options, "checkpoint_every_batches");
+}
+
+TEST(StreamOptionsTest, RejectsBadRetryPolicy) {
+  StreamOptions options;
+  options.retry.max_attempts = 0;
+  Status s = ValidateStreamOptions(options);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace etlopt

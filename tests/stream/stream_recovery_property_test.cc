@@ -1,0 +1,198 @@
+// Mid-stream crash-restart property (ISSUE 6 satellite): crash the
+// stream at EVERY hit of each fault site it crosses — batch delivery
+// (stream.source_next), state-checkpoint write/read
+// (stream.state_checkpoint), and per-node execution (activity_execute) —
+// then restart over the surviving checkpoint and require the final
+// output to be byte-identical (as a multiset, with exact rows_out) to
+// the one-shot batch run. The crashed run itself must fail with a clean
+// injected-crash Status, never partial output.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "engine/executor.h"
+#include "fault/fault_injector.h"
+#include "stream/stream_executor.h"
+#include "workload/generator.h"
+
+namespace etlopt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueDir(const char* tag) {
+  static int counter = 0;
+  std::string dir = (fs::temp_directory_path() /
+                     (std::string("etlopt_strrec_") + tag + "_" +
+                      std::to_string(::getpid()) + "_" +
+                      std::to_string(counter++)))
+                        .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+struct Scenario {
+  Workflow workflow;
+  ExecutionInput input;
+  ExecutionResult baseline;
+};
+
+Scenario MakeSmallScenario() {
+  GeneratorOptions options;
+  options.category = WorkloadCategory::kSmall;
+  options.seed = 23;
+  auto generated = GenerateWorkflow(options);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  Scenario s;
+  s.workflow = std::move(generated->workflow);
+  s.input = GenerateInputFor(s.workflow, 41, 120);
+  auto baseline = ExecuteWorkflow(s.workflow, s.input);
+  EXPECT_TRUE(baseline.ok()) << baseline.status().ToString();
+  s.baseline = std::move(baseline).value();
+  return s;
+}
+
+void ExpectSameMultiset(const ExecutionResult& want,
+                        const ExecutionResult& got) {
+  ASSERT_EQ(want.target_data.size(), got.target_data.size());
+  for (const auto& [name, rows] : want.target_data) {
+    auto it = got.target_data.find(name);
+    ASSERT_NE(it, got.target_data.end()) << "missing target " << name;
+    EXPECT_TRUE(SameRecordMultiset(rows, it->second)) << "target " << name;
+  }
+  EXPECT_EQ(want.rows_out, got.rows_out);
+}
+
+StreamOptions SweepOptions(const std::string& dir) {
+  StreamOptions options;
+  options.num_batches = 4;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_batches = 1;
+  options.remove_checkpoints_on_success = false;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_millis = 1;
+  options.retry.max_backoff_millis = 2;
+  return options;
+}
+
+// Crash at hit `hit` of `site`, then restart (fault-free) over the same
+// checkpoint dir. Returns false when the crash never fired (hit is past
+// the site's hit count), which ends the sweep for that site.
+bool CrashRestartOnce(const Scenario& s, FaultSite site, uint64_t hit,
+                      const std::string& dir) {
+  StreamExecutor exec(SweepOptions(dir));
+  bool fired = false;
+  {
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.site = site;
+    spec.hit = hit;
+    spec.kind = FaultKind::kCrash;
+    schedule.faults.push_back(spec);
+    ScopedFaultInjection arm(schedule);
+    auto crashed = exec.Run(s.workflow, s.input);
+    fired = FaultInjector::Global().Stats().total_fired() > 0;
+    if (fired) {
+      EXPECT_FALSE(crashed.ok())
+          << FaultSiteName(site) << "#" << hit << " fired but run succeeded";
+      EXPECT_TRUE(IsInjectedCrash(crashed.status()))
+          << crashed.status().ToString();
+    } else {
+      EXPECT_TRUE(crashed.ok()) << crashed.status().ToString();
+      if (crashed.ok()) ExpectSameMultiset(s.baseline, *crashed);
+    }
+  }
+  // Restart: a fresh executor over whatever checkpoint survived.
+  StreamExecutor restarted(SweepOptions(dir));
+  auto resumed = restarted.Run(s.workflow, s.input);
+  EXPECT_TRUE(resumed.ok()) << resumed.status().ToString();
+  if (resumed.ok()) ExpectSameMultiset(s.baseline, *resumed);
+  fs::remove_all(dir);
+  return fired;
+}
+
+TEST(StreamRecoveryPropertyTest, CrashRestartAtEveryHitOfEverySite) {
+  Scenario s = MakeSmallScenario();
+  const std::string dir = UniqueDir("sweep");
+  for (FaultSite site :
+       {FaultSite::kStreamSourceNext, FaultSite::kStreamStateCheckpoint,
+        FaultSite::kActivityExecute}) {
+    uint64_t hit = 0;
+    while (CrashRestartOnce(s, site, hit, dir)) {
+      ++hit;
+      ASSERT_LT(hit, 10000u) << "sweep failed to terminate";
+    }
+    EXPECT_GT(hit, 0u) << FaultSiteName(site) << " never fired";
+  }
+}
+
+TEST(StreamRecoveryPropertyTest, CrashDuringResumeStillConverges) {
+  Scenario s = MakeSmallScenario();
+  const std::string dir = UniqueDir("readcrash");
+  StreamExecutor exec(SweepOptions(dir));
+  // First attempt crashes mid-stream, leaving a checkpoint behind.
+  {
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.site = FaultSite::kStreamSourceNext;
+    spec.hit = 2;
+    spec.kind = FaultKind::kCrash;
+    schedule.faults.push_back(spec);
+    ScopedFaultInjection arm(schedule);
+    auto crashed = exec.Run(s.workflow, s.input);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_TRUE(IsInjectedCrash(crashed.status()));
+  }
+  // Second attempt crashes while reading the stream checkpoint.
+  {
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.site = FaultSite::kStreamStateCheckpoint;
+    spec.hit = 0;
+    spec.kind = FaultKind::kCrash;
+    schedule.faults.push_back(spec);
+    ScopedFaultInjection arm(schedule);
+    auto crashed = exec.Run(s.workflow, s.input);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_TRUE(IsInjectedCrash(crashed.status()));
+  }
+  // Third attempt resumes at the frontier and matches the batch run.
+  StreamStats stats;
+  auto resumed = exec.Run(s.workflow, s.input, &stats);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(stats.resumed);
+  EXPECT_GT(stats.batches_skipped, 0u);
+  ExpectSameMultiset(s.baseline, *resumed);
+  fs::remove_all(dir);
+}
+
+// A transient (retryable) fault on batch delivery is absorbed by the
+// per-batch retry policy without corrupting incremental state: the
+// stream completes in one call and matches the batch run.
+TEST(StreamRecoveryPropertyTest, TransientSourceFaultIsRetriedExactlyOnce) {
+  Scenario s = MakeSmallScenario();
+  StreamOptions options;
+  options.num_batches = 4;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_millis = 1;
+  options.retry.max_backoff_millis = 2;
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.site = FaultSite::kStreamSourceNext;
+  spec.hit = 2;
+  spec.kind = FaultKind::kError;
+  schedule.faults.push_back(spec);
+  ScopedFaultInjection arm(schedule);
+  StreamStats stats;
+  auto r = StreamExecutor(options).Run(s.workflow, s.input, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(stats.retries, 1u);
+  ExpectSameMultiset(s.baseline, *r);
+}
+
+}  // namespace
+}  // namespace etlopt

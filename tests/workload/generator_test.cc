@@ -4,6 +4,7 @@
 
 #include "engine/executor.h"
 #include "graph/analysis.h"
+#include "io/text_format.h"
 
 namespace etlopt {
 namespace {
@@ -120,6 +121,60 @@ TEST(GeneratorTest, GeneratedWorkflowsExecute) {
     ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
     EXPECT_EQ(r->target_data.size(), 1u);
   }
+}
+
+TEST(GeneratorTest, EventTimeColumnsAreEmittedAndNonDecreasing) {
+  GeneratorOptions options;
+  options.seed = 9;
+  options.with_event_time = true;
+  auto g = GenerateWorkflow(options);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  InputGenOptions input_options;
+  input_options.rows_per_source = 64;
+  ExecutionInput input = GenerateInputFor(g->workflow, 5, input_options);
+  for (NodeId id : g->workflow.SourceRecordSets()) {
+    const RecordSetDef& def = g->workflow.recordset(id);
+    auto idx = def.schema.IndexOf(kEventTimeAttr);
+    ASSERT_TRUE(idx.has_value()) << def.name;
+    EXPECT_EQ(def.schema.attribute(*idx).type, DataType::kInt64) << def.name;
+    const auto& rows = input.source_data.at(def.name);
+    ASSERT_FALSE(rows.empty()) << def.name;
+    int64_t prev = input_options.event_time_start;
+    for (const Record& r : rows) {
+      const Value& v = r.value(*idx);
+      ASSERT_FALSE(v.is_null()) << def.name;
+      EXPECT_GE(v.int_value(), prev) << def.name;
+      prev = v.int_value();
+    }
+  }
+  // The extra column does not break execution.
+  auto r = ExecuteWorkflow(g->workflow, input);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(GeneratorTest, EventTimeWorkflowRoundTripsThroughTextFormat) {
+  GeneratorOptions options;
+  options.seed = 11;
+  options.with_event_time = true;
+  auto g = GenerateWorkflow(options);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  auto text = PrintWorkflowText(g->workflow);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto parsed = ParseWorkflowText(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Signature(), g->workflow.Signature());
+  for (NodeId id : parsed->SourceRecordSets()) {
+    const RecordSetDef& def = parsed->recordset(id);
+    auto idx = def.schema.IndexOf(kEventTimeAttr);
+    ASSERT_TRUE(idx.has_value()) << def.name;
+    EXPECT_EQ(def.schema.attribute(*idx).type, DataType::kInt64) << def.name;
+  }
+  // The parsed twin executes identically on the same generated input.
+  ExecutionInput input = GenerateInputFor(g->workflow, 13, 40);
+  auto a = ExecuteWorkflow(g->workflow, input);
+  auto b = ExecuteWorkflow(*parsed, input);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->target_data, b->target_data);
 }
 
 }  // namespace
