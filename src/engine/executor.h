@@ -39,6 +39,35 @@ struct ExecutionResult {
 StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
                                           const ExecutionInput& input);
 
+/// The independent engine implementations. All produce byte-identical
+/// results on every workflow (the engine-agreement property); they differ
+/// only in execution strategy.
+enum class EngineKind : int {
+  kSerial = 0,      // materializing row engine (ExecuteWorkflow)
+  kParallel = 1,    // morsel-driven parallel row engine (ExecuteParallel)
+  kVectorized = 2,  // columnar batch engine (ExecuteVectorized)
+};
+
+/// Engine selection plus the knobs each engine reads. Unused knobs are
+/// ignored (e.g. batch_size under kSerial); zeros mean per-engine
+/// defaults. Every knob is content-neutral.
+struct ExecutionOptions {
+  EngineKind engine = EngineKind::kSerial;
+  /// kParallel / kVectorized: worker threads (0 = default).
+  size_t num_threads = 0;
+  /// kParallel: rows per morsel.
+  size_t morsel_size = 0;
+  /// kVectorized: rows per batch.
+  size_t batch_size = 0;
+  /// kParallel / kVectorized: hash-exchange partition count.
+  size_t num_partitions = 0;
+};
+
+/// Dispatches to the engine selected by `options`.
+StatusOr<ExecutionResult> ExecuteWith(const Workflow& workflow,
+                                      const ExecutionInput& input,
+                                      const ExecutionOptions& options = {});
+
 /// Convenience: executes and loads the results into bound RecordSet
 /// objects (e.g. MemoryTable or CsvFile targets), truncating them first.
 Status ExecuteWorkflowInto(

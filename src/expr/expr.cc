@@ -187,6 +187,12 @@ class ColumnExpr final : public Expr {
 
   std::string ToString() const override { return name_; }
 
+  Parts parts() const override {
+    Parts p;
+    p.column = &name_;
+    return p;
+  }
+
  private:
   std::string name_;
 };
@@ -206,6 +212,12 @@ class LiteralExpr final : public Expr {
       return "'" + value_.ToString() + "'";
     if (value_.is_null()) return "NULL";
     return value_.ToString();
+  }
+
+  Parts parts() const override {
+    Parts p;
+    p.literal = &value_;
+    return p;
   }
 
  private:
@@ -248,6 +260,14 @@ class CompareExpr final : public Expr {
   std::string ToString() const override {
     return "(" + lhs_->ToString() + " " +
            std::string(CompareOpToString(op_)) + " " + rhs_->ToString() + ")";
+  }
+
+  Parts parts() const override {
+    Parts p;
+    p.lhs = lhs_.get();
+    p.rhs = rhs_.get();
+    p.cmp = op_;
+    return p;
   }
 
  private:
@@ -303,6 +323,14 @@ class LogicalExpr final : public Expr {
     return "(" + lhs_->ToString() + " " + op + " " + rhs_->ToString() + ")";
   }
 
+  Parts parts() const override {
+    Parts p;
+    p.lhs = lhs_.get();
+    p.rhs = rhs_.get();  // null for kNot
+    p.logical = op_;
+    return p;
+  }
+
  private:
   LogicalOp op_;
   ExprPtr lhs_;
@@ -344,6 +372,14 @@ class ArithExpr final : public Expr {
   std::string ToString() const override {
     return "(" + lhs_->ToString() + " " + std::string(ArithOpToString(op_)) +
            " " + rhs_->ToString() + ")";
+  }
+
+  Parts parts() const override {
+    Parts p;
+    p.lhs = lhs_.get();
+    p.rhs = rhs_.get();
+    p.arith = op_;
+    return p;
   }
 
  private:
@@ -406,6 +442,12 @@ class NullTestExpr final : public Expr {
   std::string ToString() const override {
     return "(" + inner_->ToString() +
            (kind() == Kind::kIsNull ? " IS NULL)" : " IS NOT NULL)");
+  }
+
+  Parts parts() const override {
+    Parts p;
+    p.lhs = inner_.get();
+    return p;
   }
 
  private:

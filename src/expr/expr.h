@@ -47,11 +47,34 @@ class Expr {
     kIsNotNull,
   };
 
+  /// Structural view of one node, for external walkers (the vectorized
+  /// expression compiler in src/columnar/). Pointers reference data owned
+  /// by the node and stay valid for the node's lifetime. Fields not
+  /// meaningful for a kind are null / default: kColumn sets `column`,
+  /// kLiteral sets `literal`, kCompare sets lhs/rhs/cmp, kLogical sets
+  /// lhs/logical (and rhs unless kNot), kArith sets lhs/rhs/arith,
+  /// kIsNull/kIsNotNull set lhs to the tested subexpression. kFunction
+  /// exposes nothing (walkers must treat it as opaque and fall back to
+  /// row-at-a-time Evaluate).
+  struct Parts {
+    const Expr* lhs = nullptr;
+    const Expr* rhs = nullptr;
+    const Value* literal = nullptr;
+    const std::string* column = nullptr;
+    CompareOp cmp = CompareOp::kEq;
+    LogicalOp logical = LogicalOp::kAnd;
+    ArithOp arith = ArithOp::kAdd;
+  };
+
   virtual ~Expr() = default;
   Expr(const Expr&) = delete;
   Expr& operator=(const Expr&) = delete;
 
   Kind kind() const { return kind_; }
+
+  /// Structural decomposition of this node (see Parts). The default is
+  /// the all-null view, which walkers read as "opaque node".
+  virtual Parts parts() const { return {}; }
 
   /// Evaluates against one record laid out by `schema`.
   virtual StatusOr<Value> Evaluate(const Record& record,

@@ -30,6 +30,7 @@ std::string_view FaultSiteName(FaultSite site) {
     case FaultSite::kCheckpointRead: return "checkpoint_read";
     case FaultSite::kStreamSourceNext: return "stream.source_next";
     case FaultSite::kStreamStateCheckpoint: return "stream.state_checkpoint";
+    case FaultSite::kVectorizedBatch: return "engine.vectorized_batch";
   }
   return "unknown";
 }
@@ -42,6 +43,7 @@ const std::array<FaultSite, kNumFaultSites>& AllFaultSites() {
       FaultSite::kPlanCacheSave,   FaultSite::kPlanCacheLoad,
       FaultSite::kCheckpointWrite, FaultSite::kCheckpointRead,
       FaultSite::kStreamSourceNext, FaultSite::kStreamStateCheckpoint,
+      FaultSite::kVectorizedBatch,
   };
   return sites;
 }

@@ -51,8 +51,10 @@ enum class FaultSite : int {
   kCheckpointRead = 9,   // recovery checkpoint read
   kStreamSourceNext = 10,       // MicroBatchSource::Next batch delivery
   kStreamStateCheckpoint = 11,  // stream-state checkpoint write/read
+  kVectorizedBatch = 12,        // one columnar batch through the
+                                // vectorized engine
 };
-inline constexpr int kNumFaultSites = 12;
+inline constexpr int kNumFaultSites = 13;
 
 /// Stable lowercase name ("activity_execute", ...), for reports and
 /// schedule printing.

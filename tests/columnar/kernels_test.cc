@@ -1,0 +1,265 @@
+#include "columnar/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "columnar/vector_eval.h"
+#include "expr/expr.h"
+
+namespace etlopt {
+namespace {
+
+RecordBatch MakeBatch(const Schema& schema, std::vector<Record> rows) {
+  return RecordBatch::FromRows(schema, rows, 0, rows.size());
+}
+
+TEST(VectorEvalTest, SupportedPredicateClass) {
+  Schema schema = Schema::MakeOrDie({{"A", DataType::kInt64},
+                                     {"B", DataType::kDouble}});
+  EXPECT_TRUE(CanVectorizePredicate(
+      *Compare(CompareOp::kGe, Column("A"), Literal(Value::Int(3))), schema));
+  EXPECT_TRUE(CanVectorizePredicate(
+      *And(Compare(CompareOp::kLt, Column("A"), Column("B")),
+           Not(IsNull(Column("B")))),
+      schema));
+  EXPECT_TRUE(CanVectorizePredicate(*IsNotNull(Column("A")), schema));
+  // Function calls are opaque (no parts()): row fallback.
+  EXPECT_FALSE(CanVectorizePredicate(*Function("f", {}), schema));
+  // Arithmetic inside a comparison is outside the supported class.
+  EXPECT_FALSE(CanVectorizePredicate(
+      *Compare(CompareOp::kEq,
+               Arith(ArithOp::kAdd, Column("A"), Literal(Value::Int(1))),
+               Literal(Value::Int(2))),
+      schema));
+  // Unknown column: fallback, so the row engine raises its NotFound.
+  EXPECT_FALSE(CanVectorizePredicate(
+      *Compare(CompareOp::kEq, Column("Z"), Literal(Value::Int(1))), schema));
+}
+
+// Tri-state semantics against the row evaluator on a null-heavy batch:
+// the kernel keeps exactly EvaluatePredicate's rows.
+TEST(VectorEvalTest, SelectTrueRowsMatchesRowEvaluator) {
+  Schema schema = Schema::MakeOrDie({{"A", DataType::kInt64},
+                                     {"B", DataType::kDouble}});
+  std::vector<Record> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back(Record({
+        i % 4 == 0 ? Value::Null() : Value::Int(i % 10),
+        i % 5 == 0 ? Value::Null() : Value::Double(i % 7),
+    }));
+  }
+  RecordBatch batch = MakeBatch(schema, rows);
+  std::vector<ExprPtr> predicates;
+  predicates.push_back(
+      Compare(CompareOp::kGe, Column("A"), Literal(Value::Int(4))));
+  predicates.push_back(
+      Compare(CompareOp::kLt, Column("A"), Column("B")));
+  predicates.push_back(
+      Or(Compare(CompareOp::kEq, Column("A"), Literal(Value::Int(2))),
+         IsNull(Column("B"))));
+  predicates.push_back(
+      And(Not(Compare(CompareOp::kNe, Column("A"), Literal(Value::Int(3)))),
+          IsNotNull(Column("B"))));
+  for (const auto& pred : predicates) {
+    ASSERT_TRUE(CanVectorizePredicate(*pred, schema));
+    std::vector<uint32_t> sel;
+    ASSERT_TRUE(SelectTrueRows(*pred, batch, &sel).ok());
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < rows.size(); ++i) {
+      auto keep = EvaluatePredicate(*pred, rows[i], schema);
+      ASSERT_TRUE(keep.ok()) << keep.status().ToString();
+      if (*keep) expected.push_back(i);
+    }
+    EXPECT_EQ(sel, expected);
+  }
+}
+
+TEST(KernelsTest, NotNullFilterDropsOnlyNulls) {
+  Schema schema = Schema::MakeOrDie({{"A", DataType::kInt64}});
+  RecordBatch batch = MakeBatch(
+      schema, {Record({Value::Int(1)}), Record({Value::Null()}),
+               Record({Value::Int(3)})});
+  EXPECT_EQ(kernels::NotNullFilter(batch, 0),
+            (std::vector<uint32_t>{0, 2}));
+  RecordBatch empty = MakeBatch(schema, {});
+  EXPECT_TRUE(kernels::NotNullFilter(empty, 0).empty());
+}
+
+TEST(KernelsTest, DomainCheckFilterMatchesRowSemantics) {
+  Schema schema = Schema::MakeOrDie({{"A", DataType::kDouble}});
+  RecordBatch batch = MakeBatch(
+      schema, {Record({Value::Double(0.5)}), Record({Value::Null()}),
+               Record({Value::Double(2.0)}), Record({Value::Int(1)})});
+  auto sel = kernels::DomainCheckFilter(batch, 0, 0.0, 1.0, "dc", "A");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{0, 3}));
+
+  // A non-null non-numeric cell reproduces the row engine's error text.
+  RecordBatch bad = MakeBatch(schema, {Record({Value::String("x")})});
+  auto err = kernels::DomainCheckFilter(bad, 0, 0.0, 1.0, "dc", "A");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("domain check over non-numeric"),
+            std::string::npos)
+      << err.status().ToString();
+}
+
+TEST(KernelsTest, ColumnMappingErrorsOnMissingAttribute) {
+  Schema from = Schema::MakeOrDie({{"A", DataType::kInt64},
+                                   {"B", DataType::kInt64}});
+  Schema to = Schema::MakeOrDie({{"B", DataType::kInt64},
+                                 {"C", DataType::kInt64}});
+  auto ok = kernels::ColumnMapping(
+      from, Schema::MakeOrDie({{"B", DataType::kInt64},
+                               {"A", DataType::kInt64}}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, (std::vector<size_t>{1, 0}));
+  EXPECT_FALSE(kernels::ColumnMapping(from, to).ok());
+}
+
+// Keep-first across batches and partitions: whatever the partition
+// count, the union of kept rows is the serial first occurrence of each
+// key, NULL keys included (NULL is an ordinary PK value here, as in the
+// row engine).
+TEST(KernelsTest, PkKeepPartitionKeepsSerialFirstOccurrence) {
+  Schema schema = Schema::MakeOrDie({{"K", DataType::kInt64},
+                                     {"V", DataType::kInt64}});
+  std::vector<Record> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back(Record({i % 9 == 0 ? Value::Null() : Value::Int(i % 7),
+                           Value::Int(i)}));
+  }
+  std::vector<RecordBatch> batches;
+  batches.push_back(RecordBatch::FromRows(schema, rows, 0, 20));
+  batches.push_back(RecordBatch::FromRows(schema, rows, 20, 20));  // empty
+  batches.push_back(RecordBatch::FromRows(schema, rows, 20, 50));
+  std::vector<size_t> key_cols = {0};
+  for (auto& b : batches) b.KeyHashes(key_cols);
+
+  // Serial oracle: keep-first via ordered scan.
+  std::map<std::vector<Value>, size_t> first;
+  std::vector<int> expected_keep(rows.size(), 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<Value> key = {rows[i].value(0)};
+    if (first.emplace(key, i).second) expected_keep[i] = 1;
+  }
+
+  for (size_t parts : {size_t{1}, size_t{3}, size_t{8}}) {
+    std::vector<std::vector<uint8_t>> keep(batches.size());
+    for (size_t b = 0; b < batches.size(); ++b) {
+      keep[b].assign(batches[b].num_rows(), 0);
+    }
+    for (size_t p = 0; p < parts; ++p) {
+      kernels::PkKeepPartition(batches, key_cols, p, parts, &keep);
+    }
+    size_t global = 0;
+    for (size_t b = 0; b < batches.size(); ++b) {
+      for (size_t i = 0; i < batches[b].num_rows(); ++i, ++global) {
+        EXPECT_EQ(static_cast<int>(keep[b][i]), expected_keep[global])
+            << "parts=" << parts << " row " << global;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, AggregatePartitionsCoverAllGroupsDisjointly) {
+  Schema schema = Schema::MakeOrDie({{"G", DataType::kInt64},
+                                     {"X", DataType::kDouble}});
+  std::vector<Record> rows;
+  for (int i = 0; i < 60; ++i) {
+    rows.push_back(Record({Value::Int(i % 5),
+                           i % 11 == 0 ? Value::Null()
+                                       : Value::Double(i * 0.25)}));
+  }
+  std::vector<RecordBatch> batches;
+  batches.push_back(RecordBatch::FromRows(schema, rows, 0, 25));
+  batches.push_back(RecordBatch::FromRows(schema, rows, 25, 60));
+  std::vector<size_t> group_cols = {0};
+  std::vector<size_t> arg_cols = {1, 1};
+  for (auto& b : batches) b.KeyHashes(group_cols);
+
+  // Serial oracle accumulation.
+  kernels::GroupMap oracle;
+  for (const auto& r : rows) {
+    auto& accs = oracle
+                     .emplace(std::vector<Value>{r.value(0)},
+                              std::vector<AggAcc>(arg_cols.size()))
+                     .first->second;
+    for (size_t a = 0; a < arg_cols.size(); ++a) accs[a].Add(r.value(1));
+  }
+
+  for (size_t parts : {size_t{1}, size_t{4}}) {
+    kernels::GroupMap merged;
+    for (size_t p = 0; p < parts; ++p) {
+      kernels::GroupMap pg = kernels::AggregatePartition(
+          batches, group_cols, arg_cols, p, parts);
+      for (auto& [key, accs] : pg) {
+        // Disjoint ownership: no key appears in two partitions.
+        ASSERT_TRUE(merged.emplace(key, std::move(accs)).second);
+      }
+    }
+    ASSERT_EQ(merged.size(), oracle.size()) << "parts=" << parts;
+    for (const auto& [key, accs] : oracle) {
+      auto it = merged.find(key);
+      ASSERT_NE(it, merged.end());
+      for (size_t a = 0; a < accs.size(); ++a) {
+        EXPECT_EQ(it->second[a].Result(AggFn::kSum), accs[a].Result(AggFn::kSum));
+        EXPECT_EQ(it->second[a].Result(AggFn::kCount),
+                  accs[a].Result(AggFn::kCount));
+        EXPECT_EQ(it->second[a].Result(AggFn::kAvg), accs[a].Result(AggFn::kAvg));
+      }
+    }
+  }
+}
+
+// Build + probe against the row-engine join semantics: NULL keys never
+// join, duplicates multiply, emit order is left row order with build
+// rows in build order.
+TEST(KernelsTest, JoinBuildProbeMatchesRowJoin) {
+  Schema left_s = Schema::MakeOrDie({{"K", DataType::kInt64},
+                                     {"A", DataType::kInt64}});
+  Schema right_s = Schema::MakeOrDie({{"B", DataType::kString},
+                                      {"K", DataType::kInt64}});
+  Schema out_s = Schema::MakeOrDie({{"K", DataType::kInt64},
+                                    {"A", DataType::kInt64},
+                                    {"B", DataType::kString}});
+  std::vector<Record> left_rows, right_rows;
+  for (int i = 0; i < 30; ++i) {
+    left_rows.push_back(Record(
+        {i % 6 == 0 ? Value::Null() : Value::Int(i % 5), Value::Int(i)}));
+  }
+  for (int i = 0; i < 20; ++i) {
+    right_rows.push_back(Record(
+        {Value::String("r" + std::to_string(i)),
+         i % 7 == 0 ? Value::Null() : Value::Int(i % 4)}));
+  }
+  std::vector<RecordBatch> left = BatchRows(left_s, left_rows, 8);
+  std::vector<RecordBatch> right = BatchRows(right_s, right_rows, 8);
+  std::vector<size_t> left_key = {0}, right_key = {1}, right_pass = {0};
+  for (auto& b : left) b.KeyHashes(left_key);
+  for (auto& b : right) b.KeyHashes(right_key);
+
+  const size_t parts = 3;
+  std::vector<kernels::JoinShard> shards;
+  for (size_t p = 0; p < parts; ++p) {
+    shards.push_back(kernels::JoinBuildPartition(right, right_key, p, parts));
+  }
+  std::vector<Record> got;
+  for (const auto& lb : left) {
+    kernels::JoinProbeBatch(lb, left_key, shards, right, right_pass, out_s)
+        .AppendRowsTo(&got);
+  }
+
+  // Serial oracle: nested loop in the row engine's emit order.
+  std::vector<Record> expected;
+  for (const auto& l : left_rows) {
+    if (l.value(0).is_null()) continue;
+    for (const auto& r : right_rows) {
+      if (r.value(1).is_null() || !(r.value(1) == l.value(0))) continue;
+      expected.push_back(
+          Record({l.value(0), l.value(1), r.value(0)}));
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -178,6 +178,35 @@ TEST(FaultInjectorTest, StreamSitesFireAndCountIndependently) {
       stats.fired[static_cast<int>(FaultSite::kStreamStateCheckpoint)], 1u);
 }
 
+TEST(FaultInjectorTest, VectorizedBatchSiteIsRegistered) {
+  EXPECT_EQ(FaultSiteName(FaultSite::kVectorizedBatch),
+            "engine.vectorized_batch");
+  const auto& all = AllFaultSites();
+  EXPECT_EQ(all.size(), static_cast<size_t>(kNumFaultSites));
+  EXPECT_NE(std::find(all.begin(), all.end(), FaultSite::kVectorizedBatch),
+            all.end());
+  std::set<std::string_view> names;
+  for (FaultSite site : all) names.insert(FaultSiteName(site));
+  EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(FaultInjectorTest, VectorizedBatchSiteFiresAndCountsIndependently) {
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kVectorizedBatch, 1, FaultKind::kError));
+  ScopedFaultInjection arm(schedule);
+  auto& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.Hit(FaultSite::kVectorizedBatch).ok());  // hit 0
+  // A neighbouring engine site's counter is untouched by the schedule.
+  EXPECT_TRUE(injector.Hit(FaultSite::kActivityExecute).ok());
+  Status batch = injector.Hit(FaultSite::kVectorizedBatch);  // hit 1
+  EXPECT_TRUE(batch.IsUnavailable()) << batch.ToString();
+  FaultStats stats = injector.Stats();
+  EXPECT_EQ(stats.hits[static_cast<int>(FaultSite::kVectorizedBatch)], 2u);
+  EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kVectorizedBatch)], 1u);
+  EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kActivityExecute)], 0u);
+}
+
 // An injected activity fault surfaces from ExecuteWorkflow as a clean
 // non-OK Status; disarming restores normal execution.
 TEST(FaultInjectorTest, InjectedActivityFaultFailsExecutionCleanly) {

@@ -11,6 +11,7 @@
 #include "engine/executor.h"
 #include "engine/parallel.h"
 #include "engine/pipeline.h"
+#include "engine/vectorized.h"
 #include "optimizer/search.h"
 #include "optimizer/transitions.h"
 #include "workload/generator.h"
@@ -138,10 +139,10 @@ TEST_P(TransitionPropertyTest, SignatureIdentifiesStatesUniquely) {
   }
 }
 
-// N-version check: the materializing, pipelined and parallel engines
-// implement the activity semantics independently and must agree on target
-// multisets and per-node cardinalities. The parallel engine is checked at
-// one worker and at several.
+// N-version check: the materializing, pipelined, parallel and vectorized
+// engines implement the activity semantics independently and must agree
+// on target multisets and per-node cardinalities. The parallel and
+// vectorized engines are checked at one worker and at several.
 void ExpectAllEnginesAgree(const Workflow& w, const ExecutionInput& input,
                            const char* what) {
   auto batch = ExecuteWorkflow(w, input);
@@ -169,6 +170,20 @@ void ExpectAllEnginesAgree(const Workflow& w, const ExecutionInput& input,
     }
     EXPECT_EQ(batch->rows_out, par->rows_out)
         << what << " parallel(" << threads << ")";
+
+    VectorizedOptions voptions;
+    voptions.num_threads = threads;
+    voptions.batch_size = 64;
+    auto vec = ExecuteVectorized(w, input, voptions);
+    ASSERT_TRUE(vec.ok()) << what << ": " << vec.status().ToString();
+    ASSERT_EQ(batch->target_data.size(), vec->target_data.size()) << what;
+    for (const auto& [name, rows] : batch->target_data) {
+      // The vectorized engine also promises byte-identical output.
+      EXPECT_EQ(rows, vec->target_data.at(name))
+          << what << " vectorized(" << threads << ") target " << name;
+    }
+    EXPECT_EQ(batch->rows_out, vec->rows_out)
+        << what << " vectorized(" << threads << ")";
   }
 }
 
@@ -191,7 +206,7 @@ TEST_P(TransitionPropertyTest, PipelinedExecutorAgreesWithBatch) {
   EXPECT_LT(stats.buffered_rows, stats.materialized_equivalent);
 }
 
-TEST_P(TransitionPropertyTest, AllThreeEnginesAgreePreAndPostOptimization) {
+TEST_P(TransitionPropertyTest, AllEnginesAgreePreAndPostOptimization) {
   // Every seeded scenario: materializing == pipelined == parallel (1 and
   // N workers), on the initial state, on a transition successor, and on
   // the heuristically optimized state.

@@ -1,0 +1,89 @@
+// Property test: RecordBatch::FromRows / ToRows is an exact inverse pair
+// over randomly generated rows — same cell bytes, same runtime types,
+// even when runtime types disagree with the declared schema (the
+// demoted-column path). This is the micro-contract under the vectorized
+// engine's byte-identity guarantee.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "columnar/record_batch.h"
+#include "records/record.h"
+
+namespace etlopt {
+namespace {
+
+Value RandomValue(std::mt19937_64& rng, bool well_typed, DataType declared) {
+  std::uniform_int_distribution<int> pick(0, 4);
+  DataType t = declared;
+  if (!well_typed || pick(rng) == 0) {
+    // Any runtime type, including ones that mismatch the declared type.
+    switch (pick(rng)) {
+      case 0: return Value::Null();
+      case 1: return Value::Bool(rng() % 2 == 0);
+      case 2: return Value::Int(static_cast<int64_t>(rng()) % 1000);
+      case 3: {
+        std::uniform_real_distribution<double> d(-10.0, 10.0);
+        return Value::Double(d(rng));
+      }
+      default: return Value::String("s" + std::to_string(rng() % 50));
+    }
+  }
+  switch (t) {
+    case DataType::kBool: return Value::Bool(rng() % 2 == 0);
+    case DataType::kInt64:
+      return Value::Int(static_cast<int64_t>(rng()) % 1000);
+    case DataType::kDouble: {
+      std::uniform_real_distribution<double> d(-10.0, 10.0);
+      return Value::Double(d(rng));
+    }
+    default: return Value::String("s" + std::to_string(rng() % 50));
+  }
+}
+
+void CheckRoundTrip(uint64_t seed, bool well_typed) {
+  Schema schema = Schema::MakeOrDie({{"B", DataType::kBool},
+                                     {"I", DataType::kInt64},
+                                     {"D", DataType::kDouble},
+                                     {"S", DataType::kString}});
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> rows_dist(0, 200);
+  const int n = rows_dist(rng);
+  std::vector<Record> rows;
+  for (int i = 0; i < n; ++i) {
+    std::vector<Value> cells;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      cells.push_back(
+          RandomValue(rng, well_typed, schema.attribute(c).type));
+    }
+    rows.push_back(Record(std::move(cells)));
+  }
+  for (size_t batch_size : {size_t{1}, size_t{64}, size_t{1000}}) {
+    std::vector<RecordBatch> batches = BatchRows(schema, rows, batch_size);
+    std::vector<Record> back = FlattenBatches(batches);
+    ASSERT_EQ(back.size(), rows.size())
+        << "seed=" << seed << " batch_size=" << batch_size;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(back[i], rows[i]) << "seed=" << seed << " row " << i;
+      for (size_t c = 0; c < schema.size(); ++c) {
+        // operator== allows int==double cross-type matches; the
+        // round-trip must also preserve the exact runtime type.
+        ASSERT_EQ(back[i].value(c).type(), rows[i].value(c).type())
+            << "seed=" << seed << " row " << i << " col " << c;
+      }
+      ASSERT_EQ(back[i].Hash(), rows[i].Hash());
+    }
+  }
+}
+
+TEST(BatchRoundTripTest, WellTypedRows) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) CheckRoundTrip(seed, true);
+}
+
+TEST(BatchRoundTripTest, AdversarialRuntimeTypes) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) CheckRoundTrip(seed, false);
+}
+
+}  // namespace
+}  // namespace etlopt
