@@ -1,0 +1,445 @@
+// Networked optimizer service under closed-loop socket load: real TCP
+// clients against an OptimizerServer on loopback, the same ETLNET1 frames
+// a remote caller would send. Each client thread owns one connection and
+// draws requests from a Zipf-distributed working set (hot flows dominate,
+// as in a warehouse re-optimizing the same ETL graphs every run),
+// blocking on each answer before issuing the next.
+//
+// Measured: cold/warm round-trip latency, closed-loop throughput in
+// req/s with client-observed p50/p99, and the shed path — a second
+// server with one worker and a one-slot queue is driven past saturation
+// to verify admission control answers ResourceExhausted fast instead of
+// queueing or silently dropping.
+//
+// Gates: load p99 stays under a fixed bound at a minimum req/s, every
+// served answer is byte-identical to the in-process answer for the same
+// canonical request text, and shed replies are an order of magnitude
+// faster than a search.
+//
+// ETLOPT_BENCH_QUICK=1 shrinks the working set and request counts.
+// Emits BENCH_net_service.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "io/plan_format.h"
+#include "io/text_format.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/optimizer_service.h"
+#include "suite_runner.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace etlopt;
+using namespace etlopt::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct BenchConfig {
+  size_t distinct_workflows = 8;
+  size_t clients = 8;
+  size_t requests_per_client = 150;
+  double zipf_exponent = 1.0;
+  size_t shed_clients = 8;
+  size_t shed_requests_per_client = 12;
+  SearchOptions search;
+  double p99_gate_ms = 150.0;
+  double rps_gate = 200.0;
+  double shed_p99_gate_ms = 25.0;
+};
+
+// Inverse-CDF Zipf sampler over [0, n).
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double exponent) : cdf_(n) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Pick(Rng& rng) const {
+    double u = rng.UniformDouble();
+    for (size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Nearest-rank percentile; sorts in place.
+double Percentile(std::vector<double>& samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  return samples[std::min(rank, samples.size()) - 1];
+}
+
+Workflow WorkflowFor(uint64_t seed) {
+  GeneratorOptions gen;
+  gen.seed = seed;
+  auto generated = GenerateWorkflow(gen);
+  ETLOPT_CHECK_OK(generated.status());
+  return std::move(generated->workflow);
+}
+
+// The in-process answer for the same canonical request text a socket
+// client sends: identical text in, identical plan bytes out.
+std::string InProcessPlanBytes(const CostModel& model,
+                               const NetOptimizeRequest& net_request) {
+  auto workflow = ParseWorkflowText(net_request.workflow_text);
+  ETLOPT_CHECK_OK(workflow.status());
+  OptimizerService reference(model);
+  OptimizeRequest request;
+  request.workflow = std::move(workflow).value();
+  request.algorithm = net_request.algorithm;
+  request.options = net_request.options;
+  auto response = reference.Optimize(std::move(request));
+  ETLOPT_CHECK_OK(response.status());
+  if (!response->plan->persistable) {
+    std::fprintf(stderr, "FAIL: reference plan not serializable\n");
+    std::exit(1);
+  }
+  return SerializePlanBinary(response->plan->plan);
+}
+
+struct LoadFigures {
+  double cold_avg_ms = 0;
+  double warm_avg_ms = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t requests_served = 0;
+  uint64_t identity_checked = 0;
+};
+
+LoadFigures RunLoadPhase(const BenchConfig& config, const CostModel& model) {
+  ServerOptions options;
+  options.ephemeral_port = true;
+  options.service.num_threads = 4;
+  options.service.max_queue = 64;
+  options.max_connections = config.clients + 1;
+  OptimizerServer server(model, options);
+  ETLOPT_CHECK_OK(server.Start());
+
+  // The working set, its wire requests, and the in-process reference
+  // answer for each — served bytes are checked against these on every
+  // reply of the closed loop.
+  std::vector<NetOptimizeRequest> requests;
+  std::vector<std::string> expected;
+  for (size_t i = 0; i < config.distinct_workflows; ++i) {
+    auto request = MakeNetRequest(WorkflowFor(8100 + i),
+                                  SearchAlgorithm::kHeuristic, config.search);
+    ETLOPT_CHECK_OK(request.status());
+    expected.push_back(InProcessPlanBytes(model, *request));
+    requests.push_back(std::move(request).value());
+  }
+
+  LoadFigures figures;
+
+  // Cold then warm pass over one connection.
+  {
+    auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+    ETLOPT_CHECK_OK(client.status());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Clock::time_point issued = Clock::now();
+      auto response = client->Optimize(requests[i]);
+      ETLOPT_CHECK_OK(response.status());
+      figures.cold_avg_ms += MillisSince(issued);
+      if (response->cache_hit) {
+        std::fprintf(stderr, "FAIL: cold request hit the cache\n");
+        std::exit(1);
+      }
+    }
+    figures.cold_avg_ms /= static_cast<double>(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Clock::time_point issued = Clock::now();
+      auto response = client->Optimize(requests[i]);
+      ETLOPT_CHECK_OK(response.status());
+      figures.warm_avg_ms += MillisSince(issued);
+      if (!response->cache_hit) {
+        std::fprintf(stderr, "FAIL: warm request missed the cache\n");
+        std::exit(1);
+      }
+      if (SerializePlanBinary(response->plan) != expected[i]) {
+        std::fprintf(stderr, "FAIL: warm answer differs from in-process\n");
+        std::exit(1);
+      }
+    }
+    figures.warm_avg_ms /= static_cast<double>(requests.size());
+  }
+
+  // Closed-loop Zipf load, one connection per client thread.
+  ZipfPicker picker(requests.size(), config.zipf_exponent);
+  std::vector<std::vector<double>> latencies(config.clients);
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> identity_failures{0};
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  for (size_t c = 0; c < config.clients; ++c) {
+    latencies[c].reserve(config.requests_per_client);
+    clients.emplace_back([&, c] {
+      auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+      ETLOPT_CHECK_OK(client.status());
+      Rng rng(4200 + c);
+      for (size_t i = 0; i < config.requests_per_client; ++i) {
+        size_t pick = picker.Pick(rng);
+        Clock::time_point issued = Clock::now();
+        auto response = client->Optimize(requests[pick]);
+        while (!response.ok() && response.status().IsResourceExhausted()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          issued = Clock::now();
+          response = client->Optimize(requests[pick]);
+        }
+        ETLOPT_CHECK_OK(response.status());
+        latencies[c].push_back(MillisSince(issued));
+        if (SerializePlanBinary(response->plan) != expected[pick]) {
+          identity_failures.fetch_add(1);
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed_ms = MillisSince(start);
+
+  if (identity_failures.load() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu served answers differ from the in-process "
+                 "reference\n",
+                 static_cast<unsigned long long>(identity_failures.load()));
+    std::exit(1);
+  }
+
+  std::vector<double> all;
+  for (const std::vector<double>& bucket : latencies) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  figures.p50_ms = Percentile(all, 50.0);
+  figures.p99_ms = Percentile(all, 99.0);
+  figures.throughput_rps =
+      static_cast<double>(completed.load()) / (elapsed_ms / 1000.0);
+  figures.identity_checked = completed.load();
+
+  // Server-side counters fetched over the wire, like any operator would.
+  {
+    auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+    ETLOPT_CHECK_OK(client.status());
+    auto stats = client->Stats();
+    ETLOPT_CHECK_OK(stats.status());
+    figures.requests_served = stats->server.requests_served;
+  }
+
+  ETLOPT_CHECK_OK(server.Stop());
+  return figures;
+}
+
+struct ShedFigures {
+  uint64_t served = 0;
+  uint64_t shed = 0;
+  uint64_t other_errors = 0;
+  double shed_p99_ms = 0;
+  uint64_t server_counted_sheds = 0;
+};
+
+// Drive a deliberately tiny server (one worker, one queue slot) past
+// saturation with all-distinct workflows: every request is a real
+// search, so concurrent clients overflow the queue and admission
+// control must answer ResourceExhausted immediately.
+ShedFigures RunShedPhase(const BenchConfig& config, const CostModel& model) {
+  ServerOptions options;
+  options.ephemeral_port = true;
+  options.service.num_threads = 1;
+  options.service.max_queue = 1;
+  options.max_connections = config.shed_clients + 1;
+  OptimizerServer server(model, options);
+  ETLOPT_CHECK_OK(server.Start());
+
+  ShedFigures figures;
+  std::atomic<uint64_t> served{0}, shed{0}, other{0};
+  std::vector<std::vector<double>> shed_latencies(config.shed_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(config.shed_clients);
+  for (size_t c = 0; c < config.shed_clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+      ETLOPT_CHECK_OK(client.status());
+      for (size_t i = 0; i < config.shed_requests_per_client; ++i) {
+        // Distinct seed per request: never a cache hit, always a search.
+        auto request = MakeNetRequest(
+            WorkflowFor(50000 + c * 1000 + i),
+            SearchAlgorithm::kHeuristic, config.search);
+        ETLOPT_CHECK_OK(request.status());
+        Clock::time_point issued = Clock::now();
+        auto response = client->Optimize(*request);
+        double rtt = MillisSince(issued);
+        if (response.ok()) {
+          served.fetch_add(1);
+        } else if (response.status().IsResourceExhausted()) {
+          shed.fetch_add(1);
+          shed_latencies[c].push_back(rtt);
+        } else {
+          other.fetch_add(1);
+          std::fprintf(stderr, "shed phase: unexpected error: %s\n",
+                       response.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  figures.served = served.load();
+  figures.shed = shed.load();
+  figures.other_errors = other.load();
+  std::vector<double> all;
+  for (const std::vector<double>& bucket : shed_latencies) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  figures.shed_p99_ms = Percentile(all, 99.0);
+
+  {
+    auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+    ETLOPT_CHECK_OK(client.status());
+    auto stats = client->Stats();
+    ETLOPT_CHECK_OK(stats.status());
+    figures.server_counted_sheds = stats->server.requests_shed;
+  }
+
+  ETLOPT_CHECK_OK(server.Stop());
+  return figures;
+}
+
+int Run() {
+  const bool quick = []() {
+    const char* q = std::getenv("ETLOPT_BENCH_QUICK");
+    return q != nullptr && q[0] == '1';
+  }();
+
+  BenchConfig config;
+  config.search.max_states = 2000;
+  config.search.max_millis = 60000;
+  if (quick) {
+    config.distinct_workflows = 4;
+    config.clients = 4;
+    config.requests_per_client = 20;
+    config.shed_clients = 4;
+    config.shed_requests_per_client = 6;
+    config.p99_gate_ms = 400.0;
+    config.rps_gate = 40.0;
+    config.shed_p99_gate_ms = 50.0;
+  }
+
+  LinearLogCostModel model;
+  JsonReport report("net_service");
+  report.Add("config.distinct_workflows",
+             static_cast<double>(config.distinct_workflows), "workflows");
+  report.Add("config.clients", static_cast<double>(config.clients),
+             "connections");
+  report.Add("config.requests_per_client",
+             static_cast<double>(config.requests_per_client), "requests");
+  report.Add("config.zipf_exponent", config.zipf_exponent, "exponent");
+
+  LoadFigures load = RunLoadPhase(config, model);
+  std::printf(
+      "load: cold=%8.2fms warm=%7.3fms  %6.0f req/s p50=%7.3fms "
+      "p99=%8.3fms served=%llu (all byte-checked)\n",
+      load.cold_avg_ms, load.warm_avg_ms, load.throughput_rps, load.p50_ms,
+      load.p99_ms, static_cast<unsigned long long>(load.requests_served));
+  report.Add("load.cold_avg_ms", load.cold_avg_ms, "ms");
+  report.Add("load.warm_avg_ms", load.warm_avg_ms, "ms");
+  report.Add("load.throughput_rps", load.throughput_rps, "req/s");
+  report.Add("load.p50_ms", load.p50_ms, "ms");
+  report.Add("load.p99_ms", load.p99_ms, "ms");
+  report.Add("load.requests_served",
+             static_cast<double>(load.requests_served), "requests");
+
+  ShedFigures shed = RunShedPhase(config, model);
+  std::printf(
+      "shed: served=%llu shed=%llu other=%llu shed_p99=%7.3fms "
+      "(server counted %llu)\n",
+      static_cast<unsigned long long>(shed.served),
+      static_cast<unsigned long long>(shed.shed),
+      static_cast<unsigned long long>(shed.other_errors),
+      shed.shed_p99_ms,
+      static_cast<unsigned long long>(shed.server_counted_sheds));
+  report.Add("shed.served", static_cast<double>(shed.served), "requests");
+  report.Add("shed.shed", static_cast<double>(shed.shed), "requests");
+  report.Add("shed.p99_ms", shed.shed_p99_ms, "ms");
+
+  report.Write();
+
+  // Gates. The req/s floor holds AT the fixed p99 bound: a server that
+  // trades latency for throughput (or vice versa) fails.
+  bool failed = false;
+  if (load.p99_ms > config.p99_gate_ms) {
+    std::fprintf(stderr, "FAIL: load p99 %.1fms > %.0fms gate\n",
+                 load.p99_ms, config.p99_gate_ms);
+    failed = true;
+  }
+  if (load.throughput_rps < config.rps_gate) {
+    std::fprintf(stderr, "FAIL: %.0f req/s < %.0f req/s gate\n",
+                 load.throughput_rps, config.rps_gate);
+    failed = true;
+  }
+  if (shed.shed == 0 || shed.served == 0) {
+    std::fprintf(stderr,
+                 "FAIL: saturation must both serve and shed "
+                 "(served=%llu shed=%llu)\n",
+                 static_cast<unsigned long long>(shed.served),
+                 static_cast<unsigned long long>(shed.shed));
+    failed = true;
+  }
+  if (shed.other_errors != 0) {
+    std::fprintf(stderr,
+                 "FAIL: overload produced %llu non-ResourceExhausted "
+                 "errors\n",
+                 static_cast<unsigned long long>(shed.other_errors));
+    failed = true;
+  }
+  if (shed.shed > 0 && shed.shed_p99_ms > config.shed_p99_gate_ms) {
+    std::fprintf(stderr, "FAIL: shed p99 %.1fms > %.0fms gate\n",
+                 shed.shed_p99_ms, config.shed_p99_gate_ms);
+    failed = true;
+  }
+  if (shed.server_counted_sheds < shed.shed) {
+    std::fprintf(stderr,
+                 "FAIL: server counted %llu sheds, clients saw %llu\n",
+                 static_cast<unsigned long long>(shed.server_counted_sheds),
+                 static_cast<unsigned long long>(shed.shed));
+    failed = true;
+  }
+  if (failed) return 1;
+  std::printf(
+      "gates: p99 %.1fms <= %.0fms, %.0f req/s >= %.0f, shed fast "
+      "(p99 %.1fms <= %.0fms)\n",
+      load.p99_ms, config.p99_gate_ms, load.throughput_rps, config.rps_gate,
+      shed.shed_p99_ms, config.shed_p99_gate_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -14,6 +14,7 @@
 // ETLOPT_BENCH_QUICK=1 shrinks the working set and request counts.
 // Emits BENCH_service_throughput.json.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -85,10 +86,22 @@ struct CategoryFigures {
   double cold_avg_ms = 0;
   double warm_avg_ms = 0;
   double throughput_rps = 0;
+  double load_p50_ms = 0;
+  double load_p99_ms = 0;
   double hit_rate_pct = 0;
   uint64_t coalesced = 0;
   uint64_t searches_run = 0;
 };
+
+// Nearest-rank percentile; sorts in place.
+double Percentile(std::vector<double>& samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  return samples[std::min(rank, samples.size()) - 1];
+}
 
 CategoryFigures RunCategoryBench(WorkloadCategory category,
                                  const BenchConfig& config,
@@ -155,24 +168,31 @@ CategoryFigures RunCategoryBench(WorkloadCategory category,
   ServiceStats before = service.Stats();
   ZipfPicker picker(suite->size(), config.zipf_exponent);
   std::atomic<uint64_t> completed{0};
+  // Client-observed latency per completed request (queue wait included),
+  // one bucket per client thread to avoid contention.
+  std::vector<std::vector<double>> latencies(config.clients);
   Clock::time_point start = Clock::now();
   std::vector<std::thread> clients;
   clients.reserve(config.clients);
   for (size_t c = 0; c < config.clients; ++c) {
+    latencies[c].reserve(config.requests_per_client);
     clients.emplace_back([&, c] {
       Rng rng(77 + c);
       for (size_t i = 0; i < config.requests_per_client; ++i) {
         const GeneratedWorkflow& generated = (*suite)[picker.Pick(rng)];
+        Clock::time_point issued = Clock::now();
         auto response =
             service.Submit(RequestFor(generated, config.search)).get();
         // Backpressure rejections are part of closed-loop life; retry
         // after a beat rather than dying.
         while (!response.ok() && response.status().IsResourceExhausted()) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          issued = Clock::now();
           response =
               service.Submit(RequestFor(generated, config.search)).get();
         }
         ETLOPT_CHECK_OK(response.status());
+        latencies[c].push_back(MillisSince(issued));
         completed.fetch_add(1);
       }
     });
@@ -180,6 +200,13 @@ CategoryFigures RunCategoryBench(WorkloadCategory category,
   for (std::thread& t : clients) t.join();
   double elapsed_ms = MillisSince(start);
   ServiceStats after = service.Stats();
+
+  std::vector<double> all_latencies;
+  for (const std::vector<double>& bucket : latencies) {
+    all_latencies.insert(all_latencies.end(), bucket.begin(), bucket.end());
+  }
+  figures.load_p50_ms = Percentile(all_latencies, 50.0);
+  figures.load_p99_ms = Percentile(all_latencies, 99.0);
 
   figures.throughput_rps =
       static_cast<double>(completed.load()) / (elapsed_ms / 1000.0);
@@ -195,10 +222,10 @@ CategoryFigures RunCategoryBench(WorkloadCategory category,
 
   std::printf(
       "%-6s cold=%8.2fms warm=%8.4fms speedup=%7.0fx  load: %6.0f req/s "
-      "hit=%5.1f%% coalesced=%llu searches=%llu\n",
+      "p50=%7.3fms p99=%8.3fms hit=%5.1f%% coalesced=%llu searches=%llu\n",
       name.c_str(), figures.cold_avg_ms, figures.warm_avg_ms,
       figures.cold_avg_ms / figures.warm_avg_ms, figures.throughput_rps,
-      figures.hit_rate_pct,
+      figures.load_p50_ms, figures.load_p99_ms, figures.hit_rate_pct,
       static_cast<unsigned long long>(figures.coalesced),
       static_cast<unsigned long long>(figures.searches_run));
   std::fputs(service.StatsReport().c_str(), stderr);
@@ -244,6 +271,8 @@ int Run() {
     report.Add(prefix + ".warm_avg_ms", figures.warm_avg_ms, "ms");
     report.Add(prefix + ".warm_speedup", speedup, "x");
     report.Add(prefix + ".throughput_rps", figures.throughput_rps, "req/s");
+    report.Add(prefix + ".load_p50_ms", figures.load_p50_ms, "ms");
+    report.Add(prefix + ".load_p99_ms", figures.load_p99_ms, "ms");
     report.Add(prefix + ".hit_rate", figures.hit_rate_pct, "percent");
     report.Add(prefix + ".coalesced",
                static_cast<double>(figures.coalesced), "requests");

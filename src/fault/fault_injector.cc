@@ -31,6 +31,9 @@ std::string_view FaultSiteName(FaultSite site) {
     case FaultSite::kStreamSourceNext: return "stream.source_next";
     case FaultSite::kStreamStateCheckpoint: return "stream.state_checkpoint";
     case FaultSite::kVectorizedBatch: return "engine.vectorized_batch";
+    case FaultSite::kNetAccept: return "net.accept";
+    case FaultSite::kNetRead: return "net.read";
+    case FaultSite::kNetWrite: return "net.write";
   }
   return "unknown";
 }
@@ -43,7 +46,8 @@ const std::array<FaultSite, kNumFaultSites>& AllFaultSites() {
       FaultSite::kPlanCacheSave,   FaultSite::kPlanCacheLoad,
       FaultSite::kCheckpointWrite, FaultSite::kCheckpointRead,
       FaultSite::kStreamSourceNext, FaultSite::kStreamStateCheckpoint,
-      FaultSite::kVectorizedBatch,
+      FaultSite::kVectorizedBatch,  FaultSite::kNetAccept,
+      FaultSite::kNetRead,          FaultSite::kNetWrite,
   };
   return sites;
 }

@@ -53,8 +53,11 @@ enum class FaultSite : int {
   kStreamStateCheckpoint = 11,  // stream-state checkpoint write/read
   kVectorizedBatch = 12,        // one columnar batch through the
                                 // vectorized engine
+  kNetAccept = 13,              // accepting one server connection
+  kNetRead = 14,                // one socket read (frame bytes in)
+  kNetWrite = 15,               // one socket write (frame bytes out)
 };
-inline constexpr int kNumFaultSites = 13;
+inline constexpr int kNumFaultSites = 16;
 
 /// Stable lowercase name ("activity_execute", ...), for reports and
 /// schedule printing.

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "io/text_format.h"
+#include "io/wire_codec.h"
 
 namespace etlopt {
 
@@ -179,94 +180,8 @@ StatusOr<OptimizedPlan> ParseOnePlan(LineCursor& cursor) {
   return plan;
 }
 
-// ---- Binary encoding helpers (little-endian, length-prefixed) ----
-
-void PutU32(std::string& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutDouble(std::string& out, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
-
-void PutString(std::string& out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out += s;
-}
-
-class BinaryReader {
- public:
-  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
-
-  StatusOr<uint32_t> U32() {
-    ETLOPT_RETURN_NOT_OK(Need(4));
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  StatusOr<uint64_t> U64() {
-    ETLOPT_RETURN_NOT_OK(Need(8));
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  StatusOr<double> Double() {
-    ETLOPT_ASSIGN_OR_RETURN(uint64_t bits, U64());
-    double v;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  StatusOr<uint8_t> U8() {
-    ETLOPT_RETURN_NOT_OK(Need(1));
-    return static_cast<uint8_t>(bytes_[pos_++]);
-  }
-
-  StatusOr<std::string> String() {
-    ETLOPT_ASSIGN_OR_RETURN(uint32_t n, U32());
-    ETLOPT_RETURN_NOT_OK(Need(n));
-    std::string s(bytes_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-  size_t remaining() const { return bytes_.size() - pos_; }
-
-  StatusOr<std::string_view> Bytes(size_t n) {
-    ETLOPT_RETURN_NOT_OK(Need(n));
-    std::string_view v = bytes_.substr(pos_, n);
-    pos_ += n;
-    return v;
-  }
-
- private:
-  Status Need(size_t n) {
-    if (n > bytes_.size() - pos_) {
-      return Status::InvalidArgument("plan: truncated binary input");
-    }
-    return Status::OK();
-  }
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
+// Binary encoding uses the shared little-endian wire codec
+// (io/wire_codec.h); the helpers below are format-specific only.
 
 }  // namespace
 
@@ -394,7 +309,7 @@ StatusOr<OptimizedPlan> ParsePlanBinary(std::string_view bytes) {
       std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
     return Status::InvalidArgument("plan: bad binary magic");
   }
-  BinaryReader reader(bytes.substr(sizeof(kBinaryMagic)));
+  WireReader reader(bytes.substr(sizeof(kBinaryMagic)));
   OptimizedPlan plan;
   ETLOPT_ASSIGN_OR_RETURN(plan.algorithm, reader.String());
   ETLOPT_RETURN_NOT_OK(SearchAlgorithmFromString(plan.algorithm).status());
@@ -455,7 +370,7 @@ StatusOr<std::vector<OptimizedPlan>> ParsePlansBinary(std::string_view bytes) {
     return Status::InvalidArgument(
         "plan cache: bad magic or truncated file");
   }
-  BinaryReader header(bytes.substr(sizeof(kCacheFileMagic)));
+  WireReader header(bytes.substr(sizeof(kCacheFileMagic)));
   ETLOPT_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());
   if (header.remaining() < 8 || payload_size != header.remaining() - 8) {
     return Status::InvalidArgument(
@@ -469,7 +384,7 @@ StatusOr<std::vector<OptimizedPlan>> ParsePlansBinary(std::string_view bytes) {
   if (Fnv1a64(payload) != recorded_checksum) {
     return Status::InvalidArgument("plan cache: checksum mismatch");
   }
-  BinaryReader reader(payload);
+  WireReader reader(payload);
   ETLOPT_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
   std::vector<OptimizedPlan> plans;
   plans.reserve(std::min<size_t>(count, reader.remaining() / 8));

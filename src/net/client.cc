@@ -1,0 +1,108 @@
+#include "net/client.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "io/text_format.h"
+
+namespace etlopt {
+
+StatusOr<NetOptimizeRequest> MakeNetRequest(
+    const Workflow& workflow, SearchAlgorithm algorithm,
+    const SearchOptions& options,
+    const std::vector<MergeConstraint>& merge_constraints,
+    int64_t deadline_millis) {
+  NetOptimizeRequest request;
+  TextFormatOptions text_options;
+  text_options.emit_plabels = true;
+  ETLOPT_ASSIGN_OR_RETURN(request.workflow_text,
+                          PrintWorkflowText(workflow, text_options));
+  request.algorithm = algorithm;
+  request.options = options;
+  request.merge_constraints = merge_constraints;
+  request.deadline_millis = deadline_millis;
+  return request;
+}
+
+StatusOr<OptimizerClient> OptimizerClient::Connect(const std::string& host,
+                                                   int port,
+                                                   ClientOptions options) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("client: port must be in [1, 65535], got %d", port));
+  }
+  if (options.timeout_millis < 0) {
+    return Status::InvalidArgument("client: timeout_millis must be >= 0");
+  }
+  ETLOPT_ASSIGN_OR_RETURN(Socket socket,
+                          ConnectTcp(host, port, options.timeout_millis));
+  return OptimizerClient(std::move(socket), options);
+}
+
+StatusOr<Frame> OptimizerClient::RoundTrip(FrameType request_type,
+                                           std::string_view payload,
+                                           FrameType expected_type) {
+  if (!socket_.valid()) {
+    return Status::Unavailable("client: connection is closed");
+  }
+  ETLOPT_RETURN_NOT_OK(WriteFrame(socket_, request_type, payload));
+  ETLOPT_ASSIGN_OR_RETURN(Frame reply,
+                          ReadFrame(socket_, options_.max_frame_bytes));
+  if (reply.type == FrameType::kErrorResponse) {
+    // The remote Status verbatim; a decode failure of the error frame
+    // itself surfaces as that failure.
+    return DecodeStatusPayload(reply.payload);
+  }
+  if (reply.type != expected_type) {
+    return Status::InvalidArgument(
+        StrFormat("client: unexpected reply frame type %u",
+                  static_cast<unsigned>(reply.type)));
+  }
+  return reply;
+}
+
+StatusOr<NetOptimizeResponse> OptimizerClient::Optimize(
+    const NetOptimizeRequest& request) {
+  if (request.deadline_millis < 0) {
+    return Status::InvalidArgument("client: deadline_millis must be >= 0");
+  }
+  if (request.deadline_millis > 0 && options_.timeout_millis > 0) {
+    // Let the server's deadline fire first; the socket timeout is only
+    // the backstop against a hung server.
+    ETLOPT_RETURN_NOT_OK(socket_.SetReadTimeout(request.deadline_millis +
+                                                options_.timeout_millis));
+  }
+  StatusOr<Frame> reply =
+      RoundTrip(FrameType::kOptimizeRequest, EncodeOptimizeRequest(request),
+                FrameType::kOptimizeResponse);
+  if (request.deadline_millis > 0 && options_.timeout_millis > 0) {
+    socket_.SetReadTimeout(options_.timeout_millis);
+  }
+  ETLOPT_RETURN_NOT_OK(reply.status());
+  return DecodeOptimizeResponse(reply->payload);
+}
+
+StatusOr<NetStatsResponse> OptimizerClient::Stats() {
+  ETLOPT_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTrip(FrameType::kStatsRequest, "", FrameType::kStatsResponse));
+  return DecodeStatsResponse(reply.payload);
+}
+
+Status OptimizerClient::SavePlans(const NetSavePlansRequest& request) {
+  if (request.path.empty()) {
+    return Status::InvalidArgument("client: save-plans path is empty");
+  }
+  return RoundTrip(FrameType::kSavePlansRequest,
+                   EncodeSavePlansRequest(request),
+                   FrameType::kSavePlansResponse)
+      .status();
+}
+
+StatusOr<NetHealthResponse> OptimizerClient::Health() {
+  ETLOPT_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTrip(FrameType::kHealthRequest, "", FrameType::kHealthResponse));
+  return DecodeHealthResponse(reply.payload);
+}
+
+}  // namespace etlopt

@@ -1,0 +1,81 @@
+// OptimizerClient: one connection to an OptimizerServer, speaking the
+// ETLNET1 protocol. Calls are synchronous request/reply; concurrency
+// comes from one client per thread (connections are cheap, the server
+// multiplexes via its service pool). Remote failures arrive as the same
+// Status an in-process caller would see — a shed request is
+// IsResourceExhausted(), an expired deadline IsDeadlineExceeded() — so
+// retry/backoff policy code works unchanged against the wire.
+
+#ifndef ETLOPT_NET_CLIENT_H_
+#define ETLOPT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "graph/workflow.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace etlopt {
+
+struct ClientOptions {
+  /// Connect/read/write timeout. For optimize calls carrying a deadline
+  /// the read timeout is raised to deadline + this slack, so the server
+  /// (not the client socket) decides deadline expiry. 0 = none.
+  int64_t timeout_millis = 30000;
+  /// Reply frames past this cap are rejected before allocation.
+  size_t max_frame_bytes = static_cast<size_t>(64) << 20;
+};
+
+/// Packages a live Workflow as a wire request (canonical DSL text with
+/// plabels, so the server reconstructs the identical signature).
+StatusOr<NetOptimizeRequest> MakeNetRequest(
+    const Workflow& workflow,
+    SearchAlgorithm algorithm = SearchAlgorithm::kHeuristic,
+    const SearchOptions& options = {},
+    const std::vector<MergeConstraint>& merge_constraints = {},
+    int64_t deadline_millis = 0);
+
+class OptimizerClient {
+ public:
+  static StatusOr<OptimizerClient> Connect(const std::string& host, int port,
+                                           ClientOptions options = {});
+
+  OptimizerClient(OptimizerClient&&) noexcept = default;
+  OptimizerClient& operator=(OptimizerClient&&) noexcept = default;
+
+  /// One optimize round trip. The reply's plan is the exact ETLPLAN1
+  /// bytes the server's cache holds — byte-comparable to an in-process
+  /// answer for the same request.
+  StatusOr<NetOptimizeResponse> Optimize(const NetOptimizeRequest& request);
+
+  StatusOr<NetStatsResponse> Stats();
+
+  /// Asks the server to persist its plan cache to `path` on ITS
+  /// filesystem (warm-restart priming).
+  Status SavePlans(const NetSavePlansRequest& request);
+
+  StatusOr<NetHealthResponse> Health();
+
+  void Close() { socket_.Close(); }
+
+ private:
+  OptimizerClient(Socket socket, ClientOptions options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  /// Sends one request frame and decodes the reply: an error frame
+  /// becomes its carried Status, a mismatched type a clean
+  /// InvalidArgument.
+  StatusOr<Frame> RoundTrip(FrameType request_type, std::string_view payload,
+                            FrameType expected_type);
+
+  Socket socket_;
+  ClientOptions options_;
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_NET_CLIENT_H_

@@ -1,0 +1,331 @@
+#include "net/server.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "io/text_format.h"
+#include "net/frame.h"
+
+namespace etlopt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A read error that just means "the peer hung up / we are draining",
+// as opposed to a corrupt frame.
+bool IsCleanDisconnect(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded();
+}
+
+}  // namespace
+
+OptimizerServer::OptimizerServer(const CostModel& model,
+                                 ServerOptions options)
+    : model_(model),
+      options_(std::move(options)),
+      service_(model, options_.service) {}
+
+OptimizerServer::~OptimizerServer() { Stop(); }
+
+Status OptimizerServer::Start() {
+  ETLOPT_RETURN_NOT_OK(ValidateServerOptions(options_));
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server: already started");
+  }
+  plans_loaded_ = 0;
+  if (!options_.plan_file.empty() &&
+      access(options_.plan_file.c_str(), F_OK) == 0) {
+    // Warm restart: a readable container must load cleanly; corruption
+    // is surfaced to the operator rather than silently cold-starting.
+    ETLOPT_ASSIGN_OR_RETURN(plans_loaded_,
+                            service_.LoadPlans(options_.plan_file));
+  }
+  ETLOPT_ASSIGN_OR_RETURN(
+      auto bound, ListenTcp(options_.host,
+                            options_.ephemeral_port ? 0 : options_.port,
+                            options_.backlog));
+  listener_ = std::move(bound.first);
+  port_ = bound.second;
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+Status OptimizerServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return Status::OK();
+  }
+  draining_.store(true, std::memory_order_release);
+  // Wake the accept loop: a shut-down listener makes accept(2) fail,
+  // which AcceptLoop treats as "stop".
+  listener_.Shutdown(/*read_only=*/false);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  {
+    // Drain: stop inbound data only — sessions finish their in-flight
+    // request, flush the reply, then see EOF and exit.
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const std::unique_ptr<Session>& session : sessions_) {
+      if (!session->done.load(std::memory_order_acquire)) {
+        session->socket.Shutdown(/*read_only=*/true);
+      }
+    }
+    drained_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_timeout_millis),
+        [this] { return active_sessions_ == 0; });
+    if (active_sessions_ != 0) {
+      // Stragglers past the drain budget lose their write side too.
+      for (const std::unique_ptr<Session>& session : sessions_) {
+        if (!session->done.load(std::memory_order_acquire)) {
+          session->socket.Shutdown(/*read_only=*/false);
+        }
+      }
+    }
+  }
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    finished.swap(sessions_);
+  }
+  for (const std::unique_ptr<Session>& session : finished) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+  finished.clear();
+
+  if (!options_.plan_file.empty()) {
+    return service_.SavePlans(options_.plan_file,
+                              OptimizerService::PlanFileFormat::kBinary);
+  }
+  return Status::OK();
+}
+
+NetServerStats OptimizerServer::NetStats() const {
+  NetServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.requests_shed = requests_shed_.load(std::memory_order_relaxed);
+  stats.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats.active_connections = active_sessions_;
+  }
+  stats.draining = draining_.load(std::memory_order_acquire);
+  return stats;
+}
+
+void OptimizerServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    StatusOr<Socket> accepted = AcceptTcp(listener_);
+    if (!accepted.ok()) {
+      // Injected net.accept faults (and transient accept errors) drop
+      // only that connection — the peer sees a clean close, the server
+      // keeps serving. A shut-down listener ends the loop.
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    Socket socket = std::move(accepted).value();
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    socket.SetReadTimeout(options_.read_timeout_millis);
+    socket.SetWriteTimeout(options_.write_timeout_millis);
+
+    // Reap finished sessions so a long-lived server's bookkeeping stays
+    // bounded by max_connections, not by total connections ever served.
+    std::vector<std::unique_ptr<Session>> reaped;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (size_t i = 0; i < sessions_.size();) {
+      if (sessions_[i]->done.load(std::memory_order_acquire)) {
+        reaped.push_back(std::move(sessions_[i]));
+        sessions_[i] = std::move(sessions_.back());
+        sessions_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (!reaped.empty()) {
+      lock.unlock();
+      for (const std::unique_ptr<Session>& session : reaped) {
+        if (session->thread.joinable()) session->thread.join();
+      }
+      reaped.clear();
+      lock.lock();
+    }
+    if (active_sessions_ >= options_.max_connections) {
+      lock.unlock();
+      // Shed, never silently: the peer gets a fast typed rejection.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      WriteFrame(socket, FrameType::kErrorResponse,
+                 EncodeStatusPayload(Status::ResourceExhausted(StrFormat(
+                     "server at max_connections=%zu",
+                     options_.max_connections))));
+      continue;  // socket closes on scope exit
+    }
+    auto session = std::make_unique<Session>();
+    session->socket = std::move(socket);
+    Session* raw = session.get();
+    ++active_sessions_;
+    sessions_.push_back(std::move(session));
+    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
+  }
+}
+
+void OptimizerServer::SessionLoop(Session* session) {
+  while (true) {
+    StatusOr<Frame> frame =
+        ReadFrame(session->socket, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      if (!IsCleanDisconnect(frame.status())) {
+        // Corrupt framing: reply with the reason (best effort), then
+        // cut the connection — the stream cannot be trusted past it.
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(session, frame.status());
+      }
+      break;
+    }
+    if (!HandleFrame(session, frame->type, frame->payload)) break;
+    if (draining_.load(std::memory_order_acquire)) break;
+  }
+  session->socket.Shutdown(/*read_only=*/false);
+  session->done.store(true, std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --active_sessions_;
+  }
+  drained_cv_.notify_all();
+}
+
+bool OptimizerServer::HandleFrame(Session* session, FrameType type,
+                                  const std::string& payload) {
+  switch (type) {
+    case FrameType::kOptimizeRequest:
+      return HandleOptimize(session, payload);
+    case FrameType::kStatsRequest: {
+      NetStatsResponse stats;
+      stats.service = service_.Stats();
+      stats.server = NetStats();
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      return session->socket
+          .WriteFully(EncodeFrame(FrameType::kStatsResponse,
+                                  EncodeStatsResponse(stats)))
+          .ok();
+    }
+    case FrameType::kSavePlansRequest: {
+      StatusOr<NetSavePlansRequest> request =
+          DecodeSavePlansRequest(payload);
+      if (!request.ok()) {
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(session, request.status());
+        return false;
+      }
+      Status saved = service_.SavePlans(
+          request->path, request->binary
+                             ? OptimizerService::PlanFileFormat::kBinary
+                             : OptimizerService::PlanFileFormat::kText);
+      if (!saved.ok()) return WriteError(session, saved);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      return session->socket
+          .WriteFully(EncodeFrame(FrameType::kSavePlansResponse, ""))
+          .ok();
+    }
+    case FrameType::kHealthRequest: {
+      NetHealthResponse health;
+      health.serving = serving();
+      health.message = health.serving ? "ok" : "draining";
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      return session->socket
+          .WriteFully(EncodeFrame(FrameType::kHealthResponse,
+                                  EncodeHealthResponse(health)))
+          .ok();
+    }
+    default:
+      // A response type arriving at the server is a protocol violation.
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(session,
+                 Status::InvalidArgument(StrFormat(
+                     "net: frame type %u is not a request",
+                     static_cast<unsigned>(type))));
+      return false;
+  }
+}
+
+bool OptimizerServer::HandleOptimize(Session* session,
+                                     const std::string& payload) {
+  StatusOr<NetOptimizeRequest> wire = DecodeOptimizeRequest(payload);
+  if (!wire.ok()) {
+    // Payload-level corruption that framing checksums cannot see (e.g.
+    // a malformed request built by a buggy client): reject and close.
+    bad_frames_.fetch_add(1, std::memory_order_relaxed);
+    WriteError(session, wire.status());
+    return false;
+  }
+  if (wire->deadline_millis < 0) {
+    return WriteError(session,
+                      Status::InvalidArgument(
+                          "net: deadline_millis must be >= 0"));
+  }
+  StatusOr<Workflow> workflow = ParseWorkflowText(wire->workflow_text);
+  if (!workflow.ok()) {
+    // A request-level error: reply and keep the connection — the frame
+    // stream itself is intact.
+    return WriteError(session, workflow.status());
+  }
+  OptimizeRequest request;
+  request.workflow = std::move(workflow).value();
+  request.algorithm = wire->algorithm;
+  request.options = wire->options;
+  request.merge_constraints = std::move(wire->merge_constraints);
+  request.deadline_millis = wire->deadline_millis;
+  if (options_.max_deadline_millis > 0 &&
+      (request.deadline_millis == 0 ||
+       request.deadline_millis > options_.max_deadline_millis)) {
+    request.deadline_millis = options_.max_deadline_millis;
+  }
+
+  // Admission control: Submit answers ResourceExhausted immediately at
+  // max_queue — the shed reply costs one cache-free round trip, no
+  // search, no queue slot.
+  StatusOr<OptimizeResponse> response =
+      service_.Submit(std::move(request)).get();
+  if (!response.ok()) {
+    if (response.status().IsResourceExhausted()) {
+      requests_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return WriteError(session, response.status());
+  }
+  if (!response->plan->persistable) {
+    // No serialized form exists (merged chains); an explicit error beats
+    // an unrepresentable reply.
+    return WriteError(session,
+                      Status::FailedPrecondition(
+                          "net: result has no serializable plan form"));
+  }
+  NetOptimizeResponse reply;
+  reply.plan = response->plan->plan;
+  reply.cache_hit = response->cache_hit;
+  reply.coalesced = response->coalesced;
+  reply.degraded = response->degraded;
+  reply.server_millis = response->latency_millis;
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  return session->socket
+      .WriteFully(EncodeFrame(FrameType::kOptimizeResponse,
+                              EncodeOptimizeResponse(reply)))
+      .ok();
+}
+
+bool OptimizerServer::WriteError(Session* session, const Status& status) {
+  return session->socket
+      .WriteFully(EncodeFrame(FrameType::kErrorResponse,
+                              EncodeStatusPayload(status)))
+      .ok();
+}
+
+}  // namespace etlopt

@@ -1,0 +1,127 @@
+// OptimizerServer: the networked front of OptimizerService.
+//
+// One accept thread plus one session thread per live connection, each
+// session a closed loop of read-frame -> dispatch -> write-frame over
+// the ETLNET1 protocol. Production behaviors are layered on the service
+// hardening of PR 5:
+//
+//   Admission control. Connections past max_connections and requests
+//   past the service queue (max_queue) are shed with a FAST
+//   ResourceExhausted error frame — the peer always hears back, never a
+//   silent drop. Shed counts are exported in NetServerStats.
+//
+//   Deadlines on the wire. A request's deadline_millis crosses the wire
+//   and is enforced server-side from the moment the request is admitted
+//   (queue wait included); max_deadline_millis caps what clients may
+//   ask for. Degraded (circuit-breaker / failed-search) answers flow
+//   back with the degraded flag set, exactly as in-process.
+//
+//   Graceful drain. Stop() shuts the listener, lets every in-flight
+//   request finish and flush its reply (up to drain_timeout_millis),
+//   then force-closes stragglers and joins all threads. Health answers
+//   serving=false while draining.
+//
+//   Warm restarts. With plan_file set, Start() loads the persisted
+//   ETLPLNS1/plan-text container into the PlanCache (a missing file is
+//   a cold start, not an error) and Stop() persists it back — a
+//   restarted server answers its hot working set from cache
+//   immediately.
+
+#ifndef ETLOPT_NET_SERVER_H_
+#define ETLOPT_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/server_options.h"
+#include "net/socket.h"
+#include "service/optimizer_service.h"
+
+namespace etlopt {
+
+class OptimizerServer {
+ public:
+  /// `model` must outlive the server.
+  OptimizerServer(const CostModel& model, ServerOptions options);
+
+  /// Stops (drains) if still running.
+  ~OptimizerServer();
+
+  OptimizerServer(const OptimizerServer&) = delete;
+  OptimizerServer& operator=(const OptimizerServer&) = delete;
+
+  /// Validates options, warm-loads plan_file when set, binds, listens,
+  /// and spawns the accept loop. Fails cleanly (no socket left bound) on
+  /// bad options, an unbindable port, or a corrupt plan file.
+  Status Start();
+
+  /// Graceful drain (see above). Idempotent. Returns the plan-persist
+  /// status when plan_file is set.
+  Status Stop();
+
+  /// The actually-bound port (ephemeral_port resolves here).
+  int port() const { return port_; }
+
+  bool serving() const {
+    return running_.load(std::memory_order_acquire) &&
+           !draining_.load(std::memory_order_acquire);
+  }
+
+  /// Server-level counters; the wrapped service's own stats come from
+  /// service().Stats() (both travel together in the stats frame).
+  NetServerStats NetStats() const;
+
+  OptimizerService& service() { return service_; }
+
+  /// Plans admitted from plan_file by the last Start() (warm restart
+  /// observability).
+  size_t plans_loaded() const { return plans_loaded_; }
+
+ private:
+  struct Session {
+    std::thread thread;
+    Socket socket;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void SessionLoop(Session* session);
+  /// One frame dispatched; false = close the connection.
+  bool HandleFrame(Session* session, FrameType type,
+                   const std::string& payload);
+  bool HandleOptimize(Session* session, const std::string& payload);
+  /// Error reply; false when even that write failed.
+  bool WriteError(Session* session, const Status& status);
+
+  const CostModel& model_;
+  ServerOptions options_;
+  OptimizerService service_;
+
+  Socket listener_;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  size_t plans_loaded_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  size_t active_sessions_ = 0;  // guarded by mu_
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+};
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_NET_SERVER_H_

@@ -1,0 +1,51 @@
+#include "net/server_options.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+Status ValidateServerOptions(const ServerOptions& options) {
+  if (!options.ephemeral_port && (options.port <= 0 || options.port > 65535)) {
+    return Status::InvalidArgument(StrFormat(
+        "server: port must be in [1, 65535], got %d", options.port));
+  }
+  if (options.host.empty()) {
+    return Status::InvalidArgument("server: host must not be empty");
+  }
+  if (options.backlog < 1) {
+    return Status::InvalidArgument(
+        StrFormat("server: backlog must be >= 1, got %d", options.backlog));
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument(
+        "server: max_connections must be >= 1");
+  }
+  if (options.service.max_queue < 1) {
+    return Status::InvalidArgument(
+        "server: service.max_queue must be >= 1 (the load-shedding "
+        "threshold cannot be zero)");
+  }
+  ETLOPT_RETURN_NOT_OK(
+      ValidateServiceOptions(options.service).WithContext("server"));
+  if (options.max_deadline_millis < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "server: max_deadline_millis must be >= 0 (0 = no cap), got %lld",
+        static_cast<long long>(options.max_deadline_millis)));
+  }
+  if (options.read_timeout_millis < 0 || options.write_timeout_millis < 0) {
+    return Status::InvalidArgument(
+        "server: socket timeouts must be >= 0 (0 = none)");
+  }
+  if (options.max_frame_bytes < 1024) {
+    return Status::InvalidArgument(
+        "server: max_frame_bytes must be >= 1024");
+  }
+  if (options.drain_timeout_millis < 0) {
+    return Status::InvalidArgument(
+        "server: drain_timeout_millis must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace etlopt

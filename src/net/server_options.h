@@ -1,0 +1,75 @@
+// Knobs for the networked optimizer server (ISSUE 8).
+//
+// Validation mirrors ValidateSearchOptions / ValidateStreamOptions /
+// ValidateServiceOptions: OptimizerServer::Start validates the whole
+// bundle up front and each rejection names the offending knob, so a
+// misconfigured server never binds a socket.
+
+#ifndef ETLOPT_NET_SERVER_OPTIONS_H_
+#define ETLOPT_NET_SERVER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "service/optimizer_service.h"
+
+namespace etlopt {
+
+struct ServerOptions {
+  // --- Listening socket ---
+  /// TCP port to bind. Must be in [1, 65535] unless ephemeral_port is
+  /// set; zero and negative ports are rejected up front.
+  int port = 7451;
+  /// Bind port 0 and let the OS assign one (tests, parallel CI). The
+  /// bound port is reported by OptimizerServer::port() after Start.
+  bool ephemeral_port = false;
+  /// Listen address. Default loopback: the server trusts its peers.
+  std::string host = "127.0.0.1";
+  /// listen(2) backlog. Must be >= 1.
+  int backlog = 64;
+
+  // --- Admission control ---
+  /// Cap on concurrently served connections. A connection past the cap
+  /// receives a fast ResourceExhausted error frame and is closed —
+  /// never a silent drop. Must be >= 1.
+  size_t max_connections = 64;
+  /// Queue-full shedding happens in OptimizerService::Submit (past
+  /// service.max_queue); the session turns that rejection into a fast
+  /// ResourceExhausted reply on the wire.
+  ServiceOptions service;
+
+  // --- Per-request deadlines ---
+  /// Cap applied to client-supplied deadlines; a request asking for more
+  /// is clamped. 0 = no cap. Negative is rejected.
+  int64_t max_deadline_millis = 0;
+
+  // --- Socket robustness ---
+  /// Per-read/-write socket timeouts; a peer that stalls longer gets a
+  /// clean error and its connection closed. 0 = none. Must be >= 0.
+  int64_t read_timeout_millis = 30000;
+  int64_t write_timeout_millis = 30000;
+  /// Frames whose length prefix exceeds this are rejected before any
+  /// allocation. Must be >= 1024.
+  size_t max_frame_bytes = static_cast<size_t>(64) << 20;
+
+  // --- Shutdown ---
+  /// Stop(): in-flight requests get this long to finish and flush their
+  /// replies before sockets are force-closed. Must be >= 0.
+  int64_t drain_timeout_millis = 5000;
+
+  // --- Warm restarts ---
+  /// When non-empty: Start() warm-loads the PlanCache from this plan
+  /// container (missing file = cold start, not an error) and Stop()
+  /// persists it back in ETLPLNS1 binary form.
+  std::string plan_file;
+};
+
+/// Rejects nonsensical configurations with InvalidArgument naming the
+/// knob (zero/negative port, zero queue/connection bounds, negative
+/// deadlines or timeouts, undersized frame cap, bad service options).
+Status ValidateServerOptions(const ServerOptions& options);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_NET_SERVER_OPTIONS_H_

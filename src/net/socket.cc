@@ -1,0 +1,180 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "fault/fault_injector.h"
+
+namespace etlopt {
+
+namespace {
+
+Status ErrnoStatus(const char* op, int err) {
+  std::string message =
+      StrFormat("net: %s failed: %s", op, std::strerror(err));
+  if (err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT) {
+    return Status::DeadlineExceeded(std::move(message));
+  }
+  if (err == ECONNRESET || err == EPIPE || err == ECONNREFUSED ||
+      err == ENOTCONN || err == ESHUTDOWN || err == EBADF) {
+    return Status::Unavailable(std::move(message));
+  }
+  return Status::IOError(std::move(message));
+}
+
+Status SetTimeout(int fd, int option, int64_t millis) {
+  if (fd < 0) return Status::Unavailable("net: socket is closed");
+  struct timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt", errno);
+  }
+  return Status::OK();
+}
+
+StatusOr<struct sockaddr_in> ResolveV4(const std::string& host, int port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Status Socket::ReadFully(std::string& out, size_t n) {
+  ETLOPT_FAULT_HIT(FaultSite::kNetRead);
+  if (fd_ < 0) return Status::Unavailable("net: socket is closed");
+  size_t start = out.size();
+  out.resize(start + n);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = recv(fd_, out.data() + start + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    out.resize(start + got);
+    if (r == 0) {
+      return Status::Unavailable("net: connection closed by peer");
+    }
+    if (errno == EINTR) {
+      out.resize(start + n);
+      continue;
+    }
+    return ErrnoStatus("recv", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteFully(std::string_view bytes) {
+  ETLOPT_FAULT_HIT(FaultSite::kNetWrite);
+  if (fd_ < 0) return Status::Unavailable("net: socket is closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t r =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetReadTimeout(int64_t millis) {
+  return SetTimeout(fd_, SO_RCVTIMEO, millis);
+}
+
+Status Socket::SetWriteTimeout(int64_t millis) {
+  return SetTimeout(fd_, SO_SNDTIMEO, millis);
+}
+
+void Socket::Shutdown(bool read_only) {
+  if (fd_ >= 0) shutdown(fd_, read_only ? SHUT_RD : SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::pair<Socket, int>> ListenTcp(const std::string& host, int port,
+                                           int backlog) {
+  ETLOPT_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(host, port));
+  Socket sock(socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  int one = 1;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (listen(sock.fd(), backlog) != 0) {
+    return ErrnoStatus("listen", errno);
+  }
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&bound),
+                  &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  int bound_port = ntohs(bound.sin_port);
+  return std::make_pair(std::move(sock), bound_port);
+}
+
+StatusOr<Socket> AcceptTcp(const Socket& listener) {
+  if (!listener.valid()) {
+    return Status::Unavailable("net: listener is closed");
+  }
+  int fd = accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR) return Status::Unavailable("net: accept interrupted");
+    return ErrnoStatus("accept", errno);
+  }
+  Socket sock(fd);
+  // The hook sits after accept(2) so an injected fault models a
+  // connection the server fails to take over: the fd is closed (the
+  // client sees a clean reset/EOF, never a half-served session).
+  ETLOPT_FAULT_HIT(FaultSite::kNetAccept);
+  int one = 1;
+  setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+StatusOr<Socket> ConnectTcp(const std::string& host, int port,
+                            int64_t timeout_millis) {
+  ETLOPT_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(host, port));
+  Socket sock(socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  if (timeout_millis > 0) {
+    // SO_SNDTIMEO also bounds connect(2) on Linux.
+    ETLOPT_RETURN_NOT_OK(sock.SetWriteTimeout(timeout_millis));
+    ETLOPT_RETURN_NOT_OK(sock.SetReadTimeout(timeout_millis));
+  }
+  if (connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    return ErrnoStatus("connect", errno);
+  }
+  int one = 1;
+  setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace etlopt

@@ -1,0 +1,85 @@
+// Thin RAII layer over POSIX TCP sockets, with Status-based error
+// reporting and the net.* fault-injection hooks.
+//
+// All blocking reads and writes loop over partial transfers: a frame is
+// delivered whole or the caller gets a clean error (peer closed, timed
+// out, injected fault) — never a short read silently treated as success.
+// ReadFully/WriteFully are the ONLY places that touch recv/send, so the
+// net.read / net.write fault sites cover every byte that crosses the
+// wire in either direction.
+
+#ifndef ETLOPT_NET_SOCKET_H_
+#define ETLOPT_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace etlopt {
+
+/// Owns one socket file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `n` bytes into `out` (appended). Loops over partial
+  /// reads; EOF mid-transfer is a clean Unavailable("connection closed"),
+  /// a timeout is DeadlineExceeded. Hits net.read once per call.
+  Status ReadFully(std::string& out, size_t n);
+
+  /// Writes all of `bytes`, looping over partial writes. A closed peer
+  /// is Unavailable, a timeout DeadlineExceeded. Hits net.write once per
+  /// call.
+  Status WriteFully(std::string_view bytes);
+
+  /// SO_RCVTIMEO / SO_SNDTIMEO; 0 disables the timeout.
+  Status SetReadTimeout(int64_t millis);
+  Status SetWriteTimeout(int64_t millis);
+
+  /// shutdown(2). `read_only` stops only inbound data (graceful drain:
+  /// the peer's in-flight reply still flushes); otherwise both ways.
+  void Shutdown(bool read_only);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = OS-assigned). Returns the
+/// listening socket and the actually-bound port.
+StatusOr<std::pair<Socket, int>> ListenTcp(const std::string& host, int port,
+                                           int backlog);
+
+/// Blocking accept. Hits net.accept before the new connection is handed
+/// back; an injected fault closes the just-accepted fd and surfaces the
+/// error. A closed/shut-down listener yields Unavailable (the server's
+/// shutdown path relies on that to stop the accept loop cleanly).
+StatusOr<Socket> AcceptTcp(const Socket& listener);
+
+/// Blocking connect to host:port with an optional timeout.
+StatusOr<Socket> ConnectTcp(const std::string& host, int port,
+                            int64_t timeout_millis = 0);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_NET_SOCKET_H_

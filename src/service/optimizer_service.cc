@@ -97,8 +97,11 @@ std::future<StatusOr<OptimizeResponse>> OptimizerService::Submit(
       std::make_shared<std::promise<StatusOr<OptimizeResponse>>>();
   std::future<StatusOr<OptimizeResponse>> future = promise->get_future();
   auto shared_request = std::make_shared<OptimizeRequest>(std::move(request));
-  pool_.Submit([this, shared_request, promise](size_t) {
-    promise->set_value(Handle(*shared_request));
+  // The deadline clock starts NOW, not when a worker picks the request
+  // up: time spent queued is time the client already waited.
+  Clock::time_point enqueued = Clock::now();
+  pool_.Submit([this, shared_request, promise, enqueued](size_t) {
+    promise->set_value(Handle(*shared_request, enqueued));
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   });
   return future;
@@ -107,11 +110,11 @@ std::future<StatusOr<OptimizeResponse>> OptimizerService::Submit(
 StatusOr<OptimizeResponse> OptimizerService::Optimize(
     OptimizeRequest request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  return Handle(request);
+  return Handle(request, Clock::now());
 }
 
-StatusOr<OptimizeResponse> OptimizerService::Handle(OptimizeRequest& request) {
-  Clock::time_point start = Clock::now();
+StatusOr<OptimizeResponse> OptimizerService::Handle(
+    OptimizeRequest& request, Clock::time_point start) {
   ETLOPT_FAULT_HIT(FaultSite::kServiceRequest);
   ETLOPT_RETURN_NOT_OK(ValidateServiceOptions(options_));
   if (request.deadline_millis < 0) {
@@ -312,7 +315,7 @@ StatusOr<size_t> OptimizerService::LoadPlans(const std::string& path) {
     ETLOPT_ASSIGN_OR_RETURN(State best, ApplyPlan(plan, model_));
     ETLOPT_ASSIGN_OR_RETURN(Workflow initial, PlanInitialWorkflow(plan));
     PlanCacheKey key;
-    key.workflow_hash = initial.SignatureHash();
+    key.workflow_hash = HashWorkflowForCache(initial);
     key.context_hash = HashRequestContext(plan.algorithm, plan.cost_model,
                                           plan.options, plan.merges);
     auto entry = std::make_shared<CachedPlan>();

@@ -79,7 +79,9 @@ struct OptimizeResponse {
   /// answers are never cached: the cache only holds plans byte-identical
   /// to a fresh full search.
   bool degraded = false;
-  /// This request's wall-clock latency, queueing excluded.
+  /// This request's wall-clock latency. For Submit-path requests the
+  /// clock starts at enqueue, so queue wait counts (and counts against
+  /// the deadline); for Optimize it starts on entry.
   double latency_millis = 0.0;
 };
 
@@ -128,7 +130,11 @@ class OptimizerService {
   size_t num_threads() const { return pool_.num_threads(); }
 
  private:
-  StatusOr<OptimizeResponse> Handle(OptimizeRequest& request);
+  /// `start` anchors the request's deadline and latency clock: Submit
+  /// passes its enqueue time (queue wait burns deadline budget), Optimize
+  /// passes entry time.
+  StatusOr<OptimizeResponse> Handle(OptimizeRequest& request,
+                                    std::chrono::steady_clock::time_point start);
   StatusOr<std::shared_ptr<const CachedPlan>> ComputePlan(
       const OptimizeRequest& request,
       std::chrono::steady_clock::time_point start, int64_t deadline_millis);

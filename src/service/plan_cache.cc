@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "io/text_format.h"
 
 namespace etlopt {
 
@@ -38,18 +39,43 @@ uint64_t HashRequestContext(std::string_view algorithm,
   return h;
 }
 
+uint64_t HashWorkflowForCache(const Workflow& workflow) {
+  // SignatureHash() covers only the plabel tree — the workflow's SHAPE.
+  // Two workflows with identical shape but different content (schemas,
+  // cardinalities, functions) must not share a cache slot: they have
+  // different optimal plans. The canonical text includes every field
+  // that feeds the cost model, so hash that. Workflows with no text
+  // form (merged chains — optimizer output, never a cacheable request)
+  // fall back to the structural hash, domain-separated so a fallback
+  // key can never alias a content key.
+  TextFormatOptions text_options;
+  text_options.emit_plabels = true;
+  StatusOr<std::string> text = PrintWorkflowText(workflow, text_options);
+  uint64_t h = 1469598103934665603ull;  // FNV-64 offset basis
+  if (text.ok()) {
+    HashBytes(h, "wf-text");
+    HashBytes(h, *text);
+    return h;
+  }
+  uint64_t structural = 0;
+  if (workflow.fresh()) {
+    structural = workflow.SignatureHash();
+  } else {
+    Workflow copy = workflow;
+    if (copy.Refresh().ok()) structural = copy.SignatureHash();
+  }
+  HashBytes(h, "wf-shape");
+  HashBytes(h, std::string_view(reinterpret_cast<const char*>(&structural),
+                                sizeof(structural)));
+  return h;
+}
+
 StatusOr<PlanCacheKey> MakePlanCacheKey(
     const Workflow& workflow, SearchAlgorithm algorithm,
     const CostModel& model, const SearchOptions& options,
     const std::vector<MergeConstraint>& merge_constraints) {
   PlanCacheKey key;
-  if (workflow.fresh()) {
-    key.workflow_hash = workflow.SignatureHash();
-  } else {
-    Workflow copy = workflow;
-    ETLOPT_RETURN_NOT_OK(copy.Refresh());
-    key.workflow_hash = copy.SignatureHash();
-  }
+  key.workflow_hash = HashWorkflowForCache(workflow);
   key.context_hash = HashRequestContext(
       SearchAlgorithmToString(algorithm), model.Fingerprint(),
       ResultFingerprint(options),

@@ -33,7 +33,7 @@
 namespace etlopt {
 
 struct PlanCacheKey {
-  uint64_t workflow_hash = 0;  // request Workflow::SignatureHash()
+  uint64_t workflow_hash = 0;  // HashWorkflowForCache of the request
   uint64_t context_hash = 0;   // HashRequestContext of everything else
 
   friend bool operator==(const PlanCacheKey& a, const PlanCacheKey& b) {
@@ -41,6 +41,14 @@ struct PlanCacheKey {
            a.context_hash == b.context_hash;
   }
 };
+
+/// Content-inclusive workflow hash for cache keys: FNV-64 over the
+/// canonical workflow text (plabels included), so workflows that share a
+/// signature SHAPE but differ in schemas/cardinalities/functions — and
+/// therefore in optimal plan — never share a cache slot. Unprintable
+/// workflows (merged chains) fall back to the domain-separated
+/// structural hash.
+uint64_t HashWorkflowForCache(const Workflow& workflow);
 
 /// FNV-64 over the canonical request context.
 uint64_t HashRequestContext(std::string_view algorithm,

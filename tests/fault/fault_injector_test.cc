@@ -207,6 +207,43 @@ TEST(FaultInjectorTest, VectorizedBatchSiteFiresAndCountsIndependently) {
   EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kActivityExecute)], 0u);
 }
 
+TEST(FaultInjectorTest, NetSitesAreRegistered) {
+  EXPECT_EQ(FaultSiteName(FaultSite::kNetAccept), "net.accept");
+  EXPECT_EQ(FaultSiteName(FaultSite::kNetRead), "net.read");
+  EXPECT_EQ(FaultSiteName(FaultSite::kNetWrite), "net.write");
+  const auto& all = AllFaultSites();
+  EXPECT_EQ(all.size(), static_cast<size_t>(kNumFaultSites));
+  for (FaultSite site :
+       {FaultSite::kNetAccept, FaultSite::kNetRead, FaultSite::kNetWrite}) {
+    EXPECT_NE(std::find(all.begin(), all.end(), site), all.end());
+  }
+  std::set<std::string_view> names;
+  for (FaultSite site : all) names.insert(FaultSiteName(site));
+  EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(FaultInjectorTest, NetSitesFireAndCountIndependently) {
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kNetRead, 1, FaultKind::kError));
+  schedule.faults.push_back(
+      MakeSpec(FaultSite::kNetWrite, 0, FaultKind::kError));
+  ScopedFaultInjection arm(schedule);
+  auto& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.Hit(FaultSite::kNetRead).ok());  // hit 0
+  // net.accept has no scheduled fault; its counter stays clean.
+  EXPECT_TRUE(injector.Hit(FaultSite::kNetAccept).ok());
+  Status write = injector.Hit(FaultSite::kNetWrite);
+  EXPECT_TRUE(write.IsUnavailable()) << write.ToString();
+  Status read = injector.Hit(FaultSite::kNetRead);  // hit 1
+  EXPECT_TRUE(read.IsUnavailable()) << read.ToString();
+  FaultStats stats = injector.Stats();
+  EXPECT_EQ(stats.hits[static_cast<int>(FaultSite::kNetRead)], 2u);
+  EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kNetRead)], 1u);
+  EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kNetWrite)], 1u);
+  EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kNetAccept)], 0u);
+}
+
 // An injected activity fault surfaces from ExecuteWorkflow as a clean
 // non-OK Status; disarming restores normal execution.
 TEST(FaultInjectorTest, InjectedActivityFaultFailsExecutionCleanly) {

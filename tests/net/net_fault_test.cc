@@ -1,0 +1,161 @@
+// Fault sweep over the net.* sites: with a fault injected at every
+// accept/read/write hit index in turn (error and crash kinds), a client
+// driving a live server must always see either a correct, byte-identical
+// answer or a clean non-OK Status — never a torn reply, a corrupt plan,
+// or a hang. After every injected fault the server keeps serving: the
+// next clean request succeeds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "fault/fault_injector.h"
+#include "io/plan_format.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "workload/generator.h"
+
+namespace etlopt {
+namespace {
+
+SearchOptions SmallBudget() {
+  SearchOptions options;
+  options.max_states = 2000;
+  return options;
+}
+
+Workflow WorkflowFor(uint64_t seed) {
+  GeneratorOptions gen;
+  gen.seed = seed;
+  auto generated = GenerateWorkflow(gen);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  return std::move(generated->workflow);
+}
+
+class NetFaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.ephemeral_port = true;
+    options.service.num_threads = 2;
+    server_ = std::make_unique<OptimizerServer>(model_, options);
+    ASSERT_TRUE(server_->Start().ok());
+    // The reference answer, computed before any fault is armed.
+    OptimizerService reference(model_);
+    OptimizeRequest request;
+    request.workflow = WorkflowFor(7);
+    request.options = SmallBudget();
+    auto response = reference.Optimize(std::move(request));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    expected_bytes_ = SerializePlanBinary(response->plan->plan);
+  }
+
+  void TearDown() override {
+    if (server_) EXPECT_TRUE(server_->Stop().ok());
+  }
+
+  // One full client interaction under whatever schedule is armed.
+  // Returns the final status; on OK the answer was verified
+  // byte-identical.
+  Status OneRequest() {
+    ClientOptions options;
+    options.timeout_millis = 5000;
+    auto client =
+        OptimizerClient::Connect("127.0.0.1", server_->port(), options);
+    if (!client.ok()) return client.status();
+    auto request = MakeNetRequest(WorkflowFor(7),
+                                  SearchAlgorithm::kHeuristic, SmallBudget());
+    if (!request.ok()) return request.status();
+    auto response = client->Optimize(*request);
+    if (!response.ok()) return response.status();
+    EXPECT_EQ(SerializePlanBinary(response->plan), expected_bytes_)
+        << "a served answer must be byte-identical even under faults";
+    return Status::OK();
+  }
+
+  LinearLogCostModel model_;
+  std::unique_ptr<OptimizerServer> server_;
+  std::string expected_bytes_;
+};
+
+TEST_F(NetFaultSweepTest, SweepAcceptReadWriteFaults) {
+  // hits 0..5 cover: accept, request read, request write, reply read,
+  // reply write, and the steady state past them. Both kinds: a typed
+  // error and a crash-point (the process-death model).
+  for (FaultSite site :
+       {FaultSite::kNetAccept, FaultSite::kNetRead, FaultSite::kNetWrite}) {
+    for (FaultKind kind : {FaultKind::kError, FaultKind::kCrash}) {
+      for (uint64_t hit = 0; hit < 6; ++hit) {
+        Status status;
+        {
+          FaultSchedule schedule;
+          FaultSpec spec;
+          spec.site = site;
+          spec.hit = hit;
+          spec.kind = kind;
+          schedule.faults.push_back(spec);
+          ScopedFaultInjection arm(schedule);
+          status = OneRequest();
+        }
+        // Either a verified-correct answer or a clean error — any
+        // status code is fine as long as it IS a Status, but it must
+        // never be a torn/corrupt success (checked inside OneRequest).
+        if (!status.ok()) {
+          EXPECT_FALSE(status.message().empty())
+              << FaultSiteName(site) << " hit " << hit;
+        }
+        // The server survived the injected fault: with the injector
+        // disarmed, the very next request is served correctly.
+        Status recovered = OneRequest();
+        EXPECT_TRUE(recovered.ok())
+            << "after " << FaultSiteName(site) << " hit " << hit << " ("
+            << (kind == FaultKind::kCrash ? "crash" : "error")
+            << "): " << recovered.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(NetFaultSweepTest, InjectedReadFaultNeverCorruptsACachedAnswer) {
+  // Warm the cache first, then hammer reads with faults: every
+  // successful reply must still be byte-identical to the reference.
+  ASSERT_TRUE(OneRequest().ok());
+  size_t served = 0;
+  for (uint64_t hit = 0; hit < 4; ++hit) {
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.site = FaultSite::kNetRead;
+    spec.hit = hit;
+    spec.kind = FaultKind::kError;
+    schedule.faults.push_back(spec);
+    ScopedFaultInjection arm(schedule);
+    if (OneRequest().ok()) ++served;
+  }
+  // Not every hit index lands on a live read, so some attempts succeed;
+  // their byte-identity was verified inside OneRequest.
+  (void)served;
+}
+
+TEST_F(NetFaultSweepTest, AcceptFaultDropsOnlyThatConnection) {
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.site = FaultSite::kNetAccept;
+  spec.hit = 0;
+  spec.kind = FaultKind::kError;
+  schedule.faults.push_back(spec);
+  uint64_t rejected_before = server_->NetStats().connections_accepted;
+  {
+    ScopedFaultInjection arm(schedule);
+    Status status = OneRequest();
+    // The dropped connection surfaces as a clean transport error (the
+    // injected fault fires server-side; the client just sees the close).
+    EXPECT_FALSE(status.ok());
+  }
+  EXPECT_TRUE(OneRequest().ok());
+  EXPECT_GT(server_->NetStats().connections_accepted, rejected_before);
+}
+
+}  // namespace
+}  // namespace etlopt

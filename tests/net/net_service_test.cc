@@ -1,0 +1,496 @@
+// End-to-end optimizer serving over real loopback sockets: byte
+// identity between networked and in-process answers (across 1, 2, and 8
+// concurrent clients), admission-control shedding, server-side deadline
+// enforcement with queue wait counted, connection caps, protocol-error
+// handling, graceful drain, and warm restarts from a persisted plan
+// file.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "fault/fault_injector.h"
+#include "io/plan_format.h"
+#include "io/text_format.h"
+#include "net/client.h"
+#include "workload/generator.h"
+
+namespace etlopt {
+namespace {
+
+SearchOptions SmallBudget() {
+  SearchOptions options;
+  options.max_states = 2000;
+  return options;
+}
+
+Workflow WorkflowFor(uint64_t seed) {
+  GeneratorOptions gen;
+  gen.seed = seed;
+  auto generated = GenerateWorkflow(gen);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  return std::move(generated->workflow);
+}
+
+ServerOptions TestServerOptions() {
+  ServerOptions options;
+  options.ephemeral_port = true;
+  options.service.num_threads = 4;
+  return options;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// The reference answer, computed in-process with an independent service
+// from the same canonical request text that crosses the wire. (A
+// workflow and its canonical text have the same signature, but twin
+// activities that are byte-for-byte interchangeable can swap names
+// across a reparse — so the byte-identity contract is per request TEXT:
+// identical text in, identical answer bytes out, networked or not.)
+std::string InProcessPlanBytes(const CostModel& model, uint64_t seed) {
+  auto net_request = MakeNetRequest(WorkflowFor(seed),
+                                    SearchAlgorithm::kHeuristic,
+                                    SmallBudget());
+  EXPECT_TRUE(net_request.ok()) << net_request.status().ToString();
+  auto workflow = ParseWorkflowText(net_request->workflow_text);
+  EXPECT_TRUE(workflow.ok()) << workflow.status().ToString();
+  OptimizerService reference(model);
+  OptimizeRequest request;
+  request.workflow = std::move(workflow).value();
+  request.options = SmallBudget();
+  auto response = reference.Optimize(std::move(request));
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->plan->persistable);
+  return SerializePlanBinary(response->plan->plan);
+}
+
+TEST(NetServiceTest, SocketAnswerIsByteIdenticalToInProcess) {
+  LinearLogCostModel model;
+  OptimizerServer server(model, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.serving());
+
+  auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto request = MakeNetRequest(WorkflowFor(1), SearchAlgorithm::kHeuristic,
+                                SmallBudget());
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+
+  auto cold = client->Optimize(*request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cache_hit);
+  EXPECT_FALSE(cold->degraded);
+  EXPECT_EQ(SerializePlanBinary(cold->plan), InProcessPlanBytes(model, 1));
+
+  // Second round trip: a cache hit with the same bytes.
+  auto warm = client->Optimize(*request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(SerializePlanBinary(warm->plan),
+            SerializePlanBinary(cold->plan));
+  ASSERT_TRUE(server.Stop().ok());
+  EXPECT_FALSE(server.serving());
+}
+
+TEST(NetServiceTest, ByteIdentityHoldsAcrossConcurrentClients) {
+  LinearLogCostModel model;
+  constexpr uint64_t kSeeds[] = {10, 11, 12, 13};
+  std::vector<std::string> expected;
+  for (uint64_t seed : kSeeds) {
+    expected.push_back(InProcessPlanBytes(model, seed));
+  }
+
+  for (size_t num_clients : {size_t{1}, size_t{2}, size_t{8}}) {
+    ServerOptions options = TestServerOptions();
+    options.max_connections = num_clients;
+    OptimizerServer server(model, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<std::thread> clients;
+    std::vector<std::string> errors(num_clients);
+    for (size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          errors[c] = "connect: " + client.status().ToString();
+          return;
+        }
+        // Every client walks the seeds at a different starting offset so
+        // cold misses, coalesced waits, and warm hits all occur.
+        for (size_t i = 0; i < std::size(kSeeds); ++i) {
+          size_t pick = (c + i) % std::size(kSeeds);
+          auto request = MakeNetRequest(WorkflowFor(kSeeds[pick]),
+                                        SearchAlgorithm::kHeuristic,
+                                        SmallBudget());
+          if (!request.ok()) {
+            errors[c] = "request: " + request.status().ToString();
+            return;
+          }
+          auto response = client->Optimize(*request);
+          if (!response.ok()) {
+            errors[c] = "optimize: " + response.status().ToString();
+            return;
+          }
+          if (SerializePlanBinary(response->plan) != expected[pick]) {
+            errors[c] = "answer bytes differ from in-process reference";
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (size_t c = 0; c < num_clients; ++c) {
+      EXPECT_TRUE(errors[c].empty())
+          << "client " << c << " of " << num_clients << ": " << errors[c];
+    }
+    ASSERT_TRUE(server.Stop().ok());
+  }
+}
+
+TEST(NetServiceTest, QueueOverflowShedsWithFastResourceExhausted) {
+  LinearLogCostModel model;
+  ServerOptions options = TestServerOptions();
+  options.service.num_threads = 1;
+  options.service.max_queue = 1;
+  options.max_connections = 8;
+  OptimizerServer server(model, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pin the single worker: the first search sleeps 400ms at the
+  // injected delay site, so concurrent requests pile onto a full queue.
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.site = FaultSite::kSearchExecute;
+  spec.hit = 0;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 400000;
+  schedule.faults.push_back(spec);
+  ScopedFaultInjection arm(schedule);
+
+  std::atomic<int> shed{0}, served{0}, other{0};
+  std::vector<std::thread> clients;
+  for (uint64_t c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+      ASSERT_TRUE(client.ok());
+      // Distinct workflows: no cache hits, no coalescing — every request
+      // needs the one worker.
+      auto request = MakeNetRequest(WorkflowFor(100 + c),
+                                    SearchAlgorithm::kHeuristic,
+                                    SmallBudget());
+      ASSERT_TRUE(request.ok());
+      auto response = client->Optimize(*request);
+      if (response.ok()) {
+        ++served;
+      } else if (response.status().IsResourceExhausted()) {
+        ++shed;  // the typed shed reply, visible across the wire
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(served.load(), 0);
+  EXPECT_GT(shed.load(), 0);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(server.NetStats().requests_shed,
+            static_cast<uint64_t>(shed.load()));
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(NetServiceTest, DeadlineCountsQueueWaitAndCrossesTheWire) {
+  LinearLogCostModel model;
+  ServerOptions options = TestServerOptions();
+  options.service.num_threads = 1;
+  options.service.max_queue = 4;
+  OptimizerServer server(model, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The first request holds the only worker for 500ms.
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.site = FaultSite::kSearchExecute;
+  spec.hit = 0;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 500000;
+  schedule.faults.push_back(spec);
+  ScopedFaultInjection arm(schedule);
+
+  std::thread holder([&] {
+    auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto request = MakeNetRequest(WorkflowFor(200),
+                                  SearchAlgorithm::kHeuristic, SmallBudget());
+    ASSERT_TRUE(request.ok());
+    auto response = client->Optimize(*request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+  });
+  // Give the holder a head start onto the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // This request's 50ms deadline expires while it queues behind the
+  // holder — the server must answer DeadlineExceeded, not serve late.
+  auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto request =
+      MakeNetRequest(WorkflowFor(201), SearchAlgorithm::kHeuristic,
+                     SmallBudget(), {}, /*deadline_millis=*/50);
+  ASSERT_TRUE(request.ok());
+  auto late = client->Optimize(*request);
+  holder.join();
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsDeadlineExceeded()) << late.status().ToString();
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(NetServiceTest, MaxDeadlineCapsClientAsk) {
+  LinearLogCostModel model;
+  ServerOptions options = TestServerOptions();
+  options.service.num_threads = 1;
+  options.service.max_queue = 4;
+  options.max_deadline_millis = 50;
+  OptimizerServer server(model, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The first request pins the only worker for 500ms; the second asks
+  // for an unlimited (0) deadline, but the server caps it at 50ms — the
+  // queue wait alone must produce DeadlineExceeded.
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.site = FaultSite::kSearchExecute;
+  spec.hit = 0;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 500000;
+  schedule.faults.push_back(spec);
+  ScopedFaultInjection arm(schedule);
+
+  std::thread holder([&] {
+    auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto request = MakeNetRequest(WorkflowFor(210),
+                                  SearchAlgorithm::kHeuristic, SmallBudget());
+    ASSERT_TRUE(request.ok());
+    auto response = client->Optimize(*request);
+    // The holder itself is also capped at 50ms of deadline; its queue
+    // wait is zero but its search sleeps 500ms, so it may succeed (the
+    // deadline is only re-checked between attempts) — either outcome is
+    // legal here, the point is the queued request below.
+    (void)response;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto request =
+      MakeNetRequest(WorkflowFor(211), SearchAlgorithm::kHeuristic,
+                     SmallBudget(), {}, /*deadline_millis=*/0);
+  ASSERT_TRUE(request.ok());
+  auto response = client->Optimize(*request);
+  holder.join();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(NetServiceTest, ConnectionCapRejectsWithTypedError) {
+  LinearLogCostModel model;
+  ServerOptions options = TestServerOptions();
+  options.max_connections = 1;
+  OptimizerServer server(model, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = OptimizerClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(first.ok());
+  // A round trip guarantees the session is registered server-side.
+  ASSERT_TRUE(first->Health().ok());
+
+  auto second = OptimizerClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(second.ok());  // TCP accepts; the server then sheds
+  auto health = second->Health();
+  ASSERT_FALSE(health.ok());
+  EXPECT_TRUE(health.status().IsResourceExhausted())
+      << health.status().ToString();
+  EXPECT_GE(server.NetStats().connections_rejected, 1u);
+
+  // The first connection is unaffected by the shed.
+  EXPECT_TRUE(first->Health().ok());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(NetServiceTest, HealthStatsAndSavePlansServeOverTheWire) {
+  LinearLogCostModel model;
+  OptimizerServer server(model, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto health = client->Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health->serving);
+
+  auto request = MakeNetRequest(WorkflowFor(300),
+                                SearchAlgorithm::kHeuristic, SmallBudget());
+  ASSERT_TRUE(request.ok());
+  ASSERT_TRUE(client->Optimize(*request).ok());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->service.requests, 1u);
+  EXPECT_GE(stats->service.searches_run, 1u);
+  EXPECT_GE(stats->server.connections_accepted, 1u);
+  EXPECT_GE(stats->server.requests_served, 1u);
+  EXPECT_FALSE(stats->server.draining);
+
+  const std::string path = TempPath("net_saved_plans.bin");
+  NetSavePlansRequest save;
+  save.path = path;
+  save.binary = true;
+  ASSERT_TRUE(client->SavePlans(save).ok());
+  // The persisted container loads into a fresh service.
+  OptimizerService fresh(model);
+  auto loaded = fresh.LoadPlans(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 1u);
+  std::remove(path.c_str());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(NetServiceTest, MalformedBytesGetCleanErrorAndConnectionCloses) {
+  LinearLogCostModel model;
+  OptimizerServer server(model, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto raw = ConnectTcp("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetReadTimeout(5000).ok());
+  ASSERT_TRUE(raw->WriteFully("this is not an ETLNET1 frame at all!").ok());
+  auto reply = ReadFrame(*raw, 1 << 20);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kErrorResponse);
+  Status remote = DecodeStatusPayload(reply->payload);
+  EXPECT_TRUE(remote.IsInvalidArgument()) << remote.ToString();
+  // The stream is poisoned; the server hangs up after the error reply.
+  auto next = ReadFrame(*raw, 1 << 20);
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsUnavailable()) << next.status().ToString();
+  EXPECT_GE(server.NetStats().bad_frames, 1u);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(NetServiceTest, RequestLevelErrorKeepsConnectionAlive) {
+  LinearLogCostModel model;
+  OptimizerServer server(model, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A syntactically valid frame whose workflow does not parse: the
+  // request fails, the connection survives.
+  NetOptimizeRequest bad;
+  bad.workflow_text = "this is not a workflow";
+  auto response = client->Optimize(bad);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument())
+      << response.status().ToString();
+
+  auto health = client->Health();
+  EXPECT_TRUE(health.ok()) << health.status().ToString();
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(NetServiceTest, StoppedServerRefusesNewWorkCleanly) {
+  LinearLogCostModel model;
+  OptimizerServer server(model, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+  auto client = OptimizerClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Health().ok());
+  ASSERT_TRUE(server.Stop().ok());
+
+  // The drained connection is gone; the client sees a clean transport
+  // error, never a hang or a torn reply.
+  auto health = client->Health();
+  ASSERT_FALSE(health.ok());
+  EXPECT_TRUE(health.status().IsUnavailable() ||
+              health.status().IsDeadlineExceeded() ||
+              health.status().IsIOError())
+      << health.status().ToString();
+}
+
+TEST(NetServiceTest, WarmRestartReloadsPersistedPlans) {
+  LinearLogCostModel model;
+  const std::string path = TempPath("net_warm_restart_plans.bin");
+  std::remove(path.c_str());
+
+  ServerOptions options = TestServerOptions();
+  options.plan_file = path;
+  std::string first_bytes;
+  {
+    OptimizerServer server(model, options);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(server.plans_loaded(), 0u);  // cold start, missing file OK
+    auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto request = MakeNetRequest(WorkflowFor(400),
+                                  SearchAlgorithm::kHeuristic, SmallBudget());
+    ASSERT_TRUE(request.ok());
+    auto response = client->Optimize(*request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->cache_hit);
+    first_bytes = SerializePlanBinary(response->plan);
+    ASSERT_TRUE(server.Stop().ok());  // persists the cache
+  }
+  {
+    OptimizerServer server(model, options);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(server.plans_loaded(), 1u);
+    auto client = OptimizerClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto request = MakeNetRequest(WorkflowFor(400),
+                                  SearchAlgorithm::kHeuristic, SmallBudget());
+    ASSERT_TRUE(request.ok());
+    // First request after restart: already warm, and byte-identical to
+    // the pre-restart answer.
+    auto response = client->Optimize(*request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->cache_hit);
+    EXPECT_EQ(SerializePlanBinary(response->plan), first_bytes);
+    ASSERT_TRUE(server.Stop().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NetServiceTest, CorruptPlanFileFailsStartCleanly) {
+  LinearLogCostModel model;
+  const std::string path = TempPath("net_corrupt_plans.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("ETLPLNS1 but then garbage follows", f);
+    std::fclose(f);
+  }
+  ServerOptions options = TestServerOptions();
+  options.plan_file = path;
+  OptimizerServer server(model, options);
+  Status status = server.Start();
+  EXPECT_FALSE(status.ok()) << "corrupt plan file must not start silently";
+  EXPECT_FALSE(server.serving());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace etlopt

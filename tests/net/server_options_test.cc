@@ -1,0 +1,109 @@
+#include "net/server_options.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "net/server.h"
+
+namespace etlopt {
+namespace {
+
+ServerOptions Valid() {
+  ServerOptions options;
+  options.ephemeral_port = true;
+  return options;
+}
+
+TEST(ServerOptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(ValidateServerOptions(ServerOptions{}).ok());
+  EXPECT_TRUE(ValidateServerOptions(Valid()).ok());
+}
+
+TEST(ServerOptionsTest, RejectsZeroAndNegativePorts) {
+  ServerOptions options;
+  options.port = 0;
+  Status status = ValidateServerOptions(options);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+
+  options.port = -7451;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  options.port = 65536;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  // ephemeral_port is the explicit opt-in for OS-assigned ports; the
+  // configured port value is then ignored, not validated.
+  options.port = 0;
+  options.ephemeral_port = true;
+  EXPECT_TRUE(ValidateServerOptions(options).ok());
+}
+
+TEST(ServerOptionsTest, RejectsEmptyHostAndBadBacklog) {
+  ServerOptions options = Valid();
+  options.host = "";
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  options = Valid();
+  options.backlog = 0;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  options = Valid();
+  options.max_connections = 0;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+}
+
+TEST(ServerOptionsTest, RejectsBadQueueBounds) {
+  ServerOptions options = Valid();
+  options.service.max_queue = 0;
+  Status status = ValidateServerOptions(options);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(ServerOptionsTest, RejectsNegativeDeadlinesAndTimeouts) {
+  ServerOptions options = Valid();
+  options.max_deadline_millis = -1;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  options = Valid();
+  options.read_timeout_millis = -1;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  options = Valid();
+  options.write_timeout_millis = -1;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  options = Valid();
+  options.drain_timeout_millis = -1;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+
+  options = Valid();
+  options.service.default_deadline_millis = -5;
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+}
+
+TEST(ServerOptionsTest, RejectsTinyFrameCap) {
+  ServerOptions options = Valid();
+  options.max_frame_bytes = 16;  // smaller than any real frame
+  EXPECT_TRUE(ValidateServerOptions(options).IsInvalidArgument());
+}
+
+TEST(ServerOptionsTest, BadServiceOptionsAreSurfacedWithContext) {
+  ServerOptions options = Valid();
+  options.service.retry.max_attempts = 0;
+  Status status = ValidateServerOptions(options);
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(ServerOptionsTest, ServerStartFailsCleanlyOnBadOptions) {
+  LinearLogCostModel model;
+  ServerOptions options;
+  options.port = 0;  // invalid without ephemeral_port
+  OptimizerServer server(model, options);
+  Status status = server.Start();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_FALSE(server.serving());
+  EXPECT_TRUE(server.Stop().ok());  // idempotent no-op
+}
+
+}  // namespace
+}  // namespace etlopt

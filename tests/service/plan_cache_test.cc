@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "io/text_format.h"
 #include "workload/generator.h"
 
 namespace etlopt {
@@ -202,6 +203,48 @@ TEST(PlanCacheTest, SnapshotReturnsAllEntries) {
   PlanCache cache;
   for (uint64_t i = 0; i < 16; ++i) cache.Insert(Key(i), Entry(8));
   EXPECT_EQ(cache.Snapshot().size(), 16u);
+}
+
+TEST(PlanCacheTest, EqualShapeDifferentContentGetsDistinctKeys) {
+  // Regression: generator seeds 11 and 12 produce workflows with the
+  // SAME structural SignatureHash but different cardinalities — and
+  // therefore different optimal plans. A shape-only cache key served
+  // seed 11's plan to seed 12's request; the key must separate them.
+  GeneratorOptions gen;
+  gen.seed = 11;
+  auto a = GenerateWorkflow(gen);
+  gen.seed = 12;
+  auto b = GenerateWorkflow(gen);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->workflow.SignatureHash(), b->workflow.SignatureHash())
+      << "seeds no longer collide structurally; pick a colliding pair";
+  EXPECT_NE(HashWorkflowForCache(a->workflow),
+            HashWorkflowForCache(b->workflow));
+
+  LinearLogCostModel model;
+  auto key_a = MakePlanCacheKey(a->workflow, SearchAlgorithm::kHeuristic,
+                                model, SearchOptions{}, {});
+  auto key_b = MakePlanCacheKey(b->workflow, SearchAlgorithm::kHeuristic,
+                                model, SearchOptions{}, {});
+  ASSERT_TRUE(key_a.ok() && key_b.ok());
+  EXPECT_FALSE(*key_a == *key_b);
+}
+
+TEST(PlanCacheTest, CacheKeyIsStableAcrossTextRoundTrip) {
+  // A request that arrives as canonical text (the wire path) must land
+  // on the same cache slot as the identical in-memory workflow.
+  GeneratorOptions gen;
+  gen.seed = 11;
+  auto generated = GenerateWorkflow(gen);
+  ASSERT_TRUE(generated.ok());
+  TextFormatOptions text_options;
+  text_options.emit_plabels = true;
+  auto text = PrintWorkflowText(generated->workflow, text_options);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseWorkflowText(*text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(HashWorkflowForCache(generated->workflow),
+            HashWorkflowForCache(*reparsed));
 }
 
 }  // namespace
