@@ -30,11 +30,13 @@
 #include <vector>
 
 #include "common/random.h"
+#include "engine/executor.h"
 #include "io/plan_format.h"
 #include "io/text_format.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/optimizer_service.h"
+#include "service/shared_result_cache.h"
 #include "suite_runner.h"
 #include "workload/generator.h"
 
@@ -133,6 +135,10 @@ struct LoadFigures {
   double p99_ms = 0;
   uint64_t requests_served = 0;
   uint64_t identity_checked = 0;
+  double plan_cache_hit_rate_pct = 0;
+  double plan_cache_bytes = 0;
+  double result_cache_hit_rate_pct = 0;
+  double result_cache_bytes = 0;
 };
 
 LoadFigures RunLoadPhase(const BenchConfig& config, const CostModel& model) {
@@ -142,6 +148,10 @@ LoadFigures RunLoadPhase(const BenchConfig& config, const CostModel& model) {
   options.service.max_queue = 64;
   options.max_connections = config.clients + 1;
   OptimizerServer server(model, options);
+  // The serving stack's shared intermediate-result cache: executions
+  // run against it in-process; its counters travel in the stats frame.
+  SharedResultCache result_cache;
+  server.service().AttachResultCache(&result_cache);
   ETLOPT_CHECK_OK(server.Start());
 
   // The working set, its wire requests, and the in-process reference
@@ -244,13 +254,48 @@ LoadFigures RunLoadPhase(const BenchConfig& config, const CostModel& model) {
       static_cast<double>(completed.load()) / (elapsed_ms / 1000.0);
   figures.identity_checked = completed.load();
 
-  // Server-side counters fetched over the wire, like any operator would.
+  // Tenant executions against the serving stack's result cache: one
+  // cold run materializes, a second identical run must be served.
+  {
+    Workflow executed = WorkflowFor(8100);
+    ExecutionInput input = GenerateInputFor(executed, 9100, 100);
+    CacheOptions copts;
+    copts.cache = &result_cache;
+    auto baseline = ExecuteWorkflow(executed, input);
+    ETLOPT_CHECK_OK(baseline.status());
+    for (int run = 0; run < 2; ++run) {
+      auto r = ExecuteWorkflow(executed, input, copts);
+      ETLOPT_CHECK_OK(r.status());
+      if (r->target_data != baseline->target_data) {
+        std::fprintf(stderr, "FAIL: cached execution differs\n");
+        std::exit(1);
+      }
+    }
+  }
+
+  // Server-side counters fetched over the wire, like any operator would
+  // — both caches' figures come from the DECODED stats frame, so the
+  // wire fields themselves are exercised.
   {
     auto client = OptimizerClient::Connect("127.0.0.1", server.port());
     ETLOPT_CHECK_OK(client.status());
     auto stats = client->Stats();
     ETLOPT_CHECK_OK(stats.status());
     figures.requests_served = stats->server.requests_served;
+    figures.plan_cache_hit_rate_pct = 100.0 * stats->service.cache.hit_rate();
+    figures.plan_cache_bytes =
+        static_cast<double>(stats->service.cache.bytes);
+    figures.result_cache_hit_rate_pct =
+        100.0 * stats->service.result_cache.hit_rate();
+    figures.result_cache_bytes =
+        static_cast<double>(stats->service.result_cache.bytes);
+    if (stats->service.result_cache.hits == 0 ||
+        stats->service.result_cache.bytes == 0) {
+      std::fprintf(stderr,
+                   "FAIL: result-cache counters missing from the wire "
+                   "stats frame\n");
+      std::exit(1);
+    }
   }
 
   ETLOPT_CHECK_OK(server.Stop());
@@ -375,6 +420,12 @@ int Run() {
   report.Add("load.p99_ms", load.p99_ms, "ms");
   report.Add("load.requests_served",
              static_cast<double>(load.requests_served), "requests");
+  report.Add("load.plan_cache_hit_rate", load.plan_cache_hit_rate_pct,
+             "percent");
+  report.Add("load.plan_cache_bytes", load.plan_cache_bytes, "bytes");
+  report.Add("load.result_cache_hit_rate", load.result_cache_hit_rate_pct,
+             "percent");
+  report.Add("load.result_cache_bytes", load.result_cache_bytes, "bytes");
 
   ShedFigures shed = RunShedPhase(config, model);
   std::printf(

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "engine/shared_cache_exec.h"
 #include "fault/fault_injector.h"
 
 namespace etlopt {
@@ -31,13 +32,25 @@ StatusOr<std::vector<Record>> RealignRecords(const std::vector<Record>& rows,
 
 StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
                                           const ExecutionInput& input) {
+  return ExecuteWorkflow(workflow, input, CacheOptions{});
+}
+
+StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
+                                          const ExecutionInput& input,
+                                          const CacheOptions& cache_options) {
   if (!workflow.fresh()) {
     return Status::FailedPrecondition(
         "workflow must pass Refresh() before execution");
   }
   ExecutionResult result;
+  CachePlan plan(workflow, input, cache_options);
   std::map<NodeId, std::vector<Record>> flows;
   for (NodeId id : workflow.TopoOrder()) {
+    if (plan.Skip(id)) continue;
+    if (const CachedSubgraphResult* served = plan.Served(id)) {
+      flows[id] = served->rows;
+      continue;
+    }
     std::vector<NodeId> providers = workflow.Providers(id);
     if (workflow.IsRecordSet(id)) {
       const RecordSetDef& def = workflow.recordset(id);
@@ -79,8 +92,10 @@ StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
       }
       result.rows_out[id] = rows->size();
       flows[id] = std::move(rows).value();
+      plan.OnActivityComputed(id, flows[id], result.rows_out);
     }
   }
+  plan.Finalize(result);
   return result;
 }
 

@@ -17,11 +17,49 @@
 
 namespace etlopt {
 
+class SharedResultCache;
+
 /// Everything a run needs besides the workflow itself: source contents
 /// (keyed by recordset name) and the surrogate-key lookup tables.
 struct ExecutionInput {
   std::map<std::string, std::vector<Record>> source_data;
   ExecutionContext context;
+};
+
+/// Where the engines probe the shared result cache.
+enum class CutPointPolicy : int {
+  /// Activity nodes worth materializing: chain contains a blocking member
+  /// (aggregation, PK check, join, difference, intersection), or the node
+  /// feeds a recordset (staging/target — the flow and backbone stage
+  /// boundaries), or it feeds a multi-input activity (union providers).
+  kAuto = 0,
+  /// Every activity node. Maximizes reuse granularity; tests use it to
+  /// stress the protocol.
+  kAll = 1,
+};
+
+/// Shared-result-cache knobs, off by default: with `cache == nullptr`
+/// every engine takes exactly its legacy code path, bit for bit.
+struct CacheOptions {
+  /// Not owned; must outlive the run. nullptr disables caching.
+  SharedResultCache* cache = nullptr;
+  CutPointPolicy cut_points = CutPointPolicy::kAuto;
+  /// When false the run only consumes (Lookup) and never leases or
+  /// publishes — e.g. speculative or admission-throttled executions.
+  bool publish = true;
+};
+
+/// Per-run shared-result-cache bookkeeping. `rows_computed` versus the
+/// full Σ rows_out is the work-saved metric the bench gate checks.
+struct CacheRunStats {
+  bool enabled = false;
+  size_t cut_points = 0;      // cacheable cut points identified
+  size_t hits = 0;            // cut points served from the cache
+  size_t misses = 0;          // probed cut points that had to compute
+  size_t published = 0;       // leases completed with a publication
+  size_t nodes_total = 0;     // activity nodes in the workflow
+  size_t nodes_executed = 0;  // activity nodes actually executed
+  size_t rows_computed = 0;   // Σ rows_out over executed nodes only
 };
 
 /// The result of a run: rows delivered to each target recordset (keyed by
@@ -30,7 +68,10 @@ struct ExecutionResult {
   std::map<std::string, std::vector<Record>> target_data;
   /// Rows that crossed each activity node's output, keyed by node id —
   /// the observed analogue of the cost model's cardinality estimates.
+  /// Complete even for cache-served nodes (transferred positionally from
+  /// the publishing run).
   std::map<NodeId, size_t> rows_out;
+  CacheRunStats cache;
 };
 
 /// Executes `workflow` (which must be fresh, i.e. Refresh() succeeded)
@@ -38,6 +79,13 @@ struct ExecutionResult {
 /// or any activity rejects its input.
 StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
                                           const ExecutionInput& input);
+
+/// As above, consulting a shared result cache at the cut points selected
+/// by `cache_options`. Byte-identical outputs either way; cache failures
+/// (evictions, busy leases, injected faults) degrade to recomputation.
+StatusOr<ExecutionResult> ExecuteWorkflow(const Workflow& workflow,
+                                          const ExecutionInput& input,
+                                          const CacheOptions& cache_options);
 
 /// The independent engine implementations. All produce byte-identical
 /// results on every workflow (the engine-agreement property); they differ
@@ -61,6 +109,8 @@ struct ExecutionOptions {
   size_t batch_size = 0;
   /// kParallel / kVectorized: hash-exchange partition count.
   size_t num_partitions = 0;
+  /// All engines: shared-result-cache knobs (off when cache == nullptr).
+  CacheOptions cache;
 };
 
 /// Dispatches to the engine selected by `options`.

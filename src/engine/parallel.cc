@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "engine/partition.h"
+#include "engine/shared_cache_exec.h"
 #include "engine/thread_pool.h"
 #include "fault/fault_injector.h"
 
@@ -444,6 +445,7 @@ StatusOr<ExecutionResult> ExecuteParallel(const Workflow& workflow,
   eng.stats = stats;
 
   ExecutionResult result;
+  CachePlan plan(workflow, input, options.cache);
   std::map<NodeId, std::vector<Record>> flows;
   std::map<NodeId, size_t> remaining_consumers;
   for (NodeId id : workflow.NodeIds()) {
@@ -462,6 +464,11 @@ StatusOr<ExecutionResult> ExecuteParallel(const Workflow& workflow,
   };
 
   for (NodeId id : workflow.TopoOrder()) {
+    if (plan.Skip(id)) continue;
+    if (const CachedSubgraphResult* served = plan.Served(id)) {
+      flows[id] = served->rows;
+      continue;
+    }
     std::vector<NodeId> providers = workflow.Providers(id);
     if (workflow.IsRecordSet(id)) {
       const RecordSetDef& def = workflow.recordset(id);
@@ -528,7 +535,9 @@ StatusOr<ExecutionResult> ExecuteParallel(const Workflow& workflow,
     }
     result.rows_out[id] = cur.size();
     flows[id] = std::move(cur);
+    plan.OnActivityComputed(id, flows[id], result.rows_out);
   }
+  plan.Finalize(result);
   return result;
 }
 

@@ -40,6 +40,9 @@ struct ParallelOptions {
   /// The produced data is identical whatever the value; it only shapes
   /// load balance.
   size_t num_partitions = 0;
+  /// Shared-result-cache knobs (off when cache == nullptr); content-
+  /// neutral like every other knob here.
+  CacheOptions cache;
 };
 
 /// Observability counters for a parallel run. All totals are

@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "engine/parallel.h"
 #include "engine/partition.h"
+#include "engine/shared_cache_exec.h"
 #include "engine/thread_pool.h"
 #include "fault/fault_injector.h"
 
@@ -403,6 +404,7 @@ StatusOr<ExecutionResult> ExecuteVectorized(const Workflow& workflow,
   eng.stats = stats;
 
   ExecutionResult result;
+  CachePlan plan(workflow, input, options.cache);
   std::map<NodeId, BatchVec> flows;
   std::map<NodeId, size_t> remaining_consumers;
   for (NodeId id : workflow.NodeIds()) {
@@ -419,6 +421,12 @@ StatusOr<ExecutionResult> ExecuteVectorized(const Workflow& workflow,
   };
 
   for (NodeId id : workflow.TopoOrder()) {
+    if (plan.Skip(id)) continue;
+    if (const CachedSubgraphResult* served = plan.Served(id)) {
+      ETLOPT_ASSIGN_OR_RETURN(
+          flows[id], MakeBatches(eng, workflow.OutputSchema(id), served->rows));
+      continue;
+    }
     std::vector<NodeId> providers = workflow.Providers(id);
     if (workflow.IsRecordSet(id)) {
       const RecordSetDef& def = workflow.recordset(id);
@@ -481,8 +489,13 @@ StatusOr<ExecutionResult> ExecuteVectorized(const Workflow& workflow,
       cur = std::move(batches).value();
     }
     result.rows_out[id] = TotalRows(cur);
+    if (plan.Leased(id)) {
+      // Materialize rows only where a publication happens.
+      plan.OnActivityComputed(id, FlattenBatches(cur), result.rows_out);
+    }
     flows[id] = std::move(cur);
   }
+  plan.Finalize(result);
   return result;
 }
 
@@ -491,12 +504,13 @@ StatusOr<ExecutionResult> ExecuteWith(const Workflow& workflow,
                                       const ExecutionOptions& options) {
   switch (options.engine) {
     case EngineKind::kSerial:
-      return ExecuteWorkflow(workflow, input);
+      return ExecuteWorkflow(workflow, input, options.cache);
     case EngineKind::kParallel: {
       ParallelOptions popts;
       popts.num_threads = options.num_threads;
       popts.morsel_size = options.morsel_size;
       popts.num_partitions = options.num_partitions;
+      popts.cache = options.cache;
       return ExecuteParallel(workflow, input, popts);
     }
     case EngineKind::kVectorized: {
@@ -504,6 +518,7 @@ StatusOr<ExecutionResult> ExecuteWith(const Workflow& workflow,
       vopts.num_threads = options.num_threads;
       vopts.batch_size = options.batch_size;
       vopts.num_partitions = options.num_partitions;
+      vopts.cache = options.cache;
       return ExecuteVectorized(workflow, input, vopts);
     }
   }

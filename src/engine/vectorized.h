@@ -46,6 +46,9 @@ struct VectorizedOptions {
   /// Partition count for the hash exchanges of blocking kernels.
   /// 0 derives one from num_threads. Content-neutral, like batch_size.
   size_t num_partitions = 0;
+  /// Shared-result-cache knobs (off when cache == nullptr); content-
+  /// neutral like every other knob here.
+  CacheOptions cache;
 };
 
 /// Observability counters for a vectorized run. Totals are deterministic

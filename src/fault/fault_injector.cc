@@ -34,6 +34,8 @@ std::string_view FaultSiteName(FaultSite site) {
     case FaultSite::kNetAccept: return "net.accept";
     case FaultSite::kNetRead: return "net.read";
     case FaultSite::kNetWrite: return "net.write";
+    case FaultSite::kCacheLookup: return "cache.lookup";
+    case FaultSite::kCacheMaterialize: return "cache.materialize";
   }
   return "unknown";
 }
@@ -48,6 +50,7 @@ const std::array<FaultSite, kNumFaultSites>& AllFaultSites() {
       FaultSite::kStreamSourceNext, FaultSite::kStreamStateCheckpoint,
       FaultSite::kVectorizedBatch,  FaultSite::kNetAccept,
       FaultSite::kNetRead,          FaultSite::kNetWrite,
+      FaultSite::kCacheLookup,      FaultSite::kCacheMaterialize,
   };
   return sites;
 }

@@ -56,8 +56,10 @@ enum class FaultSite : int {
   kNetAccept = 13,              // accepting one server connection
   kNetRead = 14,                // one socket read (frame bytes in)
   kNetWrite = 15,               // one socket write (frame bytes out)
+  kCacheLookup = 16,            // one shared-result-cache probe
+  kCacheMaterialize = 17,       // one shared-result-cache publication
 };
-inline constexpr int kNumFaultSites = 16;
+inline constexpr int kNumFaultSites = 18;
 
 /// Stable lowercase name ("activity_execute", ...), for reports and
 /// schedule printing.

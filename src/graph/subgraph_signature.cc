@@ -1,0 +1,155 @@
+#include "graph/subgraph_signature.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "activity/activity.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+// Domain-separation salt: bump when the fold layout changes, so stale
+// persisted/cross-version signatures can never alias fresh ones.
+constexpr uint64_t kSubgraphSigSalt = 0x5347534947763101ull;  // "SGSIGv1" ~
+
+inline uint64_t FoldU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ static_cast<unsigned char>(v >> (8 * i))) * 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t FoldByte(uint64_t h, unsigned char b) {
+  return (h ^ b) * 1099511628211ull;
+}
+
+inline uint64_t FoldString(uint64_t h, std::string_view s) {
+  h = FoldU64(h, s.size());
+  return Fnv1a64(s, h);
+}
+
+uint64_t FoldSchema(uint64_t h, const Schema& schema) {
+  h = FoldU64(h, schema.size());
+  for (const Attribute& a : schema.attributes()) {
+    h = FoldString(h, a.name);
+    h = FoldByte(h, static_cast<unsigned char>(a.type));
+  }
+  return h;
+}
+
+// Port-ordered provider index for the whole workflow, built in one edge
+// pass (Providers() is an O(E) scan per call — too slow inside a DFS).
+std::vector<std::vector<NodeId>> BuildProviderIndex(const Workflow& w) {
+  size_t slots = 1;
+  for (NodeId id : w.NodeIds()) {
+    slots = std::max(slots, static_cast<size_t>(id) + 1);
+  }
+  std::vector<std::vector<std::pair<int, NodeId>>> by_port(slots);
+  for (const WorkflowEdge& e : w.edges()) {
+    by_port[e.to].push_back({e.port, e.from});
+  }
+  std::vector<std::vector<NodeId>> out(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    std::sort(by_port[i].begin(), by_port[i].end());
+    out[i].reserve(by_port[i].size());
+    for (const auto& [port, from] : by_port[i]) out[i].push_back(from);
+  }
+  return out;
+}
+
+// One root's DFS: threads the running hash through a canonical pre-order
+// walk, folding structure (first-visit indices, back-references, port
+// order) and per-node content. `order`, when non-null, collects the
+// first-visit enumeration.
+struct SignatureWalker {
+  const Workflow& w;
+  const std::vector<std::vector<NodeId>>& providers;
+  const SubgraphSignatureInputs& inputs;
+  std::vector<int> index;  // NodeId -> first-visit index, -1 = unvisited
+  int next_index = 0;
+  std::vector<NodeId>* order = nullptr;
+
+  uint64_t Visit(uint64_t h, NodeId id) {
+    if (index[id] >= 0) {  // shared upstream node: explicit back-reference
+      h = FoldByte(h, 'R');
+      return FoldU64(h, static_cast<uint64_t>(index[id]));
+    }
+    index[id] = next_index++;
+    if (order != nullptr) order->push_back(id);
+    h = FoldByte(h, 'N');
+    const std::vector<NodeId>& provs = providers[id];
+    h = FoldU64(h, provs.size());
+    for (NodeId p : provs) h = Visit(h, p);
+    if (w.IsRecordSet(id)) {
+      const RecordSetDef& def = w.recordset(id);
+      if (provs.empty()) {
+        h = FoldByte(h, 'S');
+        h = FoldSchema(h, def.schema);
+        h = FoldU64(h, inputs.source_fingerprint
+                           ? inputs.source_fingerprint(def.name)
+                           : Fnv1a64(def.name));
+      } else {
+        h = FoldByte(h, 'G');  // staging: realigns to the declared schema
+        h = FoldSchema(h, def.schema);
+      }
+    } else {
+      h = FoldByte(h, 'A');
+      const ActivityChain& chain = w.chain(id);
+      h = FoldU64(h, chain.size());
+      for (const ActivityChain::Member& m : chain.members()) {
+        h = FoldString(h, m.activity.SemanticsString());
+        if (m.activity.kind() == ActivityKind::kSurrogateKey) {
+          const auto& p = m.activity.params_as<SurrogateKeyParams>();
+          h = FoldU64(h, inputs.lookup_fingerprint
+                             ? inputs.lookup_fingerprint(p.lookup_name)
+                             : Fnv1a64(p.lookup_name));
+        }
+      }
+      h = FoldSchema(h, w.OutputSchema(id));
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+uint64_t SubgraphResultSignature(const Workflow& workflow, NodeId root,
+                                 const SubgraphSignatureInputs& inputs) {
+  ETLOPT_CHECK(workflow.fresh());
+  ETLOPT_CHECK(workflow.Exists(root));
+  auto providers = BuildProviderIndex(workflow);
+  SignatureWalker walker{workflow, providers, inputs};
+  walker.index.assign(providers.size(), -1);
+  return walker.Visit(kSubgraphSigSalt, root);
+}
+
+std::vector<uint64_t> AllSubgraphResultSignatures(
+    const Workflow& workflow, const SubgraphSignatureInputs& inputs) {
+  ETLOPT_CHECK(workflow.fresh());
+  auto providers = BuildProviderIndex(workflow);
+  std::vector<uint64_t> out(providers.size(), 0);
+  for (NodeId id : workflow.NodeIds()) {
+    SignatureWalker walker{workflow, providers, inputs};
+    walker.index.assign(providers.size(), -1);
+    out[id] = walker.Visit(kSubgraphSigSalt, id);
+  }
+  return out;
+}
+
+std::vector<NodeId> SubtreeNodes(const Workflow& workflow, NodeId root) {
+  ETLOPT_CHECK(workflow.fresh());
+  ETLOPT_CHECK(workflow.Exists(root));
+  auto providers = BuildProviderIndex(workflow);
+  SubgraphSignatureInputs no_inputs;
+  SignatureWalker walker{workflow, providers, no_inputs};
+  walker.index.assign(providers.size(), -1);
+  std::vector<NodeId> order;
+  walker.order = &order;
+  (void)walker.Visit(kSubgraphSigSalt, root);
+  return order;
+}
+
+}  // namespace etlopt

@@ -147,6 +147,19 @@ std::string EncodeStatsResponse(const NetStatsResponse& stats) {
   PutU64(out, cache.bytes);
   PutU64(out, cache.byte_budget);
   PutU64(out, cache.shards);
+  const ResultCacheStats& rcache = stats.service.result_cache;
+  PutU64(out, rcache.hits);
+  PutU64(out, rcache.misses);
+  PutU64(out, rcache.coalesced);
+  PutU64(out, rcache.busy);
+  PutU64(out, rcache.insertions);
+  PutU64(out, rcache.evictions);
+  PutU64(out, rcache.oversized);
+  PutU64(out, rcache.aborted);
+  PutU64(out, rcache.entries);
+  PutU64(out, rcache.bytes);
+  PutU64(out, rcache.byte_budget);
+  PutU64(out, rcache.shards);
   const ServiceStats& service = stats.service;
   PutU64(out, service.requests);
   PutU64(out, service.rejected);
@@ -189,6 +202,19 @@ StatusOr<NetStatsResponse> DecodeStatsResponse(std::string_view payload) {
   ETLOPT_ASSIGN_OR_RETURN(cache.bytes, reader.U64());
   ETLOPT_ASSIGN_OR_RETURN(cache.byte_budget, reader.U64());
   ETLOPT_ASSIGN_OR_RETURN(cache.shards, reader.U64());
+  ResultCacheStats& rcache = stats.service.result_cache;
+  ETLOPT_ASSIGN_OR_RETURN(rcache.hits, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.misses, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.coalesced, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.busy, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.insertions, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.evictions, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.oversized, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.aborted, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.entries, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.bytes, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.byte_budget, reader.U64());
+  ETLOPT_ASSIGN_OR_RETURN(rcache.shards, reader.U64());
   ServiceStats& service = stats.service;
   ETLOPT_ASSIGN_OR_RETURN(service.requests, reader.U64());
   ETLOPT_ASSIGN_OR_RETURN(service.rejected, reader.U64());

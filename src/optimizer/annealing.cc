@@ -78,7 +78,8 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
     const SearchOptions& options, const AnnealingOptions& annealing) {
   ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
-  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths);
+  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths,
+                      options.cache_hint);
   Rng rng(annealing.seed);
   const size_t copies0 = Workflow::TotalCopies();
   const size_t undos0 = Workflow::TotalUndos();

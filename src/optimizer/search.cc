@@ -952,7 +952,8 @@ StatusOr<SearchResult> RunHeuristic(
     const std::vector<MergeConstraint>& merge_constraints, bool greedy) {
   ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
-  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths);
+  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths,
+                      options.cache_hint);
   SignatureInterner interner;
   size_t threads = 1;
   std::unique_ptr<ThreadPool> pool = MakePool(options, &threads);
@@ -1312,7 +1313,7 @@ Status ValidateSearchOptions(const SearchOptions& options) {
 }
 
 std::string ResultFingerprint(const SearchOptions& options) {
-  return StrFormat(
+  std::string fp = StrFormat(
       "max_states=%zu,max_millis=%lld,per_group=%zu,phase3=%zu,phase4=%zu,"
       "phases=%d%d%d%d",
       options.max_states, static_cast<long long>(options.max_millis),
@@ -1320,6 +1321,15 @@ std::string ResultFingerprint(const SearchOptions& options) {
       options.max_phase4_states, options.enable_phase1_sweep ? 1 : 0,
       options.enable_factorize ? 1 : 0, options.enable_distribute ? 1 : 0,
       options.enable_phase4_resweep ? 1 : 0);
+  // Appended only when hinted, so every pre-existing fingerprint (and
+  // with it every serving-layer plan-cache key) is byte-stable.
+  if (options.cache_hint != nullptr) {
+    fp += StrFormat(",cache_snapshot=%llu,cache_residual=%.17g",
+                    static_cast<unsigned long long>(
+                        options.cache_hint->snapshot_id),
+                    options.cache_hint->residual);
+  }
+  return fp;
 }
 
 std::string_view SearchAlgorithmToString(SearchAlgorithm algorithm) {
@@ -1391,7 +1401,8 @@ StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
                                         const SearchOptions& options) {
   ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
-  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths);
+  StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths,
+                      options.cache_hint);
   SignatureInterner interner;
   size_t threads = 1;
   std::unique_ptr<ThreadPool> pool = MakePool(options, &threads);

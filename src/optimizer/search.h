@@ -67,6 +67,14 @@ struct SearchOptions {
   bool enable_factorize = true;      // Fig. 7 Phase II
   bool enable_distribute = true;     // Fig. 7 Phase III
   bool enable_phase4_resweep = true; // Fig. 7 Phase IV
+
+  /// Cache-aware costing (see CacheCostHint): discounts subgraphs whose
+  /// results a shared result cache already holds, so search prefers
+  /// plans that keep shared prefixes intact. Unowned; must outlive the
+  /// search call and stay stable during it. Null (the default) costs
+  /// plans exactly as before — the optimizer service never sets this,
+  /// so its plan-cache keys never split on it.
+  const CacheCostHint* cache_hint = nullptr;
 };
 
 /// Rejects nonsensical budgets (max_states == 0, max_millis <= 0,

@@ -8,9 +8,10 @@ namespace etlopt {
 
 namespace {
 
-State FinishState(Workflow workflow, CostBreakdown bd, bool materialize_sig) {
+State FinishState(Workflow workflow, CostBreakdown bd, double cost,
+                  bool materialize_sig) {
   State s;
-  s.cost = bd.total;
+  s.cost = cost;
   s.signature_hash = workflow.SignatureHash();
   if (materialize_sig) s.signature = workflow.Signature();
   s.breakdown = std::make_shared<const CostBreakdown>(std::move(bd));
@@ -31,7 +32,8 @@ StatusOr<State> StateEvaluator::Eval(Workflow workflow) const {
                           ComputeCostBreakdown(workflow, model_));
   full_recosts_.fetch_add(1, std::memory_order_relaxed);
   TrackPeakStateBytes(workflow.ApproxMemoryBytes());
-  return FinishState(std::move(workflow), std::move(bd),
+  double cost = EffectiveCost(workflow, bd);
+  return FinishState(std::move(workflow), std::move(bd), cost,
                      /*materialize_sig=*/!fast_paths_);
 }
 
@@ -62,7 +64,8 @@ StatusOr<State> StateEvaluator::EvalFrom(Workflow workflow,
   delta_recosts_.fetch_add(1, std::memory_order_relaxed);
   reused_nodes_.fetch_add(stats.reused_nodes, std::memory_order_relaxed);
   recosted_nodes_.fetch_add(stats.recosted_nodes, std::memory_order_relaxed);
-  return FinishState(std::move(workflow), std::move(bd),
+  double cost = EffectiveCost(workflow, bd);
+  return FinishState(std::move(workflow), std::move(bd), cost,
                      /*materialize_sig=*/false);
 }
 
@@ -90,13 +93,13 @@ StatusOr<NeighborEval> StateEvaluator::EvalNeighbor(const Workflow& applied,
     delta_recosts_.fetch_add(1, std::memory_order_relaxed);
     reused_nodes_.fetch_add(stats.reused_nodes, std::memory_order_relaxed);
     recosted_nodes_.fetch_add(stats.recosted_nodes, std::memory_order_relaxed);
-    ne.cost = bd.total;
+    ne.cost = EffectiveCost(applied, bd);
     ne.breakdown = std::make_shared<const CostBreakdown>(std::move(bd));
   } else {
     ETLOPT_ASSIGN_OR_RETURN(CostBreakdown bd,
                             ComputeCostBreakdown(applied, model_));
     full_recosts_.fetch_add(1, std::memory_order_relaxed);
-    ne.cost = bd.total;
+    ne.cost = EffectiveCost(applied, bd);
     ne.breakdown = std::make_shared<const CostBreakdown>(std::move(bd));
   }
   ne.signature_hash = applied.SignatureHash();
@@ -145,13 +148,41 @@ void StateEvaluator::ParanoidCheckRestore(const Workflow& restored,
   ETLOPT_CHECK(restored.SignatureHash() == base_hash);
   auto full = ComputeCostBreakdown(restored, model_);
   ETLOPT_CHECK_OK(full.status());
-  ETLOPT_CHECK(full.value().total == base_cost);
+  // States carry effective (cache-discounted) costs; the discount is a
+  // deterministic function of (content, breakdown), so the restored
+  // workflow must reproduce the base's cost bit for bit through it.
+  ETLOPT_CHECK(EffectiveCost(restored, full.value()) == base_cost);
 #else
   (void)restored;
   (void)base_wf;
   (void)base_hash;
   (void)base_cost;
 #endif
+}
+
+double StateEvaluator::EffectiveCost(const Workflow& workflow,
+                                     const CostBreakdown& bd) const {
+  if (hint_ == nullptr || !hint_->is_materialized) return bd.total;
+  std::vector<uint64_t> sigs =
+      AllSubgraphResultSignatures(workflow, hint_->inputs);
+  // Mirror the executor's acquire pass: walk downstream-first; a
+  // materialized node covers its whole upstream cone, and nested
+  // materializations inside an already-covered cone add nothing.
+  const std::vector<NodeId>& topo = workflow.TopoOrder();
+  std::vector<char> avoided(sigs.size(), 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    NodeId id = *it;
+    if (avoided[id] || workflow.IsRecordSet(id)) continue;
+    if (!hint_->is_materialized(sigs[id])) continue;
+    for (NodeId n : SubtreeNodes(workflow, id)) avoided[n] = 1;
+  }
+  double cost = bd.total;
+  for (const auto& [id, node_cost] : bd.node_cost) {
+    if (static_cast<size_t>(id) < avoided.size() && avoided[id]) {
+      cost -= node_cost * (1.0 - hint_->residual);
+    }
+  }
+  return cost;
 }
 
 void StateEvaluator::TrackPeakStateBytes(size_t bytes) const {

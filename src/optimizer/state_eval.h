@@ -14,6 +14,7 @@
 #include <string>
 
 #include "cost/state_cost.h"
+#include "graph/subgraph_signature.h"
 #include "graph/workflow.h"
 
 // Exactness cross-checks (delta recost == full recost, hash/string
@@ -25,6 +26,37 @@
 #endif
 
 namespace etlopt {
+
+/// Cache-aware costing hook. When a shared result cache already holds
+/// the materialized output of a subgraph, executing a plan that keeps
+/// that subgraph intact costs (almost) nothing for the covered cone —
+/// so search should prefer such plans. The hook discounts State costs:
+/// every node whose subgraph result signature the predicate claims is
+/// materialized has its upstream cone's node costs scaled down to
+/// `residual` (the cost of reading the rows back). A transition that
+/// rewrites inside a materialized cone changes the signatures, loses
+/// the discount, and correctly looks expensive.
+///
+/// The discount applies to State/NeighborEval cost only; CostBreakdown
+/// stays the exact execution-cost ledger (delta recosting depends on
+/// its exactness). `is_materialized` must be pure and stable for the
+/// duration of one search run — serving layers should consult a
+/// snapshot, never a live mutating cache. The optimizer service never
+/// sets this hook; its plan-cache keys are unaffected.
+struct CacheCostHint {
+  /// True when a subgraph result with this signature is materialized.
+  std::function<bool(uint64_t)> is_materialized;
+  /// Fingerprint bindings for signature computation. Must match the
+  /// executor's bindings (engine/shared_cache_exec) or the hint's keys
+  /// never meet the cache's.
+  SubgraphSignatureInputs inputs;
+  /// Fraction of an avoided node's cost still charged (re-read cost).
+  double residual = 0.1;
+  /// Identity of the materialized-set snapshot, folded into
+  /// ResultFingerprint so hinted results are never conflated with
+  /// unhinted (or differently-hinted) ones.
+  uint64_t snapshot_id = 0;
+};
 
 /// A state of the search space: a workflow plus its cost and identity.
 struct State {
@@ -111,8 +143,13 @@ struct SearchPerf {
 /// while keeping identical search behavior.
 class StateEvaluator {
  public:
-  StateEvaluator(const CostModel& model, bool fast_paths)
-      : model_(model), fast_paths_(fast_paths) {}
+  /// `hint` (optional, unowned, may outlive-checked by caller) turns on
+  /// cache-aware costing: all returned costs become effective costs
+  /// (exact cost minus the materialized-cone discount). Null reproduces
+  /// plain costing bit for bit.
+  StateEvaluator(const CostModel& model, bool fast_paths,
+                 const CacheCostHint* hint = nullptr)
+      : model_(model), fast_paths_(fast_paths), hint_(hint) {}
 
   /// Costs and signs a workflow from scratch (refreshing if needed).
   StatusOr<State> Eval(Workflow workflow) const;
@@ -163,11 +200,19 @@ class StateEvaluator {
   /// process-wide Workflow counters).
   SearchPerf perf() const;
 
+  /// The cost this evaluator assigns a fresh workflow given its exact
+  /// breakdown: bd.total minus the cache discount (bd.total verbatim
+  /// when no hint is set). Deterministic in (workflow content, bd), so
+  /// restore checks can recompute it bit for bit.
+  double EffectiveCost(const Workflow& workflow,
+                       const CostBreakdown& bd) const;
+
  private:
   void TrackPeakStateBytes(size_t bytes) const;
 
   const CostModel& model_;
   const bool fast_paths_;
+  const CacheCostHint* hint_ = nullptr;
   mutable std::atomic<size_t> full_recosts_{0};
   mutable std::atomic<size_t> delta_recosts_{0};
   mutable std::atomic<size_t> reused_nodes_{0};

@@ -248,6 +248,7 @@ StatusOr<OptimizeResponse> OptimizerService::Degrade(
 ServiceStats OptimizerService::Stats() const {
   ServiceStats stats;
   stats.cache = cache_.Stats();
+  if (result_cache_ != nullptr) stats.result_cache = result_cache_->Stats();
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.uncacheable = uncacheable_.load(std::memory_order_relaxed);

@@ -105,6 +105,15 @@ class OptimizerService {
   /// as Submit, no queue slot consumed.
   StatusOr<OptimizeResponse> Optimize(OptimizeRequest request);
 
+  /// Attaches the shared intermediate-result cache whose counters this
+  /// service's Stats()/StatsReport() should surface (the serving stack
+  /// owns both and executes workflows against it). Unowned; must outlive
+  /// the service or be detached with nullptr. The service itself never
+  /// reads or writes the cache — it only snapshots counters.
+  void AttachResultCache(const SharedResultCache* cache) {
+    result_cache_ = cache;
+  }
+
   ServiceStats Stats() const;
   std::string StatsReport() const { return ServiceStatsReport(Stats()); }
 
@@ -146,6 +155,7 @@ class OptimizerService {
   const CostModel& model_;
   ServiceOptions options_;
   PlanCache cache_;
+  const SharedResultCache* result_cache_ = nullptr;
   CircuitBreaker breaker_;
   std::atomic<size_t> in_flight_{0};
   std::atomic<uint64_t> requests_{0};

@@ -33,20 +33,38 @@ std::string ServiceStatsReport(const ServiceStats& stats) {
                          stats.in_flight, stats.max_queue,
                          stats.worker_threads));
   const PlanCacheStats& c = stats.cache;
-  row("cache hit rate",
+  row("plan cache hit rate",
       StrFormat("%.1f%% (%llu hits, %llu misses, %llu coalesced)",
                 100.0 * c.hit_rate(),
                 static_cast<unsigned long long>(c.hits),
                 static_cast<unsigned long long>(c.misses),
                 static_cast<unsigned long long>(c.coalesced)));
-  row("cache size",
+  row("plan cache size",
       StrFormat("%zu plans, %zu / %zu bytes over %zu shards", c.entries,
                 c.bytes, c.byte_budget, c.shards));
-  row("cache churn",
+  row("plan cache churn",
       StrFormat("%llu insertions, %llu evictions, %llu oversized",
                 static_cast<unsigned long long>(c.insertions),
                 static_cast<unsigned long long>(c.evictions),
                 static_cast<unsigned long long>(c.oversized)));
+  const ResultCacheStats& r = stats.result_cache;
+  row("result cache hit rate",
+      StrFormat("%.1f%% (%llu hits, %llu misses, %llu coalesced, %llu busy)",
+                100.0 * r.hit_rate(),
+                static_cast<unsigned long long>(r.hits),
+                static_cast<unsigned long long>(r.misses),
+                static_cast<unsigned long long>(r.coalesced),
+                static_cast<unsigned long long>(r.busy)));
+  row("result cache size",
+      StrFormat("%zu results, %zu / %zu bytes over %zu shards", r.entries,
+                r.bytes, r.byte_budget, r.shards));
+  row("result cache churn",
+      StrFormat("%llu insertions, %llu evictions, %llu oversized, "
+                "%llu aborted",
+                static_cast<unsigned long long>(r.insertions),
+                static_cast<unsigned long long>(r.evictions),
+                static_cast<unsigned long long>(r.oversized),
+                static_cast<unsigned long long>(r.aborted)));
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "service/circuit_breaker.h"
+#include "service/shared_result_cache.h"
 
 namespace etlopt {
 
@@ -33,9 +34,12 @@ struct PlanCacheStats {
   }
 };
 
-/// Point-in-time counters of the whole service (cache included).
+/// Point-in-time counters of the whole service (caches included).
 struct ServiceStats {
   PlanCacheStats cache;
+  /// The shared intermediate-result cache attached to the service (see
+  /// OptimizerService::AttachResultCache); all-zero when none is.
+  ResultCacheStats result_cache;
   uint64_t requests = 0;          // accepted (queued or run inline)
   uint64_t rejected = 0;          // ResourceExhausted: queue full
   uint64_t uncacheable = 0;       // answered, but result not cacheable

@@ -1,6 +1,7 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "activity/templates.h"
 #include "common/macros.h"
@@ -20,6 +21,12 @@ struct CategoryParams {
   size_t post_filters;
   double aggregation_probability;
 };
+
+// Seed of the tenant-independent stream overlap mode draws shared flows
+// from. Per-flow streams are derived as kSharedFlowSeed + 1 + flow_idx
+// so a shared flow's content depends only on its index, never on how
+// many filters earlier flows consumed.
+constexpr uint64_t kSharedFlowSeed = 0x73686172656466ull;  // "sharedf"
 
 CategoryParams ParamsFor(WorkloadCategory c) {
   switch (c) {
@@ -194,10 +201,29 @@ std::string_view WorkloadCategoryToString(WorkloadCategory c) {
 StatusOr<GeneratedWorkflow> GenerateWorkflow(const GeneratorOptions& options) {
   Rng rng(options.seed);
   CategoryParams params = ParamsFor(options.category);
+  // Overlap mode (backbone_overlap in [0,1]) makes the first
+  // round(overlap * F) flows tenant-independent: their every draw — and
+  // the backbone variant, which must be uniform across a workflow's
+  // flows for union schemas to line up — comes from fixed-seed streams.
+  // The legacy path (negative overlap) is untouched draw-for-draw.
+  const bool overlap_mode = options.backbone_overlap >= 0.0;
+  const size_t shared_flows =
+      overlap_mode
+          ? std::min(params.flows,
+                     static_cast<size_t>(std::llround(
+                         std::min(1.0, options.backbone_overlap) *
+                         static_cast<double>(params.flows))))
+          : 0;
   Backbone backbone;
   backbone.rename_v1 = true;
-  backbone.normalize_date = rng.Bernoulli(0.7);
-  backbone.surrogate_key = rng.Bernoulli(0.5);
+  if (overlap_mode) {
+    Rng shared(kSharedFlowSeed);
+    backbone.normalize_date = shared.Bernoulli(0.7);
+    backbone.surrogate_key = shared.Bernoulli(0.5);
+  } else {
+    backbone.normalize_date = rng.Bernoulli(0.7);
+    backbone.surrogate_key = rng.Bernoulli(0.5);
+  }
 
   Workflow w;
   size_t total_activities = 0;
@@ -206,11 +232,14 @@ StatusOr<GeneratedWorkflow> GenerateWorkflow(const GeneratorOptions& options) {
   std::vector<FlowResult> flows;
   flows.reserve(params.flows);
   for (size_t f = 0; f < params.flows; ++f) {
-    size_t n_filters = static_cast<size_t>(rng.UniformInt(
+    Rng shared(kSharedFlowSeed + 1 + f);
+    Rng* flow_rng = f < shared_flows ? &shared : &rng;
+    size_t n_filters = static_cast<size_t>(flow_rng->UniformInt(
         static_cast<int64_t>(params.min_flow_filters),
         static_cast<int64_t>(params.max_flow_filters)));
     ETLOPT_ASSIGN_OR_RETURN(
-        FlowResult flow, BuildFlow(&w, f, backbone, n_filters, options, &rng));
+        FlowResult flow,
+        BuildFlow(&w, f, backbone, n_filters, options, flow_rng));
     total_activities += flow.activities;
     flows.push_back(std::move(flow));
   }

@@ -39,6 +39,17 @@ struct GeneratorOptions {
   /// column named `kEventTimeAttr`, so generated captures can be sliced
   /// into event-time windows by the streaming subsystem.
   bool with_event_time = false;
+  /// Cross-tenant flow overlap. Negative (the default) keeps the legacy
+  /// per-seed generation stream bit-for-bit. A value in [0, 1] switches
+  /// to overlap mode: round(backbone_overlap * F) of the F flows — and
+  /// the backbone variant itself — are drawn from a tenant-independent
+  /// fixed-seed stream, so every workflow generated with the same
+  /// category and overlap carries those flow subgraphs verbatim
+  /// regardless of `seed`. The remaining flows and the post-union chain
+  /// still come from the per-seed stream. This is the knob the shared
+  /// result cache bench sweeps: overlapping flows hash to equal subgraph
+  /// result signatures across tenants and so share cache entries.
+  double backbone_overlap = -1.0;
 };
 
 /// The event-time attribute name `with_event_time` adds to source

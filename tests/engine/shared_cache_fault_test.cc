@@ -1,0 +1,138 @@
+// Fault sweep over the shared-result-cache sites: a result cache must
+// never be able to fail a run. An injected error OR crash at ANY
+// cache.lookup hit degrades that probe to a local recompute, and at ANY
+// cache.materialize hit skips that publication (waking waiters to
+// recompute) — in every case the run succeeds with byte-identical
+// target_data and rows_out. This is deliberately stronger than the
+// engine-wide fault contract, where crash faults DO fail the run.
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "engine/executor.h"
+#include "fault/fault_injector.h"
+#include "service/shared_result_cache.h"
+#include "workload/generator.h"
+
+namespace etlopt {
+namespace {
+
+struct Case {
+  Workflow workflow;
+  ExecutionInput input;
+  ExecutionResult baseline;
+};
+
+Case MakeCase(uint64_t seed) {
+  GeneratorOptions options;
+  options.category = WorkloadCategory::kMedium;
+  options.seed = seed;
+  auto g = GenerateWorkflow(options);
+  ETLOPT_CHECK(g.ok());
+  Case c;
+  c.workflow = std::move(g->workflow);
+  c.input = GenerateInputFor(c.workflow, seed + 100, 60);
+  auto base = ExecuteWorkflow(c.workflow, c.input);
+  ETLOPT_CHECK(base.ok());
+  c.baseline = std::move(base).value();
+  return c;
+}
+
+void ExpectSameResult(const ExecutionResult& base, const ExecutionResult& got,
+                      const std::string& what) {
+  EXPECT_EQ(base.target_data, got.target_data) << what;
+  EXPECT_EQ(base.rows_out, got.rows_out) << what;
+}
+
+// One cold + one warm cached run, both under the armed schedule.
+void RunColdAndWarm(const Case& c, CutPointPolicy policy,
+                    const std::string& what) {
+  SharedResultCache cache;
+  CacheOptions copts;
+  copts.cache = &cache;
+  copts.cut_points = policy;
+  auto cold = ExecuteWorkflow(c.workflow, c.input, copts);
+  ASSERT_TRUE(cold.ok()) << what << ": " << cold.status().ToString();
+  ExpectSameResult(c.baseline, *cold, what + " (cold)");
+  auto warm = ExecuteWorkflow(c.workflow, c.input, copts);
+  ASSERT_TRUE(warm.ok()) << what << ": " << warm.status().ToString();
+  ExpectSameResult(c.baseline, *warm, what + " (warm)");
+}
+
+// Counts how many times each cache site is hit by a cold+warm pair, by
+// arming an empty schedule (pure hit counting, nothing fires).
+uint64_t CountSiteHits(const Case& c, CutPointPolicy policy, FaultSite site) {
+  ScopedFaultInjection counting{FaultSchedule{}};
+  RunColdAndWarm(c, policy, "counting pass");
+  return FaultInjector::Global().Stats().hits[static_cast<int>(site)];
+}
+
+TEST(SharedCacheFaultTest, EveryCacheFaultDegradesToRecompute) {
+  Case c = MakeCase(3);
+  for (CutPointPolicy policy :
+       {CutPointPolicy::kAuto, CutPointPolicy::kAll}) {
+    for (FaultSite site :
+         {FaultSite::kCacheLookup, FaultSite::kCacheMaterialize}) {
+      uint64_t total_hits = CountSiteHits(c, policy, site);
+      ASSERT_GT(total_hits, 0u) << FaultSiteName(site);
+      for (FaultKind kind : {FaultKind::kError, FaultKind::kCrash}) {
+        for (uint64_t hit = 0; hit < total_hits; ++hit) {
+          FaultSpec spec;
+          spec.site = site;
+          spec.hit = hit;
+          spec.kind = kind;
+          ScopedFaultInjection injection{FaultSchedule{{spec}}};
+          RunColdAndWarm(
+              c, policy,
+              StrFormat("%s kind=%d hit=%llu",
+                        std::string(FaultSiteName(site)).c_str(), (int)kind,
+                        (unsigned long long)hit));
+          EXPECT_EQ(FaultInjector::Global().Stats().total_fired(), 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(SharedCacheFaultTest, DelayFaultOnlySlowsTheRun) {
+  Case c = MakeCase(6);
+  FaultSpec spec;
+  spec.site = FaultSite::kCacheLookup;
+  spec.hit = 0;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 100;
+  ScopedFaultInjection injection{FaultSchedule{{spec}}};
+  RunColdAndWarm(c, CutPointPolicy::kAuto, "delay");
+}
+
+// A materialize crash leaves the OTHER tenants recomputing but never
+// poisons the cache: a later publication from an unfaulted run restores
+// full sharing.
+TEST(SharedCacheFaultTest, CacheRecoversAfterFailedPublication) {
+  Case c = MakeCase(8);
+  SharedResultCache cache;
+  CacheOptions copts;
+  copts.cache = &cache;
+  {
+    FaultSpec spec;
+    spec.site = FaultSite::kCacheMaterialize;
+    spec.hit = 0;
+    spec.kind = FaultKind::kCrash;
+    ScopedFaultInjection injection{FaultSchedule{{spec}}};
+    auto r = ExecuteWorkflow(c.workflow, c.input, copts);
+    ASSERT_TRUE(r.ok());
+    ExpectSameResult(c.baseline, *r, "faulted publication");
+  }
+  EXPECT_GT(cache.Stats().aborted, 0u);
+  // Unfaulted run publishes; the one after reuses everything.
+  auto repub = ExecuteWorkflow(c.workflow, c.input, copts);
+  ASSERT_TRUE(repub.ok());
+  auto warm = ExecuteWorkflow(c.workflow, c.input, copts);
+  ASSERT_TRUE(warm.ok());
+  ExpectSameResult(c.baseline, *warm, "warm after recovery");
+  EXPECT_EQ(warm->cache.nodes_executed, 0u);
+}
+
+}  // namespace
+}  // namespace etlopt

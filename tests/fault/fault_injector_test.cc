@@ -207,6 +207,20 @@ TEST(FaultInjectorTest, VectorizedBatchSiteFiresAndCountsIndependently) {
   EXPECT_EQ(stats.fired[static_cast<int>(FaultSite::kActivityExecute)], 0u);
 }
 
+TEST(FaultInjectorTest, CacheSitesAreRegistered) {
+  EXPECT_EQ(FaultSiteName(FaultSite::kCacheLookup), "cache.lookup");
+  EXPECT_EQ(FaultSiteName(FaultSite::kCacheMaterialize), "cache.materialize");
+  const auto& all = AllFaultSites();
+  EXPECT_EQ(all.size(), static_cast<size_t>(kNumFaultSites));
+  for (FaultSite site :
+       {FaultSite::kCacheLookup, FaultSite::kCacheMaterialize}) {
+    EXPECT_NE(std::find(all.begin(), all.end(), site), all.end());
+  }
+  std::set<std::string_view> names;
+  for (FaultSite site : all) names.insert(FaultSiteName(site));
+  EXPECT_EQ(names.size(), all.size());
+}
+
 TEST(FaultInjectorTest, NetSitesAreRegistered) {
   EXPECT_EQ(FaultSiteName(FaultSite::kNetAccept), "net.accept");
   EXPECT_EQ(FaultSiteName(FaultSite::kNetRead), "net.read");

@@ -1,0 +1,177 @@
+// Subgraph result signatures: the content identity behind the shared
+// result cache. The load-bearing properties: equality across workflows
+// that compute the same bytes (different node ids, names, labels,
+// cardinality estimates), separation whenever output bytes can differ
+// (predicates, schemas, bound data), and positional correspondence of
+// the canonical SubtreeNodes enumeration between equal-signature cones.
+
+#include "graph/subgraph_signature.h"
+
+#include <gtest/gtest.h>
+
+#include "activity/templates.h"
+#include "common/macros.h"
+#include "graph/workflow.h"
+
+namespace etlopt {
+namespace {
+
+Schema TwoCol() {
+  return Schema::MakeOrDie(
+      {{"A", DataType::kDouble}, {"B", DataType::kDouble}});
+}
+
+struct Flow {
+  Workflow w;
+  NodeId src, a, b, tgt;
+};
+
+// src -> NotNull(A) -> Selection(A > threshold) -> tgt. The knobs let
+// tests vary everything that must NOT matter (names, labels, estimated
+// cardinality) and everything that MUST (threshold).
+Flow MakeFlow(double threshold = 0.0, const std::string& src_name = "S",
+              const std::string& label_prefix = "", size_t cardinality = 100) {
+  Flow f;
+  f.src = f.w.AddRecordSet({src_name, TwoCol(), cardinality});
+  f.a = *f.w.AddActivity(*MakeNotNull(label_prefix + "a", "A", 0.9), {f.src});
+  f.b = *f.w.AddActivity(
+      *MakeSelection(label_prefix + "b",
+                     Compare(CompareOp::kGt, Column("A"),
+                             Literal(Value::Double(threshold))),
+                     0.5),
+      {f.a});
+  f.tgt = f.w.AddRecordSet({src_name + "_T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(f.w.Connect(f.b, f.tgt));
+  ETLOPT_CHECK_OK(f.w.Finalize());
+  return f;
+}
+
+SubgraphSignatureInputs ConstFingerprints(uint64_t source, uint64_t lookup) {
+  SubgraphSignatureInputs in;
+  in.source_fingerprint = [source](const std::string&) { return source; };
+  in.lookup_fingerprint = [lookup](const std::string&) { return lookup; };
+  return in;
+}
+
+TEST(SubgraphSignatureTest, EqualAcrossWorkflowsAndStableDifferencesWithin) {
+  Flow f = MakeFlow();
+  Flow g = MakeFlow();
+  SubgraphSignatureInputs none;
+  EXPECT_EQ(SubgraphResultSignature(f.w, f.b, none),
+            SubgraphResultSignature(g.w, g.b, none));
+  EXPECT_EQ(SubgraphResultSignature(f.w, f.src, none),
+            SubgraphResultSignature(g.w, g.src, none));
+  // Different cones within one workflow differ.
+  EXPECT_NE(SubgraphResultSignature(f.w, f.a, none),
+            SubgraphResultSignature(f.w, f.b, none));
+  EXPECT_NE(SubgraphResultSignature(f.w, f.src, none),
+            SubgraphResultSignature(f.w, f.a, none));
+}
+
+TEST(SubgraphSignatureTest, ContentNeutralDetailsAreExcluded) {
+  // Labels and estimated cardinalities cannot change output bytes; with
+  // fingerprints bound, neither can the source's NAME (only its data).
+  Flow f = MakeFlow(0.0, "S", "", 100);
+  Flow g = MakeFlow(0.0, "OtherSource", "x_", 99999);
+  auto in = ConstFingerprints(42, 7);
+  EXPECT_EQ(SubgraphResultSignature(f.w, f.b, in),
+            SubgraphResultSignature(g.w, g.b, in));
+}
+
+TEST(SubgraphSignatureTest, PredicateSeparates) {
+  Flow f = MakeFlow(0.0);
+  Flow g = MakeFlow(1.0);
+  SubgraphSignatureInputs none;
+  EXPECT_NE(SubgraphResultSignature(f.w, f.b, none),
+            SubgraphResultSignature(g.w, g.b, none));
+  // The predicate sits at b; the cones at src and a are untouched.
+  EXPECT_EQ(SubgraphResultSignature(f.w, f.a, none),
+            SubgraphResultSignature(g.w, g.a, none));
+}
+
+TEST(SubgraphSignatureTest, BoundSourceDataSeparates) {
+  Flow f = MakeFlow();
+  EXPECT_NE(SubgraphResultSignature(f.w, f.b, ConstFingerprints(1, 7)),
+            SubgraphResultSignature(f.w, f.b, ConstFingerprints(2, 7)));
+  // Without bound fingerprints the source NAME is the (weaker) identity.
+  SubgraphSignatureInputs none;
+  Flow g = MakeFlow(0.0, "Other");
+  EXPECT_NE(SubgraphResultSignature(f.w, f.src, none),
+            SubgraphResultSignature(g.w, g.src, none));
+}
+
+TEST(SubgraphSignatureTest, SharedUpstreamDiffersFromDuplicated) {
+  // One source consumed twice (a DAG diamond) versus two identical
+  // sources consumed once each. Output bytes match, but the canonical
+  // enumerations don't align positionally — the positional rows_out
+  // transfer demands these cones never share a cache entry, so the
+  // signature folds explicit back-references.
+  Workflow shared;
+  NodeId s = shared.AddRecordSet({"S", TwoCol(), 100});
+  NodeId n1 = *shared.AddActivity(*MakeNotNull("n1", "A", 0.9), {s});
+  NodeId n2 = *shared.AddActivity(*MakeNotNull("n2", "B", 0.9), {s});
+  NodeId u = *shared.AddActivity(*MakeUnion("u"), {n1, n2});
+  NodeId t = shared.AddRecordSet({"T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(shared.Connect(u, t));
+  ETLOPT_CHECK_OK(shared.Finalize());
+
+  Workflow dup;
+  NodeId s1 = dup.AddRecordSet({"S", TwoCol(), 100});
+  NodeId s2 = dup.AddRecordSet({"S", TwoCol(), 100});
+  NodeId m1 = *dup.AddActivity(*MakeNotNull("n1", "A", 0.9), {s1});
+  NodeId m2 = *dup.AddActivity(*MakeNotNull("n2", "B", 0.9), {s2});
+  NodeId v = *dup.AddActivity(*MakeUnion("u"), {m1, m2});
+  NodeId t2 = dup.AddRecordSet({"T", TwoCol(), 0});
+  ETLOPT_CHECK_OK(dup.Connect(v, t2));
+  ETLOPT_CHECK_OK(dup.Finalize());
+
+  auto in = ConstFingerprints(42, 7);
+  EXPECT_NE(SubgraphResultSignature(shared, u, in),
+            SubgraphResultSignature(dup, v, in));
+  EXPECT_EQ(SubtreeNodes(shared, u).size(), 4u);  // u, n1, s, n2 — s once
+  EXPECT_EQ(SubtreeNodes(dup, v).size(), 5u);
+}
+
+TEST(SubgraphSignatureTest, SubtreeNodesIsPositionallyCanonical) {
+  // Same logical flow, built in a different order so the node ids differ:
+  // the enumerations must line up position by position (root first).
+  Flow f = MakeFlow();
+
+  Workflow w;  // build target and activities before the source
+  NodeId tgt = w.AddRecordSet({"S_T", TwoCol(), 0});
+  NodeId src = w.AddRecordSet({"S", TwoCol(), 100});
+  NodeId a = *w.AddActivity(*MakeNotNull("a", "A", 0.9), {src});
+  NodeId b = *w.AddActivity(
+      *MakeSelection("b",
+                     Compare(CompareOp::kGt, Column("A"),
+                             Literal(Value::Double(0.0))),
+                     0.5),
+      {a});
+  ETLOPT_CHECK_OK(w.Connect(b, tgt));
+  ETLOPT_CHECK_OK(w.Finalize());
+
+  SubgraphSignatureInputs none;
+  ASSERT_EQ(SubgraphResultSignature(f.w, f.b, none),
+            SubgraphResultSignature(w, b, none));
+  std::vector<NodeId> cf = SubtreeNodes(f.w, f.b);
+  std::vector<NodeId> cw = SubtreeNodes(w, b);
+  ASSERT_EQ(cf.size(), cw.size());
+  ASSERT_EQ(cf.size(), 3u);
+  EXPECT_EQ(cf[0], f.b);
+  EXPECT_EQ(cw[0], b);
+  for (size_t i = 0; i < cf.size(); ++i) {
+    EXPECT_EQ(f.w.IsRecordSet(cf[i]), w.IsRecordSet(cw[i]));
+  }
+}
+
+TEST(SubgraphSignatureTest, AllSignaturesMatchPerRootCalls) {
+  Flow f = MakeFlow();
+  auto in = ConstFingerprints(42, 7);
+  std::vector<uint64_t> all = AllSubgraphResultSignatures(f.w, in);
+  for (NodeId id : f.w.NodeIds()) {
+    EXPECT_EQ(all[id], SubgraphResultSignature(f.w, id, in)) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace etlopt

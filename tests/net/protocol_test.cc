@@ -123,6 +123,18 @@ TEST(ProtocolTest, StatsResponseRoundTrips) {
   stats.service.cache.bytes = 4096;
   stats.service.cache.byte_budget = 1 << 20;
   stats.service.cache.shards = 16;
+  stats.service.result_cache.hits = 77;
+  stats.service.result_cache.misses = 23;
+  stats.service.result_cache.coalesced = 6;
+  stats.service.result_cache.busy = 3;
+  stats.service.result_cache.insertions = 19;
+  stats.service.result_cache.evictions = 4;
+  stats.service.result_cache.oversized = 2;
+  stats.service.result_cache.aborted = 1;
+  stats.service.result_cache.entries = 14;
+  stats.service.result_cache.bytes = 8192;
+  stats.service.result_cache.byte_budget = 1 << 22;
+  stats.service.result_cache.shards = 8;
   stats.service.breaker.state = BreakerState::kHalfOpen;
   stats.service.breaker.trips = 3;
   stats.service.breaker.rejections = 8;
@@ -159,6 +171,18 @@ TEST(ProtocolTest, StatsResponseRoundTrips) {
   EXPECT_EQ(decoded->service.cache.bytes, 4096u);
   EXPECT_EQ(decoded->service.cache.byte_budget, 1u << 20);
   EXPECT_EQ(decoded->service.cache.shards, 16u);
+  EXPECT_EQ(decoded->service.result_cache.hits, 77u);
+  EXPECT_EQ(decoded->service.result_cache.misses, 23u);
+  EXPECT_EQ(decoded->service.result_cache.coalesced, 6u);
+  EXPECT_EQ(decoded->service.result_cache.busy, 3u);
+  EXPECT_EQ(decoded->service.result_cache.insertions, 19u);
+  EXPECT_EQ(decoded->service.result_cache.evictions, 4u);
+  EXPECT_EQ(decoded->service.result_cache.oversized, 2u);
+  EXPECT_EQ(decoded->service.result_cache.aborted, 1u);
+  EXPECT_EQ(decoded->service.result_cache.entries, 14u);
+  EXPECT_EQ(decoded->service.result_cache.bytes, 8192u);
+  EXPECT_EQ(decoded->service.result_cache.byte_budget, 1u << 22);
+  EXPECT_EQ(decoded->service.result_cache.shards, 8u);
   EXPECT_EQ(decoded->service.breaker.state, BreakerState::kHalfOpen);
   EXPECT_EQ(decoded->service.breaker.trips, 3u);
   EXPECT_EQ(decoded->service.breaker.rejections, 8u);

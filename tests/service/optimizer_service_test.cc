@@ -13,8 +13,10 @@
 #include "cost/cost_model.h"
 #include "cost/external_cost_model.h"
 #include "fault/fault_injector.h"
+#include "engine/executor.h"
 #include "io/plan_format.h"
 #include "io/text_format.h"
+#include "service/shared_result_cache.h"
 #include "workload/generator.h"
 
 namespace etlopt {
@@ -237,8 +239,35 @@ TEST(OptimizerServiceTest, StatsReportMentionsKeyFigures) {
   ASSERT_TRUE(service.Optimize(RequestFor(8)).ok());
   std::string report = service.StatsReport();
   EXPECT_NE(report.find("optimizer service"), std::string::npos);
-  EXPECT_NE(report.find("cache hit rate"), std::string::npos);
+  EXPECT_NE(report.find("plan cache hit rate"), std::string::npos);
+  EXPECT_NE(report.find("result cache hit rate"), std::string::npos);
   EXPECT_NE(report.find("50.0%"), std::string::npos);
+}
+
+TEST(OptimizerServiceTest, AttachedResultCacheSurfacesInStats) {
+  LinearLogCostModel model;
+  OptimizerService service(model, {});
+  EXPECT_EQ(service.Stats().result_cache.shards, 0u);  // none attached
+  SharedResultCache result_cache;
+  service.AttachResultCache(&result_cache);
+  EXPECT_GT(service.Stats().result_cache.shards, 0u);
+  EXPECT_EQ(service.Stats().result_cache.hits, 0u);
+  // Executor traffic against the attached cache shows up in snapshots.
+  GeneratorOptions gen;
+  gen.category = WorkloadCategory::kSmall;
+  gen.seed = 4;
+  auto g = GenerateWorkflow(gen);
+  ASSERT_TRUE(g.ok());
+  ExecutionInput input = GenerateInputFor(g->workflow, 7, 50);
+  CacheOptions copts;
+  copts.cache = &result_cache;
+  ASSERT_TRUE(ExecuteWorkflow(g->workflow, input, copts).ok());
+  ASSERT_TRUE(ExecuteWorkflow(g->workflow, input, copts).ok());
+  ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.result_cache.hits, 0u);
+  EXPECT_GT(stats.result_cache.bytes, 0u);
+  service.AttachResultCache(nullptr);
+  EXPECT_EQ(service.Stats().result_cache.shards, 0u);
 }
 
 // ---------------------------------------------------------------------------

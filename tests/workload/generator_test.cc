@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <set>
+
 #include "engine/executor.h"
 #include "graph/analysis.h"
+#include "graph/subgraph_signature.h"
 #include "io/text_format.h"
+#include "service/shared_result_cache.h"
 
 namespace etlopt {
 namespace {
@@ -175,6 +181,135 @@ TEST(GeneratorTest, EventTimeWorkflowRoundTripsThroughTextFormat) {
   auto b = ExecuteWorkflow(*parsed, input);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->target_data, b->target_data);
+}
+
+// Multiset of per-activity-node subgraph result signatures, with
+// name-folding (null-callback) fingerprints: sources at equal flow
+// indices share names and schemas, so this is exactly the cross-tenant
+// identity the shared result cache keys on.
+std::multiset<uint64_t> ActivitySignatures(const Workflow& w) {
+  std::vector<uint64_t> sigs =
+      AllSubgraphResultSignatures(w, SubgraphSignatureInputs{});
+  std::multiset<uint64_t> out;
+  for (NodeId id : w.ActivityNodeIds()) out.insert(sigs[id]);
+  return out;
+}
+
+size_t CommonSignatures(const std::multiset<uint64_t>& a,
+                        const std::multiset<uint64_t>& b) {
+  std::multiset<uint64_t> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(common, common.begin()));
+  return common.size();
+}
+
+GeneratorOptions OverlapOptions(uint64_t seed, double overlap) {
+  GeneratorOptions options;
+  options.category = WorkloadCategory::kMedium;
+  options.seed = seed;
+  options.backbone_overlap = overlap;
+  return options;
+}
+
+TEST(GeneratorOverlapTest, FullOverlapSharesEveryFlowAcrossSeeds) {
+  auto a = GenerateWorkflow(OverlapOptions(11, 1.0));
+  auto b = GenerateWorkflow(OverlapOptions(12, 1.0));
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Different seeds must still differ somewhere (the post-union chain is
+  // tenant-specific)...
+  EXPECT_NE(a->workflow.PostConditionSet(), b->workflow.PostConditionSet());
+  // ...but every flow subgraph — all four flows of the medium category,
+  // each with >= 5 filters + the rename backbone stage, plus the union
+  // tree over them — hashes equal across the two tenants.
+  size_t common = CommonSignatures(ActivitySignatures(a->workflow),
+                                   ActivitySignatures(b->workflow));
+  EXPECT_GE(common, 4u * 6u + 3u) << "full-overlap flows must hash equal";
+}
+
+TEST(GeneratorOverlapTest, HalfOverlapSharesOnlyTheSharedPrefix) {
+  auto a = GenerateWorkflow(OverlapOptions(11, 0.5));
+  auto b = GenerateWorkflow(OverlapOptions(12, 0.5));
+  ASSERT_TRUE(a.ok() && b.ok());
+  size_t half = CommonSignatures(ActivitySignatures(a->workflow),
+                                 ActivitySignatures(b->workflow));
+  // Two of four flows shared: at least their 2*(5+1) chain activities
+  // plus their pairing union hash equal.
+  EXPECT_GE(half, 2u * 6u + 1u);
+  // The tenant-drawn half keeps the workflows distinct.
+  EXPECT_NE(a->workflow.PostConditionSet(), b->workflow.PostConditionSet());
+  // Overlap is monotone: full overlap shares strictly more than half.
+  auto fa = GenerateWorkflow(OverlapOptions(11, 1.0));
+  auto fb = GenerateWorkflow(OverlapOptions(12, 1.0));
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  EXPECT_GT(CommonSignatures(ActivitySignatures(fa->workflow),
+                             ActivitySignatures(fb->workflow)),
+            half);
+}
+
+TEST(GeneratorOverlapTest, OverlapModeIsDeterministicAndDistinctFromLegacy) {
+  for (double overlap : {0.0, 0.5, 1.0}) {
+    auto a = GenerateWorkflow(OverlapOptions(7, overlap));
+    auto b = GenerateWorkflow(OverlapOptions(7, overlap));
+    ASSERT_TRUE(a.ok() && b.ok()) << overlap;
+    EXPECT_EQ(a->workflow.Signature(), b->workflow.Signature()) << overlap;
+  }
+  // The knob is live: overlap mode reshapes generation vs. the legacy
+  // stream (which the default backbone_overlap = -1 preserves).
+  auto legacy = GenerateWorkflow(OverlapOptions(7, -1.0));
+  auto shared = GenerateWorkflow(OverlapOptions(7, 1.0));
+  ASSERT_TRUE(legacy.ok() && shared.ok());
+  EXPECT_NE(legacy->workflow.PostConditionSet(),
+            shared->workflow.PostConditionSet());
+}
+
+// The satellite's DSL round-trip: workflows generated at every swept
+// overlap print and reparse to an equivalent workflow, and the parsed
+// twin executes byte-identically — the bench can ship overlap suites
+// through the text format without losing cache-key identity.
+TEST(GeneratorOverlapTest, OverlapSweepRoundTripsThroughTextFormat) {
+  for (double overlap : {0.0, 0.5, 1.0}) {
+    for (uint64_t seed : {11ull, 12ull}) {
+      auto g = GenerateWorkflow(OverlapOptions(seed, overlap));
+      ASSERT_TRUE(g.ok()) << g.status().ToString();
+      auto text = PrintWorkflowText(g->workflow);
+      ASSERT_TRUE(text.ok()) << text.status().ToString();
+      auto parsed = ParseWorkflowText(*text);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      EXPECT_TRUE(parsed->EquivalentTo(g->workflow))
+          << "overlap " << overlap << " seed " << seed;
+      EXPECT_EQ(parsed->Signature(), g->workflow.Signature());
+      // Signatures — the cache keys — survive the round trip too.
+      EXPECT_EQ(ActivitySignatures(*parsed), ActivitySignatures(g->workflow))
+          << "overlap " << overlap << " seed " << seed;
+      ExecutionInput input = GenerateInputFor(g->workflow, 13, 40);
+      auto x = ExecuteWorkflow(g->workflow, input);
+      auto y = ExecuteWorkflow(*parsed, input);
+      ASSERT_TRUE(x.ok() && y.ok());
+      EXPECT_EQ(x->target_data, y->target_data);
+    }
+  }
+}
+
+// End-to-end cross-tenant sharing: two tenants with different seeds but
+// full overlap and the same input seed hit each other's cache entries.
+TEST(GeneratorOverlapTest, OverlappingTenantsShareCacheEntries) {
+  auto a = GenerateWorkflow(OverlapOptions(21, 1.0));
+  auto b = GenerateWorkflow(OverlapOptions(22, 1.0));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExecutionInput input_a = GenerateInputFor(a->workflow, 5, 60);
+  ExecutionInput input_b = GenerateInputFor(b->workflow, 5, 60);
+  SharedResultCache cache;
+  CacheOptions copts;
+  copts.cache = &cache;
+  auto base_b = ExecuteWorkflow(b->workflow, input_b);
+  auto ra = ExecuteWorkflow(a->workflow, input_a, copts);
+  auto rb = ExecuteWorkflow(b->workflow, input_b, copts);
+  ASSERT_TRUE(base_b.ok() && ra.ok() && rb.ok());
+  EXPECT_EQ(ra->cache.hits, 0u);
+  EXPECT_GT(rb->cache.hits, 0u) << "tenant B must reuse tenant A's flows";
+  EXPECT_LT(rb->cache.rows_computed, ra->cache.rows_computed);
+  EXPECT_EQ(rb->target_data, base_b->target_data);
+  EXPECT_EQ(rb->rows_out, base_b->rows_out);
 }
 
 }  // namespace
