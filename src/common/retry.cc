@@ -44,14 +44,35 @@ bool IsRetryableStatus(const Status& status) {
   return status.IsUnavailable() || status.IsIOError();
 }
 
+namespace {
+
+// Floor of any computed backoff: full jitter on a small base must never
+// round to a zero-millisecond busy-retry.
+constexpr int64_t kMinBackoffMillis = 1;
+// Largest double that still converts to int64_t without UB (the next
+// representable double above it is 2^63). A policy with
+// max_backoff_millis near INT64_MAX would otherwise push the cast below
+// out of range — UB that in practice produced INT64_MIN and, through the
+// max() below, a 1 ms busy-retry exactly when the caller asked for the
+// longest possible backoff.
+constexpr double kMaxSafeBackoffMillis = 9223372036854774784.0;
+
+}  // namespace
+
 int64_t BackoffMillis(const RetryPolicy& policy, int retry, Rng& rng) {
   double base = static_cast<double>(policy.initial_backoff_millis) *
                 std::pow(policy.backoff_multiplier, retry);
+  // pow() overflows to +inf for large retry counts; treat that as "the
+  // ceiling", like any other base beyond max_backoff_millis.
+  if (!std::isfinite(base)) {
+    base = static_cast<double>(policy.max_backoff_millis);
+  }
   base = std::min(base, static_cast<double>(policy.max_backoff_millis));
   if (policy.jitter > 0.0) {
     base *= 1.0 - policy.jitter * rng.UniformDouble();
   }
-  return std::max<int64_t>(1, static_cast<int64_t>(base));
+  base = std::min(base, kMaxSafeBackoffMillis);
+  return std::max(kMinBackoffMillis, static_cast<int64_t>(base));
 }
 
 Status RetryWithBackoff(const RetryPolicy& policy, Rng& rng, const char* what,

@@ -1,0 +1,473 @@
+#include "cost/reliability_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace etlopt {
+
+namespace {
+
+bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
+
+// Everything the DP needs, laid out by topological position.
+//
+// A recovery point "after position j" is a *consistent cut*: the engine's
+// resume walks need-propagation back from the targets and only stops at
+// checkpointed nodes, so a single mid-DAG checkpoint leaves every other
+// branch re-executing from its sources. The cut at j therefore contains
+// every activity at position <= j whose output is still needed by some
+// node after j (or feeds a target recordset, which must survive a late
+// crash).
+//
+// Cuts are *sparse*: a member whose entire upstream cone costs less to
+// re-execute across the run's expected failures than one checkpoint file
+// is cheaper to recompute on restart than to persist every run, so it is
+// dropped from the cut and its cone is charged to Restore instead. The
+// engine's resume handles the hole naturally — need-propagation walks
+// through un(checkpointed) nodes to the sources or to other recovery
+// points — so only the pricing lives here.
+struct PlacementInput {
+  int n = 0;
+  std::vector<double> cost;         // execution cost per position (0 for rs)
+  std::vector<double> card;         // output cardinality per position
+  std::vector<char> candidate;      // 1 = activity node (checkpointable)
+  std::vector<double> cum;          // cum[i] = exec cost of positions < i
+  std::vector<double> weighted;     // weighted[i] = sum cost[j]*cum[j+1], j<i
+  std::vector<int> last_need;       // activity at i is in cut(j) iff
+                                    // i <= j < last_need[i]
+  std::vector<char> kept;           // candidate worth a checkpoint file
+  std::vector<double> kept_count;   // files written for cut(j)
+  std::vector<double> kept_rows;    // rows in those files
+  std::vector<double> drop_cost;    // recompute bill of cut(j)'s dropped
+                                    // members (union of their cones)
+};
+
+PlacementInput BuildInput(const Workflow& workflow, const CostBreakdown& bd,
+                          const ReliabilityParams& params) {
+  const std::vector<NodeId>& topo = workflow.TopoOrder();
+  PlacementInput in;
+  in.n = static_cast<int>(topo.size());
+  in.cost.assign(in.n, 0.0);
+  in.card.assign(in.n, 0.0);
+  in.candidate.assign(in.n, 0);
+  std::unordered_map<NodeId, int> pos_of;
+  pos_of.reserve(topo.size());
+  for (int i = 0; i < in.n; ++i) pos_of[topo[i]] = i;
+  for (int i = 0; i < in.n; ++i) {
+    if (auto it = bd.node_cost.find(topo[i]); it != bd.node_cost.end()) {
+      in.cost[i] = it->second;
+      in.candidate[i] = 1;
+    }
+    if (auto it = bd.node_output_cardinality.find(topo[i]);
+        it != bd.node_output_cardinality.end()) {
+      in.card[i] = it->second;
+    }
+  }
+  in.cum.assign(in.n + 1, 0.0);
+  in.weighted.assign(in.n + 1, 0.0);
+  for (int i = 0; i < in.n; ++i) {
+    in.cum[i + 1] = in.cum[i] + in.cost[i];
+    in.weighted[i + 1] = in.weighted[i] + in.cost[i] * in.cum[i + 1];
+  }
+  // last_need[i]: one past the last position that still consumes activity
+  // i's output. The activity's output recordset(s) sit after it in topo
+  // order; a recordset with no consumers is a target and must survive
+  // until the very end (last_need = n).
+  in.last_need.assign(in.n, 0);
+  for (int i = 0; i < in.n; ++i) {
+    if (!in.candidate[i]) continue;
+    int last = i + 1;
+    for (NodeId out : workflow.Consumers(topo[i])) {
+      auto out_pos = pos_of.find(out);
+      if (out_pos == pos_of.end()) continue;
+      last = std::max(last, out_pos->second + 1);
+      const std::vector<NodeId> readers = workflow.Consumers(out);
+      if (readers.empty()) {
+        last = in.n;  // target recordset: needed through the end
+        break;
+      }
+      for (NodeId r : readers) {
+        auto r_pos = pos_of.find(r);
+        if (r_pos != pos_of.end()) last = std::max(last, r_pos->second + 1);
+      }
+    }
+    in.last_need[i] = last;
+  }
+  // cone[i]: positions of every activity in i's ancestor closure
+  // (including i), as a bitset — the work a restart must redo to rebuild
+  // i's output from the sources when i is not checkpointed.
+  const int words = (in.n + 63) / 64;
+  std::vector<uint64_t> cone(static_cast<size_t>(in.n) * words, 0);
+  std::vector<double> cone_cost(in.n, 0.0);
+  for (int i = 0; i < in.n; ++i) {
+    uint64_t* self = &cone[static_cast<size_t>(i) * words];
+    for (NodeId p : workflow.Providers(topo[i])) {
+      auto it = pos_of.find(p);
+      if (it == pos_of.end()) continue;
+      const uint64_t* prov = &cone[static_cast<size_t>(it->second) * words];
+      for (int w = 0; w < words; ++w) self[w] |= prov[w];
+    }
+    if (in.candidate[i]) self[i / 64] |= uint64_t{1} << (i % 64);
+    double total = 0.0;
+    for (int w = 0; w < words; ++w) {
+      uint64_t bits = self[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        total += in.cost[w * 64 + b];
+      }
+    }
+    cone_cost[i] = total;
+  }
+  // Sparse-cut keep rule: persist a member only when recomputing its cone
+  // on every expected failure would cost more than one checkpoint file.
+  const double expected_failures =
+      params.failure_rate_per_cost * in.cum[in.n];
+  in.kept.assign(in.n, 0);
+  for (int i = 0; i < in.n; ++i) {
+    if (!in.candidate[i]) continue;
+    const double file_cost = params.checkpoint_setup_cost +
+                             params.checkpoint_cost_per_row * in.card[i];
+    if (expected_failures * cone_cost[i] >= file_cost) in.kept[i] = 1;
+  }
+  // kept_count/kept_rows via interval difference sums: activity i belongs
+  // to cut(j) for j in [i, last_need[i]).
+  std::vector<double> dcount(in.n + 1, 0.0), drows(in.n + 1, 0.0);
+  for (int i = 0; i < in.n; ++i) {
+    if (!in.kept[i] || in.last_need[i] <= i) continue;
+    dcount[i] += 1.0;
+    drows[i] += in.card[i];
+    dcount[in.last_need[i]] -= 1.0;
+    drows[in.last_need[i]] -= in.card[i];
+  }
+  in.kept_count.assign(in.n, 0.0);
+  in.kept_rows.assign(in.n, 0.0);
+  double c = 0.0, r = 0.0;
+  for (int j = 0; j < in.n; ++j) {
+    c += dcount[j];
+    r += drows[j];
+    in.kept_count[j] = c;
+    in.kept_rows[j] = r;
+  }
+  // drop_cost[j]: one restart from cut(j) re-executes the union of the
+  // dropped members' cones (union, not sum — shared ancestors run once).
+  in.drop_cost.assign(in.n, 0.0);
+  std::vector<uint64_t> scratch(words);
+  for (int j = 0; j < in.n; ++j) {
+    if (!in.candidate[j]) continue;
+    std::fill(scratch.begin(), scratch.end(), uint64_t{0});
+    bool any = false;
+    for (int i = 0; i <= j; ++i) {
+      if (!in.candidate[i] || in.kept[i] || in.last_need[i] <= j) continue;
+      const uint64_t* c2 = &cone[static_cast<size_t>(i) * words];
+      for (int w = 0; w < words; ++w) scratch[w] |= c2[w];
+      any = true;
+    }
+    if (!any) continue;
+    double total = 0.0;
+    for (int w = 0; w < words; ++w) {
+      uint64_t bits = scratch[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        total += in.cost[w * 64 + b];
+      }
+    }
+    in.drop_cost[j] = total;
+  }
+  return in;
+}
+
+struct SegmentModel {
+  const PlacementInput* in;
+  const ReliabilityParams* params;
+
+  // Cost of restarting from the recovery point at position `pos` (-1 =
+  // the virtual start: plain restart, nothing to read back). One restart
+  // reads every checkpoint file of the cut and re-executes the cones of
+  // the members the sparse cut chose not to persist.
+  double Restore(int pos) const {
+    if (pos < 0) return params->restore_setup_cost;
+    return params->restore_setup_cost +
+           params->restore_cost_per_row * in->kept_rows[pos] +
+           in->drop_cost[pos];
+  }
+
+  // Cost of writing the recovery point after position `pos`: one
+  // checkpoint file per kept cut member.
+  double Write(int pos) const {
+    return params->checkpoint_setup_cost * in->kept_count[pos] +
+           params->checkpoint_cost_per_row * in->kept_rows[pos];
+  }
+
+  // Expected recovery cost of positions (q, j]: a failure during node k
+  // (probability lambda * cost[k]) pays Restore(q) plus re-execution of
+  // (q, k] including node k itself. Closed form via the prefix sums:
+  //   sum_k lambda*cost[k]*(Restore(q) + cum[k+1] - cum[q+1])
+  // = lambda*((Restore(q) - cum[q+1])*(cum[j+1]-cum[q+1])
+  //           + (weighted[j+1]-weighted[q+1])).
+  double Recovery(int q, int j) const {
+    if (j <= q) return 0.0;
+    const double exec = in->cum[j + 1] - in->cum[q + 1];
+    const double w = in->weighted[j + 1] - in->weighted[q + 1];
+    return params->failure_rate_per_cost *
+           ((Restore(q) - in->cum[q + 1]) * exec + w);
+  }
+};
+
+// Note: cum[q+1] with q = -1 reads cum[0] = 0, so the virtual start needs
+// no special casing in Recovery().
+
+struct PlacementCore {
+  std::vector<int> chosen;  // topo positions, ascending
+  size_t num_candidates = 0;
+};
+
+// O(n^2) DP: f[j] = minimal checkpoint+recovery cost of the prefix
+// ending in a checkpoint at candidate position j. Strict `<` improvement
+// with ascending predecessor scan keeps ties deterministic.
+PlacementCore SolvePlacement(const PlacementInput& in, const SegmentModel& m) {
+  PlacementCore core;
+  const int n = in.n;
+  std::vector<double> f(n, std::numeric_limits<double>::infinity());
+  std::vector<int> parent(n, -1);
+  double best_total = m.Recovery(-1, n - 1);  // no checkpoints at all
+  int best_last = -1;
+  for (int j = 0; j < n; ++j) {
+    if (!in.candidate[j]) continue;
+    ++core.num_candidates;
+    double best = m.Recovery(-1, j);
+    int par = -1;
+    for (int q = 0; q < j; ++q) {
+      if (!in.candidate[q]) continue;
+      const double v = f[q] + m.Recovery(q, j);
+      if (v < best) {
+        best = v;
+        par = q;
+      }
+    }
+    f[j] = best + m.Write(j);
+    parent[j] = par;
+    const double tail = f[j] + m.Recovery(j, n - 1);
+    if (tail < best_total) {
+      best_total = tail;
+      best_last = j;
+    }
+  }
+  for (int j = best_last; j >= 0; j = parent[j]) {
+    core.chosen.push_back(j);
+  }
+  std::reverse(core.chosen.begin(), core.chosen.end());
+  return core;
+}
+
+// Re-walks a placement and accumulates its ledger in one fixed order, so
+// every consumer (surcharge, plan fields, rationale baselines) sees bit-
+// identical figures.
+void LedgerOf(const std::vector<int>& chosen, int n, const SegmentModel& m,
+              double* checkpoint_cost, double* recovery_cost) {
+  *checkpoint_cost = 0.0;
+  *recovery_cost = 0.0;
+  int prev = -1;
+  for (int pos : chosen) {
+    *recovery_cost += m.Recovery(prev, pos);
+    *checkpoint_cost += m.Write(pos);
+    prev = pos;
+  }
+  *recovery_cost += m.Recovery(prev, n - 1);
+}
+
+StatusOr<double> ParseDoubleField(std::string_view field,
+                                  std::string_view key) {
+  if (!StartsWith(field, key) || field.size() <= key.size() ||
+      field[key.size()] != '=') {
+    return Status::InvalidArgument(
+        StrFormat("reliability fingerprint: expected %.*s=<value>, got '%.*s'",
+                  static_cast<int>(key.size()), key.data(),
+                  static_cast<int>(field.size()), field.data()));
+  }
+  std::string value(field.substr(key.size() + 1));
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("reliability fingerprint: bad number '%s'", value.c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+Status ValidateReliabilityParams(const ReliabilityParams& params) {
+  if (!FiniteNonNegative(params.failure_rate_per_cost)) {
+    return Status::InvalidArgument(
+        "reliability: failure_rate_per_cost must be finite and >= 0");
+  }
+  if (!FiniteNonNegative(params.checkpoint_setup_cost) ||
+      !FiniteNonNegative(params.checkpoint_cost_per_row)) {
+    return Status::InvalidArgument(
+        "reliability: checkpoint costs must be finite and >= 0");
+  }
+  if (!FiniteNonNegative(params.restore_setup_cost) ||
+      !FiniteNonNegative(params.restore_cost_per_row)) {
+    return Status::InvalidArgument(
+        "reliability: restore costs must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+std::string ReliabilityFingerprint(const ReliabilityParams& params) {
+  return "rel(lambda=" + DoubleToString(params.failure_rate_per_cost) +
+         ",ws=" + DoubleToString(params.checkpoint_setup_cost) +
+         ",wr=" + DoubleToString(params.checkpoint_cost_per_row) +
+         ",rs=" + DoubleToString(params.restore_setup_cost) +
+         ",rr=" + DoubleToString(params.restore_cost_per_row) + ")";
+}
+
+StatusOr<ReliabilityParams> ParseReliabilityFingerprint(std::string_view s) {
+  if (!StartsWith(s, "rel(") || !EndsWith(s, ")")) {
+    return Status::InvalidArgument(StrFormat(
+        "reliability fingerprint: expected rel(...), got '%.*s'",
+        static_cast<int>(s.size()), s.data()));
+  }
+  std::vector<std::string> fields =
+      Split(s.substr(4, s.size() - 5), ',');
+  if (fields.size() != 5) {
+    return Status::InvalidArgument(
+        StrFormat("reliability fingerprint: expected 5 fields, got %zu",
+                  fields.size()));
+  }
+  ReliabilityParams params;
+  ETLOPT_ASSIGN_OR_RETURN(params.failure_rate_per_cost,
+                          ParseDoubleField(fields[0], "lambda"));
+  ETLOPT_ASSIGN_OR_RETURN(params.checkpoint_setup_cost,
+                          ParseDoubleField(fields[1], "ws"));
+  ETLOPT_ASSIGN_OR_RETURN(params.checkpoint_cost_per_row,
+                          ParseDoubleField(fields[2], "wr"));
+  ETLOPT_ASSIGN_OR_RETURN(params.restore_setup_cost,
+                          ParseDoubleField(fields[3], "rs"));
+  ETLOPT_ASSIGN_OR_RETURN(params.restore_cost_per_row,
+                          ParseDoubleField(fields[4], "rr"));
+  ETLOPT_RETURN_NOT_OK(ValidateReliabilityParams(params));
+  return params;
+}
+
+StatusOr<ReliabilityParams> ReliabilityFromOptionsFingerprint(
+    std::string_view options_fingerprint) {
+  constexpr std::string_view kKey = "reliability=";
+  size_t at = options_fingerprint.find(kKey);
+  if (at == std::string_view::npos) {
+    return Status::NotFound("options fingerprint has no reliability entry");
+  }
+  std::string_view rest = options_fingerprint.substr(at + kKey.size());
+  size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "options fingerprint: unterminated reliability entry");
+  }
+  return ParseReliabilityFingerprint(rest.substr(0, close + 1));
+}
+
+RecoveryPointPlan PlaceRecoveryPoints(const Workflow& workflow,
+                                      const CostBreakdown& bd,
+                                      const ReliabilityParams& params) {
+  const PlacementInput in = BuildInput(workflow, bd, params);
+  const SegmentModel m{&in, &params};
+  const PlacementCore core = SolvePlacement(in, m);
+
+  RecoveryPointPlan plan;
+  plan.enabled = true;
+  const std::vector<NodeId>& topo = workflow.TopoOrder();
+  // Materialize every chosen recovery point as its sparse cut: the union,
+  // in topological order, of the kept activities each cut persists so the
+  // engine's need-propagation stops at the frontier on resume (dropped
+  // members recompute from upstream instead).
+  std::vector<char> member(in.n, 0);
+  for (int pos : core.chosen) {
+    for (int i = 0; i <= pos; ++i) {
+      if (in.kept[i] && pos < in.last_need[i]) member[i] = 1;
+    }
+  }
+  for (int i = 0; i < in.n; ++i) {
+    if (member[i]) plan.labels.push_back(workflow.PriorityLabelOf(topo[i]));
+  }
+  plan.execution_cost = bd.total;
+  LedgerOf(core.chosen, in.n, m, &plan.checkpoint_cost,
+           &plan.expected_recovery_cost);
+  plan.expected_total_cost =
+      plan.execution_cost +
+      (plan.checkpoint_cost + plan.expected_recovery_cost);
+  plan.failure_rate_per_cost = params.failure_rate_per_cost;
+
+  double target_rows = 0.0;
+  for (NodeId t : workflow.TargetRecordSets()) {
+    if (auto it = bd.node_output_cardinality.find(t);
+        it != bd.node_output_cardinality.end()) {
+      target_rows += it->second;
+    }
+  }
+  plan.stream_checkpoint_unit_cost =
+      params.checkpoint_setup_cost +
+      params.checkpoint_cost_per_row * target_rows;
+
+  // Budget rationale: the chosen ledger against both degenerate policies.
+  double none_ckpt = 0.0, none_rec = 0.0;
+  LedgerOf({}, in.n, m, &none_ckpt, &none_rec);
+  std::vector<int> all;
+  for (int j = 0; j < in.n; ++j) {
+    if (in.candidate[j]) all.push_back(j);
+  }
+  double all_ckpt = 0.0, all_rec = 0.0;
+  LedgerOf(all, in.n, m, &all_ckpt, &all_rec);
+  plan.rationale = StrFormat(
+      "placed %zu of %zu candidates: exec=%s ckpt=%s recovery=%s; "
+      "alternatives: none recovery=%s, all ckpt=%s recovery=%s",
+      core.chosen.size(), core.num_candidates,
+      DoubleToString(plan.execution_cost).c_str(),
+      DoubleToString(plan.checkpoint_cost).c_str(),
+      DoubleToString(plan.expected_recovery_cost).c_str(),
+      DoubleToString(none_rec).c_str(), DoubleToString(all_ckpt).c_str(),
+      DoubleToString(all_rec).c_str());
+  return plan;
+}
+
+double ReliabilitySurcharge(const Workflow& workflow, const CostBreakdown& bd,
+                            const ReliabilityParams& params) {
+  const PlacementInput in = BuildInput(workflow, bd, params);
+  const SegmentModel m{&in, &params};
+  const PlacementCore core = SolvePlacement(in, m);
+  double ckpt = 0.0, rec = 0.0;
+  LedgerOf(core.chosen, in.n, m, &ckpt, &rec);
+  return ckpt + rec;
+}
+
+uint64_t PlannedStreamCheckpointInterval(const RecoveryPointPlan& plan,
+                                         uint64_t batch_count) {
+  if (batch_count == 0) return 1;
+  if (!plan.enabled) return batch_count;
+  const double lambda = plan.failure_rate_per_cost;
+  const double per_batch_cost =
+      plan.execution_cost / static_cast<double>(batch_count);
+  if (!(lambda > 0.0) || !(per_batch_cost > 0.0)) {
+    return batch_count;  // failures are free or impossible: checkpoint once
+  }
+  const double delta = plan.stream_checkpoint_unit_cost;
+  if (!(delta > 0.0)) return 1;  // checkpoints are free: every batch
+  // Young's approximation: optimal work between checkpoints.
+  const double tau = std::sqrt(2.0 * delta / lambda);
+  double k = tau / per_batch_cost;
+  if (!std::isfinite(k) || k <= 1.0) return 1;
+  if (k >= static_cast<double>(batch_count)) return batch_count;
+  return static_cast<uint64_t>(std::llround(k));
+}
+
+}  // namespace etlopt

@@ -1,0 +1,137 @@
+// Reliability-aware costing: expected-total-cost = execution cost +
+// checkpoint write cost + expected recovery cost, with recovery-point
+// placement solved exactly per state by dynamic programming over the
+// topological execution order.
+//
+// The model follows the classic checkpoint-placement formulation: failures
+// arrive at a rate proportional to executed work (failure_rate_per_cost,
+// "lambda" — expected failures per unit of execution cost), and a failure
+// during node j forces a restart from the most recent recovery point
+// (paying a restore cost plus re-execution of every node after it up to
+// and including j). A recovery point after position i is a *consistent
+// cut*, not a single node: it covers every activity at position <= i
+// whose output is still needed after i (the engine's resume walks need-
+// propagation back from the targets and only stops at checkpointed
+// nodes). Cuts are priced sparsely: a member whose upstream cone is
+// cheaper to re-execute across the run's expected failures than one
+// checkpoint file is left out of the cut and its recompute is charged to
+// the restore cost instead — resume walks through the hole to the
+// sources or to another recovery point. Writing a cut costs a setup fee
+// per persisted member plus a per-row fee on their output cardinality.
+// All figures are in the cost model's native units, so the surcharge
+// composes directly with CostBreakdown::total.
+//
+// Everything here is a pure deterministic function of
+// (workflow structure, CostBreakdown, ReliabilityParams) — the search
+// layer relies on this for its paranoid save/restore cross-checks.
+
+#ifndef ETLOPT_COST_RELIABILITY_MODEL_H_
+#define ETLOPT_COST_RELIABILITY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cost/state_cost.h"
+#include "graph/workflow.h"
+
+namespace etlopt {
+
+/// Parameters of the reliability model. Defaults are deliberately mild:
+/// with lambda = 1e-4 a workflow costing 30,000 units expects ~3 failures
+/// per run, enough for placement to matter without dominating execution.
+struct ReliabilityParams {
+  /// Expected failures per unit of execution cost (lambda >= 0).
+  double failure_rate_per_cost = 1e-4;
+  /// Fixed cost of writing one checkpoint.
+  double checkpoint_setup_cost = 8.0;
+  /// Per-row cost of writing a checkpoint of a node's output.
+  double checkpoint_cost_per_row = 0.05;
+  /// Fixed cost of one restart (process respawn, re-open sources, ...).
+  double restore_setup_cost = 32.0;
+  /// Per-row cost of reading a checkpoint back on restart.
+  double restore_cost_per_row = 0.025;
+};
+
+/// Rejects non-finite or negative parameters.
+Status ValidateReliabilityParams(const ReliabilityParams& params);
+
+/// Canonical fingerprint, e.g. "rel(lambda=0.0001,ws=8,wr=0.05,rs=32,
+/// rr=0.025)". Values round-trip bit for bit (DoubleToString), so the
+/// fingerprint embedded in a serialized plan's options line is enough to
+/// re-verify the plan's recovery section exactly.
+std::string ReliabilityFingerprint(const ReliabilityParams& params);
+
+/// Inverse of ReliabilityFingerprint. Accepts exactly the canonical form.
+StatusOr<ReliabilityParams> ParseReliabilityFingerprint(std::string_view s);
+
+/// Scans `options_fingerprint` (a SearchOptions fingerprint line) for a
+/// ",reliability=rel(...)" entry; returns it parsed, or an error when the
+/// entry is absent or malformed. Helper for plan re-verification.
+StatusOr<ReliabilityParams> ReliabilityFromOptionsFingerprint(
+    std::string_view options_fingerprint);
+
+/// The optimizer's recovery-point decision for one workflow: which nodes
+/// to checkpoint, and the cost ledger that justified them. Node identity
+/// crosses serialization via priority labels (stable across transitions
+/// and round-trips), never raw NodeIds.
+struct RecoveryPointPlan {
+  /// False = reliability costing was off; every other field is zero/empty
+  /// and the plan serializes to nothing (byte-identical legacy formats).
+  bool enabled = false;
+  /// Priority labels of the nodes to checkpoint — the union of the
+  /// chosen recovery points' cuts — in topological execution order of
+  /// the optimized workflow.
+  std::vector<std::string> labels;
+  /// Execution cost of the workflow (CostBreakdown::total).
+  double execution_cost = 0.0;
+  /// Total cost of writing the chosen checkpoints.
+  double checkpoint_cost = 0.0;
+  /// Expected cost of failures: restore + re-execution, summed over nodes.
+  double expected_recovery_cost = 0.0;
+  /// execution_cost + checkpoint_cost + expected_recovery_cost. This is
+  /// the value the search minimized (state cost under reliability).
+  double expected_total_cost = 0.0;
+  /// Lambda the plan was computed with (carried so executors can derive
+  /// stream checkpoint intervals without re-parsing options).
+  double failure_rate_per_cost = 0.0;
+  /// Estimated cost of one streaming checkpoint (setup + per-row over the
+  /// target recordsets' cardinalities) — input to the Young-style
+  /// micro-batch interval in PlannedStreamCheckpointInterval.
+  double stream_checkpoint_unit_cost = 0.0;
+  /// Human-readable budget rationale: how many candidates were considered,
+  /// what the chosen placement costs, and what the no-checkpoint /
+  /// checkpoint-everywhere alternatives would have cost. Deterministic.
+  std::string rationale;
+};
+
+/// Solves recovery-point placement for one costed workflow: O(n^2)
+/// dynamic program over topological positions choosing the cut positions
+/// whose checkpoints minimize
+///   checkpoint_cost + expected_recovery_cost.
+/// Ties break deterministically (strict improvement, earliest predecessor
+/// wins). `workflow` must be fresh and `bd` must be its exact breakdown.
+RecoveryPointPlan PlaceRecoveryPoints(const Workflow& workflow,
+                                      const CostBreakdown& bd,
+                                      const ReliabilityParams& params);
+
+/// The additive surcharge reliability costing puts on a state:
+/// checkpoint_cost + expected_recovery_cost of the *optimal* placement.
+/// Equal to the corresponding PlaceRecoveryPoints fields bit for bit, but
+/// skips label/rationale materialization (search hot path).
+double ReliabilitySurcharge(const Workflow& workflow, const CostBreakdown& bd,
+                            const ReliabilityParams& params);
+
+/// Checkpoint-every-k-batches interval for the streaming executor, from
+/// the Young approximation: the optimal inter-checkpoint work is
+/// sqrt(2 * checkpoint_unit_cost / lambda), converted to batches via the
+/// plan's per-batch execution cost and clamped to [1, batch_count].
+/// Returns batch_count (checkpoint only at the end) when the plan is
+/// disabled or failures are impossible.
+uint64_t PlannedStreamCheckpointInterval(const RecoveryPointPlan& plan,
+                                         uint64_t batch_count);
+
+}  // namespace etlopt
+
+#endif  // ETLOPT_COST_RELIABILITY_MODEL_H_

@@ -24,9 +24,11 @@ using Clock = std::chrono::steady_clock;
 
 const char kCheckpointMagic[8] = {'E', 'T', 'L', 'C', 'K', 'P', 'T', '1'};
 
-// Whether `id` is a recovery-point node under `policy`.
+// Whether `id` is a recovery-point node under `policy`. `plan_nodes` is
+// the resolved kRecoveryPlan node set (ignored for other policies).
 bool IsCheckpointNode(const Workflow& workflow, NodeId id,
-                      CheckpointPolicy policy) {
+                      CheckpointPolicy policy,
+                      const std::unordered_set<NodeId>& plan_nodes) {
   switch (policy) {
     case CheckpointPolicy::kNone:
       return false;
@@ -35,8 +37,66 @@ bool IsCheckpointNode(const Workflow& workflow, NodeId id,
     case CheckpointPolicy::kAllNodes:
       return !workflow.IsRecordSet(id) ||
              !workflow.Providers(id).empty();
+    case CheckpointPolicy::kRecoveryPlan:
+      return plan_nodes.count(id) != 0;
   }
   return false;
+}
+
+// Resolves a RecoveryPointPlan's labels against `workflow`: the nodes
+// whose priority labels the plan names. Labels survive transitions and
+// serialization, raw NodeIds do not — so this is the only join the
+// executor trusts.
+std::unordered_set<NodeId> ResolvePlanNodes(const Workflow& workflow,
+                                            const RecoveryPointPlan& plan) {
+  std::unordered_set<NodeId> nodes;
+  if (!plan.enabled) return nodes;
+  std::unordered_set<std::string> wanted(plan.labels.begin(),
+                                         plan.labels.end());
+  for (NodeId id : workflow.TopoOrder()) {
+    if (wanted.count(workflow.PriorityLabelOf(id)) != 0) nodes.insert(id);
+  }
+  return nodes;
+}
+
+// Bounded retention GC: after a successful run, only the
+// `max_retained` most recently written *stale* sibling run_* directories
+// under `checkpoint_dir` survive (oldest pruned first); `current_run_dir`
+// is never touched here. Best-effort — GC failures never fail the run.
+size_t PruneStaleRunDirs(const std::string& checkpoint_dir,
+                         const std::string& current_run_dir,
+                         size_t max_retained) {
+  std::error_code ec;
+  fs::directory_iterator it(
+      checkpoint_dir, fs::directory_options::skip_permission_denied, ec);
+  if (ec) return 0;
+  std::vector<std::pair<fs::file_time_type, fs::path>> stale;
+  for (fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) return 0;
+    const fs::directory_entry& entry = *it;
+    std::error_code entry_ec;
+    if (!entry.is_directory(entry_ec) || entry_ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (!StartsWith(name, "run_")) continue;
+    if (entry.path() == fs::path(current_run_dir)) continue;
+    fs::file_time_type mtime = entry.last_write_time(entry_ec);
+    if (entry_ec) mtime = fs::file_time_type::min();
+    stale.emplace_back(mtime, entry.path());
+  }
+  if (stale.size() <= max_retained) return 0;
+  // Oldest first; path as tie-break so equal mtimes prune predictably.
+  std::sort(stale.begin(), stale.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  size_t pruned = 0;
+  for (size_t i = 0; i + max_retained < stale.size(); ++i) {
+    std::error_code rm_ec;
+    fs::remove_all(stale[i].second, rm_ec);
+    if (!rm_ec) ++pruned;
+  }
+  return pruned;
 }
 
 std::string CheckpointPath(const std::string& run_dir, NodeId id) {
@@ -52,6 +112,12 @@ Status ValidateRecoveryOptions(const RecoveryOptions& options) {
     return Status::InvalidArgument(StrFormat(
         "recovery: deadline_millis must be >= 0 (0 = unlimited), got %lld",
         static_cast<long long>(options.deadline_millis)));
+  }
+  if (options.checkpoint_policy == CheckpointPolicy::kRecoveryPlan &&
+      !options.recovery_plan.enabled) {
+    return Status::InvalidArgument(
+        "recovery: checkpoint_policy kRecoveryPlan requires an enabled "
+        "recovery_plan (run the optimizer with SearchOptions::reliability)");
   }
   return Status::OK();
 }
@@ -88,24 +154,36 @@ uint64_t ExecutionInputFingerprint(const ExecutionInput& input) {
   return h;
 }
 
-std::string SerializeCheckpoint(const Checkpoint& checkpoint) {
+// Same bytes as SerializeCheckpoint, but from borrowed pieces — the hot
+// write path serializes a node's rows in place instead of copying them
+// into a Checkpoint first.
+std::string SerializeCheckpointParts(uint64_t workflow_hash,
+                                     uint64_t input_hash, NodeId node,
+                                     const std::map<NodeId, size_t>& rows_out,
+                                     const std::vector<Record>& rows) {
   std::string payload;
-  PutU64(payload, checkpoint.workflow_hash);
-  PutU64(payload, checkpoint.input_hash);
-  PutU32(payload, static_cast<uint32_t>(checkpoint.node));
-  PutU32(payload, static_cast<uint32_t>(checkpoint.rows_out.size()));
-  for (const auto& [node, count] : checkpoint.rows_out) {
-    PutU32(payload, static_cast<uint32_t>(node));
+  PutU64(payload, workflow_hash);
+  PutU64(payload, input_hash);
+  PutU32(payload, static_cast<uint32_t>(node));
+  PutU32(payload, static_cast<uint32_t>(rows_out.size()));
+  for (const auto& [out_node, count] : rows_out) {
+    PutU32(payload, static_cast<uint32_t>(out_node));
     PutU64(payload, count);
   }
-  PutU64(payload, checkpoint.rows.size());
-  for (const Record& r : checkpoint.rows) PutRecord(payload, r);
+  PutU64(payload, rows.size());
+  for (const Record& r : rows) PutRecord(payload, r);
 
   std::string out(kCheckpointMagic, sizeof(kCheckpointMagic));
   PutU64(out, payload.size());
   out += payload;
   PutU64(out, Fnv1a64(payload));
   return out;
+}
+
+std::string SerializeCheckpoint(const Checkpoint& checkpoint) {
+  return SerializeCheckpointParts(checkpoint.workflow_hash,
+                                  checkpoint.input_hash, checkpoint.node,
+                                  checkpoint.rows_out, checkpoint.rows);
 }
 
 StatusOr<Checkpoint> ParseCheckpoint(std::string_view bytes) {
@@ -197,6 +275,10 @@ StatusOr<ExecutionResult> RecoverableExecutor::Execute(
   const uint64_t workflow_hash = workflow.SignatureHash();
   const uint64_t input_hash = ExecutionInputFingerprint(input);
   const std::string run_dir = RunDir(workflow_hash, input_hash);
+  const std::unordered_set<NodeId> plan_nodes =
+      options_.checkpoint_policy == CheckpointPolicy::kRecoveryPlan
+          ? ResolvePlanNodes(workflow, options_.recovery_plan)
+          : std::unordered_set<NodeId>();
 
   const std::vector<NodeId>& topo = workflow.TopoOrder();
 
@@ -215,7 +297,8 @@ StatusOr<ExecutionResult> RecoverableExecutor::Execute(
   std::unordered_set<NodeId> need;
   if (checkpointing) {
     for (NodeId id : topo) {
-      if (!IsCheckpointNode(workflow, id, options_.checkpoint_policy)) {
+      if (!IsCheckpointNode(workflow, id, options_.checkpoint_policy,
+                            plan_nodes)) {
         continue;
       }
       std::error_code ec;
@@ -295,6 +378,7 @@ StatusOr<ExecutionResult> RecoverableExecutor::Execute(
         flows[id] = std::move(loaded_it->second.rows);
         stats.resumed = true;
         ++stats.checkpoints_loaded;
+        stats.checkpoint_rows_read += flows[id].size();
         if (!is_recordset) ++stats.nodes_skipped;
         // Fold the recovery point's rows_out bookkeeping in now (nodes
         // recomputed in this run win), so checkpoints written later in
@@ -361,18 +445,21 @@ StatusOr<ExecutionResult> RecoverableExecutor::Execute(
       if (!is_recordset) {
         result.rows_out[id] = rows.size();
         ++stats.nodes_executed;
+        ++stats.node_executions[id];
       }
       flows[id] = std::move(rows);
 
       if (checkpointing &&
-          IsCheckpointNode(workflow, id, options_.checkpoint_policy)) {
-        Checkpoint checkpoint;
-        checkpoint.workflow_hash = workflow_hash;
-        checkpoint.input_hash = input_hash;
-        checkpoint.node = id;
-        checkpoint.rows = flows[id];
-        checkpoint.rows_out = result.rows_out;
+          IsCheckpointNode(workflow, id, options_.checkpoint_policy,
+                           plan_nodes)) {
+        // Serialized once, straight from the flow — no row copy, and
+        // retries rewrite the same bytes.
+        const std::string checkpoint_bytes = SerializeCheckpointParts(
+            workflow_hash, input_hash, id, result.rows_out, flows[id]);
         auto write_attempt = [&]() -> Status {
+          if (options_.checkpoint_policy == CheckpointPolicy::kRecoveryPlan) {
+            ETLOPT_FAULT_HIT(FaultSite::kRecoveryPlaceCheckpoint);
+          }
           ETLOPT_FAULT_HIT(FaultSite::kCheckpointWrite);
           std::error_code ec;
           fs::create_directories(run_dir, ec);
@@ -381,7 +468,7 @@ StatusOr<ExecutionResult> RecoverableExecutor::Execute(
                                    run_dir + ": " + ec.message());
           }
           return WriteFileAtomic(CheckpointPath(run_dir, id),
-                                 SerializeCheckpoint(checkpoint));
+                                 checkpoint_bytes);
         };
         Status write_status =
             RetryWithBackoff(options_.retry, rng, "checkpoint write",
@@ -392,6 +479,7 @@ StatusOr<ExecutionResult> RecoverableExecutor::Execute(
         }
         if (write_status.ok()) {
           ++stats.checkpoints_written;
+          stats.checkpoint_rows_written += flows[id].size();
         } else {
           // Checkpointing is best-effort: a run that cannot persist a
           // recovery point still completes, it just resumes from an
@@ -407,9 +495,13 @@ StatusOr<ExecutionResult> RecoverableExecutor::Execute(
     }
   }
 
-  if (checkpointing && options_.remove_checkpoints_on_success) {
-    std::error_code ec;
-    fs::remove_all(run_dir, ec);  // best-effort cleanup
+  if (checkpointing) {
+    if (options_.remove_checkpoints_on_success) {
+      std::error_code ec;
+      fs::remove_all(run_dir, ec);  // best-effort cleanup
+    }
+    stats.stale_runs_pruned = PruneStaleRunDirs(
+        options_.checkpoint_dir, run_dir, options_.max_retained_runs);
   }
   if (stats_out != nullptr) *stats_out = stats;
   return result;

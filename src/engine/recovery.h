@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/retry.h"
+#include "cost/reliability_model.h"
 #include "engine/executor.h"
 
 namespace etlopt {
@@ -47,6 +48,10 @@ enum class CheckpointPolicy : int {
   /// Every node's output (the materializing engine materializes every
   /// edge anyway); maximizes resumability at the cost of checkpoint I/O.
   kAllNodes = 2,
+  /// Exactly the nodes the optimizer chose (RecoveryOptions::recovery_plan
+  /// — a reliability-aware search's RecoveryPointPlan, matched by
+  /// priority label).
+  kRecoveryPlan = 3,
 };
 
 struct RecoveryOptions {
@@ -63,6 +68,18 @@ struct RecoveryOptions {
   uint64_t retry_seed = 42;
   /// Remove this run's checkpoints after a successful Execute().
   bool remove_checkpoints_on_success = true;
+  /// The optimizer's recovery-point decision, honored when
+  /// checkpoint_policy == kRecoveryPlan: checkpoints are taken at exactly
+  /// the activity nodes whose priority labels the plan names (labels are
+  /// stable across transitions and serialization; raw NodeIds are not).
+  RecoveryPointPlan recovery_plan;
+  /// Bounded retention for stale sibling run directories (crashed runs
+  /// over other workflows/inputs that were never resumed): after a
+  /// successful Execute(), only the `max_retained_runs` most recently
+  /// written stale run_* directories under checkpoint_dir survive, oldest
+  /// deleted first. The current run's directory is never counted against
+  /// the cap (remove_checkpoints_on_success governs it).
+  size_t max_retained_runs = 8;
 };
 
 /// Rejects nonsensical configurations — zero/negative backoff,
@@ -80,6 +97,13 @@ struct RecoveryStats {
   size_t nodes_executed = 0;
   size_t nodes_skipped = 0;           // served from recovery points
   bool resumed = false;               // at least one checkpoint consumed
+  size_t stale_runs_pruned = 0;       // sibling run dirs GC'd on success
+  /// Work-unit ledger for recovery-cost measurement (the chaos-soak
+  /// bench prices redone work with the cost model): executions per
+  /// activity node across this call, and checkpoint rows moved.
+  std::map<NodeId, uint64_t> node_executions;
+  uint64_t checkpoint_rows_written = 0;
+  uint64_t checkpoint_rows_read = 0;
 };
 
 /// One persisted recovery point: the data flow at `node`, plus the

@@ -36,6 +36,8 @@ std::string_view FaultSiteName(FaultSite site) {
     case FaultSite::kNetWrite: return "net.write";
     case FaultSite::kCacheLookup: return "cache.lookup";
     case FaultSite::kCacheMaterialize: return "cache.materialize";
+    case FaultSite::kRecoveryPlaceCheckpoint:
+      return "recovery.place_checkpoint";
   }
   return "unknown";
 }
@@ -51,6 +53,7 @@ const std::array<FaultSite, kNumFaultSites>& AllFaultSites() {
       FaultSite::kVectorizedBatch,  FaultSite::kNetAccept,
       FaultSite::kNetRead,          FaultSite::kNetWrite,
       FaultSite::kCacheLookup,      FaultSite::kCacheMaterialize,
+      FaultSite::kRecoveryPlaceCheckpoint,
   };
   return sites;
 }

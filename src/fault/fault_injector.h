@@ -58,8 +58,10 @@ enum class FaultSite : int {
   kNetWrite = 15,               // one socket write (frame bytes out)
   kCacheLookup = 16,            // one shared-result-cache probe
   kCacheMaterialize = 17,       // one shared-result-cache publication
+  kRecoveryPlaceCheckpoint = 18,  // writing one optimizer-placed
+                                  // (RecoveryPointPlan) checkpoint
 };
-inline constexpr int kNumFaultSites = 18;
+inline constexpr int kNumFaultSites = 19;
 
 /// Stable lowercase name ("activity_execute", ...), for reports and
 /// schedule printing.

@@ -149,6 +149,49 @@ StatusOr<OptimizedPlan> ParseOnePlan(LineCursor& cursor) {
     }
     plan.path.push_back(std::move(record));
   }
+  // Optional tagged recovery section (reliability-aware runs only);
+  // absent for — and never emitted by — legacy plans.
+  if (cursor.PeekStartsWith("recovery points")) {
+    plan.recovery.enabled = true;
+    ETLOPT_ASSIGN_OR_RETURN(field, cursor.NextField("recovery points"));
+    if (!field.empty()) {
+      plan.recovery.labels = Split(field, ',');
+      for (const std::string& label : plan.recovery.labels) {
+        if (label.empty()) {
+          return Status::InvalidArgument("plan: empty recovery point label");
+        }
+      }
+    }
+    ETLOPT_ASSIGN_OR_RETURN(field, cursor.NextField("recovery costs"));
+    std::vector<std::string> costs = Split(field, ' ');
+    if (costs.size() != 6) {
+      return Status::InvalidArgument(
+          "plan: recovery costs must have 6 fields");
+    }
+    struct {
+      const char* key;
+      double* value;
+    } slots[] = {
+        {"exec=", &plan.recovery.execution_cost},
+        {"ckpt=", &plan.recovery.checkpoint_cost},
+        {"rec=", &plan.recovery.expected_recovery_cost},
+        {"total=", &plan.recovery.expected_total_cost},
+        {"lambda=", &plan.recovery.failure_rate_per_cost},
+        {"stream_unit=", &plan.recovery.stream_checkpoint_unit_cost},
+    };
+    for (size_t i = 0; i < 6; ++i) {
+      if (!StartsWith(costs[i], slots[i].key)) {
+        return Status::InvalidArgument(StrFormat(
+            "plan: recovery costs: expected %s<value>, got '%s'",
+            slots[i].key, costs[i].c_str()));
+      }
+      ETLOPT_ASSIGN_OR_RETURN(
+          *slots[i].value,
+          ParseExactDouble(costs[i].substr(std::strlen(slots[i].key))));
+    }
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.rationale,
+                            cursor.NextField("recovery rationale"));
+  }
   for (const char* which : {"initial", "optimized"}) {
     ETLOPT_ASSIGN_OR_RETURN(field, cursor.NextField("begin workflow"));
     std::string expected = std::string(which) + " ";
@@ -213,6 +256,7 @@ StatusOr<OptimizedPlan> MakePlan(
   plan.visited_states = result.visited_states;
   plan.exhausted = result.exhausted;
   plan.path = result.best_path;
+  plan.recovery = result.recovery;
   if (plan.signature_hash == 0) {
     Workflow copy = result.best.workflow;
     if (!copy.fresh()) {
@@ -247,6 +291,19 @@ std::string PrintPlanText(const OptimizedPlan& plan) {
     out += "path " + std::string(KindToWord(record.kind));
     if (!record.description.empty()) out += " " + record.description;
     out += "\n";
+  }
+  if (plan.recovery.enabled) {
+    out += plan.recovery.labels.empty()
+               ? "recovery points\n"
+               : "recovery points " + Join(plan.recovery.labels, ",") + "\n";
+    out += "recovery costs exec=" + DoubleToString(plan.recovery.execution_cost) +
+           " ckpt=" + DoubleToString(plan.recovery.checkpoint_cost) +
+           " rec=" + DoubleToString(plan.recovery.expected_recovery_cost) +
+           " total=" + DoubleToString(plan.recovery.expected_total_cost) +
+           " lambda=" + DoubleToString(plan.recovery.failure_rate_per_cost) +
+           " stream_unit=" +
+           DoubleToString(plan.recovery.stream_checkpoint_unit_cost) + "\n";
+    out += "recovery rationale " + plan.recovery.rationale + "\n";
   }
   out += StrFormat("begin workflow initial %zu\n",
                    CountLines(plan.initial_text));
@@ -301,6 +358,22 @@ std::string SerializePlanBinary(const OptimizedPlan& plan) {
   }
   PutString(out, plan.initial_text);
   PutString(out, plan.optimized_text);
+  // Tagged trailer, present only for reliability-aware plans — a
+  // reliability-off plan's bytes end exactly where they always did.
+  if (plan.recovery.enabled) {
+    out.push_back(1);
+    PutU32(out, static_cast<uint32_t>(plan.recovery.labels.size()));
+    for (const std::string& label : plan.recovery.labels) {
+      PutString(out, label);
+    }
+    PutDouble(out, plan.recovery.execution_cost);
+    PutDouble(out, plan.recovery.checkpoint_cost);
+    PutDouble(out, plan.recovery.expected_recovery_cost);
+    PutDouble(out, plan.recovery.expected_total_cost);
+    PutDouble(out, plan.recovery.failure_rate_per_cost);
+    PutDouble(out, plan.recovery.stream_checkpoint_unit_cost);
+    PutString(out, plan.recovery.rationale);
+  }
   return out;
 }
 
@@ -342,6 +415,31 @@ StatusOr<OptimizedPlan> ParsePlanBinary(std::string_view bytes) {
   }
   ETLOPT_ASSIGN_OR_RETURN(plan.initial_text, reader.String());
   ETLOPT_ASSIGN_OR_RETURN(plan.optimized_text, reader.String());
+  if (!reader.AtEnd()) {
+    ETLOPT_ASSIGN_OR_RETURN(uint8_t tag, reader.U8());
+    if (tag != 1) {
+      return Status::InvalidArgument("plan: bad recovery section tag");
+    }
+    plan.recovery.enabled = true;
+    ETLOPT_ASSIGN_OR_RETURN(uint32_t label_count, reader.U32());
+    plan.recovery.labels.reserve(
+        std::min<size_t>(label_count, reader.remaining() / 4));
+    for (uint32_t i = 0; i < label_count; ++i) {
+      ETLOPT_ASSIGN_OR_RETURN(std::string label, reader.String());
+      plan.recovery.labels.push_back(std::move(label));
+    }
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.execution_cost, reader.Double());
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.checkpoint_cost, reader.Double());
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.expected_recovery_cost,
+                            reader.Double());
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.expected_total_cost,
+                            reader.Double());
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.failure_rate_per_cost,
+                            reader.Double());
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.stream_checkpoint_unit_cost,
+                            reader.Double());
+    ETLOPT_ASSIGN_OR_RETURN(plan.recovery.rationale, reader.String());
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("plan: trailing binary content");
   }
@@ -416,6 +514,40 @@ StatusOr<State> ApplyPlan(const OptimizedPlan& plan, const CostModel& model) {
         "plan does not reproduce its recorded signature (0x%llx vs 0x%llx)",
         static_cast<unsigned long long>(state.signature_hash),
         static_cast<unsigned long long>(plan.signature_hash)));
+  }
+  // A reliability-aware plan carries its params in the options
+  // fingerprint and its placement in the recovery section; the two must
+  // agree with each other and with a from-scratch recomputation — a
+  // tampered section (labels, ledger, or missing/injected section) is
+  // rejected, never served.
+  const bool reliability_run =
+      plan.options.find("reliability=") != std::string::npos;
+  if (reliability_run != plan.recovery.enabled) {
+    return Status::Internal(
+        "plan recovery section does not match its options fingerprint");
+  }
+  if (plan.recovery.enabled) {
+    ETLOPT_ASSIGN_OR_RETURN(ReliabilityParams params,
+                            ReliabilityFromOptionsFingerprint(plan.options));
+    RecoveryPointPlan recomputed =
+        PlaceRecoveryPoints(state.workflow, *state.breakdown, params);
+    if (recomputed.labels != plan.recovery.labels ||
+        recomputed.execution_cost != plan.recovery.execution_cost ||
+        recomputed.checkpoint_cost != plan.recovery.checkpoint_cost ||
+        recomputed.expected_recovery_cost !=
+            plan.recovery.expected_recovery_cost ||
+        recomputed.expected_total_cost != plan.recovery.expected_total_cost ||
+        recomputed.failure_rate_per_cost !=
+            plan.recovery.failure_rate_per_cost ||
+        recomputed.stream_checkpoint_unit_cost !=
+            plan.recovery.stream_checkpoint_unit_cost) {
+      return Status::Internal(
+          "plan does not reproduce its recorded recovery-point placement");
+    }
+    // The search minimized effective cost = execution + surcharge;
+    // MakeState costs execution only, so lift it before the bits check.
+    state.cost += recomputed.checkpoint_cost +
+                  recomputed.expected_recovery_cost;
   }
   if (state.cost != plan.best_cost) {
     return Status::Internal(StrFormat(

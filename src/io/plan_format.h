@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "cost/reliability_model.h"
 #include "optimizer/search.h"
 
 namespace etlopt {
@@ -53,6 +54,15 @@ struct OptimizedPlan {
   std::vector<TransitionRecord> path;  // ES lineage; empty for heuristics
   std::string initial_text;    // request workflow, canonical DSL
   std::string optimized_text;  // best workflow, canonical DSL
+
+  /// The run's recovery-point decision. Enabled only for reliability-aware
+  /// runs; a disabled plan serializes to *nothing* — no text lines, no
+  /// binary bytes — so legacy plans stay byte-identical and old parsers
+  /// keep accepting new reliability-off plans. When enabled, both forms
+  /// carry a tagged section ("recovery ..." lines / a tagged binary
+  /// trailer) and ApplyPlan re-derives the placement from the reliability
+  /// fingerprint embedded in `options`, rejecting any tampered section.
+  RecoveryPointPlan recovery;
 };
 
 /// "l1+l2;l3+l4" — the canonical one-line form of a merge-constraint

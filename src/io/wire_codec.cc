@@ -4,13 +4,8 @@
 
 namespace etlopt {
 
-void PutU32(std::string& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
+// PutU32/PutU64 are defined in records/record_io.cc — one strong
+// definition for every binary format, declared by both headers.
 
 void PutDouble(std::string& out, double v) {
   uint64_t bits;

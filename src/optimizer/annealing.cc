@@ -79,7 +79,7 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
   ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
   StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths,
-                      options.cache_hint);
+                      options.cache_hint, options.reliability);
   Rng rng(annealing.seed);
   const size_t copies0 = Workflow::TotalCopies();
   const size_t undos0 = Workflow::TotalUndos();
@@ -179,6 +179,7 @@ StatusOr<SearchResult> SimulatedAnnealingSearch(
   result.perf = eval.perf();
   result.perf.workflow_copies = Workflow::TotalCopies() - copies0;
   result.perf.undo_applies = Workflow::TotalUndos() - undos0;
+  ETLOPT_RETURN_NOT_OK(FinalizeRecoveryPlan(result, model, options));
   return result;
 }
 

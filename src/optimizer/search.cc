@@ -953,7 +953,7 @@ StatusOr<SearchResult> RunHeuristic(
   ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
   StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths,
-                      options.cache_hint);
+                      options.cache_hint, options.reliability);
   SignatureInterner interner;
   size_t threads = 1;
   std::unique_ptr<ThreadPool> pool = MakePool(options, &threads);
@@ -1291,6 +1291,7 @@ StatusOr<SearchResult> RunHeuristic(
   result.perf.threads = threads;
   result.perf.workflow_copies = Workflow::TotalCopies() - copies0;
   result.perf.undo_applies = Workflow::TotalUndos() - undos0;
+  ETLOPT_RETURN_NOT_OK(FinalizeRecoveryPlan(result, model, options));
   return result;
 }
 
@@ -1309,6 +1310,26 @@ Status ValidateSearchOptions(const SearchOptions& options) {
     return Status::InvalidArgument(
         "search options: max_phase4_states must be positive");
   }
+  if (options.reliability != nullptr) {
+    ETLOPT_RETURN_NOT_OK(ValidateReliabilityParams(*options.reliability));
+  }
+  return Status::OK();
+}
+
+Status FinalizeRecoveryPlan(SearchResult& result, const CostModel& model,
+                            const SearchOptions& options) {
+  if (options.reliability == nullptr) {
+    result.recovery = RecoveryPointPlan{};
+    return Status::OK();
+  }
+  std::shared_ptr<const CostBreakdown> bd = result.best.breakdown;
+  if (bd == nullptr) {
+    ETLOPT_ASSIGN_OR_RETURN(CostBreakdown fresh,
+                            ComputeCostBreakdown(result.best.workflow, model));
+    bd = std::make_shared<const CostBreakdown>(std::move(fresh));
+  }
+  result.recovery =
+      PlaceRecoveryPoints(result.best.workflow, *bd, *options.reliability);
   return Status::OK();
 }
 
@@ -1328,6 +1349,9 @@ std::string ResultFingerprint(const SearchOptions& options) {
                     static_cast<unsigned long long>(
                         options.cache_hint->snapshot_id),
                     options.cache_hint->residual);
+  }
+  if (options.reliability != nullptr) {
+    fp += ",reliability=" + ReliabilityFingerprint(*options.reliability);
   }
   return fp;
 }
@@ -1402,7 +1426,7 @@ StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
   ETLOPT_RETURN_NOT_OK(ValidateSearchOptions(options));
   Budget budget(options);
   StateEvaluator eval(model, /*fast_paths=*/!options.disable_fast_paths,
-                      options.cache_hint);
+                      options.cache_hint, options.reliability);
   SignatureInterner interner;
   size_t threads = 1;
   std::unique_ptr<ThreadPool> pool = MakePool(options, &threads);
@@ -1485,6 +1509,7 @@ StatusOr<SearchResult> ExhaustiveSearch(const Workflow& initial,
   result.perf.threads = threads;
   result.perf.workflow_copies = Workflow::TotalCopies() - copies0;
   result.perf.undo_applies = Workflow::TotalUndos() - undos0;
+  ETLOPT_RETURN_NOT_OK(FinalizeRecoveryPlan(result, model, options));
   return result;
 }
 

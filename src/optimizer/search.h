@@ -75,6 +75,14 @@ struct SearchOptions {
   /// plans exactly as before — the optimizer service never sets this,
   /// so its plan-cache keys never split on it.
   const CacheCostHint* cache_hint = nullptr;
+
+  /// Reliability-aware costing (see cost/reliability_model.h): every
+  /// state's cost gains the expected checkpoint + recovery cost of its
+  /// optimal recovery-point placement, so search trades execution cost
+  /// against failure exposure, and results carry a RecoveryPointPlan.
+  /// Unowned; must outlive the search call and stay stable during it.
+  /// Null (the default) costs plans exactly as before, bit for bit.
+  const ReliabilityParams* reliability = nullptr;
 };
 
 /// Rejects nonsensical budgets (max_states == 0, max_millis <= 0,
@@ -115,6 +123,11 @@ struct SearchResult {
   /// cache hits, thread count).
   SearchPerf perf;
 
+  /// The recovery-point decision for `best`. Enabled (and non-trivial)
+  /// only when SearchOptions::reliability was set; disabled plans
+  /// serialize to nothing, keeping legacy formats byte-identical.
+  RecoveryPointPlan recovery;
+
   /// The paper's Table 2 metric: cost improvement over the initial state.
   double improvement_pct() const {
     if (initial_cost <= 0.0) return 0.0;
@@ -149,6 +162,13 @@ enum class SearchAlgorithm { kExhaustive, kHeuristic, kHeuristicGreedy };
 /// "es" / "hs" / "hsg".
 std::string_view SearchAlgorithmToString(SearchAlgorithm algorithm);
 StatusOr<SearchAlgorithm> SearchAlgorithmFromString(std::string_view name);
+
+/// Fills `result.recovery` from the best state's breakdown when
+/// `options.reliability` is set (a disabled, empty plan otherwise). Called
+/// by every algorithm's finalization; exposed for the annealing extension
+/// and tests.
+Status FinalizeRecoveryPlan(SearchResult& result, const CostModel& model,
+                            const SearchOptions& options);
 
 /// Dispatches to ExhaustiveSearch / HeuristicSearch / HeuristicSearchGreedy
 /// (ES ignores merge constraints, as before).

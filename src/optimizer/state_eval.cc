@@ -162,6 +162,15 @@ void StateEvaluator::ParanoidCheckRestore(const Workflow& restored,
 
 double StateEvaluator::EffectiveCost(const Workflow& workflow,
                                      const CostBreakdown& bd) const {
+  double base = CacheDiscountedCost(workflow, bd);
+  if (reliability_ != nullptr) {
+    base += ReliabilitySurcharge(workflow, bd, *reliability_);
+  }
+  return base;
+}
+
+double StateEvaluator::CacheDiscountedCost(const Workflow& workflow,
+                                           const CostBreakdown& bd) const {
   if (hint_ == nullptr || !hint_->is_materialized) return bd.total;
   std::vector<uint64_t> sigs =
       AllSubgraphResultSignatures(workflow, hint_->inputs);

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "cost/reliability_model.h"
 #include "cost/state_cost.h"
 #include "graph/subgraph_signature.h"
 #include "graph/workflow.h"
@@ -146,10 +147,17 @@ class StateEvaluator {
   /// `hint` (optional, unowned, may outlive-checked by caller) turns on
   /// cache-aware costing: all returned costs become effective costs
   /// (exact cost minus the materialized-cone discount). Null reproduces
-  /// plain costing bit for bit.
+  /// plain costing bit for bit. `reliability` (optional, unowned) adds
+  /// the expected checkpoint + recovery cost of the state's optimal
+  /// recovery-point placement (see cost/reliability_model.h) on top;
+  /// null reproduces legacy costing bit for bit.
   StateEvaluator(const CostModel& model, bool fast_paths,
-                 const CacheCostHint* hint = nullptr)
-      : model_(model), fast_paths_(fast_paths), hint_(hint) {}
+                 const CacheCostHint* hint = nullptr,
+                 const ReliabilityParams* reliability = nullptr)
+      : model_(model),
+        fast_paths_(fast_paths),
+        hint_(hint),
+        reliability_(reliability) {}
 
   /// Costs and signs a workflow from scratch (refreshing if needed).
   StatusOr<State> Eval(Workflow workflow) const;
@@ -201,18 +209,24 @@ class StateEvaluator {
   SearchPerf perf() const;
 
   /// The cost this evaluator assigns a fresh workflow given its exact
-  /// breakdown: bd.total minus the cache discount (bd.total verbatim
-  /// when no hint is set). Deterministic in (workflow content, bd), so
-  /// restore checks can recompute it bit for bit.
+  /// breakdown: bd.total minus the cache discount, plus the reliability
+  /// surcharge (bd.total verbatim when neither knob is set).
+  /// Deterministic in (workflow content, bd), so restore checks can
+  /// recompute it bit for bit.
   double EffectiveCost(const Workflow& workflow,
                        const CostBreakdown& bd) const;
 
  private:
+  /// bd.total minus the materialized-cone discount (no reliability term).
+  double CacheDiscountedCost(const Workflow& workflow,
+                             const CostBreakdown& bd) const;
+
   void TrackPeakStateBytes(size_t bytes) const;
 
   const CostModel& model_;
   const bool fast_paths_;
   const CacheCostHint* hint_ = nullptr;
+  const ReliabilityParams* reliability_ = nullptr;
   mutable std::atomic<size_t> full_recosts_{0};
   mutable std::atomic<size_t> delta_recosts_{0};
   mutable std::atomic<size_t> reused_nodes_{0};

@@ -49,10 +49,22 @@ bool CircuitBreaker::Allow() {
     if (Now() - opened_at_millis_ >= options_.open_millis) {
       state_ = BreakerState::kHalfOpen;
       half_open_successes_ = 0;
+      half_open_inflight_ = 0;
     } else {
       ++rejections_;
       return false;
     }
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    // Budgeted admission: in-flight probes plus banked successes may not
+    // exceed the quota, so concurrent callers racing into half-open get
+    // exactly half_open_probes trials — not one each.
+    if (half_open_inflight_ + half_open_successes_ >=
+        options_.half_open_probes) {
+      ++rejections_;
+      return false;
+    }
+    ++half_open_inflight_;
   }
   return true;
 }
@@ -62,8 +74,10 @@ void CircuitBreaker::RecordSuccess() {
   std::lock_guard<std::mutex> lock(mu_);
   consecutive_failures_ = 0;
   if (state_ == BreakerState::kHalfOpen) {
+    if (half_open_inflight_ > 0) --half_open_inflight_;
     if (++half_open_successes_ >= options_.half_open_probes) {
       state_ = BreakerState::kClosed;
+      half_open_inflight_ = 0;
     }
   }
 }
@@ -77,6 +91,7 @@ void CircuitBreaker::RecordFailure() {
        consecutive_failures_ >= options_.failure_threshold)) {
     state_ = BreakerState::kOpen;
     opened_at_millis_ = Now();
+    half_open_inflight_ = 0;
     ++trips_;
   }
 }

@@ -15,6 +15,12 @@
 //   half-open --(half_open_probes consecutive successes)--> closed
 //   half-open --(any failure)--> open
 //
+// Half-open admission is budgeted: at most half_open_probes guarded
+// operations may be in flight or already successful at once, so a burst
+// of concurrent Allow() calls racing into half-open admits exactly the
+// probe quota — the rest are rejected instead of stampeding the
+// still-suspect dependency.
+//
 // Thread-safe; all transitions happen under one mutex (the guarded
 // operation — a multi-millisecond search — dwarfs the lock).
 
@@ -81,6 +87,9 @@ class CircuitBreaker {
   BreakerState state_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;
   int half_open_successes_ = 0;
+  // Admitted half-open probes whose outcome has not been reported yet;
+  // bounds concurrent trials to the probe quota.
+  int half_open_inflight_ = 0;
   int64_t opened_at_millis_ = 0;
   uint64_t trips_ = 0;
   uint64_t rejections_ = 0;

@@ -30,6 +30,45 @@ namespace {
 namespace fs = std::filesystem;
 using SteadyClock = std::chrono::steady_clock;
 
+// Bounded retention GC for stale sibling stream checkpoints: after a
+// successful run, only the `max_retained` most recently written stale
+// stream_*.ckpt files under `checkpoint_dir` survive (oldest pruned
+// first); `current_path` is never touched. Best-effort.
+size_t PruneStaleStreamCheckpoints(const std::string& checkpoint_dir,
+                                   const std::string& current_path,
+                                   size_t max_retained) {
+  std::error_code ec;
+  fs::directory_iterator it(
+      checkpoint_dir, fs::directory_options::skip_permission_denied, ec);
+  if (ec) return 0;
+  std::vector<std::pair<fs::file_time_type, fs::path>> stale;
+  for (fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) return 0;
+    const fs::directory_entry& entry = *it;
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (!StartsWith(name, "stream_") || !EndsWith(name, ".ckpt")) continue;
+    if (entry.path() == fs::path(current_path)) continue;
+    fs::file_time_type mtime = entry.last_write_time(entry_ec);
+    if (entry_ec) mtime = fs::file_time_type::min();
+    stale.emplace_back(mtime, entry.path());
+  }
+  if (stale.size() <= max_retained) return 0;
+  std::sort(stale.begin(), stale.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  size_t pruned = 0;
+  for (size_t i = 0; i + max_retained < stale.size(); ++i) {
+    std::error_code rm_ec;
+    fs::remove(stale[i].second, rm_ec);
+    if (!rm_ec) ++pruned;
+  }
+  return pruned;
+}
+
 // ---- incremental execution plan -----------------------------------------
 
 /// How one chain member processes the stream flowing through its node.
@@ -436,11 +475,13 @@ Status ParseNodeState(const NodePlan& plan, std::string_view blob,
 class StreamRun {
  public:
   StreamRun(const StreamOptions& options, const Workflow& workflow,
-            const ExecutionContext& context, std::string checkpoint_path)
+            const ExecutionContext& context, std::string checkpoint_path,
+            uint64_t checkpoint_every)
       : options_(options),
         workflow_(workflow),
         context_(context),
         checkpoint_path_(std::move(checkpoint_path)),
+        checkpoint_every_(checkpoint_every),
         rng_(options.retry_seed) {}
 
   Status BuildPlan(StreamStats* stats) {
@@ -607,10 +648,7 @@ class StreamRun {
                          const ExecutionResult& result, StreamStats* stats) {
     if (checkpoint_path_.empty()) return Status::OK();
     const bool is_last = next_batch == batch_count;
-    if (!is_last &&
-        next_batch % static_cast<uint64_t>(
-                         options_.checkpoint_every_batches) !=
-            0) {
+    if (!is_last && next_batch % checkpoint_every_ != 0) {
       return Status::OK();
     }
     StreamCheckpoint checkpoint;
@@ -627,6 +665,9 @@ class StreamRun {
     }
     const std::string bytes = SerializeStreamCheckpoint(checkpoint);
     auto write_attempt = [&]() -> Status {
+      if (options_.recovery_plan.enabled) {
+        ETLOPT_FAULT_HIT(FaultSite::kRecoveryPlaceCheckpoint);
+      }
       ETLOPT_FAULT_HIT(FaultSite::kStreamStateCheckpoint);
       std::error_code ec;
       fs::create_directories(options_.checkpoint_dir, ec);
@@ -966,7 +1007,6 @@ class StreamRun {
 
   void Commit(ExecutionResult* result) {
     for (auto& [id, staging] : staging_) {
-      const NodePlan& plan = plans_.at(id);
       NodeState& state = states_.at(id);
       for (size_t p = 0; p < staging.port_append.size(); ++p) {
         auto& history = state.port_history[p];
@@ -1028,6 +1068,7 @@ class StreamRun {
   const Workflow& workflow_;
   const ExecutionContext& context_;
   const std::string checkpoint_path_;
+  const uint64_t checkpoint_every_;
   Rng rng_;
   std::map<NodeId, NodePlan> plans_;
   std::map<NodeId, NodeState> states_;
@@ -1067,8 +1108,15 @@ StatusOr<ExecutionResult> StreamExecutor::Run(const Workflow& workflow,
   const uint64_t fingerprint = source.CaptureFingerprint();
   const std::string checkpoint_path =
       CheckpointPathFor(workflow_hash, fingerprint);
+  const uint64_t checkpoint_every =
+      options_.recovery_plan.enabled
+          ? PlannedStreamCheckpointInterval(options_.recovery_plan,
+                                            source.batch_count())
+          : static_cast<uint64_t>(options_.checkpoint_every_batches);
+  stats.checkpoint_interval = checkpoint_every;
 
-  StreamRun run(options_, workflow, source.context(), checkpoint_path);
+  StreamRun run(options_, workflow, source.context(), checkpoint_path,
+                checkpoint_every);
   ETLOPT_RETURN_NOT_OK(run.BuildPlan(&stats));
 
   ExecutionResult result;
@@ -1100,9 +1148,14 @@ StatusOr<ExecutionResult> StreamExecutor::Run(const Workflow& workflow,
     }
   }
 
-  if (!checkpoint_path.empty() && options_.remove_checkpoints_on_success) {
-    std::error_code ec;
-    fs::remove(checkpoint_path, ec);  // best-effort cleanup
+  if (!checkpoint_path.empty()) {
+    if (options_.remove_checkpoints_on_success) {
+      std::error_code ec;
+      fs::remove(checkpoint_path, ec);  // best-effort cleanup
+    }
+    stats.stale_checkpoints_pruned = PruneStaleStreamCheckpoints(
+        options_.checkpoint_dir, checkpoint_path,
+        options_.max_retained_checkpoints);
   }
   if (stats_out != nullptr) *stats_out = stats;
   return result;

@@ -53,6 +53,11 @@ struct StreamStats {
   size_t checkpoints_rejected = 0;
   size_t checkpoints_written = 0;
   size_t checkpoint_write_failures = 0;
+  /// Stale sibling stream_*.ckpt files GC'd after a successful run.
+  size_t stale_checkpoints_pruned = 0;
+  /// The checkpoint-every-k cadence this run actually used (the plan's
+  /// Young interval when recovery_plan is enabled, else the knob).
+  uint64_t checkpoint_interval = 0;
   /// Per-batch retries performed (transient faults absorbed).
   uint64_t retries = 0;
   /// Nodes running in delta mode / refresh (recompute) mode.

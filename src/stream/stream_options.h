@@ -12,6 +12,7 @@
 
 #include "common/retry.h"
 #include "common/status.h"
+#include "cost/reliability_model.h"
 
 namespace etlopt {
 
@@ -61,6 +62,20 @@ struct StreamOptions {
   int64_t checkpoint_every_batches = 1;
   /// Remove the run's checkpoint once the stream completes.
   bool remove_checkpoints_on_success = true;
+  /// The optimizer's reliability decision. When enabled, the checkpoint
+  /// cadence is derived from it (Young's approximation over the plan's
+  /// per-batch cost and checkpoint unit cost — see
+  /// PlannedStreamCheckpointInterval), overriding
+  /// checkpoint_every_batches; plan-driven checkpoint writes also hit
+  /// the recovery.place_checkpoint fault site.
+  RecoveryPointPlan recovery_plan;
+  /// Bounded retention for stale sibling stream_*.ckpt files (crashed
+  /// runs over other workflows/captures that were never resumed): after
+  /// a successful Run(), only the `max_retained_checkpoints` most
+  /// recently written stale files under checkpoint_dir survive, oldest
+  /// deleted first. The current run's file is never counted against the
+  /// cap.
+  size_t max_retained_checkpoints = 8;
 
   // --- Retry ---
   /// Per-batch retry policy for transient faults; crash-points are never

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "fault/fault_injector.h"
 
 namespace etlopt {
@@ -125,6 +128,45 @@ TEST(RetryTest, BackoffGrowsAndRespectsCeiling) {
   EXPECT_EQ(BackoffMillis(policy, 1, rng), 20);
   EXPECT_EQ(BackoffMillis(policy, 2, rng), 35);  // clamped
   EXPECT_EQ(BackoffMillis(policy, 10, rng), 35);
+}
+
+TEST(RetryTest, FullJitterNeverRoundsDownToAZeroBusyRetry) {
+  // jitter = 1.0 can scale the base arbitrarily close to zero; the
+  // computed backoff must still floor at 1ms, never a 0ms busy-retry.
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 1;
+  policy.max_backoff_millis = 1;
+  policy.jitter = 1.0;
+  Rng rng(7);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_GE(BackoffMillis(policy, 0, rng), 1);
+  }
+}
+
+TEST(RetryTest, HugeRetryCountSaturatesAtTheCeiling) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 10;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_millis = 250;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  // pow() overflows to +inf near retry ~ 307; the ceiling must hold
+  // instead of the cast producing garbage.
+  EXPECT_EQ(BackoffMillis(policy, 500, rng), 250);
+  EXPECT_EQ(BackoffMillis(policy, std::numeric_limits<int>::max(), rng), 250);
+}
+
+TEST(RetryTest, CeilingNearInt64MaxDoesNotOverflowToABusyRetry) {
+  // max_backoff_millis = INT64_MAX rounds to 2^63 as a double — one ULP
+  // past what int64_t can hold. The old cast was UB and in practice came
+  // back as INT64_MIN, which the floor turned into a 1ms busy-retry
+  // exactly when the caller asked for the longest legal backoff.
+  RetryPolicy policy;
+  policy.initial_backoff_millis = std::numeric_limits<int64_t>::max();
+  policy.max_backoff_millis = std::numeric_limits<int64_t>::max();
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(BackoffMillis(policy, 50, rng), int64_t{9223372036854774784});
 }
 
 TEST(RetryTest, JitterStaysInRangeAndIsSeedDeterministic) {

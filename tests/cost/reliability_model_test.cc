@@ -1,0 +1,217 @@
+#include "cost/reliability_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cost/cost_model.h"
+#include "cost/state_cost.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+ReliabilityParams DefaultParams() { return ReliabilityParams{}; }
+
+TEST(ReliabilityParamsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateReliabilityParams(DefaultParams()).ok());
+}
+
+TEST(ReliabilityParamsTest, RejectsNegativeAndNonFinite) {
+  ReliabilityParams p;
+  p.failure_rate_per_cost = -1e-6;
+  EXPECT_TRUE(ValidateReliabilityParams(p).IsInvalidArgument());
+  p = DefaultParams();
+  p.checkpoint_setup_cost = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(ValidateReliabilityParams(p).IsInvalidArgument());
+  p = DefaultParams();
+  p.restore_cost_per_row = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ValidateReliabilityParams(p).IsInvalidArgument());
+}
+
+TEST(ReliabilityParamsTest, FingerprintRoundTripsBitExactly) {
+  ReliabilityParams p;
+  p.failure_rate_per_cost = 1.0 / 3.0;
+  p.checkpoint_setup_cost = 8.125;
+  p.checkpoint_cost_per_row = 0.05;
+  p.restore_setup_cost = 32.0;
+  p.restore_cost_per_row = 1e-9;
+  const std::string fp = ReliabilityFingerprint(p);
+  auto parsed = ParseReliabilityFingerprint(fp);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->failure_rate_per_cost, p.failure_rate_per_cost);
+  EXPECT_EQ(parsed->checkpoint_setup_cost, p.checkpoint_setup_cost);
+  EXPECT_EQ(parsed->checkpoint_cost_per_row, p.checkpoint_cost_per_row);
+  EXPECT_EQ(parsed->restore_setup_cost, p.restore_setup_cost);
+  EXPECT_EQ(parsed->restore_cost_per_row, p.restore_cost_per_row);
+  EXPECT_EQ(ReliabilityFingerprint(*parsed), fp);
+}
+
+TEST(ReliabilityParamsTest, ParseRejectsMalformedFingerprints) {
+  EXPECT_TRUE(ParseReliabilityFingerprint("").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseReliabilityFingerprint("rel()").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseReliabilityFingerprint("rel(lambda=1,ws=1,wr=1,rs=1)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseReliabilityFingerprint("rel(lambda=x,ws=1,wr=1,rs=1,rr=1)")
+                  .status()
+                  .IsInvalidArgument());
+  // Valid numbers but invalid params (negative) are rejected too.
+  EXPECT_TRUE(ParseReliabilityFingerprint("rel(lambda=-1,ws=1,wr=1,rs=1,rr=1)")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ReliabilityParamsTest, ExtractsFromOptionsFingerprint) {
+  ReliabilityParams p;
+  const std::string options =
+      "algo=hs,max_states=100,reliability=" + ReliabilityFingerprint(p) +
+      ",tail=1";
+  auto parsed = ReliabilityFromOptionsFingerprint(options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->failure_rate_per_cost, p.failure_rate_per_cost);
+  EXPECT_TRUE(ReliabilityFromOptionsFingerprint("algo=hs,max_states=100")
+                  .status()
+                  .IsNotFound());
+}
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = BuildFig1Scenario();
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    workflow_ = std::move(s->workflow);
+    auto bd = ComputeCostBreakdown(workflow_, model_);
+    ASSERT_TRUE(bd.ok()) << bd.status().ToString();
+    bd_ = std::move(bd).value();
+  }
+
+  LinearLogCostModel model_;
+  Workflow workflow_;
+  CostBreakdown bd_;
+};
+
+TEST_F(PlacementTest, PlanIsEnabledAndInternallyConsistent) {
+  ReliabilityParams p;
+  p.failure_rate_per_cost = 1e-3;  // failures frequent enough to checkpoint
+  RecoveryPointPlan plan = PlaceRecoveryPoints(workflow_, bd_, p);
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_EQ(plan.execution_cost, bd_.total);
+  EXPECT_EQ(plan.expected_total_cost,
+            plan.execution_cost +
+                (plan.checkpoint_cost + plan.expected_recovery_cost));
+  EXPECT_EQ(plan.failure_rate_per_cost, p.failure_rate_per_cost);
+  EXPECT_GT(plan.stream_checkpoint_unit_cost, 0.0);
+  EXPECT_FALSE(plan.rationale.empty());
+  // Every placed label names a costed activity node.
+  for (const std::string& label : plan.labels) {
+    bool found = false;
+    for (NodeId id : workflow_.ActivityNodeIds()) {
+      found |= workflow_.PriorityLabelOf(id) == label;
+    }
+    EXPECT_TRUE(found) << "label " << label << " not an activity";
+  }
+}
+
+TEST_F(PlacementTest, PlacementIsDeterministic) {
+  ReliabilityParams p;
+  p.failure_rate_per_cost = 1e-3;
+  RecoveryPointPlan a = PlaceRecoveryPoints(workflow_, bd_, p);
+  RecoveryPointPlan b = PlaceRecoveryPoints(workflow_, bd_, p);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.checkpoint_cost, b.checkpoint_cost);
+  EXPECT_EQ(a.expected_recovery_cost, b.expected_recovery_cost);
+  EXPECT_EQ(a.rationale, b.rationale);
+}
+
+TEST_F(PlacementTest, SurchargeMatchesPlanLedgerBitForBit) {
+  ReliabilityParams p;
+  p.failure_rate_per_cost = 1e-3;
+  RecoveryPointPlan plan = PlaceRecoveryPoints(workflow_, bd_, p);
+  const double surcharge = ReliabilitySurcharge(workflow_, bd_, p);
+  EXPECT_EQ(surcharge,
+            plan.checkpoint_cost + plan.expected_recovery_cost);
+}
+
+TEST_F(PlacementTest, ZeroFailureRatePlacesNothing) {
+  ReliabilityParams p;
+  p.failure_rate_per_cost = 0.0;
+  RecoveryPointPlan plan = PlaceRecoveryPoints(workflow_, bd_, p);
+  EXPECT_TRUE(plan.labels.empty());
+  EXPECT_EQ(plan.checkpoint_cost, 0.0);
+  EXPECT_EQ(plan.expected_recovery_cost, 0.0);
+  EXPECT_EQ(ReliabilitySurcharge(workflow_, bd_, p), 0.0);
+}
+
+TEST_F(PlacementTest, ChosenPlacementBeatsBothDegeneratePolicies) {
+  // With failures frequent and checkpoints cheap, the optimum must cost
+  // no more than either extreme the rationale reports against.
+  ReliabilityParams p;
+  p.failure_rate_per_cost = 5e-3;
+  p.checkpoint_setup_cost = 1.0;
+  p.checkpoint_cost_per_row = 0.001;
+  RecoveryPointPlan plan = PlaceRecoveryPoints(workflow_, bd_, p);
+  const double chosen =
+      plan.checkpoint_cost + plan.expected_recovery_cost;
+  // The no-checkpoint baseline: force the DP into the empty placement by
+  // making checkpoints never pay off (write costs don't enter an empty
+  // ledger's recovery figure, so its recovery matches `p`'s baseline).
+  ReliabilityParams absurd = p;
+  absurd.checkpoint_setup_cost = 1e12;  // checkpoints never pay off
+  RecoveryPointPlan none_plan = PlaceRecoveryPoints(workflow_, bd_, absurd);
+  EXPECT_TRUE(none_plan.labels.empty());
+  // none_plan's recovery under `absurd` equals the no-checkpoint recovery
+  // under `p` (write costs don't enter an empty ledger's recovery).
+  EXPECT_LE(chosen, none_plan.expected_recovery_cost);
+  EXPECT_GT(plan.labels.size(), 0u);
+}
+
+TEST_F(PlacementTest, HigherFailureRatePlacesAtLeastAsManyPoints) {
+  ReliabilityParams low;
+  low.failure_rate_per_cost = 1e-6;
+  ReliabilityParams high = low;
+  high.failure_rate_per_cost = 1e-2;
+  RecoveryPointPlan a = PlaceRecoveryPoints(workflow_, bd_, low);
+  RecoveryPointPlan b = PlaceRecoveryPoints(workflow_, bd_, high);
+  EXPECT_GE(b.labels.size(), a.labels.size());
+}
+
+TEST(StreamIntervalTest, DisabledPlanCheckpointsOnlyAtEnd) {
+  RecoveryPointPlan plan;
+  EXPECT_EQ(PlannedStreamCheckpointInterval(plan, 16), 16u);
+}
+
+TEST(StreamIntervalTest, ClampsToBatchRange) {
+  RecoveryPointPlan plan;
+  plan.enabled = true;
+  plan.execution_cost = 1000.0;
+  plan.failure_rate_per_cost = 1e-4;
+  plan.stream_checkpoint_unit_cost = 1e-9;  // nearly free: every batch
+  EXPECT_EQ(PlannedStreamCheckpointInterval(plan, 32), 1u);
+  plan.stream_checkpoint_unit_cost = 1e12;  // absurdly dear: once, at end
+  EXPECT_EQ(PlannedStreamCheckpointInterval(plan, 32), 32u);
+}
+
+TEST(StreamIntervalTest, YoungIntervalLandsBetweenExtremes) {
+  RecoveryPointPlan plan;
+  plan.enabled = true;
+  plan.execution_cost = 4096.0;  // 128 per batch over 32 batches
+  plan.failure_rate_per_cost = 1e-4;
+  plan.stream_checkpoint_unit_cost = 50.0;
+  // tau = sqrt(2*50/1e-4) = 1000, per-batch = 128 -> k = llround(7.8) = 8.
+  EXPECT_EQ(PlannedStreamCheckpointInterval(plan, 32), 8u);
+}
+
+TEST(StreamIntervalTest, ZeroFailureRateCheckpointsOnlyAtEnd) {
+  RecoveryPointPlan plan;
+  plan.enabled = true;
+  plan.execution_cost = 1000.0;
+  plan.failure_rate_per_cost = 0.0;
+  plan.stream_checkpoint_unit_cost = 10.0;
+  EXPECT_EQ(PlannedStreamCheckpointInterval(plan, 8), 8u);
+}
+
+}  // namespace
+}  // namespace etlopt

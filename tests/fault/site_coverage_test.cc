@@ -1,0 +1,133 @@
+// Completeness of the fault-site registry: every enumerator is listed,
+// named, and unique; random schedules draw from the whole registry; and
+// the newest site (recovery.place_checkpoint) is actually reachable
+// from both engines that write optimizer-placed checkpoints.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cctype>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "cost/state_cost.h"
+#include "engine/recovery.h"
+#include "fault/fault_injector.h"
+#include "stream/stream_executor.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(FaultSiteCoverageTest, RegistryListsEveryEnumeratorExactlyOnce) {
+  const auto& sites = AllFaultSites();
+  ASSERT_EQ(sites.size(), static_cast<size_t>(kNumFaultSites));
+  std::set<int> seen;
+  for (FaultSite site : sites) {
+    const int raw = static_cast<int>(site);
+    EXPECT_GE(raw, 0);
+    EXPECT_LT(raw, kNumFaultSites);
+    EXPECT_TRUE(seen.insert(raw).second) << "duplicate site " << raw;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNumFaultSites));
+}
+
+TEST(FaultSiteCoverageTest, EverySiteHasAUniqueWellFormedName) {
+  std::set<std::string> names;
+  for (FaultSite site : AllFaultSites()) {
+    const std::string name(FaultSiteName(site));
+    ASSERT_FALSE(name.empty()) << "site " << static_cast<int>(site);
+    for (char c : name) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == '.')
+          << "site name '" << name << "' has bad character '" << c << "'";
+    }
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  // The placement site introduced with RecoveryPointPlan is registered.
+  EXPECT_EQ(FaultSiteName(FaultSite::kRecoveryPlaceCheckpoint),
+            "recovery.place_checkpoint");
+}
+
+TEST(FaultSiteCoverageTest, RandomSchedulesDrawFromTheWholeRegistry) {
+  FaultScheduleOptions options;
+  options.num_faults = 512;
+  FaultSchedule schedule = MakeRandomFaultSchedule(99, options);
+  ASSERT_EQ(schedule.faults.size(), options.num_faults);
+  std::set<int> drawn;
+  for (const FaultSpec& spec : schedule.faults) {
+    drawn.insert(static_cast<int>(spec.site));
+  }
+  // 512 uniform draws over 19 sites: a missing site means the generator
+  // is not sampling the full registry (e.g. a stale site count).
+  EXPECT_EQ(drawn.size(), static_cast<size_t>(kNumFaultSites));
+  // And equal seeds reproduce the schedule exactly.
+  FaultSchedule again = MakeRandomFaultSchedule(99, options);
+  ASSERT_EQ(again.faults.size(), schedule.faults.size());
+  for (size_t i = 0; i < schedule.faults.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(again.faults[i].site),
+              static_cast<int>(schedule.faults[i].site));
+    EXPECT_EQ(again.faults[i].hit, schedule.faults[i].hit);
+    EXPECT_EQ(static_cast<int>(again.faults[i].kind),
+              static_cast<int>(schedule.faults[i].kind));
+  }
+}
+
+TEST(FaultSiteCoverageTest, PlacementSiteIsReachableFromBothEngines) {
+  auto s = BuildFig1Scenario();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  LinearLogCostModel model;
+  auto bd = ComputeCostBreakdown(s->workflow, model);
+  ASSERT_TRUE(bd.ok());
+  ReliabilityParams params;
+  params.failure_rate_per_cost = 1e-2;
+  params.checkpoint_setup_cost = 1.0;
+  params.checkpoint_cost_per_row = 0.001;
+  RecoveryPointPlan plan = PlaceRecoveryPoints(s->workflow, *bd, params);
+  ASSERT_TRUE(plan.enabled);
+  ASSERT_FALSE(plan.labels.empty());
+  ExecutionInput input = MakeFig1Input(5, 64);
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("etlopt_sitecov_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  const int site = static_cast<int>(FaultSite::kRecoveryPlaceCheckpoint);
+  {
+    RecoveryOptions options;
+    options.checkpoint_dir = dir;
+    options.checkpoint_policy = CheckpointPolicy::kRecoveryPlan;
+    options.recovery_plan = plan;
+    RecoverableExecutor exec(options);
+    FaultInjector::Global().Arm(FaultSchedule{});  // pure hit counting
+    auto r = exec.Execute(s->workflow, input);
+    const uint64_t hits = FaultInjector::Global().Stats().hits[site];
+    FaultInjector::Global().Disarm();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(hits, plan.labels.size());
+  }
+  {
+    StreamOptions options;
+    options.num_batches = 8;
+    options.checkpoint_dir = dir;
+    options.recovery_plan = plan;
+    StreamExecutor exec(options);
+    FaultInjector::Global().Arm(FaultSchedule{});
+    auto r = exec.Run(s->workflow, input);
+    const uint64_t hits = FaultInjector::Global().Stats().hits[site];
+    FaultInjector::Global().Disarm();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(hits, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,185 @@
+// The plan format's recovery-point section: reliability-off plans stay
+// byte-identical to the legacy format; reliability-on plans round-trip
+// the RecoveryPointPlan exactly through text and binary, and ApplyPlan
+// rejects any tampering with the recorded placement.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+#include "cost/reliability_model.h"
+#include "io/plan_format.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+class PlanRecoveryFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = BuildFig1Scenario();
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    workflow_ = std::move(s->workflow);
+    params_.failure_rate_per_cost = 1e-3;
+  }
+
+  StatusOr<OptimizedPlan> MakeReliabilityPlan() {
+    SearchOptions options;
+    options.reliability = &params_;
+    ETLOPT_ASSIGN_OR_RETURN(
+        SearchResult result,
+        RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_, options));
+    return MakePlan(workflow_, result, SearchAlgorithm::kHeuristic, model_,
+                    options);
+  }
+
+  StatusOr<OptimizedPlan> MakeLegacyPlan() {
+    SearchOptions options;
+    ETLOPT_ASSIGN_OR_RETURN(
+        SearchResult result,
+        RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_, options));
+    return MakePlan(workflow_, result, SearchAlgorithm::kHeuristic, model_,
+                    options);
+  }
+
+  LinearLogCostModel model_;
+  Workflow workflow_;
+  ReliabilityParams params_;
+};
+
+TEST_F(PlanRecoveryFormatTest, LegacyPlanSerializesNoRecoverySection) {
+  auto plan = MakeLegacyPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(plan->recovery.enabled);
+  EXPECT_EQ(PrintPlanText(*plan).find("recovery"), std::string::npos);
+}
+
+TEST_F(PlanRecoveryFormatTest, TextRoundTripPreservesRecoveryExactly) {
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->recovery.enabled);
+  const std::string text = PrintPlanText(*plan);
+  EXPECT_NE(text.find("recovery points"), std::string::npos);
+  EXPECT_NE(text.find("recovery costs exec="), std::string::npos);
+  EXPECT_NE(text.find("recovery rationale "), std::string::npos);
+  auto parsed = ParsePlanText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->recovery.enabled);
+  EXPECT_EQ(parsed->recovery.labels, plan->recovery.labels);
+  EXPECT_EQ(parsed->recovery.execution_cost, plan->recovery.execution_cost);
+  EXPECT_EQ(parsed->recovery.checkpoint_cost, plan->recovery.checkpoint_cost);
+  EXPECT_EQ(parsed->recovery.expected_recovery_cost,
+            plan->recovery.expected_recovery_cost);
+  EXPECT_EQ(parsed->recovery.expected_total_cost,
+            plan->recovery.expected_total_cost);
+  EXPECT_EQ(parsed->recovery.failure_rate_per_cost,
+            plan->recovery.failure_rate_per_cost);
+  EXPECT_EQ(parsed->recovery.stream_checkpoint_unit_cost,
+            plan->recovery.stream_checkpoint_unit_cost);
+  EXPECT_EQ(parsed->recovery.rationale, plan->recovery.rationale);
+  EXPECT_EQ(PrintPlanText(*parsed), text);
+}
+
+TEST_F(PlanRecoveryFormatTest, BinaryRoundTripPreservesRecoveryExactly) {
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string binary = SerializePlanBinary(*plan);
+  auto parsed = ParsePlanBinary(binary);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->recovery.enabled);
+  EXPECT_EQ(parsed->recovery.labels, plan->recovery.labels);
+  EXPECT_EQ(parsed->recovery.rationale, plan->recovery.rationale);
+  EXPECT_EQ(SerializePlanBinary(*parsed), binary);
+  // And binary agrees with text.
+  EXPECT_EQ(PrintPlanText(*parsed), PrintPlanText(*plan));
+}
+
+TEST_F(PlanRecoveryFormatTest, LegacyBinaryBytesCarryNoTrailer) {
+  // A reliability-off plan's binary form must parse even under a strict
+  // AtEnd check — i.e. it appends zero extra bytes for the new section.
+  auto plan = MakeLegacyPlan();
+  ASSERT_TRUE(plan.ok());
+  const std::string binary = SerializePlanBinary(*plan);
+  auto parsed = ParsePlanBinary(binary);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->recovery.enabled);
+}
+
+TEST_F(PlanRecoveryFormatTest, ApplyPlanAcceptsFaithfulReliabilityPlan) {
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok());
+  auto reloaded = ParsePlanText(PrintPlanText(*plan));
+  ASSERT_TRUE(reloaded.ok());
+  auto state = ApplyPlan(*reloaded, model_);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state->cost, plan->best_cost);  // expected total, bit-exact
+}
+
+TEST_F(PlanRecoveryFormatTest, ApplyPlanRejectsTamperedRecoveryPoints) {
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->recovery.labels.empty());
+  OptimizedPlan tampered = *plan;
+  tampered.recovery.labels.pop_back();  // drop one placed point
+  auto state = ApplyPlan(tampered, model_);
+  EXPECT_TRUE(state.status().IsInternal()) << state.status().ToString();
+}
+
+TEST_F(PlanRecoveryFormatTest, ApplyPlanRejectsTamperedRecoveryCosts) {
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok());
+  OptimizedPlan tampered = *plan;
+  tampered.recovery.expected_recovery_cost += 1.0;
+  auto state = ApplyPlan(tampered, model_);
+  EXPECT_TRUE(state.status().IsInternal()) << state.status().ToString();
+}
+
+TEST_F(PlanRecoveryFormatTest, ApplyPlanRejectsStrippedRecoverySection) {
+  // A reliability run whose recovery section was removed entirely must
+  // not apply: options say reliability, plan says none.
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok());
+  OptimizedPlan tampered = *plan;
+  tampered.recovery = RecoveryPointPlan{};
+  auto state = ApplyPlan(tampered, model_);
+  EXPECT_TRUE(state.status().IsInternal()) << state.status().ToString();
+}
+
+TEST_F(PlanRecoveryFormatTest, ApplyPlanRejectsForgedRecoverySection) {
+  // The inverse: a legacy plan with a recovery section bolted on.
+  auto plan = MakeLegacyPlan();
+  ASSERT_TRUE(plan.ok());
+  OptimizedPlan tampered = *plan;
+  tampered.recovery.enabled = true;
+  tampered.recovery.rationale = "forged";
+  auto state = ApplyPlan(tampered, model_);
+  EXPECT_TRUE(state.status().IsInternal()) << state.status().ToString();
+}
+
+TEST_F(PlanRecoveryFormatTest, ParseRejectsMalformedRecoveryLines) {
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok());
+  std::string text = PrintPlanText(*plan);
+  // Corrupt the costs line's key order.
+  const size_t at = text.find("recovery costs exec=");
+  ASSERT_NE(at, std::string::npos);
+  std::string bad = text;
+  bad.replace(at, std::string("recovery costs exec=").size(),
+              "recovery costs xexc=");
+  EXPECT_FALSE(ParsePlanText(bad).ok());
+}
+
+TEST_F(PlanRecoveryFormatTest, BinaryTamperRejectedByChecksumOrTag) {
+  auto plan = MakeReliabilityPlan();
+  ASSERT_TRUE(plan.ok());
+  std::string binary = SerializePlanBinary(*plan);
+  // Truncating the recovery trailer must fail cleanly.
+  std::string truncated = binary.substr(0, binary.size() - 3);
+  EXPECT_FALSE(ParsePlanBinary(truncated).ok());
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -1,0 +1,150 @@
+// Reliability-aware search: with SearchOptions::reliability unset the
+// optimizer's costing, fingerprints and results are bit-identical to
+// legacy behavior; with it set, every algorithm minimizes expected total
+// cost and emits the RecoveryPointPlan its best state implies.
+
+#include <gtest/gtest.h>
+
+#include "cost/reliability_model.h"
+#include "cost/state_cost.h"
+#include "optimizer/annealing.h"
+#include "optimizer/search.h"
+#include "workload/scenarios.h"
+
+namespace etlopt {
+namespace {
+
+class ReliabilitySearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = BuildFig1Scenario();
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    workflow_ = std::move(s->workflow);
+    params_.failure_rate_per_cost = 1e-3;
+  }
+
+  SearchOptions WithReliability() {
+    SearchOptions options;
+    options.reliability = &params_;
+    return options;
+  }
+
+  LinearLogCostModel model_;
+  Workflow workflow_;
+  ReliabilityParams params_;
+};
+
+TEST_F(ReliabilitySearchTest, OffByDefaultKeepsLegacyCostingBitIdentical) {
+  SearchOptions legacy;
+  ASSERT_EQ(legacy.reliability, nullptr);
+  auto result = RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_,
+                          legacy);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->recovery.enabled);
+  EXPECT_TRUE(result->recovery.labels.empty());
+  // The state's cost is the plain execution cost — no surcharge leaked in.
+  auto bd = ComputeCostBreakdown(result->best.workflow, model_);
+  ASSERT_TRUE(bd.ok());
+  EXPECT_EQ(result->best.cost, bd->total);
+  // And the fingerprint carries no reliability entry for legacy parsers.
+  EXPECT_EQ(ResultFingerprint(legacy).find("reliability="),
+            std::string::npos);
+}
+
+TEST_F(ReliabilitySearchTest, FingerprintCarriesReliabilityWhenSet) {
+  const std::string fp = ResultFingerprint(WithReliability());
+  EXPECT_NE(fp.find("reliability=rel(lambda="), std::string::npos);
+  auto parsed = ReliabilityFromOptionsFingerprint(fp);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->failure_rate_per_cost, params_.failure_rate_per_cost);
+}
+
+TEST_F(ReliabilitySearchTest, RejectsInvalidReliabilityParams) {
+  ReliabilityParams bad;
+  bad.failure_rate_per_cost = -1.0;
+  SearchOptions options;
+  options.reliability = &bad;
+  auto result = RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_,
+                          options);
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+}
+
+TEST_F(ReliabilitySearchTest, EveryAlgorithmEmitsAPlan) {
+  for (SearchAlgorithm algorithm :
+       {SearchAlgorithm::kExhaustive, SearchAlgorithm::kHeuristic,
+        SearchAlgorithm::kHeuristicGreedy}) {
+    auto result = RunSearch(algorithm, workflow_, model_, WithReliability());
+    ASSERT_TRUE(result.ok())
+        << SearchAlgorithmToString(algorithm) << ": "
+        << result.status().ToString();
+    EXPECT_TRUE(result->recovery.enabled)
+        << SearchAlgorithmToString(algorithm);
+    EXPECT_FALSE(result->recovery.rationale.empty());
+    EXPECT_EQ(result->recovery.failure_rate_per_cost,
+              params_.failure_rate_per_cost);
+  }
+  auto sa = SimulatedAnnealingSearch(workflow_, model_, WithReliability());
+  ASSERT_TRUE(sa.ok()) << sa.status().ToString();
+  EXPECT_TRUE(sa->recovery.enabled);
+  EXPECT_FALSE(sa->recovery.rationale.empty());
+}
+
+TEST_F(ReliabilitySearchTest, BestCostIsExpectedTotalCostBitForBit) {
+  auto result = RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_,
+                          WithReliability());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The search minimized execution + surcharge; the emitted plan's
+  // expected_total_cost must be that exact value, bit for bit.
+  EXPECT_EQ(result->best.cost, result->recovery.expected_total_cost);
+  auto bd = ComputeCostBreakdown(result->best.workflow, model_);
+  ASSERT_TRUE(bd.ok());
+  EXPECT_EQ(result->recovery.execution_cost, bd->total);
+  EXPECT_EQ(result->best.cost,
+            bd->total + (result->recovery.checkpoint_cost +
+                         result->recovery.expected_recovery_cost));
+}
+
+TEST_F(ReliabilitySearchTest, PlanMatchesStandalonePlacement) {
+  auto result = RunSearch(SearchAlgorithm::kHeuristicGreedy, workflow_,
+                          model_, WithReliability());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto bd = ComputeCostBreakdown(result->best.workflow, model_);
+  ASSERT_TRUE(bd.ok());
+  RecoveryPointPlan direct =
+      PlaceRecoveryPoints(result->best.workflow, *bd, params_);
+  EXPECT_EQ(result->recovery.labels, direct.labels);
+  EXPECT_EQ(result->recovery.checkpoint_cost, direct.checkpoint_cost);
+  EXPECT_EQ(result->recovery.expected_recovery_cost,
+            direct.expected_recovery_cost);
+  EXPECT_EQ(result->recovery.rationale, direct.rationale);
+}
+
+TEST_F(ReliabilitySearchTest, ReliabilityAwareBestIsNoWorseOnExpectedCost) {
+  // A search that optimizes expected total cost must end at a state whose
+  // expected total cost is <= that of the legacy winner.
+  auto legacy = RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_);
+  ASSERT_TRUE(legacy.ok());
+  auto aware = RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_,
+                         WithReliability());
+  ASSERT_TRUE(aware.ok());
+  auto legacy_bd = ComputeCostBreakdown(legacy->best.workflow, model_);
+  ASSERT_TRUE(legacy_bd.ok());
+  const double legacy_expected =
+      legacy_bd->total +
+      ReliabilitySurcharge(legacy->best.workflow, *legacy_bd, params_);
+  EXPECT_LE(aware->recovery.expected_total_cost, legacy_expected + 1e-9);
+}
+
+TEST_F(ReliabilitySearchTest, FinalizeWithNullOptionsDisablesPlan) {
+  auto result = RunSearch(SearchAlgorithm::kHeuristic, workflow_, model_,
+                          WithReliability());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->recovery.enabled);
+  SearchOptions plain;
+  ASSERT_TRUE(FinalizeRecoveryPlan(*result, model_, plain).ok());
+  EXPECT_FALSE(result->recovery.enabled);
+}
+
+}  // namespace
+}  // namespace etlopt

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace etlopt {
 namespace {
 
@@ -92,6 +96,80 @@ TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
   EXPECT_FALSE(breaker.Allow());
   clock.now = 450;
   EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOnlyTheProbeBudgetSerially) {
+  FakeClock clock;
+  CircuitBreaker breaker(
+      FakeClockOptions(&clock, /*threshold=*/1, /*open_millis=*/100,
+                       /*probes=*/2));
+  breaker.RecordFailure();
+  clock.now = 100;
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());
+  // Both probes are in flight with no result recorded yet. The old code
+  // admitted every caller here because only *successes* counted against
+  // the budget — the race this guards.
+  EXPECT_FALSE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // 1 banked success + 1 in flight = budget
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureWhileAnotherProbeInFlightReopens) {
+  FakeClock clock;
+  CircuitBreaker breaker(
+      FakeClockOptions(&clock, /*threshold=*/1, /*open_millis=*/100,
+                       /*probes=*/2));
+  breaker.RecordFailure();
+  clock.now = 100;
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  // The straggler probe's late success must not close the re-opened
+  // breaker or corrupt the next half-open round's budget.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock.now = 200;
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ConcurrentHalfOpenCallersAdmitExactlyTheBudget) {
+  // The regression this pins down: N threads racing Allow() on a breaker
+  // whose cool-down just expired must win exactly `probes` admissions
+  // between them, not one each. Run under TSan in CI.
+  FakeClock clock;
+  constexpr int kProbes = 2;
+  constexpr int kThreads = 8;
+  CircuitBreaker breaker(
+      FakeClockOptions(&clock, /*threshold=*/1, /*open_millis=*/100,
+                       /*probes=*/kProbes));
+  for (int round = 0; round < 16; ++round) {
+    breaker.RecordFailure();
+    ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+    clock.now += 100;  // set before the threads start; read-only after
+    std::atomic<int> admitted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        if (breaker.Allow()) ++admitted;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(admitted.load(), kProbes) << "round " << round;
+    breaker.RecordSuccess();
+    breaker.RecordSuccess();
+    ASSERT_EQ(breaker.state(), BreakerState::kClosed);
+  }
 }
 
 TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
